@@ -1,0 +1,93 @@
+package funcytuner
+
+import (
+	"fmt"
+	"io"
+
+	"funcytuner/internal/apps"
+	"funcytuner/internal/baselines"
+	"funcytuner/internal/baselines/ce"
+	"funcytuner/internal/baselines/cobayn"
+	"funcytuner/internal/baselines/opentuner"
+	"funcytuner/internal/baselines/pgo"
+	"funcytuner/internal/compiler"
+)
+
+// BaselineResult is a prior-work tuner's outcome (§4.2 / Fig. 1).
+type BaselineResult = baselines.Result
+
+// COBAYNModel is a trained COBAYN instance (Bayesian network over
+// binarized flags + corpus features).
+type COBAYNModel = cobayn.Model
+
+// COBAYNKind selects COBAYN's feature model: static (Milepost-like),
+// dynamic (MICA-like, serial), or hybrid.
+type COBAYNKind = cobayn.Kind
+
+// COBAYN feature-model kinds.
+const (
+	COBAYNStatic  = cobayn.Static
+	COBAYNDynamic = cobayn.Dynamic
+	COBAYNHybrid  = cobayn.Hybrid
+)
+
+// evaluator builds the per-program evaluation harness behind each
+// baseline.
+func (t *Tuner) evaluator(prog *Program, in Input, technique string) *baselines.Evaluator {
+	return baselines.NewEvaluator(t.tc, prog, t.opts.Machine, in,
+		t.opts.Seed+"/"+technique, *t.opts.Noisy)
+}
+
+// TuneOpenTuner runs the OpenTuner baseline (ensemble of DE, Nelder–Mead,
+// Torczon pattern search, GA, simulated annealing, PSO and uniform random
+// under an AUC bandit) for the tuner's sample budget.
+func (t *Tuner) TuneOpenTuner(prog *Program, in Input) (*BaselineResult, error) {
+	return opentuner.Tune(t.evaluator(prog, in, "opentuner"), t.opts.Samples)
+}
+
+// TunePGO runs the Intel-PGO baseline: an instrumented profile run plus a
+// profile-guided recompilation. Result.Failed reports the §4.2.2
+// instrumentation failures (LULESH, Optewe), which fall back to plain O3.
+func (t *Tuner) TunePGO(prog *Program, in Input) (*BaselineResult, error) {
+	return pgo.Tune(t.tc, prog, t.opts.Machine, in)
+}
+
+// TuneCE runs Combined Elimination (Fig. 1): start from the most
+// aggressive configuration and greedily eliminate harmful flags.
+func (t *Tuner) TuneCE(prog *Program, in Input) (*BaselineResult, error) {
+	return ce.Tune(t.evaluator(prog, in, "ce"), ce.DefaultOptions())
+}
+
+// TrainCOBAYN characterizes a cBench-like corpus (corpusSize programs,
+// 1000 random CVs each, top 100 kept) and trains the hybrid COBAYN model;
+// derive the static/dynamic variants with Model.WithKind. This is the
+// expensive phase (the paper reports ~1 week per benchmark for COBAYN);
+// persist the result with COBAYNModel.Save and reload it with LoadCOBAYN.
+func (t *Tuner) TrainCOBAYN(corpusSize int) (*COBAYNModel, error) {
+	cfg := cobayn.DefaultTrainConfig(t.opts.Seed)
+	cfg.SamplesPerProgram = t.opts.Samples
+	cfg.TopPerProgram = t.opts.Samples / 10
+	if cfg.TopPerProgram < 1 {
+		cfg.TopPerProgram = 1
+	}
+	return cobayn.Train(t.tc, apps.Corpus(corpusSize), apps.CorpusInput(),
+		t.opts.Machine, cobayn.Hybrid, cfg)
+}
+
+// TuneCOBAYN samples the tuner's budget of CVs from a trained model and
+// evaluates them on prog.
+func (t *Tuner) TuneCOBAYN(model *COBAYNModel, prog *Program, in Input) (*BaselineResult, error) {
+	if model == nil {
+		return nil, fmt.Errorf("funcytuner: nil COBAYN model (train or load one first)")
+	}
+	return model.Infer(t.evaluator(prog, in, "cobayn-"+model.Kind.String()), t.opts.Samples)
+}
+
+// LoadCOBAYN reloads a model saved with COBAYNModel.Save. The tuner must
+// use the flag-space flavor the model was trained on.
+func (t *Tuner) LoadCOBAYN(r io.Reader) (*COBAYNModel, error) {
+	return cobayn.Load(r, t.tc)
+}
+
+// Toolchain exposes the tuner's compiler toolchain for advanced use.
+func (t *Tuner) Toolchain() *compiler.Toolchain { return t.tc }

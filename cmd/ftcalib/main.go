@@ -1,0 +1,119 @@
+// Command ftcalib runs the core FuncyTuner algorithms on chosen benchmarks
+// and prints per-algorithm speedups plus per-loop detail. It exists to
+// calibrate and sanity-check the model against the paper's result shapes
+// (Fig. 5, Fig. 9, Table 3) without running the full experiment harness.
+//
+// Usage:
+//
+//	ftcalib [-bench CL] [-machine broadwell] [-samples 1000] [-topx 50] [-loops]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"funcytuner/internal/apps"
+	"funcytuner/internal/arch"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/core"
+	"funcytuner/internal/exec"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/outline"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ftcalib: ")
+	benchFlag := flag.String("bench", "all", "benchmark name or 'all'")
+	machineFlag := flag.String("machine", "broadwell", "machine name or 'all'")
+	samples := flag.Int("samples", 1000, "pre-sampled CV count (K)")
+	topx := flag.Int("topx", 50, "CFR pruning width (X)")
+	loops := flag.Bool("loops", false, "print per-loop detail for the chosen configs")
+	flag.Parse()
+
+	var benches []string
+	if *benchFlag == "all" {
+		benches = apps.Names()
+	} else {
+		benches = strings.Split(*benchFlag, ",")
+	}
+	var machines []*arch.Machine
+	if *machineFlag == "all" {
+		machines = arch.All()
+	} else {
+		m, err := arch.ByName(*machineFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		machines = []*arch.Machine{m}
+	}
+
+	tc := compiler.NewToolchain(flagspec.ICC())
+	for _, m := range machines {
+		fmt.Printf("== %s ==\n", m)
+		fmt.Printf("%-8s %9s %9s %9s %9s %9s %9s\n", "bench", "O3(s)", "Random", "G.real", "FR", "CFR", "G.Indep")
+		for _, name := range benches {
+			prog, err := apps.Get(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			in := apps.TuningInput(name, m)
+			out, err := outline.AutoOutline(tc, prog, m, in, outline.HotThreshold, 1, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg := core.DefaultConfig("ftcalib")
+			cfg.Samples = *samples
+			cfg.TopX = *topx
+			sess, err := core.NewSession(tc, prog, out.Partition, m, in, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			results, err := sess.RunAll()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8s %9.2f %9.3f %9.3f %9.3f %9.3f %9.3f\n",
+				name, results["Random"].Baseline,
+				results["Random"].Speedup, results["G.realized"].Speedup,
+				results["FR"].Speedup, results["CFR"].Speedup,
+				results["G.Independent"].Speedup)
+			if *loops {
+				printLoops(sess, results)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// printLoops shows per-loop speedups and optimization notes (Fig. 9 /
+// Table 3 style) for each algorithm's chosen configuration.
+func printLoops(sess *core.Session, results map[string]*core.Result) {
+	m := sess.Machine
+	prog := sess.Prog
+	baseExe, err := sess.Toolchain.CompileUniform(prog, sess.Part, sess.Toolchain.Space.Baseline(), m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseRes := exec.Run(baseExe, m, sess.Input, exec.Options{})
+	for _, alg := range []string{"Random", "G.realized", "CFR"} {
+		r := results[alg]
+		exe, err := sess.Toolchain.Compile(prog, sess.Part, r.ModuleCVs, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := exec.Run(exe, m, sess.Input, exec.Options{})
+		fmt.Printf("  %s per-loop speedups:\n", alg)
+		for li := range prog.Loops {
+			fmt.Fprintf(os.Stdout, "    %-12s %6.3f  [%s]  (O3: %s, share %.1f%%)\n",
+				prog.Loops[li].Name,
+				baseRes.PerLoop[li]/res.PerLoop[li],
+				exe.PerLoop[li].Notes(),
+				baseExe.PerLoop[li].Notes(),
+				100*baseRes.PerLoop[li]/baseRes.Total)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Command ftexperiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ftexperiments [-run fig5] [-samples 1000] [-topx 50] [-seed funcytuner-repro]
+//	              [-csv dir] [-quiet]
+//
+// Without -run, every experiment runs: the seven paper artifacts (fig1,
+// fig5, fig6, fig7, fig8, fig9, table3) plus the extension studies
+// (ablation, convergence, overhead, lto, significance). Each experiment
+// prints its tables and any shape deviations from the paper; -csv writes
+// one CSV per table, -md a combined markdown report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"funcytuner/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ftexperiments: ")
+	run := flag.String("run", "all", "experiment id (fig1..fig9, table3, ablation, convergence, overhead, lto, significance) or 'all'")
+	samples := flag.Int("samples", 1000, "evaluation budget K per algorithm")
+	topx := flag.Int("topx", 50, "CFR pruning width X")
+	seed := flag.String("seed", "funcytuner-repro", "experiment seed")
+	csvDir := flag.String("csv", "", "directory to write per-table CSV files")
+	mdPath := flag.String("md", "", "write a single markdown report of all selected experiments")
+	quiet := flag.Bool("quiet", false, "suppress table bodies (print deviations only)")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig(*seed)
+	cfg.Samples = *samples
+	cfg.TopX = *topx
+
+	var ids []string
+	if *run == "all" {
+		ids = experiments.Names()
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+
+	var md strings.Builder
+	md.WriteString("# FuncyTuner reproduction — regenerated artifacts\n")
+	deviations := 0
+	for _, id := range ids {
+		start := time.Now()
+		out, err := experiments.Run(id, cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n", out.Name, time.Since(start).Seconds())
+		fmt.Fprintf(&md, "\n## %s\n\n", out.Name)
+		for _, t := range out.Tables {
+			if !*quiet {
+				fmt.Println(t.Render())
+			}
+			if *csvDir != "" {
+				writeCSV(*csvDir, out.Name, t.Title, t.CSV())
+			}
+			md.WriteString(t.Markdown())
+			md.WriteByte('\n')
+		}
+		for _, t := range out.Texts {
+			if !*quiet {
+				fmt.Println(t.Render())
+			}
+			md.WriteString(t.Markdown())
+			md.WriteByte('\n')
+		}
+		if len(out.Deviations) == 0 {
+			fmt.Println("shape check: OK (matches the paper's qualitative claims)")
+			md.WriteString("shape check: **OK**\n")
+		} else {
+			for _, d := range out.Deviations {
+				fmt.Printf("shape DEVIATION: %s\n", d)
+				fmt.Fprintf(&md, "shape **DEVIATION**: %s\n", d)
+				deviations++
+			}
+		}
+		fmt.Println()
+	}
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(md.String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("markdown report written to %s\n", *mdPath)
+	}
+	if deviations > 0 {
+		log.Fatalf("%d shape deviation(s)", deviations)
+	}
+}
+
+func writeCSV(dir, exp, title, csv string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	slug := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, title)
+	if len(slug) > 60 {
+		slug = slug[:60]
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s_%s.csv", exp, slug))
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+// Command ftprofile prints Caliper-style O3 baseline profiles: per-loop
+// times, shares, and which loops the §3.3 rule would outline.
+//
+// Usage:
+//
+//	ftprofile [-bench all] [-machine broadwell] [-runs 10] [-threshold 0.01]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"funcytuner"
+	"funcytuner/internal/apps"
+	"funcytuner/internal/arch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ftprofile: ")
+	bench := flag.String("bench", "all", "benchmark name or 'all'")
+	machine := flag.String("machine", "broadwell", "machine name")
+	runs := flag.Int("runs", 10, "instrumented runs to average")
+	threshold := flag.Float64("threshold", 0.01, "hot-loop outlining threshold")
+	flag.Parse()
+
+	m, err := arch.ByName(*machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var names []string
+	if *bench == "all" {
+		names = apps.Names()
+	} else {
+		names = strings.Split(*bench, ",")
+	}
+	for _, name := range names {
+		prog, err := funcytuner.Benchmark(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in := funcytuner.TuningInput(name, m)
+		prof, err := funcytuner.ProfileBaseline(prog, m, in, *runs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(prof)
+		hot := prof.HotLoops(*threshold)
+		fmt.Printf("  -> %d of %d loops above the %.1f%% threshold would be outlined (J = %d)\n\n",
+			len(hot), prog.NumLoops(), 100**threshold, len(hot)+1)
+	}
+}

@@ -1,0 +1,52 @@
+// Command ftspace inspects the compiler optimization spaces: flag lists,
+// space sizes, baseline CVs, and random samples.
+//
+// Usage:
+//
+//	ftspace [-flavor icc|gcc] [-sample N] [-seed s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"funcytuner"
+	"funcytuner/internal/xrand"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ftspace: ")
+	flavor := flag.String("flavor", "icc", "flag space flavor (icc or gcc)")
+	sample := flag.Int("sample", 0, "print N uniformly sampled CVs")
+	seed := flag.String("seed", "ftspace", "sampling seed")
+	flag.Parse()
+
+	var space *funcytuner.Space
+	switch strings.ToLower(*flavor) {
+	case "icc":
+		space = funcytuner.ICCSpace()
+	case "gcc":
+		space = funcytuner.GCCSpace()
+	default:
+		log.Fatalf("unknown flavor %q", *flavor)
+	}
+
+	fmt.Printf("%s optimization space: %d flags, %.3e points\n\n",
+		strings.ToUpper(*flavor), space.NumFlags(), space.Size())
+	fmt.Printf("%-28s %-8s %s\n", "flag", "default", "values")
+	for _, f := range space.Flags {
+		fmt.Printf("-%-27s %-8s %s\n", f.Name, f.Values[f.Default], strings.Join(f.Values, " | "))
+	}
+	fmt.Printf("\nO3 baseline CV:\n  %s\n", space.Baseline())
+
+	if *sample > 0 {
+		r := xrand.NewFromString(*seed)
+		fmt.Printf("\n%d uniform samples:\n", *sample)
+		for i := 0; i < *sample; i++ {
+			fmt.Printf("  %s\n", space.Random(r))
+		}
+	}
+}

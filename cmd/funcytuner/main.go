@@ -1,0 +1,126 @@
+// Command funcytuner tunes one benchmark with the FuncyTuner pipeline and
+// prints the chosen per-module compilation vectors.
+//
+// Usage:
+//
+//	funcytuner [-bench CL] [-machine broadwell] [-samples 1000] [-topx 50]
+//	           [-compare] [-seed funcytuner] [-flags]
+//
+// With -compare, all four §2.2 algorithms run and their speedups are
+// reported side by side; otherwise only the collection + CFR pipeline
+// runs. With -flags, the winning per-module CVs are printed in full.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"funcytuner"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("funcytuner: ")
+	bench := flag.String("bench", funcytuner.CloverLeaf, "benchmark name (LULESH, CL, AMG, Optewe, bwaves, fma3d, swim)")
+	programFile := flag.String("program", "", "tune a user-defined JSON program model instead of a built-in benchmark")
+	size := flag.Float64("size", 0, "input size for -program (defaults to the model's BaseSize)")
+	steps := flag.Int("steps", 0, "input steps for -program (defaults to the model's BaseSteps)")
+	machine := flag.String("machine", "broadwell", "machine (opteron, sandybridge, broadwell)")
+	samples := flag.Int("samples", 1000, "evaluation budget K")
+	topx := flag.Int("topx", 50, "CFR pruning width X")
+	seed := flag.String("seed", "funcytuner", "tuning seed (equal seeds reproduce exactly)")
+	compare := flag.Bool("compare", false, "run Random/FR/G/CFR side by side (§4.1 protocol)")
+	showFlags := flag.Bool("flags", false, "print the winning per-module compilation vectors")
+	adaptive := flag.Bool("adaptive", false, "early-stopped CFR (convergence-trend budget policy)")
+	save := flag.String("save", "", "write the winning configuration as JSON to this file")
+	flag.Parse()
+
+	m, err := funcytuner.MachineByName(*machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var prog *funcytuner.Program
+	var in funcytuner.Input
+	if *programFile != "" {
+		f, err := os.Open(*programFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog, err = funcytuner.LoadProgram(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		in = funcytuner.Input{Name: "user", Size: prog.BaseSize, Steps: prog.BaseSteps}
+		if *size > 0 {
+			in.Size = *size
+		}
+		if *steps > 0 {
+			in.Steps = *steps
+		}
+		if in.Steps == 0 {
+			in.Steps = 10
+		}
+	} else {
+		prog, err = funcytuner.Benchmark(*bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in = funcytuner.TuningInput(*bench, m)
+	}
+	tuner := funcytuner.NewTuner(funcytuner.Options{
+		Machine: m, Samples: *samples, TopX: *topx, Seed: *seed,
+	})
+
+	fmt.Printf("tuning %s on %s with input %s\n", prog.Name, m, in)
+	var rep *funcytuner.Report
+	switch {
+	case *compare:
+		rep, err = tuner.Compare(prog, in)
+	case *adaptive:
+		rep, err = tuner.TuneAdaptive(prog, in, funcytuner.DefaultStopRule())
+	default:
+		rep, err = tuner.Tune(prog, in)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nO3 baseline profile (%d modules after outlining):\n%s\n", rep.Modules, rep.Profile)
+	names := make([]string, 0, len(rep.All))
+	for name := range rep.All {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := rep.All[name]
+		fmt.Printf("%-14s speedup %6.3f  (baseline %.2fs, best %.2fs, %d evaluations)\n",
+			name, r.Speedup, r.Baseline, r.TrueTime, r.Evaluations)
+	}
+	fmt.Printf("\ntuning cost: %d compiles, %d runs, %.1f simulated hours\n",
+		rep.Compiles, rep.Runs, rep.SimulatedHours)
+	fmt.Printf("CFR converged within 5%% of its final best after %d evaluations\n",
+		rep.Best.ConvergedAt(0.05))
+
+	if *showFlags {
+		fmt.Println("\nwinning per-module compilation vectors (CFR):")
+		for mi, cv := range rep.Best.ModuleCVs {
+			fmt.Printf("  module %2d: %s\n", mi, cv)
+		}
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := rep.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nsaved the winning configuration to %s\n", *save)
+	}
+}

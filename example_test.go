@@ -1,0 +1,86 @@
+package funcytuner_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"funcytuner"
+)
+
+// ExampleTuner_Tune tunes CloverLeaf on the Broadwell model with a reduced
+// budget (the paper's defaults are Samples=1000, TopX=50) and inspects the
+// per-loop decisions of the winning configuration.
+func ExampleTuner_Tune() {
+	prog, err := funcytuner.Benchmark(funcytuner.CloverLeaf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine, err := funcytuner.MachineByName("broadwell")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuner := funcytuner.NewTuner(funcytuner.Options{
+		Machine: machine, Samples: 250, TopX: 25, Seed: "doc-example",
+	})
+	in := funcytuner.TuningInput(prog.Name, machine)
+	rep, err := tuner.Tune(prog, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("modules: %d\n", rep.Modules)
+	fmt.Printf("speedup: %.2f\n", rep.Best.Speedup)
+
+	base, err := rep.EvaluateBaseline(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuned, err := rep.Evaluate(rep.Best.ModuleCVs, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	li := prog.LoopIndex("acc")
+	fmt.Printf("acc: O3 [%s] -> CFR [%s], %.2fx\n",
+		base.Notes[li], tuned.Notes[li], base.PerLoop[li]/tuned.PerLoop[li])
+	// Output:
+	// modules: 12
+	// speedup: 1.05
+	// acc: O3 [S, unroll3, IS, IO] -> CFR [256, unroll8, IO], 1.91x
+}
+
+// ExampleLoadProgram defines an application model as JSON — the schema a
+// downstream user fills in for code the suite does not ship — and
+// validates it.
+func ExampleLoadProgram() {
+	const model = `{
+	  "Name": "mykernel",
+	  "Domain": "demo",
+	  "LOC": 300,
+	  "Loops": [
+	    {"Name": "stream", "File": "k.f90", "TripCount": 1e8,
+	     "WorkPerIter": 4, "BytesPerIter": 32, "FPFraction": 0.95,
+	     "WorkingSetKB": 16000, "Parallel": true, "WSScaleExp": 2}
+	  ],
+	  "NonLoopCode": {"WorkPerStep": 4e8, "SetupWork": 4e8},
+	  "BaseSize": 1000,
+	  "BaseSteps": 10
+	}`
+	prog, err := funcytuner.LoadProgram(strings.NewReader(model))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d hot loop(s), validated\n", prog.Name, prog.NumLoops())
+	// Output:
+	// mykernel: 1 hot loop(s), validated
+}
+
+// ExampleICCSpace shows the compiler optimization space the tuner
+// searches (§2.1's COS).
+func ExampleICCSpace() {
+	space := funcytuner.ICCSpace()
+	fmt.Printf("flags: %d\n", space.NumFlags())
+	fmt.Printf("points: %.1e\n", space.Size())
+	// Output:
+	// flags: 33
+	// points: 2.2e+13
+}

@@ -1,0 +1,112 @@
+// Baselines tour: run every tuner the paper compares (§4.2, Fig. 1) on
+// one benchmark through the public API — FuncyTuner CFR against
+// OpenTuner, the three COBAYN models, Intel-style PGO, and Combined
+// Elimination — and explain CFR's win with per-module attribution and
+// critical flags (§4.4.1).
+//
+//	go run ./examples/baselines_tour
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"funcytuner"
+)
+
+func main() {
+	log.SetFlags(0)
+	machine, err := funcytuner.MachineByName("broadwell")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := funcytuner.Benchmark(funcytuner.AMG)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := funcytuner.TuningInput(prog.Name, machine)
+	tuner := funcytuner.NewTuner(funcytuner.Options{Machine: machine, Seed: "baselines-tour"})
+
+	fmt.Printf("tuning %s on %s (%s)\n\n", prog.Name, machine.Name, in)
+	speedups := map[string]float64{}
+
+	// FuncyTuner CFR.
+	rep, err := tuner.Tune(prog, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	speedups["FuncyTuner CFR"] = rep.Best.Speedup
+
+	// OpenTuner ensemble.
+	if res, err := tuner.TuneOpenTuner(prog, in); err != nil {
+		log.Fatal(err)
+	} else {
+		speedups["OpenTuner"] = res.Speedup
+	}
+
+	// COBAYN: train once on the cBench-like corpus, use all three models.
+	model, err := tuner.TrainCOBAYN(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, kind := range []funcytuner.COBAYNKind{
+		funcytuner.COBAYNStatic, funcytuner.COBAYNDynamic, funcytuner.COBAYNHybrid,
+	} {
+		res, err := tuner.TuneCOBAYN(model.WithKind(kind), prog, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		speedups[res.Name] = res.Speedup
+	}
+
+	// Intel PGO.
+	if res, err := tuner.TunePGO(prog, in); err != nil {
+		log.Fatal(err)
+	} else if res.Failed {
+		fmt.Printf("PGO: %s\n", res.Note)
+	} else {
+		speedups["PGO"] = res.Speedup
+	}
+
+	// Combined Elimination (Fig. 1).
+	if res, err := tuner.TuneCE(prog, in); err != nil {
+		log.Fatal(err)
+	} else {
+		speedups["Combined Elimination"] = res.Speedup
+	}
+
+	names := make([]string, 0, len(speedups))
+	for n := range speedups {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(a, b int) bool { return speedups[names[a]] > speedups[names[b]] })
+	fmt.Println("speedup over -O3:")
+	for _, n := range names {
+		fmt.Printf("  %-22s %6.3f\n", n, speedups[n])
+	}
+
+	// Why does CFR win? Leave-one-out attribution per module.
+	attr, err := rep.Attribution()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(attr, func(a, b int) bool { return attr[a].Marginal > attr[b].Marginal })
+	fmt.Println("\nCFR per-module attribution (slowdown if the module reverts to O3):")
+	for _, a := range attr[:5] {
+		fmt.Printf("  %-14s %6.3fx\n", a.Module, a.Marginal)
+	}
+
+	// Critical flags of the most load-bearing module (§4.4.1).
+	top := attr[0].Module
+	for mi := 0; mi < rep.Modules; mi++ {
+		if rep.ModuleName(mi) != top {
+			continue
+		}
+		flags, err := rep.CriticalFlags(mi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ncritical flags of %s after greedy elimination:\n  %v\n", top, flags)
+	}
+}

@@ -1,0 +1,99 @@
+// CloverLeaf deep dive: reproduces the paper's §4.4 case study on the
+// public API — the four search algorithms side by side, per-loop speedups
+// for the five famous kernels (Fig. 9), and their optimization decisions
+// (Table 3), demonstrating why greedy per-module composition fails while
+// Caliper-guided focused search succeeds.
+//
+//	go run ./examples/cloverleaf_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"funcytuner"
+)
+
+var kernels = []string{"dt", "cell3", "cell7", "mom9", "acc"}
+
+func main() {
+	log.SetFlags(0)
+
+	prog, err := funcytuner.Benchmark(funcytuner.CloverLeaf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine, err := funcytuner.MachineByName("broadwell")
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := funcytuner.TuningInput(prog.Name, machine)
+	tuner := funcytuner.NewTuner(funcytuner.Options{Machine: machine, Seed: "cloverleaf-study"})
+
+	rep, err := tuner.Compare(prog, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== algorithm comparison (speedup over O3) ==")
+	for _, alg := range []string{"Random", "FR", "G.realized", "CFR", "G.Independent"} {
+		fmt.Printf("  %-14s %6.3f\n", alg, rep.All[alg].Speedup)
+	}
+	fmt.Printf("\nG.realized vs G.Independent gap: %.3f — the inter-module\n",
+		rep.All["G.Independent"].Speedup-rep.All["G.realized"].Speedup)
+	fmt.Println("interference that invalidates the independence assumption (§3.4).")
+
+	base, err := rep.EvaluateBaseline(input)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== Fig. 9: per-loop speedups of the top-5 kernels ==")
+	fmt.Printf("%-8s", "kernel")
+	algs := []string{"Random", "G.realized", "CFR"}
+	for _, alg := range algs {
+		fmt.Printf("%12s", alg)
+	}
+	fmt.Println()
+	evals := map[string]*funcytuner.Evaluation{}
+	for _, alg := range algs {
+		ev, err := rep.Evaluate(rep.All[alg].ModuleCVs, input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		evals[alg] = ev
+	}
+	for _, k := range kernels {
+		li := prog.LoopIndex(k)
+		fmt.Printf("%-8s", k)
+		for _, alg := range algs {
+			fmt.Printf("%12.3f", base.PerLoop[li]/evals[alg].PerLoop[li])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n== Table 3: optimization decisions ==")
+	fmt.Printf("%-12s", "algorithm")
+	for _, k := range kernels {
+		fmt.Printf("%-22s", k)
+	}
+	fmt.Println()
+	printRow := func(name string, ev *funcytuner.Evaluation) {
+		fmt.Printf("%-12s", name)
+		for _, k := range kernels {
+			fmt.Printf("%-22s", ev.Notes[prog.LoopIndex(k)])
+		}
+		fmt.Println()
+	}
+	printRow("O3", base)
+	for _, alg := range algs {
+		printRow(alg, evals[alg])
+	}
+
+	fmt.Println("\nObservations to look for (cf. §4.4.2):")
+	fmt.Println(" 1. vectorization is not always profitable: the divergent kernels")
+	fmt.Println("    (dt, cell3, cell7) run fastest as scalar code;")
+	fmt.Println(" 2. acc hides a large 256-bit SIMD win behind pointer aliasing;")
+	fmt.Println(" 3. G.realized's decisions differ from the per-module bests it chose")
+	fmt.Println("    (IPO* marks link-time overrides) — greedy composition backfires.")
+}

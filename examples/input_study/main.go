@@ -1,0 +1,83 @@
+// Input study: the §4.3 generalization protocol on the public API — tune
+// swim and CloverLeaf on their Table 2 tuning inputs, then evaluate the
+// chosen configurations on different problem sizes and time-step counts.
+// Shows both the headline result (benefits generalize across inputs) and
+// the one counter-example (swim's tiny "test" input flips the tuned
+// streaming/prefetch trade-offs).
+//
+//	go run ./examples/input_study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"funcytuner"
+)
+
+func main() {
+	log.SetFlags(0)
+	machine, err := funcytuner.MachineByName("broadwell")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- CloverLeaf: scale the time-steps (Fig. 8) ---
+	prog, err := funcytuner.Benchmark(funcytuner.CloverLeaf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := funcytuner.TuningInput(prog.Name, machine)
+	tuner := funcytuner.NewTuner(funcytuner.Options{Machine: machine, Seed: "input-study"})
+	rep, err := tuner.Tune(prog, train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("CloverLeaf tuned on %s: speedup %.3f\n", train, rep.Best.Speedup)
+	fmt.Println("generalization across time-steps (Fig. 8 protocol):")
+	for _, steps := range []int{100, 200, 400, 800} {
+		in := funcytuner.Input{Name: "steps", Size: train.Size, Steps: steps}
+		tuned, err := rep.Evaluate(rep.Best.ModuleCVs, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := rep.EvaluateBaseline(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  steps=%4d  speedup %.3f\n", steps, base.Total/tuned.Total)
+	}
+
+	// --- swim: shrink and grow the problem size (§4.3) ---
+	prog, err = funcytuner.Benchmark(funcytuner.Swim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train = funcytuner.TuningInput(prog.Name, machine)
+	rep, err = tuner.Tune(prog, train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nswim tuned on %s: speedup %.3f\n", train, rep.Best.Speedup)
+	fmt.Println("generalization across problem sizes:")
+	for _, in := range []funcytuner.Input{
+		{Name: "test (tiny!)", Size: 12, Steps: 50},
+		{Name: "train", Size: 100, Steps: 50},
+		{Name: "ref", Size: 160, Steps: 50},
+	} {
+		tuned, err := rep.Evaluate(rep.Best.ModuleCVs, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base, err := rep.EvaluateBaseline(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		perStep := base.Total / float64(in.Steps)
+		fmt.Printf("  %-14s speedup %.3f   (O3 per-step %.4fs)\n",
+			in.Name, base.Total/tuned.Total, perStep)
+	}
+	fmt.Println("\nswim's \"test\" grids drop into cache: the streaming-store and")
+	fmt.Println("prefetch choices tuned for bandwidth-bound grids stop paying —")
+	fmt.Println("the one case (§4.3) where the tuned profile mis-generalizes.")
+}

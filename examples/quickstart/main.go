@@ -1,0 +1,69 @@
+// Quickstart: tune CloverLeaf on the Broadwell model with FuncyTuner's
+// Caliper-guided random search and print what the tuner found.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"funcytuner"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Pick a benchmark (Table 1) and a platform (Table 2).
+	prog, err := funcytuner.Benchmark(funcytuner.CloverLeaf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine, err := funcytuner.MachineByName("broadwell")
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := funcytuner.TuningInput(prog.Name, machine)
+
+	// A tuner with the paper's settings: K = 1000 pre-sampled CVs,
+	// per-module pruning to the top 50.
+	tuner := funcytuner.NewTuner(funcytuner.Options{
+		Machine: machine,
+		Seed:    "quickstart",
+	})
+
+	fmt.Printf("tuning %s (%s, %d hot loops) on %s, input %s\n\n",
+		prog.Name, prog.Domain, prog.NumLoops(), machine, input)
+
+	rep, err := tuner.Tune(prog, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("O3 baseline:   %6.2f s\n", rep.Best.Baseline)
+	fmt.Printf("tuned (CFR):   %6.2f s\n", rep.Best.TrueTime)
+	fmt.Printf("speedup:       %6.3f x\n\n", rep.Best.Speedup)
+
+	fmt.Printf("the profiler outlined %d hot loops into %d compilation modules;\n",
+		len(rep.HotLoops), rep.Modules)
+	fmt.Printf("hottest loop: %q at %.1f%% of runtime\n\n",
+		prog.Loops[rep.HotLoops[0]].Name, 100*rep.Profile.Share(rep.HotLoops[0]))
+
+	// Show how the tuned code differs from O3, per loop.
+	tuned, err := rep.Evaluate(rep.Best.ModuleCVs, input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := rep.EvaluateBaseline(input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("per-loop result (speedup, decisions — Table 3 notation):")
+	for li := range prog.Loops {
+		fmt.Printf("  %-10s %6.3fx   O3: %-24s CFR: %s\n",
+			prog.Loops[li].Name,
+			base.PerLoop[li]/tuned.PerLoop[li],
+			base.Notes[li], tuned.Notes[li])
+	}
+	fmt.Printf("\ntuning cost: %d runs, %.1f simulated hours\n", rep.Runs, rep.SimulatedHours)
+}

@@ -1,0 +1,340 @@
+// Package funcytuner is the public API of the FuncyTuner reproduction — a
+// per-loop compiler-flag auto-tuning framework after Wang et al., "Funcy-
+// Tuner: Auto-tuning Scientific Applications With Per-loop Compilation"
+// (ICPP 2019).
+//
+// The pipeline mirrors the paper's Fig. 4:
+//
+//  1. Profile the O3 baseline with Caliper-style instrumentation and
+//     outline every loop at ≥ 1% of end-to-end runtime into its own
+//     compilation module (§3.3).
+//  2. Compile the program uniformly with K pre-sampled compilation
+//     vectors (CVs) and collect per-loop runtimes (§2.2, Fig. 4).
+//  3. Search: prune each module's CV pool to the top X by its own
+//     measured time, re-sample per-module CVs from the pruned pools, and
+//     measure K assembled executables end-to-end — Caliper-guided random
+//     search, CFR (Algorithm 1). The minimum wins.
+//
+// The package also exposes the paper's reference algorithms (per-program
+// Random search, per-function random search FR, greedy combination G with
+// its G.Independent bound) and the modeled experimental substrate: the
+// seven benchmark programs of Table 1, the three machines of Table 2, and
+// an ICC-like 33-flag optimization space (~2.2e13 points).
+//
+// Quick start:
+//
+//	prog, _ := funcytuner.Benchmark(funcytuner.CloverLeaf)
+//	machine, _ := funcytuner.MachineByName("broadwell")
+//	tuner := funcytuner.NewTuner(funcytuner.Options{Machine: machine})
+//	rep, _ := tuner.Tune(prog, funcytuner.TuningInput(prog.Name, machine))
+//	fmt.Printf("CFR speedup over -O3: %.3f\n", rep.Best.Speedup)
+//
+// Everything is a deterministic simulation: compilation, execution and
+// measurement noise all derive from seeded streams, so results reproduce
+// bit-for-bit. See DESIGN.md for the substitution inventory (what the
+// paper ran on real ICC/hardware versus what this repository models).
+package funcytuner
+
+import (
+	"fmt"
+
+	"funcytuner/internal/apps"
+	"funcytuner/internal/arch"
+	"funcytuner/internal/caliper"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/core"
+	"funcytuner/internal/exec"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/ir"
+	"funcytuner/internal/outline"
+	"funcytuner/internal/xrand"
+)
+
+// Re-exported substrate types. Loops, programs and inputs are plain data;
+// see the ir package documentation on field semantics.
+type (
+	// Program is a tunable program model (hot loops + non-loop code).
+	Program = ir.Program
+	// Loop is one hot-loop feature vector.
+	Loop = ir.Loop
+	// Input selects a workload (problem size and time-step count).
+	Input = ir.Input
+	// Machine is a platform model (Table 2).
+	Machine = arch.Machine
+	// CV is a compilation vector — one value per compiler flag.
+	CV = flagspec.CV
+	// Space is a compiler optimization space (COS).
+	Space = flagspec.Space
+	// Profile is a Caliper-style per-loop profile.
+	Profile = caliper.Profile
+)
+
+// Benchmark name constants (Table 1).
+const (
+	LULESH     = apps.LULESH
+	CloverLeaf = apps.CloverLeaf
+	AMG        = apps.AMG
+	Optewe     = apps.Optewe
+	Bwaves     = apps.Bwaves
+	Fma3d      = apps.Fma3d
+	Swim       = apps.Swim
+)
+
+// Benchmarks returns the benchmark names in the paper's order.
+func Benchmarks() []string { return apps.Names() }
+
+// Benchmark returns the named benchmark's calibrated program model.
+func Benchmark(name string) (*Program, error) { return apps.Get(name) }
+
+// Machines returns the three platform models (Opteron, Sandy Bridge,
+// Broadwell).
+func Machines() []*Machine { return arch.All() }
+
+// MachineByName looks up a platform by short name.
+func MachineByName(name string) (*Machine, error) { return arch.ByName(name) }
+
+// TuningInput returns Table 2's tuning input for (benchmark, machine).
+func TuningInput(app string, m *Machine) Input { return apps.TuningInput(app, m) }
+
+// ICCSpace returns the 33-flag Intel-compiler-like optimization space.
+func ICCSpace() *Space { return flagspec.ICC() }
+
+// GCCSpace returns the GCC-like optimization space (Fig. 1).
+func GCCSpace() *Space { return flagspec.GCC() }
+
+// Options configure a Tuner.
+type Options struct {
+	// Machine is the target platform (default: Broadwell).
+	Machine *Machine
+	// Space is the flag space (default: the ICC space).
+	Space *Space
+	// Samples is K, the evaluation budget per phase (default 1000).
+	Samples int
+	// TopX is CFR's per-module pruning width (default 50).
+	TopX int
+	// Seed names the tuning run; equal seeds reproduce exactly.
+	Seed string
+	// Noisy applies measurement noise (default true, like real runs).
+	Noisy *bool
+	// Workers bounds parallel evaluation (0 = GOMAXPROCS).
+	Workers int
+	// HotThreshold is the outlining threshold (default 0.01, §3.3).
+	HotThreshold float64
+}
+
+// Tuner drives the FuncyTuner pipeline.
+type Tuner struct {
+	opts Options
+	tc   *compiler.Toolchain
+}
+
+// NewTuner builds a tuner, applying defaults for unset options.
+func NewTuner(opts Options) *Tuner {
+	if opts.Machine == nil {
+		opts.Machine = arch.Broadwell()
+	}
+	if opts.Space == nil {
+		opts.Space = flagspec.ICC()
+	}
+	if opts.Samples == 0 {
+		opts.Samples = 1000
+	}
+	if opts.TopX == 0 {
+		opts.TopX = 50
+	}
+	if opts.Seed == "" {
+		opts.Seed = "funcytuner"
+	}
+	if opts.Noisy == nil {
+		noisy := true
+		opts.Noisy = &noisy
+	}
+	if opts.HotThreshold == 0 {
+		opts.HotThreshold = outline.HotThreshold
+	}
+	return &Tuner{opts: opts, tc: compiler.NewToolchain(opts.Space)}
+}
+
+// Result is one algorithm's outcome (re-exported from the core engine).
+type Result = core.Result
+
+// Report is the outcome of a full tuning run.
+type Report struct {
+	// Best is the CFR result — FuncyTuner's answer.
+	Best *Result
+	// All holds every algorithm's result keyed by name (Random, FR,
+	// G.realized, G.Independent, CFR).
+	All map[string]*Result
+	// Profile is the O3 baseline profile used for outlining.
+	Profile Profile
+	// HotLoops are the outlined loop indices, hottest first.
+	HotLoops []int
+	// Modules is the number of compilation modules (J, §2.1).
+	Modules int
+	// Compiles and Runs tally the simulated tuning cost.
+	Compiles, Runs int64
+	// SimulatedHours is the simulated tuning wall-clock (§4.3 discusses
+	// 1.5-day to 1-week real overheads).
+	SimulatedHours float64
+
+	sess *core.Session
+}
+
+// Evaluation is one assembled executable's noise-free behaviour on an
+// input.
+type Evaluation struct {
+	// Total is the end-to-end time in seconds.
+	Total float64
+	// PerLoop are the per-hot-loop times, indexed like Program.Loops.
+	PerLoop []float64
+	// Notes are the per-loop optimization decisions in the paper's
+	// Table 3 notation (S / 128 / 256, unrollN, IS, IO, RS, ...).
+	Notes []string
+}
+
+// Evaluate compiles the report's program with per-module CVs (e.g.
+// Report.Best.ModuleCVs, or any modification of them) and measures it
+// noise-free on an arbitrary input — the §4.3 generalization protocol.
+func (r *Report) Evaluate(cvs []CV, in Input) (*Evaluation, error) {
+	exe, err := r.sess.Toolchain.Compile(r.sess.Prog, r.sess.Part, cvs, r.sess.Machine)
+	if err != nil {
+		return nil, err
+	}
+	res := exec.Run(exe, r.sess.Machine, in, exec.Options{})
+	ev := &Evaluation{Total: res.Total, PerLoop: res.PerLoop}
+	for li := range exe.PerLoop {
+		ev.Notes = append(ev.Notes, exe.PerLoop[li].Notes())
+	}
+	return ev, nil
+}
+
+// EvaluateBaseline measures the O3 baseline on an arbitrary input.
+func (r *Report) EvaluateBaseline(in Input) (*Evaluation, error) {
+	return r.Evaluate(uniform(r.sess.Part, r.sess.Toolchain.Space.Baseline()), in)
+}
+
+func uniform(part ir.Partition, cv CV) []CV {
+	out := make([]CV, len(part.Modules))
+	for i := range out {
+		out[i] = cv
+	}
+	return out
+}
+
+// session builds the outlined core session for prog on in.
+func (t *Tuner) session(prog *Program, in Input) (*core.Session, outline.Result, error) {
+	res, err := outline.AutoOutline(t.tc, prog, t.opts.Machine, in, t.opts.HotThreshold, 1, nil)
+	if err != nil {
+		return nil, outline.Result{}, err
+	}
+	sess, err := core.NewSession(t.tc, prog, res.Partition, t.opts.Machine, in, core.Config{
+		Samples: t.opts.Samples,
+		TopX:    t.opts.TopX,
+		Seed:    t.opts.Seed,
+		Workers: t.opts.Workers,
+		Noisy:   *t.opts.Noisy,
+	})
+	if err != nil {
+		return nil, outline.Result{}, err
+	}
+	return sess, res, nil
+}
+
+// Tune runs the FuncyTuner pipeline (collection + CFR) on prog with in.
+func (t *Tuner) Tune(prog *Program, in Input) (*Report, error) {
+	sess, out, err := t.session(prog, in)
+	if err != nil {
+		return nil, err
+	}
+	col, err := sess.Collect()
+	if err != nil {
+		return nil, err
+	}
+	cfr, err := sess.CFR(col)
+	if err != nil {
+		return nil, err
+	}
+	return t.report(sess, out, map[string]*Result{"CFR": cfr}), nil
+}
+
+// StopRule configures early stopping for TuneAdaptive.
+type StopRule = core.StopRule
+
+// DefaultStopRule returns the convergence-study defaults (floor 50
+// evaluations, patience 150).
+func DefaultStopRule() StopRule { return core.DefaultStopRule() }
+
+// TuneAdaptive runs the pipeline with early-stopped CFR: identical
+// pruning and sampling, but the search halts once `rule` fires — the
+// §4.3 observation that CFR converges in tens-to-hundreds of evaluations,
+// turned into a budget policy. The collection phase still uses the full
+// sample budget (its cost is what the per-loop guidance buys).
+func (t *Tuner) TuneAdaptive(prog *Program, in Input, rule StopRule) (*Report, error) {
+	sess, out, err := t.session(prog, in)
+	if err != nil {
+		return nil, err
+	}
+	col, err := sess.Collect()
+	if err != nil {
+		return nil, err
+	}
+	cfr, err := sess.CFRAdaptive(col, rule)
+	if err != nil {
+		return nil, err
+	}
+	rep := t.report(sess, out, map[string]*Result{"CFR": cfr})
+	rep.Best = cfr
+	return rep, nil
+}
+
+// Compare runs the full §4.1 protocol — Random, FR, G (both variants) and
+// CFR — so the algorithms can be compared on prog.
+func (t *Tuner) Compare(prog *Program, in Input) (*Report, error) {
+	sess, out, err := t.session(prog, in)
+	if err != nil {
+		return nil, err
+	}
+	all, err := sess.RunAll()
+	if err != nil {
+		return nil, err
+	}
+	return t.report(sess, out, all), nil
+}
+
+func (t *Tuner) report(sess *core.Session, out outline.Result, all map[string]*Result) *Report {
+	return &Report{
+		Best:           all["CFR"],
+		All:            all,
+		Profile:        out.Profile,
+		HotLoops:       out.Hot,
+		Modules:        len(out.Partition.Modules),
+		Compiles:       sess.Cost.Compiles(),
+		Runs:           sess.Cost.Runs(),
+		SimulatedHours: sess.Cost.SimulatedHours(),
+		sess:           sess,
+	}
+}
+
+// ProfileBaseline profiles prog's O3 baseline on m with in, using runs
+// instrumented executions (Caliper overhead included). Measurement noise
+// is applied with a deterministic seed, so repeated runs show the real
+// run-to-run standard deviation while the profile itself reproduces
+// exactly.
+func ProfileBaseline(prog *Program, m *Machine, in Input, runs int) (Profile, error) {
+	tc := compiler.NewToolchain(flagspec.ICC())
+	exe, err := tc.CompileUniform(prog, ir.WholeProgram(prog), flagspec.ICC().Baseline(), m)
+	if err != nil {
+		return Profile{}, err
+	}
+	rng := xrand.NewFromString("funcytuner/profile/" + prog.Name + "/" + m.Name + "/" + in.Name)
+	return caliper.Collect(exe, m, in, runs, rng), nil
+}
+
+// Validate checks a user-defined program model (see ir.Program's field
+// documentation for the invariants).
+func Validate(prog *Program) error {
+	if prog == nil {
+		return fmt.Errorf("funcytuner: nil program")
+	}
+	return prog.Validate()
+}

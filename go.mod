@@ -1,0 +1,3 @@
+module funcytuner
+
+go 1.22

@@ -1,0 +1,257 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"funcytuner/internal/arch"
+	"funcytuner/internal/caliper"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/exec"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/ir"
+)
+
+func o3Run(t *testing.T, p *ir.Program, m *arch.Machine, in ir.Input) exec.Result {
+	t.Helper()
+	tc := compiler.NewToolchain(flagspec.ICC())
+	exe, err := tc.CompileUniform(p, ir.WholeProgram(p), flagspec.ICC().Baseline(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exec.Run(exe, m, in, exec.Options{})
+}
+
+func TestSuiteNamesAndOrder(t *testing.T) {
+	want := []string{LULESH, CloverLeaf, AMG, Optewe, Bwaves, Fma3d, Swim}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d programs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("suite[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAllProgramsValid(t *testing.T) {
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestTableOneMetadata(t *testing.T) {
+	cases := map[string]struct {
+		lang ir.Lang
+		loc  int
+	}{
+		AMG:        {ir.LangC, 113000},
+		LULESH:     {ir.LangCXX, 7200},
+		CloverLeaf: {ir.LangFortran, 14500},
+		Bwaves:     {ir.LangFortran, 1200},
+		Fma3d:      {ir.LangFortran, 62000},
+		Swim:       {ir.LangFortran, 500},
+		Optewe:     {ir.LangCXX, 2700},
+	}
+	for name, want := range cases {
+		p := MustGet(name)
+		if p.Lang != want.lang || p.LOC != want.loc {
+			t.Errorf("%s: lang/LOC = %v/%d, want %v/%d", name, p.Lang, p.LOC, want.lang, want.loc)
+		}
+	}
+}
+
+func TestModuleCountsInPaperRange(t *testing.T) {
+	// §2.1: J ranges from 5 to 33.
+	for _, p := range All() {
+		j := p.NumLoops() + 1 // hot-loop modules + base
+		if j < 5 || j > 33 {
+			t.Errorf("%s: J = %d outside [5, 33]", p.Name, j)
+		}
+	}
+}
+
+func TestPGOFailureFlags(t *testing.T) {
+	// §4.2.2: "PGO instrumentation runs fail for LULESH and Optewe."
+	for _, name := range Names() {
+		want := name == LULESH || name == Optewe
+		if got := MustGet(name).PGOFails; got != want {
+			t.Errorf("%s: PGOFails = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestO3RuntimesUnder40Seconds(t *testing.T) {
+	// §3.1: "input sizes and time-steps have been adjusted so that every
+	// single run is less than 40 seconds for the O3 baseline".
+	for _, p := range All() {
+		for _, m := range arch.All() {
+			total := o3Run(t, p, m, TuningInput(p.Name, m)).Total
+			if total < 1 || total > 40 {
+				t.Errorf("%s on %s: O3 runtime %.1f s outside [1, 40]", p.Name, m.Name, total)
+			}
+		}
+	}
+}
+
+func TestCalibratedSharesOnBroadwell(t *testing.T) {
+	// CloverLeaf's named kernels must reproduce Table 3's O3 ratios.
+	p := MustGet(CloverLeaf)
+	res := o3Run(t, p, arch.Broadwell(), TuningInput(CloverLeaf, arch.Broadwell()))
+	want := map[string]float64{"dt": 0.063, "cell3": 0.029, "cell7": 0.035, "mom9": 0.035, "acc": 0.042}
+	for name, share := range want {
+		li := p.LoopIndex(name)
+		if li < 0 {
+			t.Fatalf("CloverLeaf missing loop %s", name)
+		}
+		got := res.PerLoop[li] / res.Total
+		if math.Abs(got-share) > 0.015 {
+			t.Errorf("CL %s share = %.3f, want %.3f ± 0.015 (Table 3)", name, got, share)
+		}
+	}
+}
+
+func TestHotLoopsPassOutliningThreshold(t *testing.T) {
+	// Every modeled hot loop should be outlinable (≥ 1% of runtime) on
+	// Broadwell with the tuning input — that is what makes them "hot".
+	tc := compiler.NewToolchain(flagspec.ICC())
+	for _, p := range All() {
+		m := arch.Broadwell()
+		exe, err := tc.CompileUniform(p, ir.WholeProgram(p), flagspec.ICC().Baseline(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := caliper.Collect(exe, m, TuningInput(p.Name, m), 1, nil)
+		hot := prof.HotLoops(0.01)
+		if len(hot) < p.NumLoops()*3/4 {
+			t.Errorf("%s: only %d of %d loops pass the 1%% threshold", p.Name, len(hot), p.NumLoops())
+		}
+	}
+}
+
+func TestNonLoopShareReasonable(t *testing.T) {
+	for _, p := range All() {
+		res := o3Run(t, p, arch.Broadwell(), TuningInput(p.Name, arch.Broadwell()))
+		nl := res.NonLoop / res.Total
+		if nl < 0.1 || nl > 0.8 {
+			t.Errorf("%s: non-loop share %.2f outside [0.1, 0.8]", p.Name, nl)
+		}
+	}
+}
+
+func TestGetErrors(t *testing.T) {
+	if _, err := Get("nonesuch"); err == nil {
+		t.Error("Get(nonesuch) should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet(nonesuch) should panic")
+		}
+	}()
+	MustGet("nonesuch")
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := MustGet(Swim)
+	q := Clone(p)
+	q.Loops[0].Divergence = 0.99
+	q.Coupling[0][1] = 0.99
+	if p.Loops[0].Divergence == 0.99 || p.Coupling[0][1] == 0.99 {
+		t.Error("Clone shares state with the original")
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	// Two lookups return the same calibrated values.
+	a := MustGet(AMG)
+	b := MustGet(AMG)
+	if a != b {
+		t.Error("registry should return the shared instance")
+	}
+	if a.Loops[0].TripCount <= 0 {
+		t.Error("calibration produced non-positive trip count")
+	}
+}
+
+func TestInputsTable2(t *testing.T) {
+	if in := TuningInput(LULESH, arch.Broadwell()); in.Size != 200 || in.Steps != 10 {
+		t.Errorf("LULESH BDW input = %v", in)
+	}
+	if in := TuningInput(CloverLeaf, arch.Opteron()); in.Size != 2000 || in.Steps != 30 {
+		t.Errorf("CL Opteron input = %v", in)
+	}
+	if in := TuningInput(Bwaves, arch.SandyBridge()); in.Steps != 15 {
+		t.Errorf("bwaves SNB input = %v", in)
+	}
+}
+
+func TestSmallLargeInputs(t *testing.T) {
+	if SmallInput(LULESH).Size != 180 || LargeInput(LULESH).Size != 250 {
+		t.Error("LULESH §4.3 inputs wrong")
+	}
+	if SmallInput(CloverLeaf).Size != 1000 || LargeInput(CloverLeaf).Size != 4000 {
+		t.Error("CL §4.3 inputs wrong")
+	}
+	if SmallInput(Swim).Name != "test" || LargeInput(Swim).Name != "ref" {
+		t.Error("SPEC input names wrong")
+	}
+}
+
+func TestStepsInput(t *testing.T) {
+	in := StepsInput(CloverLeaf, 800)
+	if in.Steps != 800 || in.Size != 2000 {
+		t.Errorf("StepsInput = %v", in)
+	}
+}
+
+func TestSwimTestInputIsTiny(t *testing.T) {
+	// §4.3: swim's "test" input runs each time-step in under 0.01 s.
+	p := MustGet(Swim)
+	res := o3Run(t, p, arch.Broadwell(), SmallInput(Swim))
+	perStep := res.Total / float64(SmallInput(Swim).Steps)
+	if perStep >= 0.01 {
+		t.Errorf("swim test per-step = %.4f s, want < 0.01 (§4.3)", perStep)
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	c := Corpus(32)
+	if len(c) != 32 {
+		t.Fatalf("Corpus(32) returned %d programs", len(c))
+	}
+	names := map[string]bool{}
+	for _, p := range c {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if names[p.Name] {
+			t.Errorf("duplicate corpus program %s", p.Name)
+		}
+		names[p.Name] = true
+		for _, l := range p.Loops {
+			if l.Parallel {
+				t.Errorf("%s/%s: corpus programs must be serial (cBench)", p.Name, l.Name)
+			}
+		}
+	}
+	if len(Corpus(0)) != 32 {
+		t.Error("Corpus(0) should default to 32")
+	}
+}
+
+func TestCorpusRuns(t *testing.T) {
+	tc := compiler.NewToolchain(flagspec.ICC())
+	for _, p := range Corpus(4) {
+		exe, err := tc.CompileUniform(p, ir.WholeProgram(p), flagspec.ICC().Baseline(), arch.Broadwell())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := exec.Run(exe, arch.Broadwell(), CorpusInput(), exec.Options{})
+		if res.Total <= 0 || res.Total > 60 {
+			t.Errorf("%s: corpus runtime %.2f s implausible", p.Name, res.Total)
+		}
+	}
+}

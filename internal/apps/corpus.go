@@ -1,0 +1,91 @@
+package apps
+
+import (
+	"fmt"
+
+	"funcytuner/internal/ir"
+	"funcytuner/internal/xrand"
+)
+
+// Corpus returns the cBench-like training corpus used to train COBAYN
+// (§4.2.1: "we first train COBAYN with cBench"). cBench programs are
+// small *serial* kernels (compression, crypto, telecom, automotive) — the
+// mismatch between this serial training set and the parallel OpenMP
+// benchmark suite is exactly why COBAYN's dynamic features underperform
+// in the paper (MICA "only works with serial code", §4.2.2).
+//
+// The corpus is procedurally generated but fully deterministic: n small
+// programs, one to three serial hot loops each, with feature vectors
+// spanning the same ranges as real integer/FP kernels.
+func Corpus(n int) []*ir.Program {
+	if n <= 0 {
+		n = 32
+	}
+	domains := []string{"compression", "crypto", "telecom", "automotive", "imaging", "network"}
+	out := make([]*ir.Program, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("cbench%02d", i)
+		r := xrand.NewFromString("apps/corpus/" + name)
+		nLoops := 1 + r.Intn(3)
+		p := &ir.Program{
+			Name:   name,
+			Lang:   ir.LangC,
+			LOC:    500 + r.Intn(4000),
+			Domain: domains[i%len(domains)],
+			Seed:   xrand.HashString("funcytuner/corpus/" + name),
+			NonLoopCode: ir.NonLoop{
+				WorkPerStep: 2e8 * r.Range(0.5, 2),
+				SetupWork:   1e8,
+				Sensitivity: r.Range(0.2, 0.6),
+				CallHeavy:   r.Bool(0.4),
+			},
+			BaseSize:  100,
+			BaseSteps: 1,
+		}
+		for li := 0; li < nLoops; li++ {
+			fp := r.Range(0.2, 0.95) // integer kernels have low FP fractions
+			p.Loops = append(p.Loops, ir.Loop{
+				Name:               fmt.Sprintf("kernel%d", li),
+				File:               "main.c",
+				ID:                 ir.LoopID(name, fmt.Sprintf("kernel%d", li)),
+				TripCount:          1e6 * r.Range(0.3, 3),
+				InvocationsPerStep: 1,
+				WorkPerIter:        r.Range(4, 16),
+				BytesPerIter:       r.Range(4, 24),
+				FPFraction:         fp,
+				Divergence:         r.Range(0.05, 0.6),
+				StrideIrregular:    r.Range(0.02, 0.5),
+				DepChain:           r.Range(0.02, 0.5),
+				CallDensity:        r.Range(0, 0.6),
+				AliasAmbiguity:     r.Range(0.1, 0.6),
+				WorkingSetKB:       r.Range(50, 4000),
+				Reuse:              r.Range(0, 0.5),
+				ConflictProne:      r.Range(0, 0.4),
+				BodySize:           r.Range(0.4, 2),
+				Parallel:           false, // cBench is serial
+				ScaleExp:           1,
+				WSScaleExp:         1,
+			})
+		}
+		nn := len(p.Loops) + 1
+		p.Coupling = make([][]float64, nn)
+		for a := range p.Coupling {
+			p.Coupling[a] = make([]float64, nn)
+		}
+		for a := 0; a < len(p.Loops); a++ {
+			for b := a + 1; b < len(p.Loops); b++ {
+				c := r.Range(0.2, 0.6)
+				p.Coupling[a][b], p.Coupling[b][a] = c, c
+			}
+			p.Coupling[a][nn-1], p.Coupling[nn-1][a] = 0.2, 0.2
+		}
+		if err := p.Validate(); err != nil {
+			panic(fmt.Sprintf("apps: corpus program %s invalid: %v", name, err))
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// CorpusInput returns the standard input used for corpus runs.
+func CorpusInput() ir.Input { return ir.Input{Name: "cbench", Size: 100, Steps: 1} }

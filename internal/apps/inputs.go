@@ -1,0 +1,118 @@
+package apps
+
+import (
+	"fmt"
+
+	"funcytuner/internal/arch"
+	"funcytuner/internal/ir"
+)
+
+// Benchmark name constants (Table 1).
+const (
+	LULESH     = "LULESH"
+	CloverLeaf = "CL"
+	AMG        = "AMG"
+	Optewe     = "Optewe"
+	Bwaves     = "bwaves"
+	Fma3d      = "fma3d"
+	Swim       = "swim"
+)
+
+// tuningInputs is Table 2's per-platform tuning/testing inputs. The SPEC
+// OMP programs use their named inputs; we give "train"/"test"/"ref"
+// numeric sizes on a per-program scale (train = 100).
+var tuningInputs = map[string]map[string]ir.Input{
+	LULESH: {
+		"opteron":     {Name: "train", Size: 120, Steps: 10},
+		"sandybridge": {Name: "train", Size: 150, Steps: 10},
+		"broadwell":   {Name: "train", Size: 200, Steps: 10},
+	},
+	CloverLeaf: {
+		"opteron":     {Name: "train", Size: 2000, Steps: 30},
+		"sandybridge": {Name: "train", Size: 2000, Steps: 30},
+		"broadwell":   {Name: "train", Size: 2000, Steps: 60},
+	},
+	AMG: { // AMG is a solve, not a time-stepped simulation: one "step".
+		"opteron":     {Name: "train", Size: 18, Steps: 1},
+		"sandybridge": {Name: "train", Size: 20, Steps: 1},
+		"broadwell":   {Name: "train", Size: 25, Steps: 1},
+	},
+	Optewe: {
+		"opteron":     {Name: "train", Size: 320, Steps: 5},
+		"sandybridge": {Name: "train", Size: 384, Steps: 5},
+		"broadwell":   {Name: "train", Size: 512, Steps: 5},
+	},
+	Bwaves: {
+		"opteron":     {Name: "train", Size: 100, Steps: 10},
+		"sandybridge": {Name: "train", Size: 100, Steps: 15},
+		"broadwell":   {Name: "train", Size: 100, Steps: 50},
+	},
+	Fma3d: {
+		"opteron":     {Name: "train", Size: 100, Steps: 10},
+		"sandybridge": {Name: "train", Size: 100, Steps: 10},
+		"broadwell":   {Name: "train", Size: 100, Steps: 10},
+	},
+	Swim: {
+		"opteron":     {Name: "train", Size: 100, Steps: 50},
+		"sandybridge": {Name: "train", Size: 100, Steps: 50},
+		"broadwell":   {Name: "train", Size: 100, Steps: 50},
+	},
+}
+
+// smallLarge is §4.3's generalization inputs (Broadwell): "For 351.bwaves,
+// 362.fma3d, and 363.swim, we use 'test' and 'ref' as their small and
+// large inputs... For LULESH, AMG, Cloverleaf, Optewe, their small input
+// sizes are 180, 20, 1000, 384 ... large 250, 30, 4000, 768."
+var smallLarge = map[string][2]ir.Input{
+	LULESH:     {{Name: "small", Size: 180, Steps: 10}, {Name: "large", Size: 250, Steps: 10}},
+	AMG:        {{Name: "small", Size: 20, Steps: 1}, {Name: "large", Size: 30, Steps: 1}},
+	CloverLeaf: {{Name: "small", Size: 1000, Steps: 60}, {Name: "large", Size: 4000, Steps: 60}},
+	Optewe:     {{Name: "small", Size: 384, Steps: 5}, {Name: "large", Size: 768, Steps: 5}},
+	// SPEC OMP named inputs. swim's "test" is tiny: each time-step runs in
+	// well under 0.01 s, the one case whose performance profile diverges
+	// from the tuning input (§4.3).
+	Bwaves: {{Name: "test", Size: 40, Steps: 50}, {Name: "ref", Size: 200, Steps: 50}},
+	Fma3d:  {{Name: "test", Size: 50, Steps: 10}, {Name: "ref", Size: 180, Steps: 10}},
+	Swim:   {{Name: "test", Size: 12, Steps: 50}, {Name: "ref", Size: 160, Steps: 50}},
+}
+
+// TuningInput returns Table 2's tuning (= testing, §4.1–4.2) input for the
+// benchmark on machine m. Panics on unknown names: inputs are static data.
+func TuningInput(app string, m *arch.Machine) ir.Input {
+	byMachine, ok := tuningInputs[app]
+	if !ok {
+		panic(fmt.Sprintf("apps: no tuning inputs for benchmark %q", app))
+	}
+	in, ok := byMachine[m.Name]
+	if !ok {
+		panic(fmt.Sprintf("apps: no tuning input for %s on %s", app, m.Name))
+	}
+	return in
+}
+
+// SmallInput returns the §4.3 small test input (Broadwell experiments).
+func SmallInput(app string) ir.Input {
+	sl, ok := smallLarge[app]
+	if !ok {
+		panic(fmt.Sprintf("apps: no small input for %q", app))
+	}
+	return sl[0]
+}
+
+// LargeInput returns the §4.3 large test input (Broadwell experiments).
+func LargeInput(app string) ir.Input {
+	sl, ok := smallLarge[app]
+	if !ok {
+		panic(fmt.Sprintf("apps: no large input for %q", app))
+	}
+	return sl[1]
+}
+
+// StepsInput returns the Fig. 8 time-step-scaling input: CloverLeaf's
+// Broadwell tuning input with a different step count.
+func StepsInput(app string, steps int) ir.Input {
+	in := TuningInput(app, arch.Broadwell())
+	in.Name = fmt.Sprintf("steps%d", steps)
+	in.Steps = steps
+	return in
+}

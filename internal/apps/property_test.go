@@ -1,0 +1,94 @@
+package apps
+
+import (
+	"testing"
+	"testing/quick"
+
+	"funcytuner/internal/arch"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/exec"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/ir"
+	"funcytuner/internal/xrand"
+)
+
+// TestPropertySuiteRunsOnAnyCV: every benchmark on every machine runs to
+// a positive finite time under arbitrary (non-crashing) CVs.
+func TestPropertySuiteRunsOnAnyCV(t *testing.T) {
+	tc := compiler.NewToolchain(flagspec.ICC())
+	progs := All()
+	f := func(seed uint64, pIdx, mIdx uint8) bool {
+		p := progs[int(pIdx)%len(progs)]
+		m := arch.All()[int(mIdx)%3]
+		cv := flagspec.ICC().Random(xrand.New(seed))
+		exe, err := tc.CompileUniform(p, ir.WholeProgram(p), cv, m)
+		if err != nil {
+			return false
+		}
+		if exe.Crashes() {
+			return true // crash model path, covered elsewhere
+		}
+		total := exec.Run(exe, m, TuningInput(p.Name, m), exec.Options{}).Total
+		// Arbitrary flags can slow a run well past the O3 baseline's 40 s
+		// ceiling, but not without bound.
+		return total > 0 && total < 400
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCouplingMatricesWellFormed across the suite and the corpus.
+func TestPropertyCouplingMatricesWellFormed(t *testing.T) {
+	check := func(p *ir.Program) {
+		n := p.NumLoops() + 1
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				c := p.Coupling[i][j]
+				if c != p.Coupling[j][i] {
+					t.Fatalf("%s: coupling asymmetric at (%d,%d)", p.Name, i, j)
+				}
+				if i == j && c != 0 {
+					t.Fatalf("%s: nonzero diagonal", p.Name)
+				}
+				if c < 0 || c > 1 {
+					t.Fatalf("%s: coupling %v out of range", p.Name, c)
+				}
+			}
+		}
+	}
+	for _, p := range All() {
+		check(p)
+	}
+	for _, p := range Corpus(16) {
+		check(p)
+	}
+}
+
+// TestPropertyInputsPositive: every defined input has positive size and
+// steps, and small < tuning < large sizes where §4.3 defines them.
+func TestPropertyInputsPositive(t *testing.T) {
+	for _, name := range Names() {
+		for _, m := range arch.All() {
+			in := TuningInput(name, m)
+			if in.Size <= 0 || in.Steps <= 0 {
+				t.Errorf("%s on %s: bad input %v", name, m.Name, in)
+			}
+		}
+		small, large := SmallInput(name), LargeInput(name)
+		if small.Size >= large.Size {
+			t.Errorf("%s: small %v not below large %v", name, small.Size, large.Size)
+		}
+	}
+}
+
+// TestPropertyCalibrationStableAcrossLookups: repeated registry access
+// returns identical trip counts (build happens exactly once).
+func TestPropertyCalibrationStableAcrossLookups(t *testing.T) {
+	a := MustGet(CloverLeaf).Loops[0].TripCount
+	for i := 0; i < 10; i++ {
+		if b := MustGet(CloverLeaf).Loops[0].TripCount; b != a {
+			t.Fatal("calibrated trip count changed across lookups")
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package arch models the three evaluation platforms of Table 2: an AMD
+// Opteron 6128 node, an Intel Sandy Bridge (Xeon E5-2650) node, and an
+// Intel Broadwell (Xeon E5-2620 v4) node.
+//
+// A Machine carries the parameters the compiler and execution models need:
+// SIMD capability, cache hierarchy, memory bandwidth, NUMA layout, and the
+// OpenMP configuration the paper pins (16 threads, explicit proclist).
+package arch
+
+import "fmt"
+
+// Machine describes one evaluation platform.
+type Machine struct {
+	// Name is the short identifier ("opteron", "sandybridge", "broadwell").
+	Name string
+	// Processor is the marketing name, as in Table 2.
+	Processor string
+	// ID seeds machine-specific deterministic idiosyncrasies.
+	ID uint64
+
+	// Topology (Table 2).
+	Sockets        int
+	NUMANodes      int
+	CoresPerSocket int
+	ThreadsPerCore int
+
+	// FreqGHz is the core frequency in GHz.
+	FreqGHz float64
+
+	// VecBits is the widest usable SIMD width for FP64 (128 = SSE2/SSE4,
+	// 256 = AVX/AVX2).
+	VecBits int
+	// HasFMA reports fused multiply-add support (Broadwell: AVX2+FMA).
+	HasFMA bool
+	// ProcFlag is the processor-specific compiler flag from Table 2.
+	ProcFlag string
+
+	// Cache sizes, per core (L1, L2) and per socket (LLC), in KB.
+	L1KB  float64
+	L2KB  float64
+	LLCKB float64
+
+	// MemBWGBs is the achievable aggregate memory bandwidth in GB/s.
+	MemBWGBs float64
+	// MemGB is the installed memory size (Table 2).
+	MemGB int
+
+	// ScalarIPC is sustainable scalar FP operations per cycle per core.
+	ScalarIPC float64
+	// VecRegs is the number of architectural vector registers available
+	// to the register allocator.
+	VecRegs int
+
+	// OMPThreads is the OpenMP thread count used in all experiments
+	// (Table 2 pins 16 on every platform).
+	OMPThreads int
+}
+
+// TotalCores returns the number of physical cores.
+func (m *Machine) TotalCores() int { return m.Sockets * m.CoresPerSocket }
+
+// LLCTotalKB returns aggregate last-level cache across sockets.
+func (m *Machine) LLCTotalKB() float64 { return m.LLCKB * float64(m.Sockets) }
+
+func (m *Machine) String() string {
+	return fmt.Sprintf("%s (%s, %d-bit SIMD, %.1f GHz, %d threads)",
+		m.Name, m.Processor, m.VecBits, m.FreqGHz, m.OMPThreads)
+}
+
+var (
+	opteron = &Machine{
+		Name:           "opteron",
+		Processor:      "Opteron 6128",
+		ID:             0xa3d1,
+		Sockets:        2,
+		NUMANodes:      4,
+		CoresPerSocket: 4,
+		ThreadsPerCore: 2,
+		FreqGHz:        2.0,
+		VecBits:        128, // SSE4a-class, no AVX
+		HasFMA:         false,
+		ProcFlag:       "default",
+		L1KB:           64,
+		L2KB:           512,
+		LLCKB:          6144,
+		MemBWGBs:       24,
+		MemGB:          32,
+		ScalarIPC:      1.6,
+		VecRegs:        16,
+		OMPThreads:     16,
+	}
+
+	sandybridge = &Machine{
+		Name:           "sandybridge",
+		Processor:      "Xeon E5-2650 0",
+		ID:             0xb7e2,
+		Sockets:        2,
+		NUMANodes:      2,
+		CoresPerSocket: 8,
+		ThreadsPerCore: 2,
+		FreqGHz:        2.0,
+		VecBits:        256, // AVX (FP only)
+		HasFMA:         false,
+		ProcFlag:       "-xAVX",
+		L1KB:           32,
+		L2KB:           256,
+		LLCKB:          20480,
+		MemBWGBs:       38,
+		MemGB:          16,
+		ScalarIPC:      2.0,
+		VecRegs:        16,
+		OMPThreads:     16,
+	}
+
+	broadwell = &Machine{
+		Name:           "broadwell",
+		Processor:      "Xeon E5-2620 v4",
+		ID:             0xc5f3,
+		Sockets:        2,
+		NUMANodes:      2,
+		CoresPerSocket: 8,
+		ThreadsPerCore: 2,
+		FreqGHz:        2.1,
+		VecBits:        256, // AVX2
+		HasFMA:         true,
+		ProcFlag:       "-xCORE-AVX2",
+		L1KB:           32,
+		L2KB:           256,
+		LLCKB:          20480,
+		MemBWGBs:       58,
+		MemGB:          64,
+		ScalarIPC:      2.2,
+		VecRegs:        16,
+		OMPThreads:     16,
+	}
+)
+
+// Opteron returns the AMD Opteron 6128 platform model.
+func Opteron() *Machine { return opteron }
+
+// SandyBridge returns the Intel Sandy Bridge platform model.
+func SandyBridge() *Machine { return sandybridge }
+
+// Broadwell returns the Intel Broadwell platform model.
+func Broadwell() *Machine { return broadwell }
+
+// All returns the three platforms in the order the paper presents them
+// (Fig. 5a, 5b, 5c).
+func All() []*Machine { return []*Machine{opteron, sandybridge, broadwell} }
+
+// ByName looks a machine up by its short name.
+func ByName(name string) (*Machine, error) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("arch: unknown machine %q (want opteron, sandybridge, or broadwell)", name)
+}

@@ -1,0 +1,93 @@
+package arch
+
+import "testing"
+
+func TestTableTwoValues(t *testing.T) {
+	// Pin the values the paper's Table 2 specifies.
+	cases := []struct {
+		m          *Machine
+		sockets    int
+		numa       int
+		cores      int
+		smt        int
+		freq       float64
+		memGB      int
+		procFlag   string
+		ompThreads int
+	}{
+		{Opteron(), 2, 4, 4, 2, 2.0, 32, "default", 16},
+		{SandyBridge(), 2, 2, 8, 2, 2.0, 16, "-xAVX", 16},
+		{Broadwell(), 2, 2, 8, 2, 2.1, 64, "-xCORE-AVX2", 16},
+	}
+	for _, c := range cases {
+		if c.m.Sockets != c.sockets || c.m.NUMANodes != c.numa ||
+			c.m.CoresPerSocket != c.cores || c.m.ThreadsPerCore != c.smt {
+			t.Errorf("%s topology mismatch: %+v", c.m.Name, c.m)
+		}
+		if c.m.FreqGHz != c.freq {
+			t.Errorf("%s freq = %v, want %v", c.m.Name, c.m.FreqGHz, c.freq)
+		}
+		if c.m.MemGB != c.memGB {
+			t.Errorf("%s mem = %v, want %v", c.m.Name, c.m.MemGB, c.memGB)
+		}
+		if c.m.ProcFlag != c.procFlag {
+			t.Errorf("%s procflag = %q, want %q", c.m.Name, c.m.ProcFlag, c.procFlag)
+		}
+		if c.m.OMPThreads != c.ompThreads {
+			t.Errorf("%s threads = %d, want %d", c.m.Name, c.m.OMPThreads, c.ompThreads)
+		}
+	}
+}
+
+func TestSIMDCapabilities(t *testing.T) {
+	if Opteron().VecBits != 128 {
+		t.Error("Opteron should top out at 128-bit SIMD")
+	}
+	if SandyBridge().VecBits != 256 || SandyBridge().HasFMA {
+		t.Error("Sandy Bridge should be 256-bit AVX without FMA")
+	}
+	if Broadwell().VecBits != 256 || !Broadwell().HasFMA {
+		t.Error("Broadwell should be 256-bit AVX2 with FMA")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"opteron", "sandybridge", "broadwell"} {
+		m, err := ByName(name)
+		if err != nil || m.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := ByName("knl"); err == nil {
+		t.Error("ByName with unknown machine should error")
+	}
+}
+
+func TestAllOrderMatchesFigure5(t *testing.T) {
+	all := All()
+	if len(all) != 3 || all[0].Name != "opteron" || all[1].Name != "sandybridge" || all[2].Name != "broadwell" {
+		t.Errorf("All() order = %v", all)
+	}
+}
+
+func TestDerived(t *testing.T) {
+	if got := Broadwell().TotalCores(); got != 16 {
+		t.Errorf("Broadwell cores = %d", got)
+	}
+	if got := Broadwell().LLCTotalKB(); got != 40960 {
+		t.Errorf("Broadwell LLC total = %v", got)
+	}
+	if s := Broadwell().String(); s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestDistinctIDs(t *testing.T) {
+	seen := map[uint64]bool{}
+	for _, m := range All() {
+		if seen[m.ID] {
+			t.Errorf("duplicate machine ID %x", m.ID)
+		}
+		seen[m.ID] = true
+	}
+}

@@ -1,0 +1,119 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"funcytuner/internal/apps"
+	"funcytuner/internal/arch"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/flagspec"
+)
+
+func newEval(t *testing.T, app string, noisy bool) *Evaluator {
+	t.Helper()
+	tc := compiler.NewToolchain(flagspec.ICC())
+	prog := apps.MustGet(app)
+	m := arch.Broadwell()
+	return NewEvaluator(tc, prog, m, apps.TuningInput(app, m), "test", noisy)
+}
+
+func TestMeasureTracksBest(t *testing.T) {
+	e := newEval(t, apps.Swim, false)
+	r := e.Rand("draws")
+	var least float64 = math.Inf(1)
+	for i := 0; i < 20; i++ {
+		v, err := e.Measure(e.Space().Random(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < least {
+			least = v
+		}
+	}
+	if _, best := e.Best(); best != least {
+		t.Errorf("Best() = %v, want %v", best, least)
+	}
+	if e.Evaluations() != 20 {
+		t.Errorf("Evaluations = %d", e.Evaluations())
+	}
+	trace := e.Trace()
+	if len(trace) != 20 {
+		t.Fatalf("trace len %d", len(trace))
+	}
+	for i := 1; i < len(trace); i++ {
+		if trace[i] > trace[i-1] {
+			t.Fatal("trace not non-increasing")
+		}
+	}
+}
+
+func TestMeasureCachesDuplicates(t *testing.T) {
+	e := newEval(t, apps.Swim, true)
+	cv := e.Space().Baseline()
+	a, err := e.Measure(cv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Measure(cv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("repeated measurement of the same CV should be cached")
+	}
+	if e.Evaluations() != 1 {
+		t.Errorf("cached re-measurement counted as evaluation: %d", e.Evaluations())
+	}
+}
+
+func TestBaselineStable(t *testing.T) {
+	e := newEval(t, apps.Swim, true)
+	a, err := e.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := e.Baseline()
+	if a != b || a <= 0 {
+		t.Errorf("baseline unstable: %v vs %v", a, b)
+	}
+}
+
+func TestFinishComputesSpeedup(t *testing.T) {
+	e := newEval(t, apps.Swim, false)
+	res, err := e.Finish("X", e.Space().Baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Speedup-1.0) > 1e-9 {
+		t.Errorf("baseline CV speedup = %v, want 1.0", res.Speedup)
+	}
+	if res.Name != "X" {
+		t.Errorf("name = %q", res.Name)
+	}
+}
+
+func TestDeterministicAcrossEvaluators(t *testing.T) {
+	a := newEval(t, apps.CloverLeaf, true)
+	b := newEval(t, apps.CloverLeaf, true)
+	cv := a.Space().Baseline().With(flagspec.IccPrefetch, 4)
+	va, _ := a.Measure(cv)
+	vb, _ := b.Measure(cv)
+	if va != vb {
+		t.Error("same-seed evaluators disagree")
+	}
+}
+
+func TestTrueTimeNoiseFree(t *testing.T) {
+	e := newEval(t, apps.CloverLeaf, true)
+	cv := e.Space().Baseline()
+	in := apps.TuningInput(apps.CloverLeaf, arch.Broadwell())
+	a, err := e.TrueTime(cv, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := e.TrueTime(cv, in)
+	if a != b {
+		t.Error("TrueTime should be noise-free and stable")
+	}
+}

@@ -1,0 +1,131 @@
+// Package ce implements Combined Elimination (Pan & Eigenmann, PEAK /
+// CGO'06 line of work) — the per-program flag-selection baseline of the
+// paper's Fig. 1. CE starts from the most aggressive configuration (every
+// optimization enabled) and iteratively eliminates flags whose removal
+// improves runtime, re-examining the survivors after every elimination to
+// account for flag interactions. Its weakness, which Fig. 1 demonstrates
+// on LULESH/CloverLeaf/AMG for both GCC and ICC, is convergence to local
+// minima near the O3 baseline.
+package ce
+
+import (
+	"math"
+	"sort"
+
+	"funcytuner/internal/baselines"
+	"funcytuner/internal/flagspec"
+)
+
+// Options parameterize a CE run.
+type Options struct {
+	// MaxRounds bounds the outer elimination loop (a safety valve; CE
+	// normally converges in a handful of rounds).
+	MaxRounds int
+	// Epsilon is the relative-improvement threshold below which a flag's
+	// effect counts as noise.
+	Epsilon float64
+}
+
+// DefaultOptions mirrors the published setup: CE converges within a few
+// elimination rounds, and improvements below the run-to-run noise floor
+// (§4.1: ~0.5–1.5%) are not trusted.
+func DefaultOptions() Options { return Options{MaxRounds: 4, Epsilon: 0.004} }
+
+// Tune runs combined elimination on the evaluator's program.
+func Tune(e *baselines.Evaluator, opts Options) (*baselines.Result, error) {
+	space := e.Space()
+	n := space.NumFlags()
+
+	// B: the aggressive starting point — every flag at its alternative.
+	base := space.Baseline()
+	for i := 0; i < n; i++ {
+		base = base.With(i, space.AltValue(i))
+	}
+	baseTime, err := e.Measure(base)
+	if err != nil {
+		return nil, err
+	}
+
+	active := make([]bool, n) // flags still at their alternative value
+	for i := range active {
+		active[i] = true
+	}
+
+	// rip computes the relative improvement of a candidate time over the
+	// current base. A crashed base (the aggressive start can fault, §3.2)
+	// makes any runnable candidate a full improvement.
+	rip := func(t float64) float64 {
+		if math.IsInf(baseTime, 1) {
+			if math.IsInf(t, 1) {
+				return 0
+			}
+			return -1
+		}
+		return (t - baseTime) / baseTime
+	}
+
+	for round := 0; round < opts.MaxRounds; round++ {
+		// RIP_i: relative improvement from eliminating flag i alone.
+		type ripEntry struct {
+			flag int
+			v    float64
+		}
+		var negatives []ripEntry
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			t, err := e.Measure(base.With(i, space.Flags[i].Default))
+			if err != nil {
+				return nil, err
+			}
+			if r := rip(t); r < -opts.Epsilon {
+				negatives = append(negatives, ripEntry{flag: i, v: r})
+			}
+		}
+		if len(negatives) == 0 {
+			break
+		}
+		sort.SliceStable(negatives, func(a, b int) bool { return negatives[a].v < negatives[b].v })
+
+		// Eliminate the most harmful flag unconditionally, then walk the
+		// remaining negatives in order, keeping each elimination only if
+		// it still improves on the updated baseline (the "combined" part).
+		first := negatives[0].flag
+		base = base.With(first, space.Flags[first].Default)
+		active[first] = false
+		baseTime, err = e.Measure(base)
+		if err != nil {
+			return nil, err
+		}
+		for _, cand := range negatives[1:] {
+			if !active[cand.flag] {
+				continue
+			}
+			trial := base.With(cand.flag, space.Flags[cand.flag].Default)
+			t, err := e.Measure(trial)
+			if err != nil {
+				return nil, err
+			}
+			if rip(t) < -opts.Epsilon {
+				base = trial
+				baseTime = t
+				active[cand.flag] = false
+			}
+		}
+	}
+
+	return e.Finish("CE", base)
+}
+
+// Eliminated reports which flags a final CV has at default relative to
+// the all-alternatives start (diagnostic helper for the Fig. 1 analysis).
+func Eliminated(space *flagspec.Space, cv flagspec.CV) []string {
+	var out []string
+	for i, f := range space.Flags {
+		if cv.Value(i) == f.Default && space.AltValue(i) != f.Default {
+			out = append(out, f.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package ce
+
+import (
+	"testing"
+
+	"funcytuner/internal/apps"
+	"funcytuner/internal/arch"
+	"funcytuner/internal/baselines"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/flagspec"
+)
+
+func newEval(t *testing.T, space *flagspec.Space, app string) *baselines.Evaluator {
+	t.Helper()
+	tc := compiler.NewToolchain(space)
+	prog := apps.MustGet(app)
+	m := arch.Broadwell()
+	return baselines.NewEvaluator(tc, prog, m, apps.TuningInput(app, m), "ce-test", true)
+}
+
+func TestCEBothFlavors(t *testing.T) {
+	for _, space := range []*flagspec.Space{flagspec.GCC(), flagspec.ICC()} {
+		e := newEval(t, space, apps.CloverLeaf)
+		res, err := Tune(e, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fig. 1: CE lands near the O3 baseline — never a large win.
+		if res.Speedup < 0.85 || res.Speedup > 1.10 {
+			t.Errorf("%v CE speedup %.3f outside the Fig. 1 band", space.Flavor, res.Speedup)
+		}
+		if res.Evaluations == 0 {
+			t.Error("CE consumed no evaluations")
+		}
+	}
+}
+
+func TestCEEliminatesHarmfulFlags(t *testing.T) {
+	e := newEval(t, flagspec.ICC(), apps.Swim)
+	res, err := Tune(e, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	elim := Eliminated(flagspec.ICC(), res.CV)
+	if len(elim) == 0 {
+		t.Error("CE eliminated nothing from the all-aggressive start")
+	}
+	// The O level alternative is O1 — clearly harmful, must be eliminated.
+	found := false
+	for _, name := range elim {
+		if name == "O" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("CE kept O1; eliminated only %v", elim)
+	}
+}
+
+func TestCEDeterministic(t *testing.T) {
+	a, err := Tune(newEval(t, flagspec.ICC(), apps.AMG), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Tune(newEval(t, flagspec.ICC(), apps.AMG), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Speedup != b.Speedup || !a.CV.Equal(b.CV) {
+		t.Error("CE not deterministic")
+	}
+}
+
+func TestCERespectsMaxRounds(t *testing.T) {
+	e := newEval(t, flagspec.ICC(), apps.Swim)
+	res, err := Tune(e, Options{MaxRounds: 1, Epsilon: 0.004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One round: ≤ 1 + N (RIP scan) + eliminations.
+	n := flagspec.ICC().NumFlags()
+	if res.Evaluations > 2*n+2 {
+		t.Errorf("single-round CE used %d evaluations", res.Evaluations)
+	}
+}

@@ -1,0 +1,217 @@
+package cobayn
+
+import (
+	"math"
+	"sort"
+
+	"funcytuner/internal/xrand"
+)
+
+// bayesNet is a tree-structured Bayesian network over binary flag
+// variables, learned with the Chow–Liu algorithm: the maximum-weight
+// spanning tree of the pairwise mutual-information graph, with Laplace-
+// smoothed conditional probability tables. COBAYN's published model is a
+// general BN learned per program cluster; a Chow–Liu tree is the standard
+// tractable instance and supports the same train/sample interface.
+type bayesNet struct {
+	n      int
+	parent []int // -1 for the root
+	order  []int // ancestral sampling order (parents first)
+	// cpt[v][pv] = P(v=1 | parent(v)=pv); for the root only cpt[v][0] is used.
+	cpt [][2]float64
+}
+
+// learnChowLiu fits the tree from binary rows (each row: one flag setting
+// per variable).
+func learnChowLiu(rows [][]bool, n int) *bayesNet {
+	if len(rows) == 0 {
+		// Uninformed prior: independent fair coins.
+		bn := &bayesNet{n: n, parent: make([]int, n), order: make([]int, n), cpt: make([][2]float64, n)}
+		for v := 0; v < n; v++ {
+			bn.parent[v] = -1
+			bn.order[v] = v
+			bn.cpt[v] = [2]float64{0.5, 0.5}
+		}
+		return bn
+	}
+
+	// Pairwise joint counts with Laplace smoothing.
+	count1 := make([]float64, n)
+	joint := make([][]float64, n) // joint[i][j*4+...]: packed 2x2 tables for i<j
+	for i := range joint {
+		joint[i] = make([]float64, n*4)
+	}
+	for _, row := range rows {
+		for i := 0; i < n; i++ {
+			bi := b2i(row[i])
+			if bi == 1 {
+				count1[i]++
+			}
+			for j := i + 1; j < n; j++ {
+				joint[i][j*4+bi*2+b2i(row[j])]++
+			}
+		}
+	}
+	total := float64(len(rows))
+
+	// Mutual information per pair.
+	type edge struct {
+		i, j int
+		mi   float64
+	}
+	var edges []edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			var mi float64
+			for a := 0; a < 2; a++ {
+				for b := 0; b < 2; b++ {
+					pab := (joint[i][j*4+a*2+b] + 0.25) / (total + 1)
+					pa := marginal(count1[i], total, a)
+					pb := marginal(count1[j], total, b)
+					mi += pab * math.Log(pab/(pa*pb))
+				}
+			}
+			edges = append(edges, edge{i, j, mi})
+		}
+	}
+	sort.SliceStable(edges, func(a, b int) bool { return edges[a].mi > edges[b].mi })
+
+	// Kruskal maximum spanning tree.
+	dsu := make([]int, n)
+	for i := range dsu {
+		dsu[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if dsu[x] != x {
+			dsu[x] = find(dsu[x])
+		}
+		return dsu[x]
+	}
+	adj := make([][]int, n)
+	for _, e := range edges {
+		ri, rj := find(e.i), find(e.j)
+		if ri == rj {
+			continue
+		}
+		dsu[ri] = rj
+		adj[e.i] = append(adj[e.i], e.j)
+		adj[e.j] = append(adj[e.j], e.i)
+	}
+
+	// Root at 0; BFS gives the ancestral order. (Disconnected components
+	// cannot happen with n ≥ 2 and a full MST, but guard anyway.)
+	bn := &bayesNet{n: n, parent: make([]int, n), cpt: make([][2]float64, n)}
+	for v := range bn.parent {
+		bn.parent[v] = -1
+	}
+	visited := make([]bool, n)
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		queue := []int{start}
+		visited[start] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			bn.order = append(bn.order, v)
+			for _, w := range adj[v] {
+				if !visited[w] {
+					visited[w] = true
+					bn.parent[w] = v
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+
+	// CPTs with Laplace smoothing.
+	for _, v := range bn.order {
+		p := bn.parent[v]
+		if p < 0 {
+			prob := (count1[v] + 1) / (total + 2)
+			bn.cpt[v] = [2]float64{prob, prob}
+			continue
+		}
+		// counts of v=1 given parent value.
+		var n1 [2]float64
+		var np [2]float64
+		for _, row := range rows {
+			pv := b2i(row[p])
+			np[pv]++
+			if row[v] {
+				n1[pv]++
+			}
+		}
+		bn.cpt[v] = [2]float64{
+			(n1[0] + 1) / (np[0] + 2),
+			(n1[1] + 1) / (np[1] + 2),
+		}
+	}
+	return bn
+}
+
+// sharpen raises every CPT entry to 1/temp and renormalizes. temp < 1
+// models the overconfident maximum-likelihood fit a BN produces in the
+// low-data regime (a single corpus match, no cross-validation): sampling
+// concentrates on the training mode instead of exploring.
+func (bn *bayesNet) sharpen(temp float64) {
+	if temp >= 1 {
+		return
+	}
+	exp := 1 / temp
+	for v := range bn.cpt {
+		for pv := 0; pv < 2; pv++ {
+			p := bn.cpt[v][pv]
+			a := math.Pow(p, exp)
+			b := math.Pow(1-p, exp)
+			bn.cpt[v][pv] = a / (a + b)
+		}
+	}
+}
+
+// sample draws one binary assignment by ancestral sampling.
+func (bn *bayesNet) sample(r *xrand.Rand) []bool {
+	out := make([]bool, bn.n)
+	for _, v := range bn.order {
+		pv := 0
+		if p := bn.parent[v]; p >= 0 && out[p] {
+			pv = 1
+		}
+		out[v] = r.Bool(bn.cpt[v][pv])
+	}
+	return out
+}
+
+// logProb returns the log-likelihood of an assignment under the tree.
+func (bn *bayesNet) logProb(x []bool) float64 {
+	var lp float64
+	for _, v := range bn.order {
+		pv := 0
+		if p := bn.parent[v]; p >= 0 && x[p] {
+			pv = 1
+		}
+		prob := bn.cpt[v][pv]
+		if !x[v] {
+			prob = 1 - prob
+		}
+		lp += math.Log(prob)
+	}
+	return lp
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func marginal(ones, total float64, value int) float64 {
+	p1 := (ones + 0.5) / (total + 1)
+	if value == 1 {
+		return p1
+	}
+	return 1 - p1
+}

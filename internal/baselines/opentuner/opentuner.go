@@ -1,0 +1,139 @@
+// Package opentuner reimplements the slice of OpenTuner (Ansel et al.,
+// PACT'14) that the paper compares against in §4.2: an ensemble of search
+// techniques — differential evolution, Nelder–Mead, a Torczon-style
+// pattern search, a genetic algorithm, and uniform random — coordinated by
+// the multi-armed-bandit meta-technique ("AUC Bandit") that allocates each
+// evaluation to the technique with the best recent record of producing new
+// global bests. The paper runs it for 1000 test iterations on the same CV
+// space as FuncyTuner.
+package opentuner
+
+import (
+	"math"
+
+	"funcytuner/internal/baselines"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/xrand"
+)
+
+// technique is the ask/tell interface every ensemble member implements.
+type technique interface {
+	name() string
+	// propose returns the next CV this technique wants evaluated.
+	propose(r *xrand.Rand) flagspec.CV
+	// tell reports the measured cost of a proposed CV.
+	tell(cv flagspec.CV, cost float64)
+}
+
+// Tune runs the ensemble for the given evaluation budget.
+func Tune(e *baselines.Evaluator, budget int) (*baselines.Result, error) {
+	space := e.Space()
+	r := e.Rand("opentuner")
+	techniques := []technique{
+		newRandomTech(space),
+		newDiffEvolution(space, 20, r.Split("de-init", 0)),
+		newNelderMead(space, r.Split("nm-init", 0)),
+		newTorczon(space, r.Split("pt-init", 0)),
+		newGenetic(space, 20, r.Split("ga-init", 0)),
+		newAnnealer(space, r.Split("sa-init", 0)),
+		newSwarm(space, 12, r.Split("ps-init", 0)),
+	}
+	bandit := newAUCBandit(len(techniques), 50, 0.05)
+
+	bestCost := math.Inf(1)
+	for i := 0; i < budget; i++ {
+		ti := bandit.choose(r)
+		cv := techniques[ti].propose(r.Split("propose", i))
+		cost, err := e.Measure(cv)
+		if err != nil {
+			return nil, err
+		}
+		techniques[ti].tell(cv, cost)
+		improved := cost < bestCost
+		if improved {
+			bestCost = cost
+		}
+		bandit.reward(ti, improved)
+	}
+	bestCV, _ := e.Best()
+	res, err := e.Finish("OpenTuner", bestCV)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ---- AUC bandit meta-technique ----
+
+// aucBandit keeps a sliding window of "produced a new global best" events
+// per technique and scores each arm by area-under-curve credit (recent
+// successes weigh more) plus an exploration bonus.
+type aucBandit struct {
+	window  int
+	c       float64
+	history [][]bool
+	uses    []int
+	t       int
+}
+
+func newAUCBandit(arms, window int, c float64) *aucBandit {
+	return &aucBandit{
+		window:  window,
+		c:       c,
+		history: make([][]bool, arms),
+		uses:    make([]int, arms),
+	}
+}
+
+func (b *aucBandit) choose(r *xrand.Rand) int {
+	b.t++
+	bestScore, best := math.Inf(-1), 0
+	order := r.Perm(len(b.history)) // random tie-breaking
+	for _, i := range order {
+		if b.uses[i] == 0 {
+			return i // try every arm once
+		}
+		score := b.auc(i) + b.c*math.Sqrt(2*math.Log(float64(b.t))/float64(b.uses[i]))
+		if score > bestScore {
+			bestScore, best = score, i
+		}
+	}
+	return best
+}
+
+// auc computes the rank-weighted success rate over the window: a success
+// at the most recent slot counts len(window) times more than the oldest.
+func (b *aucBandit) auc(arm int) float64 {
+	h := b.history[arm]
+	if len(h) == 0 {
+		return 0
+	}
+	var num, den float64
+	for i, ok := range h {
+		w := float64(i + 1)
+		den += w
+		if ok {
+			num += w
+		}
+	}
+	return num / den
+}
+
+func (b *aucBandit) reward(arm int, success bool) {
+	b.uses[arm]++
+	h := append(b.history[arm], success)
+	if len(h) > b.window {
+		h = h[1:]
+	}
+	b.history[arm] = h
+}
+
+// ---- uniform random ----
+
+type randomTech struct{ space *flagspec.Space }
+
+func newRandomTech(s *flagspec.Space) *randomTech { return &randomTech{space: s} }
+
+func (t *randomTech) name() string                      { return "UniformRandom" }
+func (t *randomTech) propose(r *xrand.Rand) flagspec.CV { return t.space.Random(r) }
+func (t *randomTech) tell(cv flagspec.CV, cost float64) {}

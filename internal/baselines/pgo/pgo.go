@@ -1,0 +1,111 @@
+// Package pgo models Intel's built-in profile-guided optimization as the
+// paper evaluates it (§4.2.1): an instrumented run (-prof-gen) collects
+// loop trip counts and indirect-call targets; recompilation (-prof-use)
+// lets the heuristics consume them. The benefit channel is narrow —
+// profile-informed inlining of hot call sites and trip-count-correct
+// unroll/layout decisions — which is why the paper measures only minor
+// improvements (1.8% on AMG, little elsewhere). The instrumentation run
+// *fails* for LULESH and Optewe (§4.2.2); the model preserves both the
+// failure and the fallback to the plain O3 binary.
+package pgo
+
+import (
+	"funcytuner/internal/arch"
+	"funcytuner/internal/baselines"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/exec"
+	"funcytuner/internal/ir"
+	"funcytuner/internal/xrand"
+)
+
+// Build runs the -prof-gen/-prof-use pipeline and returns the
+// profile-optimized executable. failed reports the §4.2.2 instrumentation
+// failure (LULESH, Optewe), in which case the returned executable is the
+// plain O3 binary.
+func Build(tc *compiler.Toolchain, prog *ir.Program, m *arch.Machine, in ir.Input) (exe *compiler.Executable, failed bool, err error) {
+	baseExe, err := tc.CompileUniform(prog, ir.WholeProgram(prog), tc.Space.Baseline(), m)
+	if err != nil {
+		return nil, false, err
+	}
+	if prog.PGOFails {
+		return baseExe, true, nil
+	}
+	// Instrumented profile run with the tuning input.
+	_ = exec.Run(baseExe, m, in, exec.Options{Instrumented: true})
+	// Recompile with the profile: apply the narrow, profile-driven
+	// improvements to the O3 decisions.
+	exe, err = tc.CompileUniform(prog, ir.WholeProgram(prog), tc.Space.Baseline(), m)
+	if err != nil {
+		return nil, false, err
+	}
+	applyProfile(exe, prog, m)
+	return exe, false, nil
+}
+
+// Tune runs the PGO pipeline on prog for machine m with the tuning input.
+func Tune(tc *compiler.Toolchain, prog *ir.Program, m *arch.Machine, in ir.Input) (*baselines.Result, error) {
+	baseExe, err := tc.CompileUniform(prog, ir.WholeProgram(prog), tc.Space.Baseline(), m)
+	if err != nil {
+		return nil, err
+	}
+	baseline := exec.Run(baseExe, m, in, exec.Options{}).Total
+
+	exe, failed, err := Build(tc, prog, m, in)
+	if err != nil {
+		return nil, err
+	}
+	if failed {
+		// §4.2.2: "PGO instrumentation runs fail for LULESH and Optewe."
+		return &baselines.Result{
+			Name:     "PGO",
+			CV:       tc.Space.Baseline(),
+			TrueTime: baseline,
+			Baseline: baseline,
+			Speedup:  1.0,
+			Failed:   true,
+			Note:     "-prof-gen instrumentation run failed; falling back to -O3",
+		}, nil
+	}
+	trueTime := exec.Run(exe, m, in, exec.Options{}).Total
+	return &baselines.Result{
+		Name:        "PGO",
+		CV:          tc.Space.Baseline(),
+		TrueTime:    trueTime,
+		Baseline:    baseline,
+		Speedup:     baseline / trueTime,
+		Evaluations: 1,
+	}, nil
+}
+
+// applyProfile mutates the compiled image the way -prof-use moves the
+// heuristics: better block layout and scheduling where the profile pins
+// branch weights, and inlining of call sites the static budget rejected
+// but the profile shows hot.
+func applyProfile(exe *compiler.Executable, prog *ir.Program, m *arch.Machine) {
+	for li := range exe.PerLoop {
+		code := &exe.PerLoop[li]
+		l := &prog.Loops[li]
+		// Layout/scheduling refinement: a small, loop-specific win whose
+		// size depends on how much the profile disambiguates (branchy
+		// loops benefit more).
+		u := hashUnit(l.ID, m.ID, 0x70)
+		gain := 0.030 * u * (0.5 + l.Divergence)
+		// Profile-driven inlining recovers part of the call overhead at
+		// the hottest sites (full inlining would need the static budget).
+		if !code.InlinedCalls && l.CallDensity > 0 {
+			gain += 0.04 * hashUnit(l.ID, m.ID, 0x71)
+		}
+		if gain > 0.05 {
+			gain = 0.05
+		}
+		code.ISQ *= 1 - gain
+	}
+	// Hot/cold splitting of the non-loop code.
+	if prog.NonLoopCode.CallHeavy {
+		exe.NonLoop.TimeFactor *= 0.99
+	}
+}
+
+func hashUnit(vs ...uint64) float64 {
+	return float64(xrand.Combine(vs...)>>11) / (1 << 53)
+}

@@ -1,0 +1,83 @@
+package pgo
+
+import (
+	"testing"
+
+	"funcytuner/internal/apps"
+	"funcytuner/internal/arch"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/flagspec"
+)
+
+func TestPGOFailsForLULESHAndOptewe(t *testing.T) {
+	tc := compiler.NewToolchain(flagspec.ICC())
+	m := arch.Broadwell()
+	for _, app := range []string{apps.LULESH, apps.Optewe} {
+		res, err := Tune(tc, apps.MustGet(app), m, apps.TuningInput(app, m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Failed {
+			t.Errorf("%s: PGO instrumentation should fail (§4.2.2)", app)
+		}
+		if res.Speedup != 1.0 {
+			t.Errorf("%s: failed PGO should fall back to O3 (speedup %v)", app, res.Speedup)
+		}
+	}
+}
+
+func TestPGOMinorImprovements(t *testing.T) {
+	tc := compiler.NewToolchain(flagspec.ICC())
+	m := arch.Broadwell()
+	for _, app := range []string{apps.AMG, apps.CloverLeaf, apps.Bwaves, apps.Fma3d, apps.Swim} {
+		res, err := Tune(tc, apps.MustGet(app), m, apps.TuningInput(app, m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Failed {
+			t.Errorf("%s: PGO should not fail", app)
+		}
+		// §4.2.2: PGO results in only minor improvements relative to O3.
+		if res.Speedup < 0.99 || res.Speedup > 1.04 {
+			t.Errorf("%s: PGO speedup %.3f outside the minor-improvement band", app, res.Speedup)
+		}
+	}
+}
+
+func TestPGODeterministic(t *testing.T) {
+	tc := compiler.NewToolchain(flagspec.ICC())
+	m := arch.Broadwell()
+	a, err := Tune(tc, apps.MustGet(apps.AMG), m, apps.TuningInput(apps.AMG, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Tune(tc, apps.MustGet(apps.AMG), m, apps.TuningInput(apps.AMG, m))
+	if a.Speedup != b.Speedup {
+		t.Error("PGO not deterministic")
+	}
+}
+
+func TestBuildReturnsUsableExecutable(t *testing.T) {
+	tc := compiler.NewToolchain(flagspec.ICC())
+	m := arch.Broadwell()
+	exe, failed, err := Build(tc, apps.MustGet(apps.Swim), m, apps.TuningInput(apps.Swim, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Fatal("swim PGO should not fail")
+	}
+	if exe == nil || len(exe.PerLoop) != apps.MustGet(apps.Swim).NumLoops() {
+		t.Fatal("Build returned malformed executable")
+	}
+	// The profile must actually have improved at least one loop's code.
+	improved := false
+	for _, code := range exe.PerLoop {
+		if code.ISQ < 1.0 {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Error("profile application left every loop untouched")
+	}
+}

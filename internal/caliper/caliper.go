@@ -1,0 +1,203 @@
+// Package caliper reproduces the slice of LLNL's Caliper (SC'16) that
+// FuncyTuner uses: lightweight source-level region annotation, per-region
+// timing aggregation, and hot-region identification.
+//
+// Two layers:
+//
+//   - Annotator is the annotation API itself — a hierarchical
+//     begin/end region stack with per-region inclusive-time aggregation,
+//     mirroring cali_begin_region/cali_end_region. It is a real, usable
+//     timer (driven by a clock function so tests and the simulator can
+//     feed virtual time).
+//
+//   - Profile/Collect sit on top of the execution model: Collect runs an
+//     instrumented executable (Caliper overhead applied by internal/exec),
+//     feeds the per-region times through an Annotator, and aggregates
+//     repeated runs into a Profile with means and standard deviations.
+//
+// HotLoops implements §3.3's rule: every loop whose runtime is at least
+// 1.0% of the baseline's end-to-end runtime becomes an outlining candidate.
+package caliper
+
+import (
+	"fmt"
+	"sort"
+
+	"funcytuner/internal/arch"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/exec"
+	"funcytuner/internal/ir"
+	"funcytuner/internal/stats"
+	"funcytuner/internal/xrand"
+)
+
+// Annotator is a Caliper-style hierarchical region timer. Not safe for
+// concurrent use; Caliper's per-thread blackboards are out of scope (§3.3
+// uses aggregate per-loop times only).
+type Annotator struct {
+	clock func() float64
+	stack []frame
+	incl  map[string]float64
+	count map[string]int
+}
+
+type frame struct {
+	name  string
+	start float64
+}
+
+// NewAnnotator builds an annotator reading time (in seconds) from clock.
+func NewAnnotator(clock func() float64) *Annotator {
+	return &Annotator{
+		clock: clock,
+		incl:  make(map[string]float64),
+		count: make(map[string]int),
+	}
+}
+
+// Begin opens a region.
+func (a *Annotator) Begin(name string) {
+	a.stack = append(a.stack, frame{name: name, start: a.clock()})
+}
+
+// End closes the innermost open region; the name must match (Caliper
+// aborts on mismatched annotations, we return an error instead).
+func (a *Annotator) End(name string) error {
+	if len(a.stack) == 0 {
+		return fmt.Errorf("caliper: End(%q) with no open region", name)
+	}
+	top := a.stack[len(a.stack)-1]
+	if top.name != name {
+		return fmt.Errorf("caliper: End(%q) but innermost region is %q", name, top.name)
+	}
+	a.stack = a.stack[:len(a.stack)-1]
+	a.incl[name] += a.clock() - top.start
+	a.count[name]++
+	return nil
+}
+
+// Depth returns the current nesting depth.
+func (a *Annotator) Depth() int { return len(a.stack) }
+
+// InclusiveTime returns the summed inclusive time of a region.
+func (a *Annotator) InclusiveTime(name string) float64 { return a.incl[name] }
+
+// Count returns how many times a region completed.
+func (a *Annotator) Count(name string) int { return a.count[name] }
+
+// Regions returns all completed region names, sorted.
+func (a *Annotator) Regions() []string {
+	out := make([]string, 0, len(a.incl))
+	for name := range a.incl {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Profile aggregates repeated instrumented runs of one executable.
+type Profile struct {
+	Program *ir.Program
+	Machine *arch.Machine
+	Input   ir.Input
+	Runs    int
+
+	// Total is the mean end-to-end time; TotalStd its std deviation.
+	Total    float64
+	TotalStd float64
+	// PerLoop holds mean per-loop inclusive times, indexed like
+	// Program.Loops.
+	PerLoop []float64
+	// NonLoop is the derived non-loop time: Total − ΣPerLoop (§3.3: "the
+	// runtime of non-loop code is derived by subtracting the aggregate
+	// runtime of hot loops from the end-to-end runtime").
+	NonLoop float64
+}
+
+// Collect runs exe `runs` times with instrumentation and aggregates.
+// The rng seeds measurement noise; pass nil for exact (noise-free) timing.
+func Collect(exe *compiler.Executable, m *arch.Machine, in ir.Input, runs int, rng *xrand.Rand) Profile {
+	if runs < 1 {
+		runs = 1
+	}
+	p := Profile{
+		Program: exe.Prog,
+		Machine: m,
+		Input:   in,
+		Runs:    runs,
+		PerLoop: make([]float64, len(exe.Prog.Loops)),
+	}
+	totals := make([]float64, 0, runs)
+	for r := 0; r < runs; r++ {
+		var noise *xrand.Rand
+		if rng != nil {
+			noise = rng.Split("caliper-run", r)
+		}
+		res := exec.Run(exe, m, in, exec.Options{Instrumented: true, Noise: noise})
+		// Feed per-region times through the annotation layer, as the
+		// real pipeline would (begin/end around each outlined loop).
+		ann := annotateRun(exe.Prog, res)
+		for li := range exe.Prog.Loops {
+			p.PerLoop[li] += ann.InclusiveTime(exe.Prog.Loops[li].Name)
+		}
+		totals = append(totals, res.Total)
+	}
+	for li := range p.PerLoop {
+		p.PerLoop[li] /= float64(runs)
+	}
+	p.Total = stats.Mean(totals)
+	p.TotalStd = stats.StdDev(totals)
+	var sum float64
+	for _, v := range p.PerLoop {
+		sum += v
+	}
+	p.NonLoop = p.Total - sum
+	return p
+}
+
+// annotateRun replays one run's per-loop times through an Annotator,
+// exercising the annotation API exactly as instrumented sources would.
+func annotateRun(prog *ir.Program, res exec.Result) *Annotator {
+	now := 0.0
+	ann := NewAnnotator(func() float64 { return now })
+	for li := range prog.Loops {
+		ann.Begin(prog.Loops[li].Name)
+		now += res.PerLoop[li]
+		if err := ann.End(prog.Loops[li].Name); err != nil {
+			panic(err) // structurally impossible: begin/end are paired above
+		}
+	}
+	return ann
+}
+
+// Share returns loop li's fraction of end-to-end time.
+func (p Profile) Share(li int) float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return p.PerLoop[li] / p.Total
+}
+
+// HotLoops returns the indices of loops whose share of end-to-end runtime
+// is at least threshold (the paper uses 0.01), hottest first.
+func (p Profile) HotLoops(threshold float64) []int {
+	var hot []int
+	for li := range p.PerLoop {
+		if p.Share(li) >= threshold {
+			hot = append(hot, li)
+		}
+	}
+	sort.SliceStable(hot, func(a, b int) bool { return p.PerLoop[hot[a]] > p.PerLoop[hot[b]] })
+	return hot
+}
+
+// String renders the profile as a Caliper-report-like table.
+func (p Profile) String() string {
+	s := fmt.Sprintf("profile %s on %s %s: total %.3fs (std %.3fs, %d runs)\n",
+		p.Program.Name, p.Machine.Name, p.Input, p.Total, p.TotalStd, p.Runs)
+	for li := range p.PerLoop {
+		s += fmt.Sprintf("  %-12s %8.3fs  %5.1f%%\n", p.Program.Loops[li].Name, p.PerLoop[li], 100*p.Share(li))
+	}
+	s += fmt.Sprintf("  %-12s %8.3fs  %5.1f%%\n", "(non-loop)", p.NonLoop, 100*p.NonLoop/p.Total)
+	return s
+}

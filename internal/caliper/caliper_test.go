@@ -1,0 +1,160 @@
+package caliper
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"funcytuner/internal/apps"
+	"funcytuner/internal/arch"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/ir"
+	"funcytuner/internal/xrand"
+)
+
+func TestAnnotatorNesting(t *testing.T) {
+	now := 0.0
+	a := NewAnnotator(func() float64 { return now })
+	a.Begin("outer")
+	now += 1
+	a.Begin("inner")
+	now += 2
+	if a.Depth() != 2 {
+		t.Fatalf("Depth = %d", a.Depth())
+	}
+	if err := a.End("inner"); err != nil {
+		t.Fatal(err)
+	}
+	now += 3
+	if err := a.End("outer"); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.InclusiveTime("inner"); got != 2 {
+		t.Errorf("inner time = %v", got)
+	}
+	if got := a.InclusiveTime("outer"); got != 6 {
+		t.Errorf("outer inclusive time = %v, want 6", got)
+	}
+	if a.Count("outer") != 1 || a.Count("inner") != 1 {
+		t.Error("counts wrong")
+	}
+}
+
+func TestAnnotatorMismatch(t *testing.T) {
+	a := NewAnnotator(func() float64 { return 0 })
+	if err := a.End("nothing"); err == nil {
+		t.Error("End with empty stack should fail")
+	}
+	a.Begin("x")
+	if err := a.End("y"); err == nil {
+		t.Error("mismatched End should fail")
+	}
+	// The region is still open after the failed End.
+	if a.Depth() != 1 {
+		t.Errorf("Depth = %d after failed End", a.Depth())
+	}
+}
+
+func TestAnnotatorAccumulatesAcrossInvocations(t *testing.T) {
+	now := 0.0
+	a := NewAnnotator(func() float64 { return now })
+	for i := 0; i < 3; i++ {
+		a.Begin("loop")
+		now += 1.5
+		if err := a.End("loop"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.InclusiveTime("loop"); math.Abs(got-4.5) > 1e-12 {
+		t.Errorf("accumulated time = %v", got)
+	}
+	if a.Count("loop") != 3 {
+		t.Errorf("count = %d", a.Count("loop"))
+	}
+	regions := a.Regions()
+	if len(regions) != 1 || regions[0] != "loop" {
+		t.Errorf("Regions = %v", regions)
+	}
+}
+
+func collectCL(t *testing.T, runs int, rng *xrand.Rand) Profile {
+	t.Helper()
+	p := apps.MustGet(apps.CloverLeaf)
+	m := arch.Broadwell()
+	tc := compiler.NewToolchain(flagspec.ICC())
+	exe, err := tc.CompileUniform(p, ir.WholeProgram(p), flagspec.ICC().Baseline(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Collect(exe, m, apps.TuningInput(apps.CloverLeaf, m), runs, rng)
+}
+
+func TestCollectProfileShares(t *testing.T) {
+	prof := collectCL(t, 1, nil)
+	// Table 3: dt is the hottest CloverLeaf kernel at 6.3%.
+	dt := prof.Program.LoopIndex("dt")
+	if s := prof.Share(dt); s < 0.04 || s > 0.09 {
+		t.Errorf("dt share = %.3f, want ≈ 0.063", s)
+	}
+	if prof.NonLoop <= 0 {
+		t.Error("derived non-loop time should be positive")
+	}
+	var sum float64
+	for _, v := range prof.PerLoop {
+		sum += v
+	}
+	if math.Abs(sum+prof.NonLoop-prof.Total) > 1e-9*prof.Total {
+		t.Error("profile does not decompose")
+	}
+}
+
+func TestCollectRepeatedRunsReduceNoise(t *testing.T) {
+	rng := xrand.NewFromString("caliper-noise")
+	p1 := collectCL(t, 10, rng.Split("a", 0))
+	if p1.Runs != 10 {
+		t.Errorf("Runs = %d", p1.Runs)
+	}
+	if p1.TotalStd <= 0 {
+		t.Error("repeated noisy runs should have positive std dev")
+	}
+	// Paper: std dev 0.04–0.2 s on runs of this length.
+	if p1.TotalStd > 0.5 {
+		t.Errorf("std dev %.3f s implausibly large", p1.TotalStd)
+	}
+}
+
+func TestHotLoopsThreshold(t *testing.T) {
+	prof := collectCL(t, 1, nil)
+	hot := prof.HotLoops(0.01)
+	if len(hot) == 0 {
+		t.Fatal("no hot loops found")
+	}
+	// Hottest first.
+	for i := 1; i < len(hot); i++ {
+		if prof.PerLoop[hot[i]] > prof.PerLoop[hot[i-1]] {
+			t.Error("hot loops not sorted by time")
+		}
+	}
+	// With an absurd threshold nothing qualifies.
+	if len(prof.HotLoops(0.99)) != 0 {
+		t.Error("99% threshold should exclude everything")
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	prof := collectCL(t, 1, nil)
+	s := prof.String()
+	for _, want := range []string{"dt", "acc", "(non-loop)", "CL"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("profile report missing %q", want)
+		}
+	}
+}
+
+func TestCollectZeroRunsClamped(t *testing.T) {
+	prof := collectCL(t, 0, nil)
+	if prof.Runs != 1 {
+		t.Errorf("Runs = %d, want clamp to 1", prof.Runs)
+	}
+}

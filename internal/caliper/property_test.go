@@ -1,0 +1,97 @@
+package caliper
+
+import (
+	"testing"
+	"testing/quick"
+
+	"funcytuner/internal/xrand"
+)
+
+// TestPropertyBalancedSequences: any balanced, properly nested begin/end
+// sequence leaves the annotator at depth 0 with non-negative inclusive
+// times, and inclusive time conservation holds: the sum of top-level
+// region times never exceeds total elapsed time.
+func TestPropertyBalancedSequences(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		now := 0.0
+		a := NewAnnotator(func() float64 { return now })
+		names := []string{"a", "b", "c", "d"}
+		var stack []string
+		var topLevel float64
+		topStart := -1.0
+		steps := 5 + r.Intn(40)
+		for i := 0; i < steps; i++ {
+			if len(stack) == 0 || (len(stack) < 4 && r.Bool(0.5)) {
+				name := names[r.Intn(len(names))]
+				if len(stack) == 0 {
+					topStart = now
+				}
+				a.Begin(name)
+				stack = append(stack, name)
+			} else {
+				name := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if err := a.End(name); err != nil {
+					return false
+				}
+				if len(stack) == 0 {
+					topLevel += now - topStart
+				}
+			}
+			now += r.Range(0, 2)
+		}
+		for len(stack) > 0 {
+			name := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if err := a.End(name); err != nil {
+				return false
+			}
+			if len(stack) == 0 {
+				topLevel += now - topStart
+			}
+			now += r.Range(0, 2)
+		}
+		if a.Depth() != 0 {
+			return false
+		}
+		// Inclusive times are non-negative, and since the stack depth is
+		// capped at 4, no region can accumulate more than 4x the elapsed
+		// time even with recursive same-name nesting (which legitimately
+		// double-counts overlapping intervals).
+		for _, name := range a.Regions() {
+			v := a.InclusiveTime(name)
+			if v < 0 || v > 4*now {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyProfileDecomposition: for any app-like synthetic run count,
+// PerLoop + NonLoop always reconstructs Total.
+func TestPropertyProfileDecomposition(t *testing.T) {
+	f := func(runsRaw uint8) bool {
+		runs := 1 + int(runsRaw%8)
+		rng := xrand.New(uint64(runsRaw) + 7)
+		prof := collectCLQuick(t, runs, rng)
+		var sum float64
+		for _, v := range prof.PerLoop {
+			sum += v
+		}
+		diff := sum + prof.NonLoop - prof.Total
+		return diff < 1e-9*prof.Total && diff > -1e-9*prof.Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func collectCLQuick(t *testing.T, runs int, rng *xrand.Rand) Profile {
+	t.Helper()
+	return collectCL(t, runs, rng)
+}

@@ -1,0 +1,173 @@
+// Package compiler implements the analytical optimizing-compiler model at
+// the heart of the reproduction's substrate.
+//
+// The model stands in for Intel ICC 17.04 (and, in its GCC flavor, GCC
+// 5.4): given a compilation module, a compilation vector (CV) and a target
+// machine, it runs a pass pipeline — inlining, alias analysis,
+// vectorization with a profitability estimate, unrolling, prefetch/tile/
+// streaming-store selection, register allocation, instruction selection —
+// and emits per-loop "object code" (LoopCode): the decisions plus cost
+// parameters the execution model turns into seconds.
+//
+// Two properties are deliberately faithful to the paper's findings:
+//
+//  1. The vectorization profitability estimator underestimates the true
+//     cost of control-flow divergence (§4.4.2 observation 1: "vectorization
+//     is not always profitable" — data permutations and mask operations
+//     degrade efficiency in ways O3's estimate misses).
+//  2. Linking modules compiled with different link-sensitive flags lets
+//     inter-procedural optimization perturb earlier per-module decisions
+//     (§1: link-time optimizations "may invalidate earlier transformations
+//     that were made independently"). See link.go.
+package compiler
+
+import (
+	"fmt"
+
+	"funcytuner/internal/arch"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/ir"
+)
+
+// LoopCode is the compiled form of one hot loop: the optimization
+// decisions the pass pipeline made plus derived cost parameters.
+type LoopCode struct {
+	// LoopIdx indexes the loop in the program's Loops slice.
+	LoopIdx int
+
+	// VecBits is the SIMD width chosen (0 = scalar).
+	VecBits int
+	// Unroll is the unroll factor (>= 1).
+	Unroll int
+	// Prefetch is the software-prefetch aggressiveness (0..4).
+	Prefetch int
+	// StreamPolicy is the resolved streaming-store policy
+	// (flagspec.StreamAuto/Always/Never); the execution model applies it
+	// against the input-dependent working set.
+	StreamPolicy int
+	// Tile is the cache-blocking factor (0 = none).
+	Tile int
+
+	// InlinedCalls reports whether calls inside the body were inlined;
+	// un-inlined calls block vectorization and add call overhead.
+	InlinedCalls bool
+	// MultiVersioned marks runtime alias-check multi-versioning (small
+	// constant overhead, enables vectorization under alias ambiguity).
+	MultiVersioned bool
+
+	// EffBody is the effective loop-body size after inlining (code bloat
+	// from inlined call chains raises i-cache and register pressure).
+	EffBody float64
+	// SpillRate is the register-spill intensity in [0,1].
+	SpillRate float64
+	// ISQ is the instruction-selection/scheduling quality multiplier on
+	// loop time (deterministic per (loop, codegen flags, machine); < 1 is
+	// good code). Table 3's IS/IO effects.
+	ISQ float64
+	// GoodIS / GoodIO label the idiosyncratic codegen draws for reports.
+	GoodIS bool
+	GoodIO bool
+
+	// Knobs retains the knob set the loop was finally compiled under
+	// (post-IPO perturbation, if any).
+	Knobs flagspec.Knobs
+
+	// IPOPerturbed marks decisions overridden by cross-module IPO at link
+	// time (see link.go).
+	IPOPerturbed bool
+}
+
+// NonLoopCode is the compiled form of the non-loop remainder.
+type NonLoopCode struct {
+	// TimeFactor multiplies the non-loop base time (1 = O3-like).
+	TimeFactor float64
+}
+
+// ObjectModule is one compiled compilation unit.
+type ObjectModule struct {
+	Module ir.Module
+	CV     flagspec.CV
+	Knobs  flagspec.Knobs
+	// Loops holds LoopCode for each entry of Module.LoopIdx, same order.
+	Loops []LoopCode
+	// NonLoop is set for the base module.
+	NonLoop NonLoopCode
+}
+
+// Executable is a fully linked program image.
+type Executable struct {
+	Prog *ir.Program
+	Part ir.Partition
+	// ModuleCVs records the CV each module was compiled with.
+	ModuleCVs []flagspec.CV
+	// PerLoop is indexed by loop index (not module order), post-link.
+	PerLoop []LoopCode
+	// NonLoop is the compiled non-loop code, post-link.
+	NonLoop NonLoopCode
+	// Interference holds the per-loop link-interference time multiplier
+	// (1 = none); the last entry is the non-loop multiplier.
+	Interference []float64
+
+	machineID uint64
+}
+
+// NonLoopInterference returns the base-module interference multiplier.
+func (e *Executable) NonLoopInterference() float64 {
+	return e.Interference[len(e.Interference)-1]
+}
+
+// Toolchain binds a flag space (flavor) to the pass pipeline. The paper
+// uses ICC for everything except Fig. 1's GCC column.
+type Toolchain struct {
+	Space *flagspec.Space
+	// DisableLTO turns the cross-module optimizer off entirely — the
+	// counterfactual of NOT using Intel's xild linker (§3.2 modifies
+	// every build system to use xild/xiar "to reach the full optimization
+	// potential"). Without it there is no link-time interference, so
+	// greedy combination becomes safe; used by the LTO ablation.
+	DisableLTO bool
+}
+
+// NewToolchain returns a toolchain over the given flag space.
+func NewToolchain(space *flagspec.Space) *Toolchain { return &Toolchain{Space: space} }
+
+// CompileModule compiles one module of prog with cv for machine m.
+func (tc *Toolchain) CompileModule(prog *ir.Program, mod ir.Module, cv flagspec.CV, m *arch.Machine) ObjectModule {
+	if cv.Space() != tc.Space {
+		panic("compiler: CV from a different toolchain's space")
+	}
+	k := cv.Knobs()
+	obj := ObjectModule{Module: mod, CV: cv, Knobs: k}
+	for _, li := range mod.LoopIdx {
+		obj.Loops = append(obj.Loops, compileLoop(&prog.Loops[li], li, k, m, tc.Space.Flavor))
+	}
+	if mod.IsBase {
+		obj.NonLoop = compileNonLoop(prog, k)
+	}
+	return obj
+}
+
+// Compile compiles every module of the partition with its assigned CV and
+// links the result. cvs must have one CV per module (same order).
+func (tc *Toolchain) Compile(prog *ir.Program, part ir.Partition, cvs []flagspec.CV, m *arch.Machine) (*Executable, error) {
+	if len(cvs) != len(part.Modules) {
+		return nil, fmt.Errorf("compiler: %d CVs for %d modules", len(cvs), len(part.Modules))
+	}
+	objs := make([]ObjectModule, len(part.Modules))
+	for i, mod := range part.Modules {
+		objs[i] = tc.CompileModule(prog, mod, cvs[i], m)
+	}
+	return tc.Link(prog, part, objs, m)
+}
+
+// CompileUniform compiles the whole partition with a single CV — the
+// traditional compilation model, and the configuration FuncyTuner's
+// per-loop data-collection phase uses (§2.2, Fig. 4: "all modules within P
+// are compiled with the same k-th CV").
+func (tc *Toolchain) CompileUniform(prog *ir.Program, part ir.Partition, cv flagspec.CV, m *arch.Machine) (*Executable, error) {
+	cvs := make([]flagspec.CV, len(part.Modules))
+	for i := range cvs {
+		cvs[i] = cv
+	}
+	return tc.Compile(prog, part, cvs, m)
+}

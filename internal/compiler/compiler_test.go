@@ -1,0 +1,417 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"funcytuner/internal/arch"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/ir"
+)
+
+// fixture returns a three-loop program with contrasting loop characters:
+// "clean" (vector-friendly), "divergent" (vector-hostile), "serial"
+// (dependence-bound), plus strong clean↔divergent coupling.
+func fixture() *ir.Program {
+	base := ir.Loop{
+		TripCount: 1e6, InvocationsPerStep: 1, WorkPerIter: 12,
+		BytesPerIter: 24, Parallel: true, ScaleExp: 2, WSScaleExp: 1,
+		WorkingSetKB: 4000, BodySize: 1, FPFraction: 0.85,
+	}
+	clean := base
+	clean.Name, clean.File = "clean", "a.c"
+	clean.ID = ir.LoopID("fix", "clean")
+	clean.Divergence, clean.StrideIrregular, clean.DepChain = 0.03, 0.05, 0.05
+
+	div := base
+	div.Name, div.File = "divergent", "a.c"
+	div.ID = ir.LoopID("fix", "divergent")
+	div.Divergence, div.StrideIrregular, div.DepChain = 0.6, 0.5, 0.1
+
+	ser := base
+	ser.Name, ser.File = "serial", "b.c"
+	ser.ID = ir.LoopID("fix", "serial")
+	ser.DepChain = 0.8
+
+	return &ir.Program{
+		Name: "fix", Lang: ir.LangC, Seed: 7,
+		Loops:       []ir.Loop{clean, div, ser},
+		NonLoopCode: ir.NonLoop{WorkPerStep: 1e7, SetupWork: 1e7, Sensitivity: 0.5},
+		Coupling: [][]float64{
+			{0, 0.8, 0, 0.2},
+			{0.8, 0, 0, 0.2},
+			{0, 0, 0, 0.1},
+			{0.2, 0.2, 0.1, 0},
+		},
+		BaseSize: 1000,
+	}
+}
+
+func perLoopPartition(p *ir.Program) ir.Partition {
+	pt := ir.Partition{Program: p}
+	for i := range p.Loops {
+		pt.Modules = append(pt.Modules, ir.Module{Name: "loop:" + p.Loops[i].Name, LoopIdx: []int{i}})
+	}
+	pt.Modules = append(pt.Modules, ir.Module{Name: "base", IsBase: true})
+	return pt
+}
+
+func TestBaselineDecisions(t *testing.T) {
+	p := fixture()
+	tc := NewToolchain(flagspec.ICC())
+	exe, err := tc.CompileUniform(p, ir.WholeProgram(p), flagspec.ICC().Baseline(), arch.Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exe.PerLoop[0].VecBits; got != 256 {
+		t.Errorf("clean loop vectorized at %d bits under O3, want 256", got)
+	}
+	if got := exe.PerLoop[1].VecBits; got != 0 {
+		t.Errorf("divergent loop vectorized at %d bits under O3, want scalar", got)
+	}
+	if got := exe.PerLoop[2].VecBits; got != 0 {
+		t.Errorf("dependence-bound loop vectorized at %d bits, want scalar", got)
+	}
+}
+
+func TestNoVecFlagForcesScalar(t *testing.T) {
+	p := fixture()
+	tc := NewToolchain(flagspec.ICC())
+	cv := flagspec.ICC().Baseline().With(flagspec.IccVec, 0)
+	exe, err := tc.CompileUniform(p, ir.WholeProgram(p), cv, arch.Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, code := range exe.PerLoop {
+		if code.VecBits != 0 {
+			t.Errorf("loop %d vectorized despite -vec=off", i)
+		}
+	}
+}
+
+func TestZeroThresholdVectorizesDivergent(t *testing.T) {
+	p := fixture()
+	tc := NewToolchain(flagspec.ICC())
+	cv := flagspec.ICC().Baseline().
+		With(flagspec.IccVecThreshold, 0).
+		With(flagspec.IccSimdWidth, 2) // force 256
+	exe, err := tc.CompileUniform(p, ir.WholeProgram(p), cv, arch.Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exe.PerLoop[1].VecBits != 256 {
+		t.Errorf("divergent loop at threshold 0 got %d bits, want 256", exe.PerLoop[1].VecBits)
+	}
+	// Dependence-bound loop stays scalar even at threshold 0: legality.
+	if exe.PerLoop[2].VecBits != 0 {
+		t.Error("dependence-bound loop must never vectorize")
+	}
+}
+
+func TestOpteronCapsWidth(t *testing.T) {
+	p := fixture()
+	tc := NewToolchain(flagspec.ICC())
+	cv := flagspec.ICC().Baseline().With(flagspec.IccSimdWidth, 2) // ask for 256
+	exe, err := tc.CompileUniform(p, ir.WholeProgram(p), cv, arch.Opteron())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exe.PerLoop[0].VecBits; got != 128 {
+		t.Errorf("Opteron compiled clean loop at %d bits, want 128 cap", got)
+	}
+}
+
+func TestAliasAmbiguityGatesVectorization(t *testing.T) {
+	p := fixture()
+	p.Loops[0].AliasAmbiguity = 0.6
+	tc := NewToolchain(flagspec.ICC())
+	m := arch.Broadwell()
+
+	exe, _ := tc.CompileUniform(p, ir.WholeProgram(p), flagspec.ICC().Baseline(), m)
+	if exe.PerLoop[0].VecBits != 0 {
+		t.Error("ambiguous loop vectorized without alias help")
+	}
+	cv := flagspec.ICC().Baseline().With(flagspec.IccAnsiAlias, 1)
+	exe, _ = tc.CompileUniform(p, ir.WholeProgram(p), cv, m)
+	if exe.PerLoop[0].VecBits == 0 {
+		t.Error("-ansi-alias did not unlock vectorization")
+	}
+	cv = flagspec.ICC().Baseline().With(flagspec.IccMultiVersion, 1)
+	exe, _ = tc.CompileUniform(p, ir.WholeProgram(p), cv, m)
+	if exe.PerLoop[0].VecBits == 0 || !exe.PerLoop[0].MultiVersioned {
+		t.Error("multi-versioning did not unlock vectorization with overhead")
+	}
+}
+
+func TestUnrollFactors(t *testing.T) {
+	p := fixture()
+	tc := NewToolchain(flagspec.ICC())
+	m := arch.Broadwell()
+	cv := flagspec.ICC().Baseline().With(flagspec.IccUnroll, 4) // explicit 8
+	exe, _ := tc.CompileUniform(p, ir.WholeProgram(p), cv, m)
+	if exe.PerLoop[0].Unroll != 8 {
+		t.Errorf("explicit unroll=8 gave %d", exe.PerLoop[0].Unroll)
+	}
+	cv = cv.With(flagspec.IccUnrollAggressive, 1)
+	exe, _ = tc.CompileUniform(p, ir.WholeProgram(p), cv, m)
+	if exe.PerLoop[0].Unroll != 8 {
+		t.Errorf("aggressive unroll should clamp at 8 without override-limits, got %d", exe.PerLoop[0].Unroll)
+	}
+	cv = cv.With(flagspec.IccOverrideLimits, 1)
+	exe, _ = tc.CompileUniform(p, ir.WholeProgram(p), cv, m)
+	if exe.PerLoop[0].Unroll != 16 {
+		t.Errorf("override-limits should allow 16, got %d", exe.PerLoop[0].Unroll)
+	}
+	cv = flagspec.ICC().Baseline().With(flagspec.IccUnroll, 1) // disable
+	exe, _ = tc.CompileUniform(p, ir.WholeProgram(p), cv, m)
+	if exe.PerLoop[0].Unroll != 1 {
+		t.Errorf("unroll disable gave %d", exe.PerLoop[0].Unroll)
+	}
+}
+
+func TestInlineBudgetGatesCalls(t *testing.T) {
+	p := fixture()
+	p.Loops[0].CallDensity = 1.6
+	tc := NewToolchain(flagspec.ICC())
+	m := arch.Broadwell()
+	exe, _ := tc.CompileUniform(p, ir.WholeProgram(p), flagspec.ICC().Baseline(), m)
+	if exe.PerLoop[0].InlinedCalls {
+		t.Error("call-dense loop inlined within default budget")
+	}
+	if exe.PerLoop[0].VecBits != 0 {
+		t.Error("loop with out-of-line calls must not vectorize")
+	}
+	cv := flagspec.ICC().Baseline().With(flagspec.IccInlineFactor, 4) // 400%
+	exe, _ = tc.CompileUniform(p, ir.WholeProgram(p), cv, m)
+	if !exe.PerLoop[0].InlinedCalls {
+		t.Error("inline-factor=400 should inline the calls")
+	}
+	if exe.PerLoop[0].VecBits == 0 {
+		t.Error("inlined loop should vectorize again")
+	}
+}
+
+func TestUniformCompilationHasNoInterference(t *testing.T) {
+	p := fixture()
+	tc := NewToolchain(flagspec.ICC())
+	pt := perLoopPartition(p)
+	exe, err := tc.CompileUniform(p, pt, flagspec.ICC().Baseline(), arch.Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range exe.Interference {
+		if f != 1 {
+			t.Errorf("uniform compilation interference[%d] = %v, want 1", i, f)
+		}
+	}
+}
+
+func TestMixedLinkSensitiveCVsInterfere(t *testing.T) {
+	p := fixture()
+	tc := NewToolchain(flagspec.ICC())
+	pt := perLoopPartition(p)
+	b := flagspec.ICC().Baseline()
+	// Give the two coupled loops different link-sensitive settings.
+	cvs := []flagspec.CV{b.With(flagspec.IccIPO, 1), b.With(flagspec.IccAnsiAlias, 1), b, b}
+	exe, err := tc.Compile(p, pt, cvs, arch.Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for _, f := range exe.Interference {
+		if f != 1 {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("link-sensitive CV mismatch on coupled modules produced no interference")
+	}
+}
+
+func TestMixedNonLinkSensitiveCVsDoNotInterfere(t *testing.T) {
+	p := fixture()
+	tc := NewToolchain(flagspec.ICC())
+	pt := perLoopPartition(p)
+	b := flagspec.ICC().Baseline()
+	// Prefetch and unroll are not link-sensitive.
+	cvs := []flagspec.CV{b.With(flagspec.IccPrefetch, 4), b.With(flagspec.IccUnroll, 3), b, b}
+	exe, err := tc.Compile(p, pt, cvs, arch.Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range exe.Interference {
+		if f != 1 {
+			t.Errorf("non-link-sensitive mismatch caused interference[%d]=%v", i, f)
+		}
+	}
+}
+
+func TestInterferenceDeterministic(t *testing.T) {
+	p := fixture()
+	tc := NewToolchain(flagspec.ICC())
+	pt := perLoopPartition(p)
+	b := flagspec.ICC().Baseline()
+	cvs := []flagspec.CV{b.With(flagspec.IccIPO, 1), b.With(flagspec.IccInlineLevel, 0), b, b}
+	e1, _ := tc.Compile(p, pt, cvs, arch.Broadwell())
+	e2, _ := tc.Compile(p, pt, cvs, arch.Broadwell())
+	for i := range e1.Interference {
+		if e1.Interference[i] != e2.Interference[i] {
+			t.Fatal("interference not deterministic")
+		}
+	}
+}
+
+func TestInterferenceVariesByMachine(t *testing.T) {
+	p := fixture()
+	tc := NewToolchain(flagspec.ICC())
+	pt := perLoopPartition(p)
+	b := flagspec.ICC().Baseline()
+	cvs := []flagspec.CV{b.With(flagspec.IccIPO, 1), b.With(flagspec.IccInlineLevel, 0), b, b}
+	e1, _ := tc.Compile(p, pt, cvs, arch.Broadwell())
+	e2, _ := tc.Compile(p, pt, cvs, arch.Opteron())
+	diff := false
+	for i := range e1.Interference {
+		if e1.Interference[i] != e2.Interference[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("interference identical across machines; should be machine-specific")
+	}
+}
+
+func TestInterferenceCapped(t *testing.T) {
+	p := fixture()
+	// Couple everything maximally to force many penalties on loop 0.
+	for i := range p.Coupling {
+		for j := range p.Coupling[i] {
+			if i != j {
+				p.Coupling[i][j] = 1
+			}
+		}
+	}
+	tc := NewToolchain(flagspec.ICC())
+	pt := perLoopPartition(p)
+	b := flagspec.ICC().Baseline()
+	worst := 1.0
+	// Scan several CV mixes for the worst capped interference.
+	for v := 0; v < 3; v++ {
+		cvs := []flagspec.CV{
+			b.With(flagspec.IccIPO, 1).With(flagspec.IccMemLayout, v),
+			b.With(flagspec.IccInlineLevel, v),
+			b.With(flagspec.IccAnsiAlias, 1),
+			b.With(flagspec.IccIP, 1),
+		}
+		exe, _ := tc.Compile(p, pt, cvs, arch.Broadwell())
+		for _, f := range exe.Interference {
+			if f > worst {
+				worst = f
+			}
+		}
+	}
+	if worst > 3.5 {
+		t.Errorf("interference %v exceeds cap", worst)
+	}
+}
+
+func TestSeverityShape(t *testing.T) {
+	for _, c := range []float64{0.1, 0.5, 1.0} {
+		// Monotone non-decreasing except the initial benefit region.
+		prev, _ := severity(0.09, c)
+		for u := 0.091; u < 1.0; u += 0.0005 {
+			s, _ := severity(u, c)
+			if s < prev-1e-9 {
+				t.Fatalf("severity not monotone at u=%v c=%v", u, c)
+			}
+			prev = s
+		}
+		if s, severe := severity(0.05, c); s >= 0 || severe {
+			t.Error("low draws should be a small, non-severe benefit")
+		}
+		if s, severe := severity(0.9999, c); s > 2.35 || !severe {
+			t.Errorf("tail draw: sev=%v severe=%v", s, severe)
+		}
+	}
+	// Stronger coupling ⇒ larger severe probability: at u=0.9 a fully
+	// coupled pair is already in the tail, a weakly coupled one is not.
+	if _, severe := severity(0.9, 1.0); !severe {
+		t.Error("u=0.9 at c=1 should be severe")
+	}
+	if _, severe := severity(0.9, 0.1); severe {
+		t.Error("u=0.9 at c=0.1 should not be severe")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	p := fixture()
+	tc := NewToolchain(flagspec.ICC())
+	pt := perLoopPartition(p)
+	if _, err := tc.Compile(p, pt, []flagspec.CV{flagspec.ICC().Baseline()}, arch.Broadwell()); err == nil {
+		t.Error("CV-count mismatch not rejected")
+	}
+}
+
+func TestCompileWrongSpacePanics(t *testing.T) {
+	p := fixture()
+	tc := NewToolchain(flagspec.ICC())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("compiling with a GCC CV on an ICC toolchain should panic")
+		}
+	}()
+	tc.CompileModule(p, ir.WholeProgram(p).Modules[0], flagspec.GCC().Baseline(), arch.Broadwell())
+}
+
+func TestNotesRendering(t *testing.T) {
+	c := LoopCode{VecBits: 256, Unroll: 2, GoodIS: true, SpillRate: 0.1, IPOPerturbed: true}
+	n := c.Notes()
+	for _, want := range []string{"256", "unroll2", "IS", "RS", "IPO*"} {
+		if !strings.Contains(n, want) {
+			t.Errorf("Notes %q missing %q", n, want)
+		}
+	}
+	c = LoopCode{VecBits: 0, Unroll: 1}
+	if c.Notes() != "S" {
+		t.Errorf("scalar Notes = %q, want S", c.Notes())
+	}
+	if c.Vectorized() {
+		t.Error("scalar code reports Vectorized")
+	}
+}
+
+func TestNonLoopCompilation(t *testing.T) {
+	p := fixture()
+	p.NonLoopCode.CallHeavy = true
+	b := flagspec.ICC().Baseline()
+	o1 := compileNonLoop(p, b.With(flagspec.IccOptLevel, 0).Knobs())
+	o3 := compileNonLoop(p, b.Knobs())
+	if o1.TimeFactor <= o3.TimeFactor {
+		t.Error("O1 non-loop code should be slower than O3")
+	}
+	noinline := compileNonLoop(p, b.With(flagspec.IccInlineLevel, 0).Knobs())
+	if noinline.TimeFactor <= o3.TimeFactor {
+		t.Error("inline-level=0 should slow call-heavy non-loop code")
+	}
+}
+
+func TestGCCFlavorCompiles(t *testing.T) {
+	p := fixture()
+	tc := NewToolchain(flagspec.GCC())
+	exe, err := tc.CompileUniform(p, ir.WholeProgram(p), flagspec.GCC().Baseline(), arch.Broadwell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exe.PerLoop[0].VecBits == 0 {
+		t.Error("GCC -O3 should vectorize the clean loop")
+	}
+}
+
+func TestEstVecGainUnderestimatesDivergence(t *testing.T) {
+	// The estimator must be willing to vectorize loops the true cost
+	// model punishes: at full width a 0.45-divergence loop should still
+	// pass the conservative threshold.
+	l := &ir.Loop{Divergence: 0.45, StrideIrregular: 0.1, FPFraction: 0.9}
+	if g := estVecGain(l, 256); g < 1.4 {
+		t.Errorf("estVecGain = %v; the estimator should remain optimistic", g)
+	}
+}

@@ -1,0 +1,61 @@
+package compiler
+
+import (
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/xrand"
+)
+
+// Crash model. §3.2 reports that some flag settings "prevent a program
+// from running successfully on a given target architecture" — the paper
+// excluded -fpack after it produced segfaulting code variants. Rather
+// than excluding flags, this reproduction models the phenomenon: a small,
+// deterministic fraction of (program, module-knobs, machine) combinations
+// produce executables that crash at runtime, and every search algorithm
+// must tolerate them (a crashed run reports +Inf runtime and falls out of
+// any top-X pool or argmin naturally).
+//
+// Crashes require a *risky* knob combination — aggressive limits overridden
+// together with layout-affecting settings — so the -O3 baseline and other
+// conservative configurations can never crash.
+
+// riskyKnobs reports whether a knob set belongs to the crash-prone region.
+func riskyKnobs(k flagspec.Knobs) bool {
+	if !k.OverrideLimits || !k.UnrollAggressive {
+		return false
+	}
+	return k.HeapArrays == 0 && k.Pad && k.MemLayout == 3
+}
+
+// crashDraw is the deterministic per-(program, knobs, machine) gate.
+func crashDraw(progSeed uint64, k flagspec.Knobs, machineID uint64) bool {
+	if !riskyKnobs(k) {
+		return false
+	}
+	u := hashUnit(progSeed, k.LinkKey(), k.SchedKey(), machineID, 0xc4a5)
+	return u < 0.35 // ~35% of risky combos actually fault
+}
+
+// Crashes reports whether the linked executable faults at startup
+// (segfault-class failure) instead of producing timings.
+func (e *Executable) Crashes() bool {
+	for _, cv := range e.ModuleCVs {
+		if crashDraw(e.Prog.Seed, cv.Knobs(), e.machineID) {
+			return true
+		}
+	}
+	return false
+}
+
+// crashProbe is exposed for tests: it finds a crashing CV for a program
+// and machine by scanning random CVs, returning the zero CV if none is
+// found within the budget.
+func CrashProbe(space *flagspec.Space, progSeed, machineID uint64, budget int) flagspec.CV {
+	r := xrand.New(xrand.Combine(progSeed, machineID, 0x5eed))
+	for i := 0; i < budget; i++ {
+		cv := space.Random(r)
+		if crashDraw(progSeed, cv.Knobs(), machineID) {
+			return cv
+		}
+	}
+	return flagspec.CV{}
+}

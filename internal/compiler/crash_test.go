@@ -1,0 +1,99 @@
+package compiler
+
+import (
+	"testing"
+
+	"funcytuner/internal/arch"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/ir"
+	"funcytuner/internal/xrand"
+)
+
+func TestBaselineNeverCrashes(t *testing.T) {
+	p := fixture()
+	tc := NewToolchain(flagspec.ICC())
+	for _, m := range arch.All() {
+		exe, err := tc.CompileUniform(p, ir.WholeProgram(p), flagspec.ICC().Baseline(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exe.Crashes() {
+			t.Fatalf("O3 baseline crashes on %s", m.Name)
+		}
+	}
+}
+
+func TestConservativeKnobsNeverRisky(t *testing.T) {
+	// Without -qoverride-limits the crash region is unreachable no matter
+	// what else is set.
+	r := xrand.NewFromString("crash-conservative")
+	for i := 0; i < 2000; i++ {
+		cv := flagspec.ICC().Random(r).With(flagspec.IccOverrideLimits, 0)
+		if riskyKnobs(cv.Knobs()) {
+			t.Fatal("knobs risky without override-limits")
+		}
+	}
+}
+
+func TestCrashProbeFindsFaultingVariant(t *testing.T) {
+	p := fixture()
+	m := arch.Broadwell()
+	cv := CrashProbe(flagspec.ICC(), p.Seed, m.ID, 50000)
+	if cv.IsZero() {
+		t.Fatal("no crashing CV found in 50000 samples; crash rate too low")
+	}
+	tc := NewToolchain(flagspec.ICC())
+	exe, err := tc.CompileUniform(p, ir.WholeProgram(p), cv, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exe.Crashes() {
+		t.Fatal("probe CV does not crash when compiled")
+	}
+}
+
+func TestCrashRateIsSmall(t *testing.T) {
+	// The crash region must stay rare enough not to distort the search
+	// statistics (the paper simply excluded the one offending flag).
+	p := fixture()
+	m := arch.Broadwell()
+	tc := NewToolchain(flagspec.ICC())
+	r := xrand.NewFromString("crash-rate")
+	crashes := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		exe, err := tc.CompileUniform(p, ir.WholeProgram(p), flagspec.ICC().Random(r), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exe.Crashes() {
+			crashes++
+		}
+	}
+	rate := float64(crashes) / n
+	if rate > 0.02 {
+		t.Errorf("crash rate %.4f too high", rate)
+	}
+	if crashes == 0 {
+		t.Error("crash model never fires on random CVs")
+	}
+}
+
+func TestCrashDeterministic(t *testing.T) {
+	p := fixture()
+	m := arch.Broadwell()
+	cv := CrashProbe(flagspec.ICC(), p.Seed, m.ID, 50000)
+	if cv.IsZero() {
+		t.Skip("no crashing CV in budget")
+	}
+	tc := NewToolchain(flagspec.ICC())
+	for i := 0; i < 3; i++ {
+		exe, err := tc.CompileUniform(p, ir.WholeProgram(p), cv, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exe.Crashes() {
+			t.Fatal("crash not deterministic")
+		}
+	}
+}

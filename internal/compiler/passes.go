@@ -1,0 +1,264 @@
+package compiler
+
+import (
+	"funcytuner/internal/arch"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/ir"
+	"funcytuner/internal/xrand"
+)
+
+// hashUnit maps a tuple of values to a deterministic uniform in [0,1).
+func hashUnit(vs ...uint64) float64 {
+	return float64(xrand.Combine(vs...)>>11) / (1 << 53)
+}
+
+// inlineBudget converts -inline-factor into a call-density budget: a loop
+// whose CallDensity exceeds the budget keeps its calls out-of-line.
+func inlineBudget(k flagspec.Knobs) float64 {
+	if k.InlineLevel == 0 {
+		return 0
+	}
+	budget := float64(k.InlineFactor) / 100.0 // factor 100 → density 1.0
+	if k.InlineLevel == 1 {
+		budget *= 0.5
+	}
+	if k.IPO || k.IP {
+		budget *= 1.5 // IPO widens the inliner's horizon
+	}
+	return budget
+}
+
+// aliasProven reports whether the compiler can prove (or assume, or
+// runtime-check) enough independence to vectorize a loop with the given
+// alias ambiguity. Multi-versioning "proves" it at runtime for a small
+// overhead, returned as the second value.
+func aliasProven(l *ir.Loop, k flagspec.Knobs) (ok bool, mvOverhead float64) {
+	if l.AliasAmbiguity <= 0.25 {
+		return true, 0
+	}
+	if k.AnsiAlias || k.ArgNoAlias {
+		return true, 0
+	}
+	if k.MultiVersion {
+		return true, 0.04
+	}
+	return false, 0
+}
+
+// estVecGain is the compiler's *estimate* of the speedup from vectorizing
+// at the given width. It deliberately underestimates the true cost of
+// control-flow divergence and irregular strides (coefficients 0.55/0.45
+// here versus the steeper, super-linear real costs in the execution
+// model) — the root cause of the "vectorization is not always profitable"
+// findings of §4.4.2.
+func estVecGain(l *ir.Loop, widthBits int) float64 {
+	lanes := float64(widthBits) / 64.0
+	return lanes * (1 - 0.55*l.Divergence) * (1 - 0.45*l.StrideIrregular) * (0.5 + 0.5*l.FPFraction)
+}
+
+// autoWidth is the heuristic width choice: the full machine width for
+// clean loops, 128-bit for moderately divergent or irregular ones.
+func autoWidth(l *ir.Loop, m *arch.Machine) int {
+	if l.Divergence < 0.15 && l.StrideIrregular < 0.2 {
+		return m.VecBits
+	}
+	return 128
+}
+
+// vectorize decides whether and how wide to vectorize.
+func vectorize(l *ir.Loop, k flagspec.Knobs, m *arch.Machine, inlined bool) (widthBits int, multiVersioned bool) {
+	if !k.VecEnabled || k.OptLevel < 2 {
+		return 0, false
+	}
+	if l.DepChain >= 0.4 {
+		return 0, false // loop-carried dependence: illegal
+	}
+	if l.CallDensity > 0.05 && !inlined {
+		return 0, false // opaque calls in the body
+	}
+	ok, mvOv := aliasProven(l, k)
+	if !ok {
+		return 0, false
+	}
+	width := k.SimdWidthPref
+	if width == flagspec.WidthAuto {
+		width = autoWidth(l, m)
+	}
+	if width > m.VecBits {
+		width = m.VecBits
+	}
+	// Profitability: ICC's -vec-threshold semantics — at 100 only
+	// vectorize when the estimated gain is clearly there; at 0 vectorize
+	// whenever legal.
+	need := 1.0 + float64(k.VecThreshold)*0.004 // threshold 100 → est gain ≥ 1.4
+	if estVecGain(l, width) < need {
+		return 0, false
+	}
+	_ = mvOv
+	return width, mvOv > 0
+}
+
+// unrollFactor decides the unroll factor.
+func unrollFactor(l *ir.Loop, k flagspec.Knobs) int {
+	f := 1
+	switch k.UnrollMode {
+	case flagspec.UnrollAuto:
+		// O3's heuristic: small bodies with short dependence chains get a
+		// modest factor; tiny kernels get 3 (cf. Table 3 "unroll3").
+		if k.OptLevel >= 3 && l.DepChain < 0.3 && l.BodySize < 1.5 {
+			if l.BodySize < 0.5 {
+				f = 3
+			} else {
+				f = 2
+			}
+		}
+	case flagspec.UnrollDisable:
+		f = 1
+	default:
+		f = k.UnrollMode
+	}
+	if k.UnrollAggressive && f > 1 {
+		f *= 2
+	}
+	limit := 8
+	if k.OverrideLimits {
+		limit = 16
+	}
+	if f > limit {
+		f = limit
+	}
+	return f
+}
+
+// registerPressure estimates spill intensity in [0,1].
+func registerPressure(l *ir.Loop, effBody float64, k flagspec.Knobs, m *arch.Machine, widthBits, unroll int) float64 {
+	lanes := float64(widthBits) / 64.0
+	if widthBits == 0 {
+		lanes = 1
+	}
+	pressure := 3 + 2*effBody + 0.8*float64(unroll)*(1+lanes/4)
+	regs := float64(m.VecRegs)
+	if k.OmitFP {
+		regs++
+	}
+	if k.RAStrategy == flagspec.RABlock {
+		pressure *= 0.9 // region-scoped allocation relieves pressure
+	}
+	if pressure <= regs {
+		return 0
+	}
+	spill := (pressure - regs) / regs
+	if spill > 1 {
+		spill = 1
+	}
+	return spill
+}
+
+// isqAmplitude is the spread of the instruction-selection/scheduling
+// quality draw. Vectorized codegen is more canonical, so idiosyncratic
+// scheduling wins shrink when a loop is vectorized; branchy (divergent)
+// bodies leave the scheduler far more freedom — the CloverLeaf dt kernel
+// of §4.4, whose best code variant wins on instruction selection and
+// reordering alone, is the canonical example.
+func isqAmplitude(vectorized bool, divergence float64) float64 {
+	if vectorized {
+		return 0.05 + 0.08*divergence
+	}
+	return 0.10 + 0.25*divergence
+}
+
+// codegenDraw produces the deterministic idiosyncratic codegen quality for
+// (loop, codegen-relevant flags, machine).
+func codegenDraw(l *ir.Loop, k flagspec.Knobs, m *arch.Machine, vectorized bool) (isq float64, goodIS, goodIO bool) {
+	u := hashUnit(l.ID, k.SchedKey(), m.ID, 0x15)
+	amp := isqAmplitude(vectorized, l.Divergence)
+	isq = 1 + amp*(u-0.55) // slight downward skew: most draws mildly good
+	goodIS = u < 0.30
+	goodIO = hashUnit(l.ID, k.SchedKey(), m.ID, 0x16) < 0.25
+	return isq, goodIS, goodIO
+}
+
+// compileLoop runs the per-loop pass pipeline.
+func compileLoop(l *ir.Loop, li int, k flagspec.Knobs, m *arch.Machine, flavor flagspec.Flavor) LoopCode {
+	inlined := l.CallDensity <= inlineBudget(k)
+	effBody := l.BodySize
+	if inlined {
+		// Inlined call chains enlarge the body: the win (no call
+		// overhead, vectorizability) is paid for in i-cache footprint
+		// and register pressure, more so under generous -inline-factor.
+		bloat := 1 + 0.8*l.CallDensity
+		if k.InlineFactor >= 300 {
+			bloat *= 1.15
+		}
+		effBody *= bloat
+	}
+	width, mv := vectorize(l, k, m, inlined)
+	unroll := unrollFactor(l, k)
+	spill := registerPressure(l, effBody, k, m, width, unroll)
+	isq, goodIS, goodIO := codegenDraw(l, k, m, width > 0)
+	// Below O3, the scalar pipeline itself is weaker: O1 skips most of
+	// it, O2 a little.
+	switch k.OptLevel {
+	case 1:
+		isq *= 1.30
+		goodIS, goodIO = false, false
+	case 2:
+		isq *= 1.03
+	}
+	if flavor == flagspec.FlavorGCC {
+		// GCC 5.4's vectorizer and scheduler were less aggressive than
+		// ICC 17 on these codes (Fig. 1 uses both): damp idiosyncrasy.
+		isq = 1 + (isq-1)*0.8
+	}
+
+	tile := 0
+	if k.BlockFactor > 0 && l.Reuse > 0.2 && l.StrideIrregular < 0.3 {
+		tile = k.BlockFactor
+	}
+
+	return LoopCode{
+		LoopIdx:        li,
+		EffBody:        effBody,
+		VecBits:        width,
+		Unroll:         unroll,
+		Prefetch:       k.Prefetch,
+		StreamPolicy:   k.StreamStores,
+		Tile:           tile,
+		InlinedCalls:   inlined,
+		MultiVersioned: mv,
+		SpillRate:      spill,
+		ISQ:            isq,
+		GoodIS:         goodIS,
+		GoodIO:         goodIO,
+		Knobs:          k,
+	}
+}
+
+// compileNonLoop models CV impact on the non-loop remainder: optimization
+// level, inlining of cold call chains, and code-layout idiosyncrasies.
+func compileNonLoop(prog *ir.Program, k flagspec.Knobs) NonLoopCode {
+	nl := prog.NonLoopCode
+	factor := 1.0
+	switch k.OptLevel {
+	case 1:
+		factor *= 1.22
+	case 2:
+		factor *= 1.03
+	}
+	if nl.CallHeavy {
+		switch k.InlineLevel {
+		case 0:
+			factor *= 1.10
+		case 2:
+			factor *= 0.98
+		}
+	}
+	if k.InlineFactor >= 300 {
+		factor *= 1.03 // program-wide code bloat hits the cold paths
+	}
+	// Code-layout / scheduling idiosyncrasy, scaled by how tunable the
+	// non-loop code is.
+	u := hashUnit(prog.Seed, xrand.HashString("nonloop"), k.SchedKey())
+	factor *= 1 + nl.Sensitivity*0.10*(u-0.5)
+	return NonLoopCode{TimeFactor: factor}
+}

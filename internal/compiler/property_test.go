@@ -1,0 +1,203 @@
+package compiler
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"funcytuner/internal/arch"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/ir"
+	"funcytuner/internal/xrand"
+)
+
+func propLoop(seed uint64) ir.Loop {
+	r := xrand.New(seed)
+	return ir.Loop{
+		Name: "prop", File: "p.c", ID: seed,
+		TripCount: 1e6, InvocationsPerStep: 1,
+		WorkPerIter: r.Range(2, 20), BytesPerIter: r.Range(2, 40),
+		FPFraction: r.Float64(), Divergence: r.Float64(),
+		StrideIrregular: r.Float64(), DepChain: r.Float64(),
+		CallDensity: r.Range(0, 2), AliasAmbiguity: r.Float64(),
+		WorkingSetKB: r.Range(8, 1e5), Reuse: r.Float64(),
+		ConflictProne: r.Float64(), BodySize: r.Range(0.2, 3),
+		Parallel: true, ScaleExp: 2, WSScaleExp: 1,
+	}
+}
+
+// TestPropertyCompileLoopInvariants: for any loop × CV × machine, the
+// compiled code respects structural invariants.
+func TestPropertyCompileLoopInvariants(t *testing.T) {
+	f := func(seed, cvSeed uint64, mIdx uint8) bool {
+		l := propLoop(seed)
+		m := arch.All()[int(mIdx)%3]
+		cv := flagspec.ICC().Random(xrand.New(cvSeed))
+		k := cv.Knobs()
+		code := compileLoop(&l, 0, k, m, flagspec.FlavorICC)
+		// Width is 0 or a machine-supported SIMD width.
+		if code.VecBits != 0 && code.VecBits != 128 && code.VecBits != 256 {
+			return false
+		}
+		if code.VecBits > m.VecBits {
+			return false
+		}
+		// Dependence-bound loops never vectorize.
+		if l.DepChain >= 0.4 && code.VecBits != 0 {
+			return false
+		}
+		// Vectorization is off when the flag says so.
+		if !k.VecEnabled && code.VecBits != 0 {
+			return false
+		}
+		// Unroll within the legal range.
+		if code.Unroll < 1 || code.Unroll > 16 {
+			return false
+		}
+		if code.Unroll > 8 && !k.OverrideLimits {
+			return false
+		}
+		// Spill rate and ISQ bounded and finite.
+		if code.SpillRate < 0 || code.SpillRate > 1 {
+			return false
+		}
+		if !(code.ISQ > 0.5 && code.ISQ < 2) || math.IsNaN(code.ISQ) {
+			return false
+		}
+		// Inline-bloated bodies are never smaller than the source body.
+		if code.EffBody < l.BodySize*(1-1e-12) {
+			return false
+		}
+		// Notes always render something.
+		return code.Notes() != ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCompileDeterministic: compiling the same module twice gives
+// identical code.
+func TestPropertyCompileDeterministic(t *testing.T) {
+	f := func(seed, cvSeed uint64) bool {
+		l := propLoop(seed)
+		m := arch.Broadwell()
+		cv := flagspec.ICC().Random(xrand.New(cvSeed))
+		a := compileLoop(&l, 0, cv.Knobs(), m, flagspec.FlavorICC)
+		b := compileLoop(&l, 0, cv.Knobs(), m, flagspec.FlavorICC)
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLinkInterferenceBounds: interference multipliers stay in
+// [1-3%, cap] for any pair of random CVs.
+func TestPropertyLinkInterferenceBounds(t *testing.T) {
+	base := propLoop(1)
+	other := propLoop(2)
+	other.Name, other.File = "other", "q.c"
+	prog := &ir.Program{
+		Name: "prop-link", Lang: ir.LangC, Seed: 77,
+		Loops:       []ir.Loop{base, other},
+		NonLoopCode: ir.NonLoop{WorkPerStep: 1e8, SetupWork: 1e8},
+		Coupling: [][]float64{
+			{0, 0.9, 0.2},
+			{0.9, 0, 0.2},
+			{0.2, 0.2, 0},
+		},
+		BaseSize: 1000,
+	}
+	part := ir.Partition{Program: prog, Modules: []ir.Module{
+		{Name: "a", LoopIdx: []int{0}},
+		{Name: "b", LoopIdx: []int{1}},
+		{Name: "base", IsBase: true},
+	}}
+	tc := NewToolchain(flagspec.ICC())
+	f := func(s1, s2 uint64, mIdx uint8) bool {
+		m := arch.All()[int(mIdx)%3]
+		cvs := []flagspec.CV{
+			flagspec.ICC().Random(xrand.New(s1)),
+			flagspec.ICC().Random(xrand.New(s2)),
+			flagspec.ICC().Baseline(),
+		}
+		exe, err := tc.Compile(prog, part, cvs, m)
+		if err != nil {
+			return false
+		}
+		for _, v := range exe.Interference {
+			if v < 0.90 || v > 3.5 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySeverityBounded: severity stays within its documented range
+// for every draw and coupling.
+func TestPropertySeverityBounded(t *testing.T) {
+	f := func(uRaw, cRaw uint32) bool {
+		u := float64(uRaw) / float64(math.MaxUint32)
+		c := 0.05 + 0.95*float64(cRaw)/float64(math.MaxUint32)
+		sev, severe := severity(u, c)
+		if sev < -0.03-1e-12 || sev > 2.30+1e-12 {
+			return false
+		}
+		if severe && sev < 0.30-1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyUniformAlwaysClean: any single random CV applied uniformly
+// never interferes, on any machine — the invariant FuncyTuner's collection
+// phase (and G.Independent) rests on.
+func TestPropertyUniformAlwaysClean(t *testing.T) {
+	prog := func() *ir.Program {
+		p := &ir.Program{
+			Name: "prop-uniform", Lang: ir.LangC, Seed: 31,
+			Loops:       []ir.Loop{propLoop(10), propLoop(11)},
+			NonLoopCode: ir.NonLoop{WorkPerStep: 1e8, SetupWork: 1e8},
+			Coupling: [][]float64{
+				{0, 1, 1},
+				{1, 0, 1},
+				{1, 1, 0},
+			},
+			BaseSize: 1000,
+		}
+		p.Loops[1].Name = "second"
+		return p
+	}()
+	part := ir.Partition{Program: prog, Modules: []ir.Module{
+		{Name: "a", LoopIdx: []int{0}},
+		{Name: "b", LoopIdx: []int{1}},
+		{Name: "base", IsBase: true},
+	}}
+	tc := NewToolchain(flagspec.ICC())
+	f := func(seed uint64, mIdx uint8) bool {
+		m := arch.All()[int(mIdx)%3]
+		cv := flagspec.ICC().Random(xrand.New(seed))
+		exe, err := tc.CompileUniform(prog, part, cv, m)
+		if err != nil {
+			return false
+		}
+		for _, v := range exe.Interference {
+			if v != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,42 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Notes renders the loop's optimization decisions in the notation of the
+// paper's Table 3: "S" (scalar) or the SIMD width; "unrollN"; "IS"
+// (instruction selection), "IO" (instruction reordering), "RS" (register
+// spilling); "MV" for multi-versioned alias checks; "IPO*" when link-time
+// IPO overrode the module's own decisions.
+func (c LoopCode) Notes() string {
+	var parts []string
+	if c.VecBits == 0 {
+		parts = append(parts, "S")
+	} else {
+		parts = append(parts, fmt.Sprintf("%d", c.VecBits))
+	}
+	if c.Unroll > 1 {
+		parts = append(parts, fmt.Sprintf("unroll%d", c.Unroll))
+	}
+	if c.GoodIS {
+		parts = append(parts, "IS")
+	}
+	if c.GoodIO {
+		parts = append(parts, "IO")
+	}
+	if c.SpillRate > 0.03 {
+		parts = append(parts, "RS")
+	}
+	if c.MultiVersioned {
+		parts = append(parts, "MV")
+	}
+	if c.IPOPerturbed {
+		parts = append(parts, "IPO*")
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Vectorized reports whether the loop was vectorized at all.
+func (c LoopCode) Vectorized() bool { return c.VecBits > 0 }

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/stats"
+)
+
+// StopRule configures adaptive (early-stopping) CFR. §4.3 observes that
+// "the tuning overhead may be dramatically reduced ... by exploiting
+// program-specific CFR convergence trends, i.e., CFR finds the best code
+// variant in tens or several hundreds of evaluations" — CFRAdaptive turns
+// that observation into a budget policy.
+type StopRule struct {
+	// MinEvaluations always run before early stopping is considered.
+	MinEvaluations int
+	// Patience stops the search after this many consecutive evaluations
+	// without a new best.
+	Patience int
+	// MaxEvaluations caps the search (defaults to the session's Samples).
+	MaxEvaluations int
+}
+
+// DefaultStopRule mirrors the convergence study: a floor of 50
+// evaluations, patience of 150.
+func DefaultStopRule() StopRule {
+	return StopRule{MinEvaluations: 50, Patience: 150}
+}
+
+// CFRAdaptive is CFR (Algorithm 1) with early stopping: the pruning and
+// re-sampling are identical, but assemblies are measured sequentially and
+// the search stops once the rule fires. The returned result reports how
+// many evaluations were actually spent.
+func (s *Session) CFRAdaptive(col *Collection, rule StopRule) (*Result, error) {
+	if err := s.checkCollection(col); err != nil {
+		return nil, err
+	}
+	if rule.MaxEvaluations <= 0 || rule.MaxEvaluations > s.Config.Samples {
+		rule.MaxEvaluations = s.Config.Samples
+	}
+	if rule.Patience <= 0 {
+		return nil, fmt.Errorf("core: StopRule.Patience must be positive")
+	}
+	if rule.MinEvaluations < 1 {
+		rule.MinEvaluations = 1
+	}
+
+	// Pruning identical to CFR.
+	pruned := make([][]flagspec.CV, len(s.Part.Modules))
+	for mi := range s.Part.Modules {
+		idx := stats.TopKSmallest(col.Times[mi], s.Config.TopX)
+		pool := make([]flagspec.CV, len(idx))
+		for i, k := range idx {
+			pool[i] = col.CVs[k]
+		}
+		pruned[mi] = pool
+	}
+
+	// Sequential re-sampling with the same stream as CFR, so the first N
+	// assemblies are identical to the full run's first N.
+	draw := s.rng.Split("cfr-assign", 0)
+	var (
+		bestTime = 0.0
+		bestCVs  []flagspec.CV
+		times    []float64
+		dry      int
+	)
+	for k := 0; k < rule.MaxEvaluations; k++ {
+		a := make([]flagspec.CV, len(s.Part.Modules))
+		for mi := range a {
+			a[mi] = pruned[mi][draw.Intn(len(pruned[mi]))]
+		}
+		t, err := s.measure(a, "cfr", k)
+		if err != nil {
+			return nil, err
+		}
+		times = append(times, t)
+		if bestCVs == nil || t < bestTime {
+			bestTime, bestCVs = t, a
+			dry = 0
+		} else {
+			dry++
+		}
+		if k+1 >= rule.MinEvaluations && dry >= rule.Patience {
+			break
+		}
+	}
+	res, err := s.finish("CFR.adaptive", bestCVs, bestTime, times)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

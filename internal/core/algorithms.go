@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/stats"
+)
+
+// Result reports one algorithm's outcome on a session.
+type Result struct {
+	// Algorithm is "Random", "FR", "G.realized", "G.Independent" or "CFR".
+	Algorithm string
+	// ModuleCVs is the chosen CV per partition module (all equal for
+	// Random). Empty for G.Independent, which never assembles a binary.
+	ModuleCVs []flagspec.CV
+	// BestMeasured is the (noisy) measured time of the winning variant.
+	BestMeasured float64
+	// TrueTime is the noise-free time of the winning configuration
+	// (NaN for G.Independent, which is a sum of per-module times).
+	TrueTime float64
+	// Baseline is the noise-free O3 end-to-end time (TO3).
+	Baseline float64
+	// Speedup is Baseline / final time — the paper's reporting metric.
+	Speedup float64
+	// Evaluations is the number of end-to-end program runs consumed.
+	Evaluations int
+	// Trace[k] is the best measured time after k+1 evaluations of the
+	// algorithm's own search phase (convergence behaviour, §4.3).
+	Trace []float64
+}
+
+// Collection is the output of FuncyTuner's per-loop runtime collection
+// (Fig. 4): per-module times for each of the K uniformly compiled
+// variants, plus the end-to-end totals.
+type Collection struct {
+	// CVs are the K pre-sampled compilation vectors.
+	CVs []flagspec.CV
+	// Times[m][k] is module m's measured time under variant k; the base
+	// module's entry is the derived non-loop time.
+	Times [][]float64
+	// Totals[k] is the end-to-end measured time of variant k.
+	Totals []float64
+}
+
+// Collect runs the per-loop data-collection phase: every pre-sampled CV
+// compiles all modules uniformly, runs once with Caliper instrumentation,
+// and records per-module times.
+func (s *Session) Collect() (*Collection, error) {
+	cvs := s.PreSample()
+	col := &Collection{
+		CVs:    cvs,
+		Times:  make([][]float64, len(s.Part.Modules)),
+		Totals: make([]float64, len(cvs)),
+	}
+	for mi := range col.Times {
+		col.Times[mi] = make([]float64, len(cvs))
+	}
+	errs := make([]error, len(cvs))
+	s.parFor(len(cvs), func(k int) {
+		per, total, err := s.measureUniform(cvs[k], "collect", k)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		for mi := range per {
+			col.Times[mi][k] = per[mi]
+		}
+		col.Totals[k] = total
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return col, nil
+}
+
+// Random is classical per-program random search (§2.2.1): K single-CV
+// variants of the original program, minimum measured runtime wins. It is
+// evaluated on the un-outlined program; construct the session with
+// ir.WholeProgram for strict fidelity (outlining is a no-op for uniform
+// compilation in this model, but the paper draws the distinction).
+func (s *Session) Random() (*Result, error) {
+	cvs := s.PreSample()
+	times := make([]float64, len(cvs))
+	errs := make([]error, len(cvs))
+	s.parFor(len(cvs), func(k int) {
+		uniform := make([]flagspec.CV, len(s.Part.Modules))
+		for i := range uniform {
+			uniform[i] = cvs[k]
+		}
+		times[k], errs[k] = s.measure(uniform, "random", k)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	_, bestK := stats.Min(times)
+	uniform := make([]flagspec.CV, len(s.Part.Modules))
+	for i := range uniform {
+		uniform[i] = cvs[bestK]
+	}
+	return s.finish("Random", uniform, times[bestK], times)
+}
+
+// FR is per-function random search (§2.2.2): for each of K rounds, every
+// module independently draws one CV from the K pre-sampled CVs (with
+// replacement); the assembled executable is measured end-to-end.
+func (s *Session) FR() (*Result, error) {
+	cvs := s.PreSample()
+	assignments := make([][]flagspec.CV, s.Config.Samples)
+	draw := s.rng.Split("fr-assign", 0)
+	for k := range assignments {
+		a := make([]flagspec.CV, len(s.Part.Modules))
+		for mi := range a {
+			a[mi] = cvs[draw.Intn(len(cvs))]
+		}
+		assignments[k] = a
+	}
+	times := make([]float64, len(assignments))
+	errs := make([]error, len(assignments))
+	s.parFor(len(assignments), func(k int) {
+		times[k], errs[k] = s.measure(assignments[k], "fr", k)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	_, bestK := stats.Min(times)
+	return s.finish("FR", assignments[bestK], times[bestK], times)
+}
+
+// Greedy implements greedy combination (§2.2.3) on a completed collection:
+// each module takes the CV that minimized its own measured time
+// (i = argmin_k T[j][k]), the modules are linked, and the result measured.
+// It returns both G.realized (the measured assembly) and G.Independent
+// (§3.4's hypothetical bound: the sum of the per-module minima).
+func (s *Session) Greedy(col *Collection) (realized, independent *Result, err error) {
+	if err := s.checkCollection(col); err != nil {
+		return nil, nil, err
+	}
+	chosen := make([]flagspec.CV, len(s.Part.Modules))
+	indepSum := 0.0
+	for mi := range s.Part.Modules {
+		best, bestK := stats.Min(col.Times[mi])
+		chosen[mi] = col.CVs[bestK]
+		indepSum += best
+	}
+	measured, err := s.measure(chosen, "greedy", 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	realized, err = s.finish("G.realized", chosen, measured, []float64{measured})
+	if err != nil {
+		return nil, nil, err
+	}
+	baseline, err := s.BaselineTime()
+	if err != nil {
+		return nil, nil, err
+	}
+	independent = &Result{
+		Algorithm:    "G.Independent",
+		BestMeasured: indepSum,
+		TrueTime:     math.NaN(),
+		Baseline:     baseline,
+		Speedup:      baseline / indepSum,
+		Evaluations:  0, // reuses the collection's runs
+	}
+	return realized, independent, nil
+}
+
+// CFR is Caliper-guided random search — Algorithm 1. Per module, the K
+// pre-sampled CVs are pruned to the TopX with the smallest measured
+// per-module times; K assemblies are then drawn by sampling each module's
+// CV uniformly from its pruned pool, and each assembly is measured
+// end-to-end. The minimum wins.
+func (s *Session) CFR(col *Collection) (*Result, error) {
+	if err := s.checkCollection(col); err != nil {
+		return nil, err
+	}
+	// Line 10–11: prune the pre-sampled space per module.
+	pruned := make([][]flagspec.CV, len(s.Part.Modules))
+	for mi := range s.Part.Modules {
+		idx := stats.TopKSmallest(col.Times[mi], s.Config.TopX)
+		pool := make([]flagspec.CV, len(idx))
+		for i, k := range idx {
+			pool[i] = col.CVs[k]
+		}
+		pruned[mi] = pool
+	}
+	// Lines 12–18: re-sample per-module CVs in the pruned space.
+	assignments := make([][]flagspec.CV, s.Config.Samples)
+	draw := s.rng.Split("cfr-assign", 0)
+	for k := range assignments {
+		a := make([]flagspec.CV, len(s.Part.Modules))
+		for mi := range a {
+			a[mi] = pruned[mi][draw.Intn(len(pruned[mi]))]
+		}
+		assignments[k] = a
+	}
+	times := make([]float64, len(assignments))
+	errs := make([]error, len(assignments))
+	s.parFor(len(assignments), func(k int) {
+		times[k], errs[k] = s.measure(assignments[k], "cfr", k)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Lines 22–25.
+	_, bestK := stats.Min(times)
+	return s.finish("CFR", assignments[bestK], times[bestK], times)
+}
+
+// RunAll executes the full §4.1 protocol on the session: Random, then the
+// collection phase, then FR, G (both variants) and CFR.
+func (s *Session) RunAll() (map[string]*Result, error) {
+	out := make(map[string]*Result)
+	random, err := s.Random()
+	if err != nil {
+		return nil, err
+	}
+	out["Random"] = random
+	col, err := s.Collect()
+	if err != nil {
+		return nil, err
+	}
+	fr, err := s.FR()
+	if err != nil {
+		return nil, err
+	}
+	out["FR"] = fr
+	gr, gi, err := s.Greedy(col)
+	if err != nil {
+		return nil, err
+	}
+	out["G.realized"], out["G.Independent"] = gr, gi
+	cfr, err := s.CFR(col)
+	if err != nil {
+		return nil, err
+	}
+	out["CFR"] = cfr
+	return out, nil
+}
+
+func (s *Session) checkCollection(col *Collection) error {
+	if col == nil {
+		return fmt.Errorf("core: nil collection")
+	}
+	if len(col.Times) != len(s.Part.Modules) {
+		return fmt.Errorf("core: collection has %d modules, session has %d", len(col.Times), len(s.Part.Modules))
+	}
+	if len(col.CVs) == 0 {
+		return fmt.Errorf("core: empty collection")
+	}
+	return nil
+}
+
+// finish re-measures the winner noise-free and assembles the Result.
+func (s *Session) finish(name string, cvs []flagspec.CV, bestMeasured float64, times []float64) (*Result, error) {
+	trueTime, err := s.TrueTime(cvs)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := s.BaselineTime()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Algorithm:    name,
+		ModuleCVs:    cvs,
+		BestMeasured: bestMeasured,
+		TrueTime:     trueTime,
+		Baseline:     baseline,
+		Speedup:      baseline / trueTime,
+		Evaluations:  len(times),
+		Trace:        bestSoFar(times),
+	}, nil
+}
+
+// bestSoFar converts a sequence of measured times into a running-minimum
+// convergence trace.
+func bestSoFar(times []float64) []float64 {
+	out := make([]float64, len(times))
+	best := math.Inf(1)
+	for i, t := range times {
+		if t < best {
+			best = t
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// ConvergedAt returns the 1-based evaluation index at which the trace
+// first comes within frac of its final best (§4.3: "CFR finds the best
+// code variant in tens or several hundreds of evaluations").
+func (r *Result) ConvergedAt(frac float64) int {
+	if len(r.Trace) == 0 {
+		return 0
+	}
+	final := r.Trace[len(r.Trace)-1]
+	for i, v := range r.Trace {
+		if v <= final*(1+frac) {
+			return i + 1
+		}
+	}
+	return len(r.Trace)
+}

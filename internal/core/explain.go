@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"funcytuner/internal/flagspec"
+)
+
+// Explanation tooling: §4.4.1's methodology for understanding *why* a
+// tuned configuration wins, generalized into reusable session features.
+
+// CriticalFlags runs the §4.4.1 iterative greedy elimination on one
+// module of a tuned configuration: each non-default flag of the focused
+// module's CV is reset to its default (all other modules' CVs intact);
+// a reset that does not degrade end-to-end performance (within eps)
+// sticks; the process repeats until a fixpoint. The survivors are the
+// module's critical flags, returned in command-line form.
+func (s *Session) CriticalFlags(cvs []flagspec.CV, mi int, eps float64) ([]string, error) {
+	if mi < 0 || mi >= len(s.Part.Modules) {
+		return nil, fmt.Errorf("core: module index %d out of range", mi)
+	}
+	if eps <= 0 {
+		eps = 1e-3
+	}
+	space := s.Toolchain.Space
+	work := append([]flagspec.CV(nil), cvs...)
+	cur, err := s.TrueTime(work)
+	if err != nil {
+		return nil, err
+	}
+	for changed := true; changed; {
+		changed = false
+		for fi := range space.Flags {
+			if work[mi].Value(fi) == space.Flags[fi].Default {
+				continue
+			}
+			trial := append([]flagspec.CV(nil), work...)
+			trial[mi] = work[mi].With(fi, space.Flags[fi].Default)
+			tt, err := s.TrueTime(trial)
+			if err != nil {
+				return nil, err
+			}
+			if tt <= cur*(1+eps) {
+				work = trial
+				if tt < cur {
+					cur = tt
+				}
+				changed = true
+			}
+		}
+	}
+	var out []string
+	for fi, f := range space.Flags {
+		if work[mi].Value(fi) != f.Default {
+			out = append(out, "-"+f.Name+"="+work[mi].ValueLabel(fi))
+		}
+	}
+	return out, nil
+}
+
+// ModuleAttribution quantifies each module's contribution to a tuned
+// configuration's end-to-end win: module i's attribution is the slowdown
+// incurred by reverting only that module to the O3 baseline CV (the
+// leave-one-out marginal). Attributions need not sum to the total win —
+// the gap *is* the inter-module interaction the paper studies.
+type ModuleAttribution struct {
+	// Module is the partition module name.
+	Module string
+	// Marginal is tuned-time(with module reverted) / tuned-time — ≥ 1
+	// when the module's tuned CV helps, < 1 when reverting it would help
+	// (a tuned module that only paid off through interference avoidance).
+	Marginal float64
+}
+
+// Attribution computes the leave-one-out marginals of a configuration.
+func (s *Session) Attribution(cvs []flagspec.CV) ([]ModuleAttribution, error) {
+	if len(cvs) != len(s.Part.Modules) {
+		return nil, fmt.Errorf("core: %d CVs for %d modules", len(cvs), len(s.Part.Modules))
+	}
+	tuned, err := s.TrueTime(cvs)
+	if err != nil {
+		return nil, err
+	}
+	if math.IsInf(tuned, 1) {
+		return nil, fmt.Errorf("core: configuration crashes; nothing to attribute")
+	}
+	baseline := s.Toolchain.Space.Baseline()
+	out := make([]ModuleAttribution, len(cvs))
+	for mi := range cvs {
+		trial := append([]flagspec.CV(nil), cvs...)
+		trial[mi] = baseline
+		tt, err := s.TrueTime(trial)
+		if err != nil {
+			return nil, err
+		}
+		out[mi] = ModuleAttribution{
+			Module:   s.Part.Modules[mi].Name,
+			Marginal: tt / tuned,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,271 @@
+// Package core implements the FuncyTuner framework itself: the per-loop
+// runtime-collection pipeline of Fig. 4 and the four search algorithms of
+// §2.2 — per-program random search (Random), per-function random search
+// (FR), greedy combination (G, with its hypothetical G.Independent upper
+// bound of §3.4), and Caliper-guided random search (CFR, Algorithm 1).
+//
+// A Session binds a program (already outlined into J compilation modules),
+// a toolchain, a machine and an input, and provides deterministic,
+// optionally parallel evaluation of compilation choices. All measurement
+// noise flows from named xrand streams keyed by the session seed and the
+// sample index, so results are bit-reproducible regardless of the worker
+// count.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"funcytuner/internal/arch"
+	"funcytuner/internal/caliper"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/exec"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/ir"
+	"funcytuner/internal/xrand"
+)
+
+// Config parameterizes a tuning session.
+type Config struct {
+	// Samples is K, the number of pre-sampled CVs and of evaluated code
+	// variants per algorithm (the paper uses 1000).
+	Samples int
+	// TopX is CFR's per-loop pruning width (Algorithm 1; 1 < X << K).
+	TopX int
+	// Seed names the experiment; all randomness derives from it.
+	Seed string
+	// Workers bounds evaluation parallelism; 0 = GOMAXPROCS.
+	Workers int
+	// Noisy enables measurement noise (on by default in experiments;
+	// tests may disable it for exactness).
+	Noisy bool
+}
+
+// DefaultConfig returns the paper's settings: 1000 samples, top-50
+// pruning, noisy measurements.
+func DefaultConfig(seed string) Config {
+	return Config{Samples: 1000, TopX: 50, Seed: seed, Noisy: true}
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// CostAccount tallies simulated tuning cost (§4.3 discusses the 1.5-day to
+// 1-week tuning overheads; we track the simulated equivalents).
+type CostAccount struct {
+	compiles  atomic.Int64
+	runs      atomic.Int64
+	simMicros atomic.Int64 // simulated wall-clock, microseconds
+}
+
+// Compiles returns the number of module compilations performed.
+func (c *CostAccount) Compiles() int64 { return c.compiles.Load() }
+
+// Runs returns the number of program executions performed.
+func (c *CostAccount) Runs() int64 { return c.runs.Load() }
+
+// SimulatedHours returns the simulated execution time spent, in hours.
+func (c *CostAccount) SimulatedHours() float64 {
+	return float64(c.simMicros.Load()) / 1e6 / 3600
+}
+
+func (c *CostAccount) addRun(seconds float64) {
+	c.runs.Add(1)
+	c.simMicros.Add(int64(seconds * 1e6))
+}
+
+// Session is one (program, partition, machine, input) tuning context.
+type Session struct {
+	Toolchain *compiler.Toolchain
+	Prog      *ir.Program
+	Part      ir.Partition
+	Machine   *arch.Machine
+	Input     ir.Input
+	Config    Config
+
+	// Cost accumulates across all algorithm invocations on this session.
+	Cost CostAccount
+
+	rng *xrand.Rand
+}
+
+// NewSession builds a session. The partition normally comes from
+// outline.AutoOutline; use ir.WholeProgram for per-program algorithms.
+func NewSession(tc *compiler.Toolchain, prog *ir.Program, part ir.Partition, m *arch.Machine, in ir.Input, cfg Config) (*Session, error) {
+	if err := part.Validate(); err != nil {
+		return nil, err
+	}
+	if part.Program != prog {
+		return nil, fmt.Errorf("core: partition belongs to a different program")
+	}
+	if cfg.Samples < 1 {
+		return nil, fmt.Errorf("core: Samples must be >= 1, got %d", cfg.Samples)
+	}
+	if cfg.TopX < 1 || cfg.TopX > cfg.Samples {
+		return nil, fmt.Errorf("core: TopX must be in [1, Samples], got %d", cfg.TopX)
+	}
+	return &Session{
+		Toolchain: tc,
+		Prog:      prog,
+		Part:      part,
+		Machine:   m,
+		Input:     in,
+		Config:    cfg,
+		rng:       xrand.NewFromString("core/" + cfg.Seed + "/" + prog.Name + "/" + m.Name),
+	}, nil
+}
+
+// PreSample draws the K CVs shared by all algorithms (step 1 of every
+// pipeline in §2.2).
+func (s *Session) PreSample() []flagspec.CV {
+	return s.Toolchain.Space.Sample(s.rng.Split("presample", 0), s.Config.Samples)
+}
+
+// noise returns the measurement-noise stream for evaluation (phase, k),
+// or nil when the session is configured exact.
+func (s *Session) noise(phase string, k int) *xrand.Rand {
+	if !s.Config.Noisy {
+		return nil
+	}
+	return s.rng.Split("noise/"+phase, k)
+}
+
+// measure compiles the partition with per-module CVs and runs it once,
+// returning the end-to-end measured time. Crashing code variants (§3.2:
+// some flag settings "prevent a program from running successfully")
+// report +Inf, so they lose every argmin without special-casing.
+func (s *Session) measure(cvs []flagspec.CV, phase string, k int) (float64, error) {
+	exe, err := s.Toolchain.Compile(s.Prog, s.Part, cvs, s.Machine)
+	if err != nil {
+		return 0, err
+	}
+	s.Cost.compiles.Add(int64(len(s.Part.Modules)))
+	if exe.Crashes() {
+		s.Cost.addRun(0.1) // the failed launch still costs a moment
+		return math.Inf(1), nil
+	}
+	res := exec.Run(exe, s.Machine, s.Input, exec.Options{Noise: s.noise(phase, k)})
+	s.Cost.addRun(res.Total)
+	return res.Total, nil
+}
+
+// measureUniform compiles every module with cv and runs instrumented,
+// returning per-coupling-unit times: entries 0..J-1 are hot-loop times in
+// module order, entry J is the derived non-loop time (§3.3), and the
+// returned total is the end-to-end time.
+func (s *Session) measureUniform(cv flagspec.CV, phase string, k int) (perModule []float64, total float64, err error) {
+	exe, err := s.Toolchain.CompileUniform(s.Prog, s.Part, cv, s.Machine)
+	if err != nil {
+		return nil, 0, err
+	}
+	s.Cost.compiles.Add(int64(len(s.Part.Modules)))
+	if exe.Crashes() {
+		// A crashing variant yields no per-loop data: every module entry
+		// goes to +Inf so the CV drops out of all pruned pools.
+		s.Cost.addRun(0.1)
+		perModule = make([]float64, len(s.Part.Modules))
+		for i := range perModule {
+			perModule[i] = math.Inf(1)
+		}
+		return perModule, math.Inf(1), nil
+	}
+	prof := caliper.Collect(exe, s.Machine, s.Input, 1, s.noise(phase, k))
+	s.Cost.addRun(prof.Total)
+	perModule = make([]float64, len(s.Part.Modules))
+	for mi, mod := range s.Part.Modules {
+		if mod.IsBase {
+			perModule[mi] = prof.NonLoop
+			// Loops left in the base module (under the hotness
+			// threshold) count toward the base module's time.
+			for _, li := range mod.LoopIdx {
+				perModule[mi] += prof.PerLoop[li]
+			}
+			continue
+		}
+		for _, li := range mod.LoopIdx {
+			perModule[mi] += prof.PerLoop[li]
+		}
+	}
+	return perModule, prof.Total, nil
+}
+
+// BaselineTime returns the noise-free O3 end-to-end time of the original
+// (whole-program) compilation — the paper's TO3 denominator (§3.3).
+func (s *Session) BaselineTime() (float64, error) {
+	exe, err := s.Toolchain.CompileUniform(s.Prog, ir.WholeProgram(s.Prog), s.Toolchain.Space.Baseline(), s.Machine)
+	if err != nil {
+		return 0, err
+	}
+	return exec.Run(exe, s.Machine, s.Input, exec.Options{}).Total, nil
+}
+
+// TrueTime re-measures a per-module CV assignment without noise, for
+// stable reporting of a chosen configuration. Crashing configurations
+// report +Inf.
+func (s *Session) TrueTime(cvs []flagspec.CV) (float64, error) {
+	exe, err := s.Toolchain.Compile(s.Prog, s.Part, cvs, s.Machine)
+	if err != nil {
+		return 0, err
+	}
+	if exe.Crashes() {
+		return math.Inf(1), nil
+	}
+	return exec.Run(exe, s.Machine, s.Input, exec.Options{}).Total, nil
+}
+
+// TrueTimeOn is TrueTime evaluated on a different input (the §4.3
+// generalization experiments tune on one input and test on another).
+func (s *Session) TrueTimeOn(cvs []flagspec.CV, in ir.Input) (float64, error) {
+	exe, err := s.Toolchain.Compile(s.Prog, s.Part, cvs, s.Machine)
+	if err != nil {
+		return 0, err
+	}
+	return exec.Run(exe, s.Machine, in, exec.Options{}).Total, nil
+}
+
+// BaselineTimeOn returns the noise-free O3 time on a specific input.
+func (s *Session) BaselineTimeOn(in ir.Input) (float64, error) {
+	exe, err := s.Toolchain.CompileUniform(s.Prog, ir.WholeProgram(s.Prog), s.Toolchain.Space.Baseline(), s.Machine)
+	if err != nil {
+		return 0, err
+	}
+	return exec.Run(exe, s.Machine, in, exec.Options{}).Total, nil
+}
+
+// parFor runs fn(i) for i in [0,n) on the session's worker pool. fn must
+// only write to index-disjoint state.
+func (s *Session) parFor(n int, fn func(i int)) {
+	workers := s.Config.workers()
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	if workers > n {
+		workers = n
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,315 @@
+// Package exec turns a linked executable into simulated seconds on one of
+// the modeled machines (internal/arch) for a chosen input (ir.Input).
+//
+// The cost model is a roofline with overlap: each loop's per-invocation
+// time is the larger of its compute time (scalar/SIMD throughput through
+// the OpenMP team model) and its memory time (cache-filtered traffic over
+// NUMA-adjusted bandwidth), plus a fraction of the smaller one. On top sit
+// the codegen effects the compiler model decided — vectorization cost
+// including the true (super-linear) divergence penalty, unrolling,
+// software prefetch, streaming stores, tiling, spills, instruction
+// selection — and the link-time interference multipliers.
+//
+// Measurement noise is multiplicative and seeded: the paper reports
+// run-to-run standard deviations of 0.04–0.2 s on 3–36 s runs (§4.1),
+// i.e. roughly 0.5–1.5%; the model draws per-loop and common-mode
+// lognormal factors in that range. Caliper instrumentation adds < 3%
+// (§3.3) and slight per-region attribution jitter.
+package exec
+
+import (
+	"math"
+
+	"funcytuner/internal/arch"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/ir"
+	"funcytuner/internal/omp"
+	"funcytuner/internal/xrand"
+)
+
+// Options configure one run.
+type Options struct {
+	// Instrumented adds Caliper annotation overhead (§3.3: "generally
+	// introduce less than 3% overhead").
+	Instrumented bool
+	// Noise, when non-nil, draws measurement noise; nil runs are exact
+	// (useful for calibration and tests).
+	Noise *xrand.Rand
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// Total is the end-to-end wall-clock time in seconds — the only
+	// number an uninstrumented run exposes.
+	Total float64
+	// PerLoop is the aggregate time attributed to each hot loop. Only
+	// meaningful to the tuner when the run was instrumented; the simulator
+	// always fills it (it is the ground truth).
+	PerLoop []float64
+	// NonLoop is the derived non-loop time (Total − ΣPerLoop − Setup-free
+	// accounting is folded in here, matching §3.3's subtraction).
+	NonLoop float64
+}
+
+// Run executes exe on machine m with input in.
+func Run(exe *compiler.Executable, m *arch.Machine, in ir.Input, opt Options) Result {
+	prog := exe.Prog
+	team := omp.NewTeam(m)
+	sizeScale := in.Size / prog.BaseSize
+
+	perLoop := make([]float64, len(prog.Loops))
+	var loopSum float64
+	for li := range prog.Loops {
+		l := &prog.Loops[li]
+		code := exe.PerLoop[li]
+		inv := LoopInvocationSeconds(l, code, m, team, sizeScale)
+		inv *= exe.Interference[li]
+		t := inv * l.InvocationsPerStep * float64(in.Steps)
+		if opt.Noise != nil {
+			t *= 1 + 0.010*opt.Noise.Norm()
+		}
+		if t < 0 {
+			t = 0
+		}
+		perLoop[li] = t
+		loopSum += t
+	}
+
+	nonLoop := nonLoopSeconds(prog, m, in) * exe.NonLoop.TimeFactor * exe.NonLoopInterference()
+	if opt.Noise != nil {
+		nonLoop *= 1 + 0.012*opt.Noise.Norm()
+	}
+
+	total := loopSum + nonLoop
+	if opt.Instrumented {
+		// Annotation begin/end cost per region invocation plus a flat
+		// collection overhead — under 3% overall.
+		perInv := 1.5e-7 * float64(in.Steps)
+		var events float64
+		for li := range prog.Loops {
+			events += prog.Loops[li].InvocationsPerStep
+		}
+		total += perInv * events
+		total *= 1.012
+	}
+	if opt.Noise != nil {
+		total *= 1 + 0.004*opt.Noise.Norm()
+	}
+	return Result{Total: total, PerLoop: perLoop, NonLoop: total - loopSum}
+}
+
+// hashUnit maps a tuple of values to a deterministic uniform in [0,1).
+func hashUnit(vs ...uint64) float64 {
+	return float64(xrand.Combine(vs...)>>11) / (1 << 53)
+}
+
+// trueVecCost is the real per-FP-unit cost of executing vectorized code,
+// relative to scalar cost 1. Unlike the compiler's estimate
+// (compiler.estVecGain), divergence enters super-linearly and scales with
+// the lane count: masked lanes and cross-lane permutations burn issue
+// slots (§4.4.2: "many data permutations and mask operations to handle
+// control flow divergence").
+func trueVecCost(l *ir.Loop, m *arch.Machine, code compiler.LoopCode) float64 {
+	lanes := float64(code.VecBits) / 64.0
+	throughput := 1 / lanes
+	if m.HasFMA && lanes > 1 {
+		throughput /= 1.12 // FMA fuses the multiply-add streams
+	}
+	cost := throughput +
+		1.15*math.Pow(l.Divergence, 1.3)*(0.5+lanes/4) +
+		0.55*l.StrideIrregular*(0.3+lanes/6) +
+		0.6*l.DepChain*(0.5+lanes/4) // recurrence stalls the SIMD pipe
+
+	if !code.Knobs.DynamicAlign {
+		cost += 0.04 // unaligned peel/remainder penalty
+	}
+	if code.Knobs.SafePadding {
+		cost *= 0.99
+	}
+	return cost
+}
+
+// LoopInvocationSeconds computes one invocation of loop l compiled as code
+// on machine m at the given size scale. Exported for calibration tooling
+// and white-box tests.
+func LoopInvocationSeconds(l *ir.Loop, code compiler.LoopCode, m *arch.Machine, team omp.Team, sizeScale float64) float64 {
+	iters := l.TripCount * math.Pow(sizeScale, l.ScaleExp)
+	wsKB := l.WorkingSetKB * math.Pow(sizeScale, l.WSScaleExp)
+
+	// ---- Compute side ----
+	work := iters * l.WorkPerIter
+	if !code.InlinedCalls {
+		work *= 1 + 0.30*l.CallDensity
+	}
+	fpWork := work * l.FPFraction
+	scalarWork := work * (1 - l.FPFraction)
+	if code.VecBits > 0 {
+		fpWork *= trueVecCost(l, m, code)
+	}
+	// Loop-control overhead amortized by unrolling; dependence chains
+	// nullify the benefit (nothing to overlap).
+	unrollEff := 1 + float64(code.Unroll-1)*(1-l.DepChain)
+	overheadWork := 0.35 * iters * (1 + l.Divergence) / unrollEff
+	ops := fpWork + scalarWork + overheadWork
+	if code.MultiVersioned {
+		ops *= 1.04 // runtime alias checks
+	}
+	ops *= 1 + 0.5*code.SpillRate
+	// I-cache pressure from over-unrolling large (possibly inline-bloated)
+	// bodies.
+	if over := float64(code.Unroll) * code.EffBody; over > 6 {
+		if over > 12 {
+			ops *= 1.08
+		} else {
+			ops *= 1.03
+		}
+	}
+	if code.Knobs.Matmul && l.MatmulLike {
+		ops *= 0.90 // pattern-matched kernel
+	}
+	opsPerSec := m.ScalarIPC * m.FreqGHz * 1e9
+	computeSeq := ops / opsPerSec
+	compute := team.ParallelTime(computeSeq, l.Divergence, l.Parallel)
+
+	// ---- Memory side ----
+	bytes := iters * l.BytesPerIter
+	tf := trafficFactor(wsKB, m, team, l.Parallel)
+	// Memory-layout transformation (-qopt-mem-layout-trans): each loop's
+	// data structures have one most-profitable transformation level
+	// (AoS→SoA splitting, interleaving, dimension reordering). Another
+	// per-loop conflict — and a link-sensitive one, so chasing per-loop
+	// layout wins risks cross-module interference.
+	bestLayout := int(hashUnit(l.ID, 0xa7) * 4)
+	layoutDist := float64(code.Knobs.MemLayout - bestLayout)
+	if layoutDist < 0 {
+		layoutDist = -layoutDist
+	}
+	tf *= 1 - 0.07*(1-layoutDist/3)
+	if code.Tile > 0 {
+		tf *= 1 - tileBenefit(code.Tile, l, wsKB, m)*l.Reuse
+	}
+	if code.Knobs.Pad && l.ConflictProne > 0 {
+		tf *= 1 - 0.15*l.ConflictProne
+	}
+	if code.Knobs.Matmul && l.MatmulLike {
+		tf *= 0.75
+	}
+	bw := team.EffectiveBandwidthGBs(wsKB) * 1e9
+	if !l.Parallel {
+		bw *= 0.35 // single thread cannot saturate the node
+	}
+	ss := streamingStoresUsed(code, wsKB, m, team)
+	if ss {
+		if streamsHelp(wsKB, m, team, l.Parallel) {
+			bw *= 1.18 // no read-for-ownership traffic
+		} else {
+			bw *= 0.85 // bypassing caches a resident working set
+		}
+	}
+	// Software prefetch hides latency when issued at the right distance;
+	// each loop's access pattern has its own sweet spot (a classic
+	// per-loop tuning conflict: one program-wide -qopt-prefetch level
+	// cannot match every loop). Too short leaves latency exposed, too far
+	// pollutes the caches. Irregular strides flatten the whole effect.
+	bestP := 1 + int(hashUnit(l.ID, 0x9f)*4)
+	dist := float64(code.Prefetch - bestP)
+	if dist < 0 {
+		dist = -dist
+	}
+	raw := 1.07 - 0.05*dist
+	bw *= 1 + (raw-1)*(1-l.StrideIrregular)
+	mem := bytes * tf / bw
+
+	// ---- Roofline with partial overlap ----
+	t := math.Max(compute, mem) + 0.35*math.Min(compute, mem)
+	return t * code.ISQ
+}
+
+// trafficFactor filters raw traffic through the cache hierarchy.
+func trafficFactor(wsKB float64, m *arch.Machine, team omp.Team, parallel bool) float64 {
+	threads := 1.0
+	if parallel {
+		threads = float64(team.Threads)
+	}
+	total := wsKB * threads
+	llc := m.LLCTotalKB()
+	switch {
+	case wsKB <= m.L2KB:
+		return 0.12
+	case total <= llc:
+		// Between L2-resident and LLC-resident: interpolate.
+		span := math.Log(llc) - math.Log(m.L2KB*threads)
+		if span <= 0 {
+			return 0.45
+		}
+		frac := (math.Log(total) - math.Log(m.L2KB*threads)) / span
+		if frac < 0 {
+			frac = 0
+		}
+		return 0.12 + frac*(0.45-0.12)
+	case total <= 4*llc:
+		frac := (math.Log(total) - math.Log(llc)) / math.Log(4)
+		return 0.45 + frac*(1.0-0.45)
+	default:
+		return 1.0
+	}
+}
+
+// tileBenefit returns how much of the loop's reuse a blocking factor
+// realizes. Each loop has its own best tile size (set by its stencil
+// radius and array extents) — yet another decision one program-wide
+// -qopt-block-factor cannot make well for every loop.
+func tileBenefit(tile int, l *ir.Loop, wsKB float64, m *arch.Machine) float64 {
+	if wsKB <= m.L2KB {
+		return 0 // already resident, nothing to win
+	}
+	tiles := [...]int{8, 16, 32, 64, 128}
+	best := tiles[int(hashUnit(l.ID, 0xb3)*float64(len(tiles)))]
+	dist := 0.0
+	for t := tile; t < best; t *= 2 {
+		dist++
+	}
+	for t := tile; t > best; t /= 2 {
+		dist++
+	}
+	ben := 0.35 - 0.09*dist
+	if ben < 0 {
+		ben = 0
+	}
+	return ben
+}
+
+// streamingStoresUsed resolves the compile-time policy against the actual
+// working set: "always" forces them, "never" forbids them, "auto" uses the
+// (conservative) compiler heuristic.
+func streamingStoresUsed(code compiler.LoopCode, wsKB float64, m *arch.Machine, team omp.Team) bool {
+	switch code.StreamPolicy {
+	case flagspec.StreamAlways:
+		return true
+	case flagspec.StreamNever:
+		return false
+	default: // auto: only when clearly out of cache
+		return wsKB*float64(team.Threads) > 2.0*m.LLCTotalKB()
+	}
+}
+
+// streamsHelp reports whether non-temporal stores pay off for this
+// working set.
+func streamsHelp(wsKB float64, m *arch.Machine, team omp.Team, parallel bool) bool {
+	threads := 1.0
+	if parallel {
+		threads = float64(team.Threads)
+	}
+	return wsKB*threads > m.LLCTotalKB()
+}
+
+// nonLoopSeconds computes the un-tuned non-loop base time: per-step
+// scattered work plus one-time setup.
+func nonLoopSeconds(prog *ir.Program, m *arch.Machine, in ir.Input) float64 {
+	opsPerSec := m.ScalarIPC * m.FreqGHz * 1e9
+	sizeScale := in.Size / prog.BaseSize
+	perStep := prog.NonLoopCode.WorkPerStep * math.Pow(sizeScale, 1.5) / opsPerSec
+	setup := prog.NonLoopCode.SetupWork * sizeScale / opsPerSec
+	return perStep*float64(in.Steps) + setup
+}

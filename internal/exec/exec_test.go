@@ -1,0 +1,359 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"funcytuner/internal/arch"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/ir"
+	"funcytuner/internal/omp"
+	"funcytuner/internal/xrand"
+)
+
+func fixture() *ir.Program {
+	base := ir.Loop{
+		TripCount: 4e6, InvocationsPerStep: 1, WorkPerIter: 12,
+		BytesPerIter: 24, Parallel: true, ScaleExp: 2, WSScaleExp: 1,
+		WorkingSetKB: 4000, BodySize: 1, FPFraction: 0.85,
+	}
+	clean := base
+	clean.Name, clean.ID = "clean", ir.LoopID("xfix", "clean")
+	clean.Divergence, clean.StrideIrregular, clean.DepChain = 0.03, 0.05, 0.05
+
+	div := base
+	div.Name, div.ID = "divergent", ir.LoopID("xfix", "divergent")
+	div.Divergence, div.StrideIrregular, div.DepChain = 0.6, 0.5, 0.1
+
+	return &ir.Program{
+		Name: "xfix", Lang: ir.LangC, Seed: 11,
+		Loops:       []ir.Loop{clean, div},
+		NonLoopCode: ir.NonLoop{WorkPerStep: 5e8, SetupWork: 5e8, Sensitivity: 0.5},
+		Coupling: [][]float64{
+			{0, 0.6, 0.2},
+			{0.6, 0, 0.2},
+			{0.2, 0.2, 0},
+		},
+		BaseSize: 1000,
+	}
+}
+
+func compile(t *testing.T, p *ir.Program, cv flagspec.CV, m *arch.Machine) *compiler.Executable {
+	t.Helper()
+	tc := compiler.NewToolchain(cv.Space())
+	exe, err := tc.CompileUniform(p, ir.WholeProgram(p), cv, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe
+}
+
+var trainIn = ir.Input{Name: "train", Size: 1000, Steps: 10}
+
+func TestRunDeterministicWithoutNoise(t *testing.T) {
+	p := fixture()
+	exe := compile(t, p, flagspec.ICC().Baseline(), arch.Broadwell())
+	r1 := Run(exe, arch.Broadwell(), trainIn, Options{})
+	r2 := Run(exe, arch.Broadwell(), trainIn, Options{})
+	if r1.Total != r2.Total {
+		t.Fatal("noise-free runs differ")
+	}
+	if r1.Total <= 0 {
+		t.Fatal("non-positive runtime")
+	}
+}
+
+func TestTotalDecomposition(t *testing.T) {
+	p := fixture()
+	exe := compile(t, p, flagspec.ICC().Baseline(), arch.Broadwell())
+	r := Run(exe, arch.Broadwell(), trainIn, Options{})
+	var sum float64
+	for _, v := range r.PerLoop {
+		sum += v
+	}
+	if math.Abs(sum+r.NonLoop-r.Total) > 1e-9*r.Total {
+		t.Errorf("PerLoop+NonLoop = %v, Total = %v", sum+r.NonLoop, r.Total)
+	}
+}
+
+func TestNoiseMagnitude(t *testing.T) {
+	p := fixture()
+	exe := compile(t, p, flagspec.ICC().Baseline(), arch.Broadwell())
+	rng := xrand.NewFromString("noise-test")
+	var totals []float64
+	for i := 0; i < 40; i++ {
+		totals = append(totals, Run(exe, arch.Broadwell(), trainIn, Options{Noise: rng.Split("run", i)}).Total)
+	}
+	mean, sd := 0.0, 0.0
+	for _, v := range totals {
+		mean += v
+	}
+	mean /= float64(len(totals))
+	for _, v := range totals {
+		sd += (v - mean) * (v - mean)
+	}
+	sd = math.Sqrt(sd / float64(len(totals)-1))
+	rel := sd / mean
+	// Paper: std dev 0.04–0.2 s on 3–36 s runs ⇒ roughly 0.3–2%.
+	if rel < 0.001 || rel > 0.03 {
+		t.Errorf("relative run-to-run noise %.4f outside [0.001, 0.03]", rel)
+	}
+}
+
+func TestInstrumentationOverheadUnder3Percent(t *testing.T) {
+	p := fixture()
+	exe := compile(t, p, flagspec.ICC().Baseline(), arch.Broadwell())
+	plain := Run(exe, arch.Broadwell(), trainIn, Options{}).Total
+	instr := Run(exe, arch.Broadwell(), trainIn, Options{Instrumented: true}).Total
+	over := instr/plain - 1
+	if over <= 0 || over > 0.03 {
+		t.Errorf("instrumentation overhead %.3f, want (0, 0.03] (§3.3)", over)
+	}
+}
+
+func TestStepsScaleRuntime(t *testing.T) {
+	p := fixture()
+	exe := compile(t, p, flagspec.ICC().Baseline(), arch.Broadwell())
+	t10 := Run(exe, arch.Broadwell(), ir.Input{Size: 1000, Steps: 10}, Options{}).Total
+	t40 := Run(exe, arch.Broadwell(), ir.Input{Size: 1000, Steps: 40}, Options{}).Total
+	ratio := t40 / t10
+	// Setup work keeps it slightly under 4x.
+	if ratio < 3.0 || ratio > 4.0 {
+		t.Errorf("4x steps scaled runtime by %.2f", ratio)
+	}
+}
+
+func TestSizeScalesRuntime(t *testing.T) {
+	p := fixture()
+	exe := compile(t, p, flagspec.ICC().Baseline(), arch.Broadwell())
+	small := Run(exe, arch.Broadwell(), ir.Input{Size: 500, Steps: 10}, Options{}).Total
+	big := Run(exe, arch.Broadwell(), ir.Input{Size: 2000, Steps: 10}, Options{}).Total
+	if big <= small*2 {
+		t.Errorf("4x size only scaled runtime %0.2fx", big/small)
+	}
+}
+
+func TestVectorizingDivergentLoopBackfires(t *testing.T) {
+	p := fixture()
+	m := arch.Broadwell()
+	baseExe := compile(t, p, flagspec.ICC().Baseline(), m)
+	forced := flagspec.ICC().Baseline().
+		With(flagspec.IccVecThreshold, 0).
+		With(flagspec.IccSimdWidth, 2)
+	forcedExe := compile(t, p, forced, m)
+	if forcedExe.PerLoop[1].VecBits != 256 {
+		t.Fatal("fixture: divergent loop not force-vectorized")
+	}
+	li := 1
+	base := Run(baseExe, m, trainIn, Options{}).PerLoop[li]
+	vec := Run(forcedExe, m, trainIn, Options{}).PerLoop[li]
+	slowdown := vec/base - 1
+	// §4.4.2: cell3/cell7 saw 27.7%/13.6% slowdowns from 256-bit SIMD.
+	if slowdown < 0.05 {
+		t.Errorf("divergent loop vectorization changed time by %+.1f%%, want a clear slowdown", slowdown*100)
+	}
+}
+
+func TestVectorizingCleanLoopHelps(t *testing.T) {
+	p := fixture()
+	// Make the clean loop compute-bound so SIMD matters.
+	p.Loops[0].BytesPerIter = 2
+	p.Loops[0].WorkingSetKB = 100
+	m := arch.Broadwell()
+	scalarCV := flagspec.ICC().Baseline().With(flagspec.IccVec, 0)
+	base := Run(compile(t, p, scalarCV, m), m, trainIn, Options{}).PerLoop[0]
+	vec := Run(compile(t, p, flagspec.ICC().Baseline(), m), m, trainIn, Options{}).PerLoop[0]
+	speedup := base / vec
+	if speedup < 1.5 {
+		t.Errorf("clean compute-bound loop SIMD speedup %.2f, want ≥ 1.5", speedup)
+	}
+}
+
+func TestStreamingStoresTradeoff(t *testing.T) {
+	p := fixture()
+	m := arch.Broadwell()
+	always := flagspec.ICC().Baseline().With(flagspec.IccStreamStores, 1)
+	never := flagspec.ICC().Baseline().With(flagspec.IccStreamStores, 2)
+
+	// Large working set (out of LLC): always should win.
+	p.Loops[0].WorkingSetKB = 64 * 1024
+	fast := Run(compile(t, p, always, m), m, trainIn, Options{}).PerLoop[0]
+	slow := Run(compile(t, p, never, m), m, trainIn, Options{}).PerLoop[0]
+	if fast >= slow {
+		t.Error("streaming stores should help an out-of-cache loop")
+	}
+
+	// Small working set: always should hurt.
+	p.Loops[0].WorkingSetKB = 300
+	p.Loops[0].BytesPerIter = 200 // keep it memory-bound
+	hurt := Run(compile(t, p, always, m), m, trainIn, Options{}).PerLoop[0]
+	ok := Run(compile(t, p, never, m), m, trainIn, Options{}).PerLoop[0]
+	if hurt <= ok {
+		t.Error("streaming stores should hurt a cache-resident loop")
+	}
+}
+
+func TestPrefetchHasPerLoopSweetSpot(t *testing.T) {
+	p := fixture()
+	p.Loops[0].WorkingSetKB = 64 * 1024 // memory-bound
+	m := arch.Broadwell()
+	times := make([]float64, 5)
+	for lvl := 0; lvl < 5; lvl++ {
+		cv := flagspec.ICC().Baseline().With(flagspec.IccPrefetch, lvl)
+		times[lvl] = Run(compile(t, p, cv, m), m, trainIn, Options{}).PerLoop[0]
+	}
+	best, worst := times[0], times[0]
+	for _, v := range times {
+		best = math.Min(best, v)
+		worst = math.Max(worst, v)
+	}
+	if worst/best < 1.05 {
+		t.Errorf("prefetch level barely matters on a regular stream (%.3f)", worst/best)
+	}
+	// The profile must be unimodal around the sweet spot: once past the
+	// best level, times increase again.
+	_, bestIdx := 0.0, 0
+	for i, v := range times {
+		if v < times[bestIdx] {
+			bestIdx = i
+		}
+		_ = i
+	}
+	for i := bestIdx; i+1 < len(times); i++ {
+		if times[i+1] < times[i]-1e-12 {
+			t.Errorf("prefetch profile not unimodal past the sweet spot: %v", times)
+			break
+		}
+	}
+	// A fully irregular loop should be insensitive to prefetch.
+	p.Loops[0].StrideIrregular = 1.0
+	a := Run(compile(t, p, flagspec.ICC().Baseline().With(flagspec.IccPrefetch, 0), m), m, trainIn, Options{}).PerLoop[0]
+	b := Run(compile(t, p, flagspec.ICC().Baseline().With(flagspec.IccPrefetch, 4), m), m, trainIn, Options{}).PerLoop[0]
+	if math.Abs(a-b)/a > 0.01 {
+		t.Errorf("fully irregular loop moved %.3f%% with prefetch", 100*math.Abs(a-b)/a)
+	}
+}
+
+func TestInterferenceSlowsVictimLoop(t *testing.T) {
+	p := fixture()
+	m := arch.Broadwell()
+	tc := compiler.NewToolchain(flagspec.ICC())
+	pt := ir.Partition{Program: p, Modules: []ir.Module{
+		{Name: "loop:clean", LoopIdx: []int{0}},
+		{Name: "loop:divergent", LoopIdx: []int{1}},
+		{Name: "base", IsBase: true},
+	}}
+	b := flagspec.ICC().Baseline()
+	uniform, err := tc.CompileUniform(p, pt, b, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a link-sensitive mix that actually draws a penalty for a loop.
+	var mixed *compiler.Executable
+	victim := -1
+	for _, cvs := range [][]flagspec.CV{
+		{b.With(flagspec.IccIPO, 1), b, b},
+		{b.With(flagspec.IccInlineLevel, 0), b.With(flagspec.IccAnsiAlias, 1), b},
+		{b.With(flagspec.IccMemLayout, 3), b.With(flagspec.IccIP, 1), b},
+		{b.With(flagspec.IccMemLayout, 2), b.With(flagspec.IccIPO, 1), b},
+		{b.With(flagspec.IccSimdWidth, 1), b.With(flagspec.IccIP, 1), b.With(flagspec.IccIPO, 1)},
+	} {
+		e, err := tc.Compile(p, pt, cvs, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for li := 0; li < 2; li++ {
+			if e.Interference[li] > 1.01 && !e.PerLoop[li].IPOPerturbed {
+				mixed, victim = e, li
+			}
+		}
+		if mixed != nil {
+			break
+		}
+	}
+	if mixed == nil {
+		t.Skip("no penalty drawn for these mixes (hash-dependent); covered elsewhere")
+	}
+	ru := Run(uniform, m, trainIn, Options{})
+	rm := Run(mixed, m, trainIn, Options{})
+	if rm.PerLoop[victim] <= ru.PerLoop[victim] {
+		t.Error("interference did not slow the victim loop")
+	}
+}
+
+func TestSerialLoopSlower(t *testing.T) {
+	p := fixture()
+	m := arch.Broadwell()
+	exeP := compile(t, p, flagspec.ICC().Baseline(), m)
+	par := Run(exeP, m, trainIn, Options{}).PerLoop[0]
+	p.Loops[0].Parallel = false
+	exeS := compile(t, p, flagspec.ICC().Baseline(), m)
+	ser := Run(exeS, m, trainIn, Options{}).PerLoop[0]
+	// The loop is memory-bound, so the gap reflects bandwidth (one thread
+	// cannot saturate the node), not core count.
+	if ser <= par*2 {
+		t.Errorf("serial loop only %.1fx slower than 16-thread parallel", ser/par)
+	}
+}
+
+func TestTrafficFactorMonotone(t *testing.T) {
+	m := arch.Broadwell()
+	team := omp.NewTeam(m)
+	prev := 0.0
+	for ws := 8.0; ws < 1e6; ws *= 1.3 {
+		tf := trafficFactor(ws, m, team, true)
+		if tf < prev-1e-9 {
+			t.Fatalf("trafficFactor not monotone at ws=%v", ws)
+		}
+		if tf < 0.1 || tf > 1.0 {
+			t.Fatalf("trafficFactor %v out of bounds at ws=%v", tf, ws)
+		}
+		prev = tf
+	}
+}
+
+func TestTileNeedsReuseAndBigWS(t *testing.T) {
+	p := fixture()
+	p.Loops[0].Reuse = 0.8
+	p.Loops[0].WorkingSetKB = 32 * 1024
+	m := arch.Broadwell()
+	noTile := flagspec.ICC().Baseline()
+	tile32 := noTile.With(flagspec.IccBlockFactor, 3)
+	slow := Run(compile(t, p, noTile, m), m, trainIn, Options{}).PerLoop[0]
+	fast := Run(compile(t, p, tile32, m), m, trainIn, Options{}).PerLoop[0]
+	if fast >= slow {
+		t.Error("tiling a high-reuse out-of-cache loop should help")
+	}
+	// No reuse: tiling must not help.
+	p.Loops[0].Reuse = 0
+	a := Run(compile(t, p, noTile, m), m, trainIn, Options{}).PerLoop[0]
+	b := Run(compile(t, p, tile32, m), m, trainIn, Options{}).PerLoop[0]
+	if math.Abs(a-b) > 1e-12*a {
+		t.Error("tiling a no-reuse loop changed its time")
+	}
+}
+
+func TestMachinesDiffer(t *testing.T) {
+	p := fixture()
+	cv := flagspec.ICC().Baseline()
+	totals := map[string]float64{}
+	for _, m := range arch.All() {
+		exe := compile(t, p, cv, m)
+		totals[m.Name] = Run(exe, m, trainIn, Options{}).Total
+	}
+	if totals["opteron"] <= totals["broadwell"] {
+		t.Errorf("Opteron (%v s) should be slower than Broadwell (%v s)",
+			totals["opteron"], totals["broadwell"])
+	}
+}
+
+func TestO1SlowerThanO3(t *testing.T) {
+	p := fixture()
+	m := arch.Broadwell()
+	o3 := Run(compile(t, p, flagspec.ICC().Baseline(), m), m, trainIn, Options{}).Total
+	o1 := Run(compile(t, p, flagspec.ICC().Baseline().With(flagspec.IccOptLevel, 0), m), m, trainIn, Options{}).Total
+	if o1 <= o3 {
+		t.Errorf("O1 (%v) not slower than O3 (%v)", o1, o3)
+	}
+}

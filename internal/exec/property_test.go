@@ -1,0 +1,218 @@
+package exec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"funcytuner/internal/arch"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/ir"
+	"funcytuner/internal/omp"
+	"funcytuner/internal/xrand"
+)
+
+// randomLoop builds a structurally valid loop from a seed.
+func randomLoop(seed uint64) ir.Loop {
+	r := xrand.New(seed)
+	return ir.Loop{
+		Name: "prop", File: "p.c", ID: seed,
+		TripCount:          r.Range(1e4, 1e7),
+		InvocationsPerStep: 1 + float64(r.Intn(4)),
+		WorkPerIter:        r.Range(2, 20),
+		BytesPerIter:       r.Range(2, 40),
+		FPFraction:         r.Range(0.1, 1.0),
+		Divergence:         r.Float64(),
+		StrideIrregular:    r.Float64(),
+		DepChain:           r.Float64(),
+		CallDensity:        r.Range(0, 2),
+		AliasAmbiguity:     r.Float64(),
+		WorkingSetKB:       r.Range(8, 1<<17),
+		Reuse:              r.Float64(),
+		ConflictProne:      r.Float64(),
+		BodySize:           r.Range(0.2, 3),
+		Parallel:           r.Bool(0.8),
+		ScaleExp:           r.Range(1, 3),
+		WSScaleExp:         r.Range(0.5, 3),
+	}
+}
+
+// randomProgram wraps a few random loops in a valid program.
+func randomProgram(seed uint64) *ir.Program {
+	r := xrand.New(seed)
+	n := 2 + r.Intn(4)
+	p := &ir.Program{
+		Name: "prop", Lang: ir.LangC, Seed: seed,
+		NonLoopCode: ir.NonLoop{WorkPerStep: r.Range(1e8, 1e9), SetupWork: 1e8, Sensitivity: r.Float64()},
+		BaseSize:    1000,
+	}
+	for i := 0; i < n; i++ {
+		l := randomLoop(xrand.Combine(seed, uint64(i)))
+		l.Name = string(rune('a' + i))
+		p.Loops = append(p.Loops, l)
+	}
+	m := n + 1
+	p.Coupling = make([][]float64, m)
+	for i := range p.Coupling {
+		p.Coupling[i] = make([]float64, m)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := r.Range(0, 0.9)
+			p.Coupling[i][j], p.Coupling[j][i] = c, c
+		}
+	}
+	return p
+}
+
+// TestPropertyRuntimePositiveFinite: any valid program × random CV ×
+// machine produces a positive, finite runtime with a consistent
+// decomposition.
+func TestPropertyRuntimePositiveFinite(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := randomProgram(seed)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("generator produced invalid program: %v", err)
+		}
+		r := xrand.New(seed ^ 0xabcdef)
+		for _, m := range arch.All() {
+			tc := compiler.NewToolchain(flagspec.ICC())
+			cv := flagspec.ICC().Random(r)
+			exe, err := tc.CompileUniform(p, ir.WholeProgram(p), cv, m)
+			if err != nil {
+				return false
+			}
+			res := Run(exe, m, ir.Input{Size: 1000, Steps: 5}, Options{})
+			if !(res.Total > 0) || math.IsInf(res.Total, 0) || math.IsNaN(res.Total) {
+				return false
+			}
+			var sum float64
+			for _, v := range res.PerLoop {
+				if v < 0 || math.IsNaN(v) {
+					return false
+				}
+				sum += v
+			}
+			if sum > res.Total*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMoreStepsNeverFaster: runtime is monotone in the step count.
+func TestPropertyMoreStepsNeverFaster(t *testing.T) {
+	f := func(seed uint64, s1, s2 uint8) bool {
+		steps1, steps2 := int(s1%60)+1, int(s2%60)+1
+		if steps1 > steps2 {
+			steps1, steps2 = steps2, steps1
+		}
+		p := randomProgram(seed)
+		tc := compiler.NewToolchain(flagspec.ICC())
+		m := arch.Broadwell()
+		exe, err := tc.CompileUniform(p, ir.WholeProgram(p), flagspec.ICC().Baseline(), m)
+		if err != nil {
+			return false
+		}
+		t1 := Run(exe, m, ir.Input{Size: 1000, Steps: steps1}, Options{}).Total
+		t2 := Run(exe, m, ir.Input{Size: 1000, Steps: steps2}, Options{}).Total
+		return t1 <= t2*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyBiggerInputsNeverFaster: runtime is monotone in problem size.
+func TestPropertyBiggerInputsNeverFaster(t *testing.T) {
+	f := func(seed uint64, a, b uint16) bool {
+		s1 := 200 + float64(a%4000)
+		s2 := 200 + float64(b%4000)
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		p := randomProgram(seed)
+		tc := compiler.NewToolchain(flagspec.ICC())
+		m := arch.Broadwell()
+		exe, err := tc.CompileUniform(p, ir.WholeProgram(p), flagspec.ICC().Baseline(), m)
+		if err != nil {
+			return false
+		}
+		t1 := Run(exe, m, ir.Input{Size: s1, Steps: 5}, Options{}).Total
+		t2 := Run(exe, m, ir.Input{Size: s2, Steps: 5}, Options{}).Total
+		return t1 <= t2*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTrueVecCostPositive: the vector cost model never goes
+// non-positive or non-finite for any feature combination and width.
+func TestPropertyTrueVecCostPositive(t *testing.T) {
+	f := func(seed uint64, wIdx uint8) bool {
+		l := randomLoop(seed)
+		width := []int{128, 256}[int(wIdx)%2]
+		code := compiler.LoopCode{VecBits: width, Knobs: flagspec.ICC().Baseline().Knobs()}
+		for _, m := range arch.All() {
+			if width > m.VecBits {
+				continue
+			}
+			c := trueVecCost(&l, m, code)
+			if !(c > 0) || math.IsInf(c, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLoopInvocationScalesWithWork: doubling per-iteration work
+// never makes a loop faster.
+func TestPropertyLoopInvocationScalesWithWork(t *testing.T) {
+	team := omp.NewTeam(arch.Broadwell())
+	f := func(seed uint64) bool {
+		l := randomLoop(seed)
+		code := compiler.LoopCode{Unroll: 1, ISQ: 1, EffBody: l.BodySize, Knobs: flagspec.ICC().Baseline().Knobs()}
+		t1 := LoopInvocationSeconds(&l, code, arch.Broadwell(), team, 1)
+		l2 := l
+		l2.WorkPerIter *= 2
+		t2 := LoopInvocationSeconds(&l2, code, arch.Broadwell(), team, 1)
+		return t2 >= t1*(1-1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyNoiseIsUnbiasedish: the mean of noisy runs stays within a
+// percent of the noise-free runtime.
+func TestPropertyNoiseIsUnbiasedish(t *testing.T) {
+	p := randomProgram(99)
+	tc := compiler.NewToolchain(flagspec.ICC())
+	m := arch.Broadwell()
+	exe, err := tc.CompileUniform(p, ir.WholeProgram(p), flagspec.ICC().Baseline(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ir.Input{Size: 1000, Steps: 5}
+	exact := Run(exe, m, in, Options{}).Total
+	rng := xrand.NewFromString("noise-bias")
+	var sum float64
+	const n = 300
+	for i := 0; i < n; i++ {
+		sum += Run(exe, m, in, Options{Noise: rng.Split("r", i)}).Total
+	}
+	mean := sum / n
+	if math.Abs(mean-exact)/exact > 0.01 {
+		t.Errorf("noisy mean %v deviates from exact %v", mean, exact)
+	}
+}

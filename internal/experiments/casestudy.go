@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"strings"
+
+	"funcytuner/internal/apps"
+	"funcytuner/internal/arch"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/core"
+	"funcytuner/internal/exec"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/stats"
+)
+
+// cloverKernels are the five §4.4 CloverLeaf kernels, Table 3 order.
+var cloverKernels = []string{"dt", "cell3", "cell7", "mom9", "acc"}
+
+// caseStudy bundles everything the §4.4 deep dive needs.
+type caseStudy struct {
+	sess     *core.Session
+	col      *core.Collection
+	results  map[string]*core.Result
+	baseExe  *compiler.Executable
+	basePer  []float64 // noise-free O3 per-loop times
+	kernelLI []int     // loop indices of the five kernels
+	kernelMI []int     // module indices of the five kernels
+}
+
+func runCaseStudy(cfg Config) (*caseStudy, error) {
+	tc := compiler.NewToolchain(flagspec.ICC())
+	m := arch.Broadwell()
+	sess, err := coreSession(cfg, tc, apps.CloverLeaf, m)
+	if err != nil {
+		return nil, err
+	}
+	cs := &caseStudy{sess: sess, results: map[string]*core.Result{}}
+
+	random, err := sess.Random()
+	if err != nil {
+		return nil, err
+	}
+	cs.results["Random"] = random
+	cs.col, err = sess.Collect()
+	if err != nil {
+		return nil, err
+	}
+	gReal, gInd, err := sess.Greedy(cs.col)
+	if err != nil {
+		return nil, err
+	}
+	cs.results["G.realized"], cs.results["G.Independent"] = gReal, gInd
+	cfr, err := sess.CFR(cs.col)
+	if err != nil {
+		return nil, err
+	}
+	cs.results["CFR"] = cfr
+
+	cs.baseExe, err = tc.CompileUniform(sess.Prog, sess.Part, tc.Space.Baseline(), m)
+	if err != nil {
+		return nil, err
+	}
+	cs.basePer = exec.Run(cs.baseExe, m, sess.Input, exec.Options{}).PerLoop
+
+	for _, name := range cloverKernels {
+		li := sess.Prog.LoopIndex(name)
+		cs.kernelLI = append(cs.kernelLI, li)
+		cs.kernelMI = append(cs.kernelMI, sess.Part.ModuleOf(li))
+	}
+	return cs, nil
+}
+
+// perLoop compiles an algorithm's chosen configuration and returns its
+// noise-free per-loop times plus the executable (for the Table 3 notes).
+func (cs *caseStudy) perLoop(cvs []flagspec.CV) (*compiler.Executable, []float64, error) {
+	exe, err := cs.sess.Toolchain.Compile(cs.sess.Prog, cs.sess.Part, cvs, cs.sess.Machine)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := exec.Run(exe, cs.sess.Machine, cs.sess.Input, exec.Options{})
+	return exe, res.PerLoop, nil
+}
+
+// Fig9 reproduces Fig. 9: normalized per-loop speedups of the top-5
+// CloverLeaf kernels on Broadwell under Random, G.realized, CFR, and the
+// G.Independent per-loop bound.
+func Fig9(cfg Config) (*Output, error) {
+	cs, err := runCaseStudy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{Name: "fig9"}
+	t := newReportTable("Fig. 9: per-loop speedup over O3, top-5 CloverLeaf kernels (Broadwell)",
+		"kernel", "Random", "G.realized", "CFR", "G.Independent")
+	for _, alg := range []string{"Random", "G.realized", "CFR"} {
+		_, per, err := cs.perLoop(cs.results[alg].ModuleCVs)
+		if err != nil {
+			return nil, err
+		}
+		for ki, name := range cloverKernels {
+			li := cs.kernelLI[ki]
+			t.Set(name, alg, cs.basePer[li]/per[li])
+		}
+	}
+	// G.Independent: the per-module minimum of the collected times.
+	for ki, name := range cloverKernels {
+		mi := cs.kernelMI[ki]
+		best, _ := stats.Min(cs.col.Times[mi])
+		t.Set(name, "G.Independent", cs.basePer[cs.kernelLI[ki]]/best)
+	}
+	t.AddNote("O3 runtime ratios (Table 3): dt 6.3%%, cell3 2.9%%, cell7 3.5%%, mom9 3.5%%, acc 4.2%%")
+	out.Tables = append(out.Tables, t)
+	out.Deviations = checkFig9(t)
+	return out, nil
+}
+
+// Table3 reproduces Table 3: the optimization decisions each algorithm's
+// winning configuration makes for the five kernels, in the paper's
+// notation (S / 128 / 256, unrollN, IS, IO, RS), plus the §4.4.1 greedy
+// flag elimination that identifies each loop's critical flags.
+func Table3(cfg Config) (*Output, error) {
+	cs, err := runCaseStudy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{Name: "table3"}
+	t := newTextTable("Table 3: optimizations for the 5 CloverLeaf kernels (Broadwell)",
+		"algorithm", cloverKernels...)
+
+	// O3 baseline row.
+	for ki, name := range cloverKernels {
+		t.Set("O3 baseline", name, cs.baseExe.PerLoop[cs.kernelLI[ki]].Notes())
+	}
+	// Assembled algorithms.
+	for _, alg := range []string{"G.realized", "Random", "CFR"} {
+		exe, _, err := cs.perLoop(cs.results[alg].ModuleCVs)
+		if err != nil {
+			return nil, err
+		}
+		for ki, name := range cloverKernels {
+			t.Set(alg, name, exe.PerLoop[cs.kernelLI[ki]].Notes())
+		}
+	}
+	// G.Independent: each kernel compiled with its own best CV, in the
+	// uniform (interference-free) context it was measured in.
+	for ki, name := range cloverKernels {
+		mi := cs.kernelMI[ki]
+		_, bestK := stats.Min(cs.col.Times[mi])
+		exe, err := cs.sess.Toolchain.CompileUniform(cs.sess.Prog, cs.sess.Part, cs.col.CVs[bestK], cs.sess.Machine)
+		if err != nil {
+			return nil, err
+		}
+		t.Set("G.Independent", name, exe.PerLoop[cs.kernelLI[ki]].Notes())
+	}
+	out.Texts = append(out.Texts, t)
+
+	// §4.4.1 greedy flag elimination: critical flags per kernel for CFR.
+	crit := newTextTable("Critical flags after greedy elimination (CFR configuration)",
+		"kernel", "critical flags")
+	for ki, name := range cloverKernels {
+		flags, err := cs.sess.CriticalFlags(cs.results["CFR"].ModuleCVs, cs.kernelMI[ki], 1e-3)
+		if err != nil {
+			return nil, err
+		}
+		cell := strings.Join(flags, " ")
+		if cell == "" {
+			cell = "(none - defaults suffice)"
+		}
+		crit.Set(name, "critical flags", cell)
+	}
+	out.Texts = append(out.Texts, crit)
+	out.Deviations = checkTable3(t)
+	return out, nil
+}

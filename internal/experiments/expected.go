@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+
+	"funcytuner/internal/apps"
+	"funcytuner/internal/arch"
+	"funcytuner/internal/report"
+	"funcytuner/internal/stats"
+)
+
+// Aliases keep the runners terse.
+type reportTable = report.Table
+
+func newReportTable(title, rowName string, cols ...string) *report.Table {
+	return report.NewTable(title, rowName, cols...)
+}
+
+func newTextTable(title, rowName string, cols ...string) *report.TextTable {
+	return report.NewTextTable(title, rowName, cols...)
+}
+
+func mustGet(t *report.Table, row, col string) float64 {
+	v, ok := t.Get(row, col)
+	if !ok {
+		panic(fmt.Sprintf("experiments: missing cell (%s, %s) in %q", row, col, t.Title))
+	}
+	return v
+}
+
+// paperFig5GM records the paper's headline geometric-mean CFR speedups
+// (§4.1: "9.2%, 10.3%, 9.4% ... for Opteron, Sandy Bridge and Broadwell").
+var paperFig5GM = map[string]float64{
+	"opteron":     1.092,
+	"sandybridge": 1.103,
+	"broadwell":   1.094,
+}
+
+// paperFig6GM records §4.2's Broadwell geometric means.
+var paperFig6GM = map[string]float64{
+	"OpenTuner":      1.049,
+	"COBAYN-static":  1.046,
+	"COBAYN-hybrid":  1.021,
+	"COBAYN-dynamic": 0.995, // "worse than the O3 baseline"
+	"PGO":            1.005, // "only minor performance improvements"
+	"CFR":            1.094,
+}
+
+// paperFig7GM records §4.3's geometric means on small/large inputs.
+var paperFig7GM = map[string]float64{
+	"small": 1.123,
+	"large": 1.107,
+}
+
+// Acceptance bands (shape, not absolute): see DESIGN.md §4.
+const (
+	cfrGMLow, cfrGMHigh       = 1.06, 1.16
+	randomGMLow, randomGMHigh = 1.02, 1.085
+)
+
+// checkFig5 verifies the qualitative claims of §4.1 on the measured
+// tables and returns human-readable violations.
+func checkFig5(out *Output) []string {
+	var bad []string
+	for i, m := range arch.All() {
+		t := out.Tables[i]
+		cfr := mustGet(t, "GM", "CFR")
+		random := mustGet(t, "GM", "Random")
+		gReal := mustGet(t, "GM", "G.realized")
+		fr := mustGet(t, "GM", "FR")
+		gInd := mustGet(t, "GM", "G.Independent")
+		if cfr < cfrGMLow || cfr > cfrGMHigh {
+			bad = append(bad, fmt.Sprintf("fig5/%s: CFR GM %.3f outside [%.2f, %.2f]", m.Name, cfr, cfrGMLow, cfrGMHigh))
+		}
+		if random < randomGMLow || random > randomGMHigh {
+			bad = append(bad, fmt.Sprintf("fig5/%s: Random GM %.3f outside [%.2f, %.2f]", m.Name, random, randomGMLow, randomGMHigh))
+		}
+		if cfr <= random {
+			bad = append(bad, fmt.Sprintf("fig5/%s: CFR GM %.3f not above Random %.3f", m.Name, cfr, random))
+		}
+		if fr >= cfr {
+			bad = append(bad, fmt.Sprintf("fig5/%s: FR GM %.3f not below CFR %.3f", m.Name, fr, cfr))
+		}
+		if gInd < cfr {
+			bad = append(bad, fmt.Sprintf("fig5/%s: G.Independent GM %.3f below CFR %.3f", m.Name, gInd, cfr))
+		}
+		if gReal >= random {
+			bad = append(bad, fmt.Sprintf("fig5/%s: G.realized GM %.3f not below Random %.3f (\"G results in significant slowdowns\")", m.Name, gReal, random))
+		}
+		// "The huge differences between G.realized and G.Independent
+		// substantiate that there are inter-module dependencies."
+		if gInd-gReal < 0.05 {
+			bad = append(bad, fmt.Sprintf("fig5/%s: G gap %.3f too small", m.Name, gInd-gReal))
+		}
+	}
+	// "G results in significant slowdowns for many benchmark and
+	// architecture combinations": count clear per-benchmark slowdowns
+	// across all 21 (benchmark, machine) cells.
+	slowdowns := 0
+	for _, t := range out.Tables {
+		for _, app := range apps.Names() {
+			if v, ok := t.Get(app, "G.realized"); ok && v < 0.95 {
+				slowdowns++
+			}
+		}
+	}
+	if slowdowns < 4 {
+		bad = append(bad, fmt.Sprintf("fig5: only %d G.realized slowdowns below 0.95 across 21 combinations", slowdowns))
+	}
+	return bad
+}
+
+// checkFig6 verifies §4.2's ordering claims on Broadwell.
+func checkFig6(t *report.Table) []string {
+	var bad []string
+	cfr := mustGet(t, "GM", "CFR")
+	for _, rival := range []string{"OpenTuner", "COBAYN-static", "COBAYN-dynamic", "COBAYN-hybrid", "PGO"} {
+		if v := mustGet(t, "GM", rival); v >= cfr {
+			bad = append(bad, fmt.Sprintf("fig6: %s GM %.3f not below CFR %.3f", rival, v, cfr))
+		}
+	}
+	if pgo := mustGet(t, "GM", "PGO"); pgo > 1.03 {
+		bad = append(bad, fmt.Sprintf("fig6: PGO GM %.3f too strong (paper: minor improvements)", pgo))
+	}
+	if dyn, st := mustGet(t, "GM", "COBAYN-dynamic"), mustGet(t, "GM", "COBAYN-static"); dyn >= st {
+		bad = append(bad, fmt.Sprintf("fig6: COBAYN dynamic %.3f not below static %.3f", dyn, st))
+	}
+	return bad
+}
+
+// checkFig7 verifies §4.3: little sensitivity, CFR best in GM on both
+// input classes, and the swim "test" anomaly (CFR not the best there).
+func checkFig7(small, large *report.Table) []string {
+	var bad []string
+	for _, t := range []*report.Table{small, large} {
+		cfr := mustGet(t, "GM", "CFR")
+		// The paper reports 12.3%/10.7% GMs; in the model the small inputs
+		// drop more working sets into cache, shrinking the tuned memory-
+		// system wins, so the small-input bar is lower (documented
+		// deviation in EXPERIMENTS.md).
+		low := 1.04
+		if t == small {
+			low = 1.03
+		}
+		if cfr < low {
+			bad = append(bad, fmt.Sprintf("fig7/%s: CFR GM %.3f too low", t.Title, cfr))
+		}
+		// §4.3 claims strict superiority on the large input ("5.5%, 9.5%
+		// and 10.7% better than OpenTuner, COBAYN, and PGO on large
+		// input"); on the small input CFR need only stay competitive —
+		// the swim "test" anomaly drags it there.
+		slack := 0.0
+		if t == small {
+			slack = 0.005
+		}
+		for _, rival := range []string{"Random", "G.realized", "COBAYN", "PGO", "OpenTuner"} {
+			if v := mustGet(t, "GM", rival); v >= cfr+slack {
+				bad = append(bad, fmt.Sprintf("fig7/%s: %s GM %.3f not below CFR %.3f", t.Title, rival, v, cfr))
+			}
+		}
+	}
+	// The swim anomaly (§4.3): on its tiny "test" input — whose per-step
+	// profile diverges from the tuning input — CFR must not meaningfully
+	// dominate the field the way it does everywhere else. Whether a rival
+	// lands marginally above or below CFR is a coin flip (streaming-store
+	// "always" vs "auto" are indistinguishable on the tuning input), so
+	// the robust form of the check is: CFR's edge over the best rival
+	// collapses to under 1pp at swim-small.
+	cfrSwim := mustGet(small, apps.Swim, "CFR")
+	bestRival := 0.0
+	for _, rival := range []string{"Random", "G.realized", "COBAYN", "PGO", "OpenTuner"} {
+		if v := mustGet(small, apps.Swim, rival); v > bestRival {
+			bestRival = v
+		}
+	}
+	if cfrSwim > bestRival+0.01 {
+		bad = append(bad, fmt.Sprintf(
+			"fig7: swim test-input anomaly absent (CFR %.3f clearly dominates best rival %.3f)", cfrSwim, bestRival))
+	}
+	return bad
+}
+
+// checkFig8 verifies the Fig. 8 claim: CFR's benefit is stable while
+// scaling CloverLeaf from 100 to 800 time-steps.
+func checkFig8(t *report.Table) []string {
+	var bad []string
+	var vals []float64
+	for _, row := range t.Rows() {
+		if row == "GM" {
+			continue
+		}
+		vals = append(vals, mustGet(t, row, "CFR"))
+	}
+	lo, _ := stats.Min(vals)
+	hi, _ := stats.Max(vals)
+	if hi-lo > 0.04 {
+		bad = append(bad, fmt.Sprintf("fig8: CFR spread %.3f over time-steps exceeds 0.04", hi-lo))
+	}
+	if gm := mustGet(t, "GM", "CFR"); gm < 1.05 {
+		bad = append(bad, fmt.Sprintf("fig8: CFR GM %.3f too low", gm))
+	}
+	return bad
+}
+
+// checkFig9 verifies the §4.4.2 per-loop observations on the Fig. 9 table.
+func checkFig9(t *report.Table) []string {
+	var bad []string
+	// The G.Independent per-loop bound dominates CFR's realized per-loop
+	// results (small tolerance: collection noise).
+	for _, k := range []string{"dt", "cell3", "cell7", "mom9", "acc"} {
+		gi := mustGet(t, k, "G.Independent")
+		cfr := mustGet(t, k, "CFR")
+		if cfr > gi*1.05 {
+			bad = append(bad, fmt.Sprintf("fig9: CFR %s %.3f above G.Independent %.3f", k, cfr, gi))
+		}
+	}
+	// acc's alias-hidden SIMD is the big per-loop win (paper: ~1.5).
+	if v := mustGet(t, "acc", "CFR"); v < 1.25 {
+		bad = append(bad, fmt.Sprintf("fig9: acc CFR %.3f lacks the large SIMD win", v))
+	}
+	return bad
+}
+
+// checkTable3 verifies the decision patterns of Table 3.
+func checkTable3(t *report.TextTable) []string {
+	var bad []string
+	scalar := func(cell string) bool { return len(cell) > 0 && cell[0] == 'S' }
+	// O3 row: dt/cell3/cell7 scalar, mom9 vectorized at 128, acc scalar.
+	for _, k := range []string{"dt", "cell3", "cell7", "acc"} {
+		if cell := t.Get("O3 baseline", k); !scalar(cell) {
+			bad = append(bad, fmt.Sprintf("table3: O3 %s = %q, want scalar", k, cell))
+		}
+	}
+	if cell := t.Get("O3 baseline", "mom9"); !stringsHasPrefix(cell, "128") {
+		bad = append(bad, fmt.Sprintf("table3: O3 mom9 = %q, want 128-bit", cell))
+	}
+	// CFR avoids vectorizing the divergent kernels but vectorizes acc at
+	// 256 bits ("CFR is able to select -no-vec for mom9 ...").
+	for _, k := range []string{"dt", "cell3", "cell7", "mom9"} {
+		if cell := t.Get("CFR", k); !scalar(cell) {
+			bad = append(bad, fmt.Sprintf("table3: CFR %s = %q, want scalar", k, cell))
+		}
+	}
+	if cell := t.Get("CFR", "acc"); !stringsHasPrefix(cell, "256") {
+		bad = append(bad, fmt.Sprintf("table3: CFR acc = %q, want 256-bit", cell))
+	}
+	// Random's winning CV vectorizes the majority of the kernels (the
+	// paper's best random CV vectorized all five at 256 bits).
+	vecCount := 0
+	for _, k := range []string{"dt", "cell3", "cell7", "mom9", "acc"} {
+		if cell := t.Get("Random", k); !scalar(cell) {
+			vecCount++
+		}
+	}
+	if vecCount < 3 {
+		bad = append(bad, fmt.Sprintf("table3: Random vectorizes only %d/5 kernels", vecCount))
+	}
+	return bad
+}
+
+func stringsHasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+// checkFig1 verifies Fig. 1's operative claim: Combined Elimination's
+// benefit stays far below FuncyTuner CFR's ~1.10 (the paper measures CE at
+// ≈1.0; in the substitute response surface CE reaches a few percent — a
+// documented deviation, see EXPERIMENTS.md — but remains clearly
+// insufficient, which is what motivates per-loop tuning).
+func checkFig1(t *report.Table) []string {
+	var bad []string
+	for _, row := range t.Rows() {
+		for _, col := range t.Cols {
+			v := mustGet(t, row, col)
+			if v > 1.08 {
+				bad = append(bad, fmt.Sprintf("fig1: CE %s/%s %.3f improves too much", row, col, v))
+			}
+			if v < 0.90 {
+				bad = append(bad, fmt.Sprintf("fig1: CE %s/%s %.3f regressed too far", row, col, v))
+			}
+		}
+	}
+	return bad
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"funcytuner/internal/apps"
+	"funcytuner/internal/arch"
+)
+
+// testConfig is the paper-scale configuration — identical to what
+// cmd/ftexperiments ships, so the tests assert exactly the published
+// protocol (the simulation is fast enough to afford it).
+func testConfig() Config {
+	return DefaultConfig("funcytuner-repro")
+}
+
+func TestRunnersRegistryComplete(t *testing.T) {
+	want := []string{"ablation", "convergence", "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "lto", "overhead", "significance", "table3"}
+	names := Names()
+	if len(names) != len(want) {
+		t.Fatalf("registry has %v", names)
+	}
+	for _, w := range want {
+		if _, ok := Runners()[w]; !ok {
+			t.Errorf("missing runner %s", w)
+		}
+	}
+	if _, err := Run("nonesuch", testConfig()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFig1(t *testing.T) {
+	out, err := Fig1(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Deviations) != 0 {
+		t.Errorf("fig1 deviations: %v", out.Deviations)
+	}
+	tbl := out.Tables[0]
+	if len(tbl.Rows()) != 3 {
+		t.Errorf("fig1 should cover LULESH, CL, AMG; got %v", tbl.Rows())
+	}
+}
+
+func TestFig5FullProtocol(t *testing.T) {
+	out, err := Fig5(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Tables) != 3 {
+		t.Fatalf("fig5 should emit one table per machine")
+	}
+	if len(out.Deviations) != 0 {
+		t.Errorf("fig5 deviations: %v", out.Deviations)
+	}
+	for i, m := range arch.All() {
+		tbl := out.Tables[i]
+		if !strings.Contains(tbl.Title, m.Name) {
+			t.Errorf("table %d title %q lacks machine name", i, tbl.Title)
+		}
+		// 7 benchmarks + GM row.
+		if got := len(tbl.Rows()); got != 8 {
+			t.Errorf("%s: %d rows", m.Name, got)
+		}
+		for _, app := range apps.Names() {
+			for _, alg := range fig5Algorithms {
+				if _, ok := tbl.Get(app, alg); !ok {
+					t.Errorf("%s: missing %s/%s", m.Name, app, alg)
+				}
+			}
+		}
+	}
+}
+
+func TestFig6(t *testing.T) {
+	out, err := Fig6(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Deviations) != 0 {
+		t.Errorf("fig6 deviations: %v", out.Deviations)
+	}
+	tbl := out.Tables[0]
+	// PGO must report exactly 1.0 for the two failing programs.
+	for _, app := range []string{apps.LULESH, apps.Optewe} {
+		if v := mustGet(tbl, app, "PGO"); v != 1.0 {
+			t.Errorf("PGO on %s = %v, want exactly 1.0 (failed instrumentation)", app, v)
+		}
+	}
+}
+
+func TestFig7(t *testing.T) {
+	out, err := Fig7(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Deviations) != 0 {
+		t.Errorf("fig7 deviations: %v", out.Deviations)
+	}
+	if len(out.Tables) != 2 {
+		t.Fatal("fig7 should emit small and large tables")
+	}
+}
+
+func TestFig8(t *testing.T) {
+	out, err := Fig8(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Deviations) != 0 {
+		t.Errorf("fig8 deviations: %v", out.Deviations)
+	}
+	tbl := out.Tables[0]
+	for _, steps := range []string{"100", "200", "400", "800"} {
+		if _, ok := tbl.Get(steps, "CFR"); !ok {
+			t.Errorf("fig8 missing row %s", steps)
+		}
+	}
+}
+
+func TestFig9AndTable3(t *testing.T) {
+	out, err := Fig9(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Deviations) != 0 {
+		t.Errorf("fig9 deviations: %v", out.Deviations)
+	}
+	t3, err := Table3(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Deviations) != 0 {
+		t.Errorf("table3 deviations: %v", t3.Deviations)
+	}
+	if len(t3.Texts) != 2 {
+		t.Fatalf("table3 should emit the decision table and the critical-flag table")
+	}
+	// Every kernel × algorithm cell must be filled.
+	decisions := t3.Texts[0]
+	for _, alg := range []string{"O3 baseline", "G.realized", "Random", "CFR", "G.Independent"} {
+		for _, k := range cloverKernels {
+			if decisions.Get(alg, k) == "" {
+				t.Errorf("table3 missing cell %s/%s", alg, k)
+			}
+		}
+	}
+}
+
+func TestExtensionExperiments(t *testing.T) {
+	for _, id := range []string{"ablation", "convergence", "overhead", "lto", "significance"} {
+		out, err := Run(id, testConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(out.Deviations) != 0 {
+			t.Errorf("%s deviations: %v", id, out.Deviations)
+		}
+		if len(out.Tables) == 0 {
+			t.Errorf("%s produced no tables", id)
+		}
+	}
+}
+
+func TestAblationInteriorOptimum(t *testing.T) {
+	out, err := AblationTopX(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := out.Tables[0]
+	// The paper-scale X=50 must clearly beat both degenerate extremes.
+	mid := mustGet(tbl, "GM", "X=50")
+	lo := mustGet(tbl, "GM", "X=1")
+	hi := mustGet(tbl, "GM", "X=1000")
+	if mid-lo < 0.02 || mid-hi < 0.02 {
+		t.Errorf("interior optimum weak: X=1 %.3f, X=50 %.3f, X=1000 %.3f", lo, mid, hi)
+	}
+}
+
+func TestDeterministicExperiment(t *testing.T) {
+	cfg := testConfig()
+	a, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range a.Tables[0].Rows() {
+		for _, col := range a.Tables[0].Cols {
+			va, _ := a.Tables[0].Get(row, col)
+			vb, _ := b.Tables[0].Get(row, col)
+			if va != vb {
+				t.Fatalf("fig8 not deterministic at %s/%s", row, col)
+			}
+		}
+	}
+}

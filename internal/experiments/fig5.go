@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"funcytuner/internal/apps"
+	"funcytuner/internal/arch"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/flagspec"
+)
+
+// fig5Algorithms is the paper's Fig. 5 legend order.
+var fig5Algorithms = []string{"Random", "G.realized", "FR", "CFR", "G.Independent"}
+
+// Fig5 reproduces Fig. 5: normalized speedups of the four search
+// algorithms (plus the G.Independent bound) over the seven benchmarks on
+// Opteron (5a), Sandy Bridge (5b) and Broadwell (5c).
+func Fig5(cfg Config) (*Output, error) {
+	out := &Output{Name: "fig5"}
+	tc := compiler.NewToolchain(flagspec.ICC())
+	for _, m := range arch.All() {
+		t, err := fig5Machine(cfg, tc, m)
+		if err != nil {
+			return nil, err
+		}
+		out.Tables = append(out.Tables, t)
+	}
+	out.Deviations = checkFig5(out)
+	return out, nil
+}
+
+func fig5Machine(cfg Config, tc *compiler.Toolchain, m *arch.Machine) (*reportTable, error) {
+	t := newReportTable(
+		fmt.Sprintf("Fig. 5 (%s): speedup normalized to O3", m.Name),
+		"benchmark", fig5Algorithms...)
+	for _, app := range apps.Names() {
+		sess, err := coreSession(cfg, tc, app, m)
+		if err != nil {
+			return nil, err
+		}
+		results, err := sess.RunAll()
+		if err != nil {
+			return nil, err
+		}
+		for _, alg := range fig5Algorithms {
+			t.Set(app, alg, results[alg].Speedup)
+		}
+	}
+	geoMeanRow(t)
+	paper := paperFig5GM[m.Name]
+	t.AddNote("paper geomean CFR on %s: %.3f (measured %.3f)",
+		m.Name, paper, mustGet(t, "GM", "CFR"))
+	return t, nil
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"funcytuner/internal/apps"
+	"funcytuner/internal/arch"
+	"funcytuner/internal/baselines/cobayn"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/flagspec"
+)
+
+// Fig7 reproduces Fig. 7: every technique is tuned on the Table 2 tuning
+// input on Broadwell, then its chosen configuration is evaluated on the
+// §4.3 small (7a) and large (7b) test inputs, normalized to O3 on the
+// same input.
+func Fig7(cfg Config) (*Output, error) {
+	out := &Output{Name: "fig7"}
+	m := arch.Broadwell()
+	tc := compiler.NewToolchain(flagspec.ICC())
+
+	// COBAYN static model (the paper's best-performing variant).
+	trainCfg := cobayn.DefaultTrainConfig(cfg.Seed)
+	trainCfg.SamplesPerProgram = cfg.Samples
+	trainCfg.TopPerProgram = cfg.Samples / 10
+	model, err := cobayn.Train(tc, apps.Corpus(cfg.CorpusSize), apps.CorpusInput(), m, cobayn.Static, trainCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	small := newReportTable("Fig. 7a: speedup over O3, small test inputs (Broadwell)",
+		"benchmark", fig7Columns...)
+	large := newReportTable("Fig. 7b: speedup over O3, large test inputs (Broadwell)",
+		"benchmark", fig7Columns...)
+
+	for _, app := range apps.Names() {
+		ta, err := tuneAllTechniques(cfg, tc, app, m, model)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := ta.speedupOn(apps.SmallInput(app))
+		if err != nil {
+			return nil, err
+		}
+		for name, v := range sp {
+			small.Set(app, name, v)
+		}
+		lp, err := ta.speedupOn(apps.LargeInput(app))
+		if err != nil {
+			return nil, err
+		}
+		for name, v := range lp {
+			large.Set(app, name, v)
+		}
+	}
+	geoMeanRow(small)
+	geoMeanRow(large)
+	small.AddNote("paper CFR GM on small inputs: %.3f (measured %.3f)",
+		paperFig7GM["small"], mustGet(small, "GM", "CFR"))
+	large.AddNote("paper CFR GM on large inputs: %.3f (measured %.3f)",
+		paperFig7GM["large"], mustGet(large, "GM", "CFR"))
+	out.Tables = append(out.Tables, small, large)
+	out.Deviations = checkFig7(small, large)
+	return out, nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"funcytuner/internal/apps"
+	"funcytuner/internal/arch"
+	"funcytuner/internal/baselines/cobayn"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/flagspec"
+)
+
+// fig8Steps are the Fig. 8 time-step counts.
+var fig8Steps = []int{100, 200, 400, 800}
+
+// Fig8 reproduces Fig. 8: CloverLeaf on Broadwell, every technique tuned
+// on the Table 2 input (2000 cells, 60 steps), evaluated while scaling
+// the simulation from 100 to 800 time-steps. The paper's claim: "CFR
+// provides a stable performance benefit" across the sweep.
+func Fig8(cfg Config) (*Output, error) {
+	out := &Output{Name: "fig8"}
+	m := arch.Broadwell()
+	tc := compiler.NewToolchain(flagspec.ICC())
+
+	trainCfg := cobayn.DefaultTrainConfig(cfg.Seed)
+	trainCfg.SamplesPerProgram = cfg.Samples
+	trainCfg.TopPerProgram = cfg.Samples / 10
+	model, err := cobayn.Train(tc, apps.Corpus(cfg.CorpusSize), apps.CorpusInput(), m, cobayn.Static, trainCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	ta, err := tuneAllTechniques(cfg, tc, apps.CloverLeaf, m, model)
+	if err != nil {
+		return nil, err
+	}
+
+	t := newReportTable("Fig. 8: CloverLeaf on Broadwell, speedup over O3 vs time-steps",
+		"steps", fig7Columns...)
+	for _, steps := range fig8Steps {
+		sp, err := ta.speedupOn(apps.StepsInput(apps.CloverLeaf, steps))
+		if err != nil {
+			return nil, err
+		}
+		row := fmt.Sprintf("%d", steps)
+		for name, v := range sp {
+			t.Set(row, name, v)
+		}
+	}
+	geoMeanRow(t)
+	out.Tables = append(out.Tables, t)
+	out.Deviations = checkFig8(t)
+	return out, nil
+}

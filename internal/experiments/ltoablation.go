@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"funcytuner/internal/apps"
+	"funcytuner/internal/arch"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/core"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/outline"
+)
+
+// LTOAblation is the counterfactual behind the paper's central mechanism:
+// §3.2 switches every build system to Intel's xild/xiar so link-time IPO
+// can "reach the full optimization potential" — which is exactly what
+// makes greedily combined modules interfere (§1, §4.4.2 obs. 3). This
+// ablation re-runs greedy combination and CFR with the cross-module
+// optimizer disabled. Expectation: without LTO, G.realized snaps up to
+// its G.Independent bound (the independence assumption becomes *true*),
+// and CFR's edge over G disappears — per-loop tuning without interference
+// needs no focused search.
+func LTOAblation(cfg Config) (*Output, error) {
+	out := &Output{Name: "lto"}
+	m := arch.Broadwell()
+	t := newReportTable("LTO ablation (Broadwell): greedy combination with and without link-time IPO",
+		"benchmark", "G.real+LTO", "G.real-noLTO", "G.Indep", "CFR+LTO", "CFR-noLTO")
+	for _, app := range ablationApps {
+		prog, err := apps.Get(app)
+		if err != nil {
+			return nil, err
+		}
+		in := apps.TuningInput(app, m)
+		for _, lto := range []bool{true, false} {
+			tc := compiler.NewToolchain(flagspec.ICC())
+			tc.DisableLTO = !lto
+			res, err := outline.AutoOutline(tc, prog, m, in, outline.HotThreshold, 1, nil)
+			if err != nil {
+				return nil, err
+			}
+			sess, err := core.NewSession(tc, prog, res.Partition, m, in, core.Config{
+				Samples: cfg.Samples, TopX: cfg.TopX, Seed: cfg.Seed, Workers: cfg.Workers, Noisy: cfg.Noisy,
+			})
+			if err != nil {
+				return nil, err
+			}
+			col, err := sess.Collect()
+			if err != nil {
+				return nil, err
+			}
+			gr, gi, err := sess.Greedy(col)
+			if err != nil {
+				return nil, err
+			}
+			cfr, err := sess.CFR(col)
+			if err != nil {
+				return nil, err
+			}
+			suffix := "+LTO"
+			if !lto {
+				suffix = "-noLTO"
+			}
+			t.Set(app, "G.real"+suffix, gr.Speedup)
+			t.Set(app, "CFR"+suffix, cfr.Speedup)
+			if lto {
+				t.Set(app, "G.Indep", gi.Speedup)
+			}
+		}
+	}
+	geoMeanRow(t)
+	t.AddNote("without xild-style LTO the independence assumption holds and greedy combination is safe")
+	out.Tables = append(out.Tables, t)
+	out.Deviations = checkLTO(t)
+	return out, nil
+}
+
+func checkLTO(t *reportTable) []string {
+	var bad []string
+	// With LTO, greedy must trail its bound; without, it must close in.
+	gWith := mustGet(t, "GM", "G.real+LTO")
+	gWithout := mustGet(t, "GM", "G.real-noLTO")
+	gInd := mustGet(t, "GM", "G.Indep")
+	if gInd-gWith < 0.04 {
+		bad = append(bad, fmt.Sprintf("lto: with LTO the greedy gap %.3f is too small", gInd-gWith))
+	}
+	if gInd-gWithout > 0.03 {
+		bad = append(bad, fmt.Sprintf("lto: without LTO greedy still trails its bound by %.3f", gInd-gWithout))
+	}
+	if gWithout <= gWith {
+		bad = append(bad, fmt.Sprintf("lto: disabling LTO did not rescue greedy (%.3f vs %.3f)", gWithout, gWith))
+	}
+	// CFR must beat greedy only when interference exists.
+	cfrWith := mustGet(t, "GM", "CFR+LTO")
+	if cfrWith <= gWith {
+		bad = append(bad, "lto: CFR does not beat greedy under LTO")
+	}
+	cfrWithout := mustGet(t, "GM", "CFR-noLTO")
+	if gWithout-cfrWithout < -0.02 {
+		bad = append(bad, fmt.Sprintf("lto: without LTO CFR (%.3f) should not clearly beat greedy (%.3f)", cfrWithout, gWithout))
+	}
+	return bad
+}

@@ -1,0 +1,339 @@
+// Package flagspec defines compiler optimization-flag spaces and
+// compilation vectors (CVs) as introduced in §2.1 of the FuncyTuner paper.
+//
+// A Space is an ordered list of flags; each flag has a small set of
+// discrete values (binary switches or discretized parametric options). A
+// CV instantiates every flag with one value — one point of the compiler
+// optimization space (COS). The ICC-like space built by ICC() has 33 flags
+// and ~2.2e13 points, matching the paper's "roughly 2.3e13". A GCC-like
+// space (GCC()) backs the Combined Elimination experiment of Fig. 1.
+//
+// Flag semantics are communicated to the compiler model through the Knobs
+// struct: each flag carries an apply function that writes its chosen value
+// into a Knobs. This keeps the compiler model flavor-agnostic — an ICC
+// space and a GCC space simply map different command-line surfaces onto
+// the same internal optimization knobs.
+package flagspec
+
+import (
+	"fmt"
+	"strings"
+
+	"funcytuner/internal/xrand"
+)
+
+// Flavor identifies a compiler command-line surface.
+type Flavor int
+
+const (
+	// FlavorICC models the Intel C/C++/Fortran compiler 17.x flag surface.
+	FlavorICC Flavor = iota
+	// FlavorGCC models the GNU compiler 5.x flag surface.
+	FlavorGCC
+)
+
+func (f Flavor) String() string {
+	switch f {
+	case FlavorICC:
+		return "icc"
+	case FlavorGCC:
+		return "gcc"
+	default:
+		return fmt.Sprintf("Flavor(%d)", int(f))
+	}
+}
+
+// Flag is one command-line optimization flag with discrete values.
+type Flag struct {
+	// Name is the canonical flag name (without leading dash).
+	Name string
+	// Values are the human-readable value labels; Values[i] renders as
+	// "-Name=Values[i]" (or a bare switch for binary on/off flags).
+	Values []string
+	// Default is the index of the value implied by the plain -O3 baseline.
+	Default int
+	// apply writes value index v into the knob set.
+	apply func(k *Knobs, v int)
+}
+
+// Space is an ordered collection of flags — the compiler optimization
+// space (COS) of §2.1.
+type Space struct {
+	Flavor Flavor
+	Flags  []Flag
+	base   Knobs // knob values before any flag is applied
+}
+
+// NumFlags returns the number of flags (N in §2.1).
+func (s *Space) NumFlags() int { return len(s.Flags) }
+
+// Size returns the number of points in the COS (C0 = Π ni), as a float64
+// because the ICC space exceeds 2^43.
+func (s *Space) Size() float64 {
+	size := 1.0
+	for _, f := range s.Flags {
+		size *= float64(len(f.Values))
+	}
+	return size
+}
+
+// AltValue returns the designated "aggressive alternative" value index of
+// flag i: the opposite setting for binary switches, the last (most
+// aggressive) value for multi-valued flags, or the first when the default
+// already is the last. Combined Elimination starts from all-alternatives
+// and COBAYN binarizes multi-valued flags this way (§4.2.1).
+func (s *Space) AltValue(i int) int {
+	f := s.Flags[i]
+	a := len(f.Values) - 1
+	if a == f.Default {
+		a = 0
+	}
+	return a
+}
+
+// FlagIndex returns the index of the named flag, or -1.
+func (s *Space) FlagIndex(name string) int {
+	for i, f := range s.Flags {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// CV is a compilation vector: one chosen value index per flag of a Space.
+// CVs are immutable by convention; use Clone before mutating vals.
+type CV struct {
+	space *Space
+	vals  []uint8
+}
+
+// Space returns the space this CV belongs to.
+func (cv CV) Space() *Space { return cv.space }
+
+// Value returns the chosen value index of flag i.
+func (cv CV) Value(i int) int { return int(cv.vals[i]) }
+
+// ValueLabel returns the chosen value label of flag i.
+func (cv CV) ValueLabel(i int) string { return cv.space.Flags[i].Values[cv.vals[i]] }
+
+// IsZero reports whether the CV is the zero value (no space attached).
+func (cv CV) IsZero() bool { return cv.space == nil }
+
+// Baseline returns the CV corresponding to the plain -O3 compilation the
+// paper uses as its performance baseline (§3.3).
+func (s *Space) Baseline() CV {
+	vals := make([]uint8, len(s.Flags))
+	for i, f := range s.Flags {
+		vals[i] = uint8(f.Default)
+	}
+	return CV{space: s, vals: vals}
+}
+
+// Make constructs a CV from explicit value indices (len must match the
+// number of flags; indices are validated).
+func (s *Space) Make(vals []int) (CV, error) {
+	if len(vals) != len(s.Flags) {
+		return CV{}, fmt.Errorf("flagspec: Make got %d values for %d flags", len(vals), len(s.Flags))
+	}
+	out := make([]uint8, len(vals))
+	for i, v := range vals {
+		if v < 0 || v >= len(s.Flags[i].Values) {
+			return CV{}, fmt.Errorf("flagspec: flag %s value index %d out of range [0,%d)", s.Flags[i].Name, v, len(s.Flags[i].Values))
+		}
+		out[i] = uint8(v)
+	}
+	return CV{space: s, vals: out}, nil
+}
+
+// Random samples a CV uniformly from the space (each flag value with equal
+// probability, as §3.2 specifies).
+func (s *Space) Random(r *xrand.Rand) CV {
+	vals := make([]uint8, len(s.Flags))
+	for i, f := range s.Flags {
+		vals[i] = uint8(r.Intn(len(f.Values)))
+	}
+	return CV{space: s, vals: vals}
+}
+
+// Sample draws n CVs uniformly (with replacement between draws but each
+// draw independent), the pre-sampling step shared by all algorithms in §2.2.
+func (s *Space) Sample(r *xrand.Rand, n int) []CV {
+	out := make([]CV, n)
+	for i := range out {
+		out[i] = s.Random(r)
+	}
+	return out
+}
+
+// Clone returns a deep copy whose value slice can be mutated safely.
+func (cv CV) Clone() CV {
+	vals := append([]uint8(nil), cv.vals...)
+	return CV{space: cv.space, vals: vals}
+}
+
+// With returns a copy of cv with flag i set to value v.
+func (cv CV) With(i, v int) CV {
+	c := cv.Clone()
+	if v < 0 || v >= len(cv.space.Flags[i].Values) {
+		panic(fmt.Sprintf("flagspec: With(%d,%d) out of range", i, v))
+	}
+	c.vals[i] = uint8(v)
+	return c
+}
+
+// Equal reports whether two CVs choose identical values in the same space.
+func (cv CV) Equal(other CV) bool {
+	if cv.space != other.space || len(cv.vals) != len(other.vals) {
+		return false
+	}
+	for i := range cv.vals {
+		if cv.vals[i] != other.vals[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a 64-bit fingerprint of the CV, suitable for dedup maps.
+func (cv CV) Key() uint64 {
+	parts := make([]uint64, 0, len(cv.vals)+1)
+	parts = append(parts, uint64(cv.space.Flavor))
+	for _, v := range cv.vals {
+		parts = append(parts, uint64(v))
+	}
+	return xrand.Combine(parts...)
+}
+
+// String renders the CV in a command-line-like form, e.g.
+// "-O3 -unroll=auto -vec=on ...". It is stable and parseable by Parse.
+func (cv CV) String() string {
+	var b strings.Builder
+	for i, f := range cv.space.Flags {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "-%s=%s", f.Name, f.Values[cv.vals[i]])
+	}
+	return b.String()
+}
+
+// Parse parses the output of String back into a CV of this space.
+func (s *Space) Parse(str string) (CV, error) {
+	cv := s.Baseline().Clone()
+	seen := make([]bool, len(s.Flags))
+	for _, tok := range strings.Fields(str) {
+		if !strings.HasPrefix(tok, "-") {
+			return CV{}, fmt.Errorf("flagspec: bad token %q", tok)
+		}
+		eq := strings.IndexByte(tok, '=')
+		if eq < 0 {
+			return CV{}, fmt.Errorf("flagspec: token %q missing value", tok)
+		}
+		name, val := tok[1:eq], tok[eq+1:]
+		fi := s.FlagIndex(name)
+		if fi < 0 {
+			return CV{}, fmt.Errorf("flagspec: unknown flag %q", name)
+		}
+		vi := -1
+		for j, v := range s.Flags[fi].Values {
+			if v == val {
+				vi = j
+				break
+			}
+		}
+		if vi < 0 {
+			return CV{}, fmt.Errorf("flagspec: flag %q has no value %q", name, val)
+		}
+		cv.vals[fi] = uint8(vi)
+		seen[fi] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			return CV{}, fmt.Errorf("flagspec: flag %q not specified", s.Flags[i].Name)
+		}
+	}
+	return cv, nil
+}
+
+// Knobs materializes the semantic optimization knobs selected by this CV.
+func (cv CV) Knobs() Knobs {
+	k := cv.space.base
+	for i, f := range cv.space.Flags {
+		f.apply(&k, int(cv.vals[i]))
+	}
+	return k
+}
+
+// Distance returns the number of flags on which two CVs differ (Hamming).
+func (cv CV) Distance(other CV) int {
+	if cv.space != other.space {
+		panic("flagspec: Distance across spaces")
+	}
+	d := 0
+	for i := range cv.vals {
+		if cv.vals[i] != other.vals[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// Encode maps the CV to a float vector in [0,1)^N (value index scaled by
+// cardinality) for continuous search techniques (Nelder–Mead).
+func (cv CV) Encode() []float64 {
+	out := make([]float64, len(cv.vals))
+	for i, v := range cv.vals {
+		n := len(cv.space.Flags[i].Values)
+		out[i] = (float64(v) + 0.5) / float64(n)
+	}
+	return out
+}
+
+// Decode maps a float vector back to a CV, clamping each coordinate into
+// [0,1) and rounding to the nearest value index.
+func (s *Space) Decode(x []float64) CV {
+	if len(x) != len(s.Flags) {
+		panic("flagspec: Decode length mismatch")
+	}
+	vals := make([]uint8, len(x))
+	for i, v := range x {
+		n := len(s.Flags[i].Values)
+		if v < 0 {
+			v = 0
+		}
+		if v >= 1 {
+			v = 0.999999
+		}
+		idx := int(v * float64(n))
+		if idx >= n {
+			idx = n - 1
+		}
+		vals[i] = uint8(idx)
+	}
+	return CV{space: s, vals: vals}
+}
+
+// Mutate returns a copy of cv with k uniformly chosen flags re-sampled.
+func (cv CV) Mutate(r *xrand.Rand, k int) CV {
+	c := cv.Clone()
+	for n := 0; n < k; n++ {
+		i := r.Intn(len(c.vals))
+		c.vals[i] = uint8(r.Intn(len(cv.space.Flags[i].Values)))
+	}
+	return c
+}
+
+// Crossover returns a uniform crossover of cv and other.
+func (cv CV) Crossover(r *xrand.Rand, other CV) CV {
+	if cv.space != other.space {
+		panic("flagspec: Crossover across spaces")
+	}
+	c := cv.Clone()
+	for i := range c.vals {
+		if r.Bool(0.5) {
+			c.vals[i] = other.vals[i]
+		}
+	}
+	return c
+}

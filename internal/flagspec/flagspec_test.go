@@ -1,0 +1,342 @@
+package flagspec
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"funcytuner/internal/xrand"
+)
+
+func TestICCShape(t *testing.T) {
+	s := ICC()
+	if got := s.NumFlags(); got != 33 {
+		t.Fatalf("ICC space has %d flags, want 33 (per §3.2)", got)
+	}
+	// The paper reports the COS size as "roughly 2.3e13".
+	size := s.Size()
+	if size < 1e13 || size > 4e13 {
+		t.Errorf("ICC COS size = %.3e, want within [1e13, 4e13]", size)
+	}
+}
+
+func TestGCCShape(t *testing.T) {
+	s := GCC()
+	if s.NumFlags() < 20 {
+		t.Errorf("GCC space has only %d flags", s.NumFlags())
+	}
+	for i, f := range s.Flags[1:] {
+		if len(f.Values) != 2 {
+			t.Errorf("GCC flag %d (%s) is not binary", i+1, f.Name)
+		}
+	}
+}
+
+func TestBaselineKnobsICC(t *testing.T) {
+	k := ICC().Baseline().Knobs()
+	if k.OptLevel != 3 {
+		t.Errorf("baseline OptLevel = %d, want 3", k.OptLevel)
+	}
+	if !k.VecEnabled {
+		t.Error("baseline should enable vectorization")
+	}
+	if k.VecThreshold != 100 {
+		t.Errorf("baseline VecThreshold = %d, want 100 (conservative)", k.VecThreshold)
+	}
+	if k.UnrollMode != UnrollAuto {
+		t.Errorf("baseline UnrollMode = %d, want auto", k.UnrollMode)
+	}
+	if k.IPO || k.AnsiAlias {
+		t.Error("baseline should not enable IPO or ansi-alias")
+	}
+	if k.SimdWidthPref != WidthAuto {
+		t.Errorf("baseline SimdWidthPref = %d, want auto", k.SimdWidthPref)
+	}
+	if k.InlineLevel != 2 || k.InlineFactor != 100 {
+		t.Errorf("baseline inline = (%d,%d), want (2,100)", k.InlineLevel, k.InlineFactor)
+	}
+	if k.HeapArrays != -1 {
+		t.Errorf("baseline HeapArrays = %d, want -1 (off)", k.HeapArrays)
+	}
+}
+
+func TestBaselineKnobsGCC(t *testing.T) {
+	k := GCC().Baseline().Knobs()
+	if k.OptLevel != 3 || !k.VecEnabled || !k.AnsiAlias {
+		t.Errorf("GCC -O3 baseline knobs wrong: %+v", k)
+	}
+	if k.UnrollMode != UnrollAuto {
+		t.Errorf("GCC baseline UnrollMode = %d, want auto", k.UnrollMode)
+	}
+}
+
+func TestWithAndValue(t *testing.T) {
+	cv := ICC().Baseline()
+	cv2 := cv.With(IccVec, 0)
+	if cv2.Knobs().VecEnabled {
+		t.Error("With(IccVec, off) did not disable vectorization")
+	}
+	if !cv.Knobs().VecEnabled {
+		t.Error("With mutated the receiver")
+	}
+	if cv2.Value(IccVec) != 0 {
+		t.Error("Value did not reflect With")
+	}
+}
+
+func TestUnrollValues(t *testing.T) {
+	cv := ICC().Baseline()
+	for v, want := range map[int]int{0: UnrollAuto, 1: UnrollDisable, 2: 2, 3: 4, 4: 8, 5: 16} {
+		if got := cv.With(IccUnroll, v).Knobs().UnrollMode; got != want {
+			t.Errorf("unroll value %d → mode %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestSimdWidthValues(t *testing.T) {
+	cv := ICC().Baseline()
+	for v, want := range map[int]int{0: WidthAuto, 1: 128, 2: 256} {
+		if got := cv.With(IccSimdWidth, v).Knobs().SimdWidthPref; got != want {
+			t.Errorf("width value %d → %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	r := xrand.NewFromString("roundtrip")
+	for _, s := range []*Space{ICC(), GCC()} {
+		for i := 0; i < 50; i++ {
+			cv := s.Random(r)
+			parsed, err := s.Parse(cv.String())
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", cv.String(), err)
+			}
+			if !parsed.Equal(cv) {
+				t.Fatalf("round trip mismatch:\n  in : %s\n  out: %s", cv, parsed)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	s := ICC()
+	cases := []string{
+		"garbage",
+		"-nosuchflag=on",
+		"-vec=maybe",
+		"-O=3", // incomplete: all other flags missing
+	}
+	for _, c := range cases {
+		if _, err := s.Parse(c); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestRandomUniformCoverage(t *testing.T) {
+	s := ICC()
+	r := xrand.NewFromString("coverage")
+	counts := make([][]int, s.NumFlags())
+	for i, f := range s.Flags {
+		counts[i] = make([]int, len(f.Values))
+	}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		cv := s.Random(r)
+		for fi := range s.Flags {
+			counts[fi][cv.Value(fi)]++
+		}
+	}
+	for fi, f := range s.Flags {
+		expect := float64(n) / float64(len(f.Values))
+		for vi, c := range counts[fi] {
+			if float64(c) < 0.75*expect || float64(c) > 1.25*expect {
+				t.Errorf("flag %s value %d drawn %d times, expect ~%.0f", f.Name, vi, c, expect)
+			}
+		}
+	}
+}
+
+func TestKeyAndEqual(t *testing.T) {
+	r := xrand.NewFromString("keys")
+	s := ICC()
+	seen := map[uint64]CV{}
+	for i := 0; i < 2000; i++ {
+		cv := s.Random(r)
+		if prev, ok := seen[cv.Key()]; ok && !prev.Equal(cv) {
+			t.Fatalf("Key collision between distinct CVs")
+		}
+		seen[cv.Key()] = cv
+	}
+	b := s.Baseline()
+	if !b.Equal(s.Baseline()) {
+		t.Error("baseline not equal to itself")
+	}
+	if b.Key() != s.Baseline().Key() {
+		t.Error("equal CVs have different keys")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := xrand.NewFromString("encode")
+	s := ICC()
+	for i := 0; i < 200; i++ {
+		cv := s.Random(r)
+		if got := s.Decode(cv.Encode()); !got.Equal(cv) {
+			t.Fatalf("Encode/Decode mismatch: %s vs %s", cv, got)
+		}
+	}
+}
+
+func TestDecodeClamps(t *testing.T) {
+	s := ICC()
+	x := make([]float64, s.NumFlags())
+	for i := range x {
+		x[i] = 5.0 // far out of range
+	}
+	cv := s.Decode(x)
+	for i, f := range s.Flags {
+		if cv.Value(i) != len(f.Values)-1 {
+			t.Errorf("Decode did not clamp flag %s high", f.Name)
+		}
+	}
+	for i := range x {
+		x[i] = -3
+	}
+	cv = s.Decode(x)
+	for i := range s.Flags {
+		if cv.Value(i) != 0 {
+			t.Errorf("Decode did not clamp flag %d low", i)
+		}
+	}
+}
+
+func TestDistance(t *testing.T) {
+	s := ICC()
+	b := s.Baseline()
+	if d := b.Distance(b); d != 0 {
+		t.Errorf("self distance = %d", d)
+	}
+	m := b.With(IccVec, 0).With(IccIPO, 1)
+	if d := b.Distance(m); d != 2 {
+		t.Errorf("distance = %d, want 2", d)
+	}
+}
+
+func TestMutateChangesWithinSpace(t *testing.T) {
+	s := ICC()
+	r := xrand.NewFromString("mutate")
+	b := s.Baseline()
+	for i := 0; i < 100; i++ {
+		m := b.Mutate(r, 3)
+		if m.Distance(b) > 3 {
+			t.Fatalf("Mutate(3) changed %d flags", m.Distance(b))
+		}
+	}
+}
+
+func TestCrossoverMixesParents(t *testing.T) {
+	s := ICC()
+	r := xrand.NewFromString("crossover")
+	a := s.Baseline()
+	bvals := make([]int, s.NumFlags())
+	for i, f := range s.Flags {
+		bvals[i] = (a.Value(i) + 1) % len(f.Values)
+	}
+	b, err := s.Make(bvals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := a.Crossover(r, b)
+	for i := range s.Flags {
+		v := child.Value(i)
+		if v != a.Value(i) && v != b.Value(i) {
+			t.Fatalf("crossover invented value for flag %d", i)
+		}
+	}
+}
+
+func TestLinkKeyGrouping(t *testing.T) {
+	s := ICC()
+	b := s.Baseline()
+	// Changing a non-link-sensitive flag must preserve the LinkKey.
+	if b.Knobs().LinkKey() != b.With(IccPrefetch, 4).Knobs().LinkKey() {
+		t.Error("prefetch changed LinkKey; it should not be link-sensitive")
+	}
+	if b.Knobs().LinkKey() != b.With(IccUnroll, 4).Knobs().LinkKey() {
+		t.Error("unroll changed LinkKey; it should not be link-sensitive")
+	}
+	// Changing link-sensitive flags must change the LinkKey.
+	for _, fi := range []int{IccIPO, IccIP, IccInlineLevel, IccAnsiAlias, IccMemLayout, IccSimdWidth} {
+		alt := (b.Value(fi) + 1) % len(s.Flags[fi].Values)
+		if b.Knobs().LinkKey() == b.With(fi, alt).Knobs().LinkKey() {
+			t.Errorf("flag %s did not change LinkKey", s.Flags[fi].Name)
+		}
+	}
+}
+
+func TestSchedKeySensitivity(t *testing.T) {
+	s := ICC()
+	b := s.Baseline()
+	if b.Knobs().SchedKey() == b.With(IccRAStrategy, 1).Knobs().SchedKey() {
+		t.Error("RA strategy should affect SchedKey")
+	}
+	if b.Knobs().SchedKey() != b.With(IccVec, 0).Knobs().SchedKey() {
+		t.Error("vec flag should not affect SchedKey")
+	}
+}
+
+func TestMakeValidates(t *testing.T) {
+	s := ICC()
+	if _, err := s.Make([]int{1, 2}); err == nil {
+		t.Error("Make with wrong length should fail")
+	}
+	bad := make([]int, s.NumFlags())
+	bad[IccVec] = 99
+	if _, err := s.Make(bad); err == nil {
+		t.Error("Make with out-of-range value should fail")
+	}
+}
+
+func TestSampleCount(t *testing.T) {
+	r := xrand.NewFromString("sample")
+	cvs := ICC().Sample(r, 17)
+	if len(cvs) != 17 {
+		t.Fatalf("Sample returned %d CVs", len(cvs))
+	}
+}
+
+func TestStringMentionsEveryFlag(t *testing.T) {
+	s := ICC()
+	str := s.Baseline().String()
+	for _, f := range s.Flags {
+		if !strings.Contains(str, "-"+f.Name+"=") {
+			t.Errorf("String() missing flag %s", f.Name)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		cv := ICC().Random(r)
+		cl := cv.Clone()
+		if !cl.Equal(cv) {
+			return false
+		}
+		cl.vals[0] = (cl.vals[0] + 1) % 3
+		return !cl.Equal(cv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlavorString(t *testing.T) {
+	if FlavorICC.String() != "icc" || FlavorGCC.String() != "gcc" {
+		t.Error("flavor strings wrong")
+	}
+	if Flavor(9).String() == "" {
+		t.Error("unknown flavor should still render")
+	}
+}

@@ -1,0 +1,59 @@
+package flagspec
+
+import (
+	"testing"
+
+	"funcytuner/internal/xrand"
+)
+
+// FuzzParse: Parse must never panic, and whenever it accepts an input the
+// result must re-render to a parseable, equal CV.
+func FuzzParse(f *testing.F) {
+	f.Add("-O=3 -vec=on")
+	f.Add(ICC().Baseline().String())
+	f.Add(GCC().Baseline().String())
+	f.Add("")
+	f.Add("-unroll=16 -unroll=auto")
+	f.Add("-O=1 -O=2 -O=3")
+	f.Add("garbage -O=")
+	r := xrand.NewFromString("fuzz-seed")
+	for i := 0; i < 8; i++ {
+		f.Add(ICC().Random(r).String())
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		for _, space := range []*Space{ICC(), GCC()} {
+			cv, err := space.Parse(input)
+			if err != nil {
+				continue
+			}
+			round, err := space.Parse(cv.String())
+			if err != nil {
+				t.Fatalf("accepted input %q rendered to unparseable %q: %v", input, cv.String(), err)
+			}
+			if !round.Equal(cv) {
+				t.Fatalf("round trip changed the CV for input %q", input)
+			}
+			_ = cv.Knobs() // must not panic
+		}
+	})
+}
+
+// FuzzDecode: Decode must accept any vector of the right length.
+func FuzzDecode(f *testing.F) {
+	f.Add(0.0, 1.0, -5.0)
+	f.Add(0.5, 0.5, 0.5)
+	f.Fuzz(func(t *testing.T, a, b, c float64) {
+		space := ICC()
+		x := make([]float64, space.NumFlags())
+		vals := []float64{a, b, c}
+		for i := range x {
+			x[i] = vals[i%3]
+		}
+		cv := space.Decode(x)
+		for i, fl := range space.Flags {
+			if cv.Value(i) < 0 || cv.Value(i) >= len(fl.Values) {
+				t.Fatalf("Decode produced out-of-range value for flag %s", fl.Name)
+			}
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package flagspec
+
+// Indices of the GCC flags in the space returned by GCC(). The GCC-like
+// space backs the Combined Elimination experiment (Fig. 1): CE operates on
+// binary on/off flags layered over an -O3 baseline.
+const (
+	GccOptLevel = iota
+	GccTreeVectorize
+	GccSlpVectorize
+	GccVectCostModel // cheap = conservative threshold, dynamic = permissive
+	GccPreferAVX128  // prefer 128-bit vectors over the widest ISA
+	GccUnrollLoops
+	GccUnrollAllLoops
+	GccPrefetchLoopArrays
+	GccInlineFunctions
+	GccIPAPTA // whole-program pointer analysis (link-sensitive)
+	GccLTO
+	GccStrictAliasing
+	GccPeelLoops
+	GccSplitLoops
+	GccUnswitchLoops
+	GccTreeLoopDistribution
+	GccGcseAfterReload
+	GccIpaCpClone
+	GccTreePartialPre
+	GccSchedulePressure
+	GccRegRenaming
+	GccAlignLoopsFlag
+	GccAlignFunctionsFlag
+	GccOmitFramePointer
+	GccTreeSlsr
+	GccSectionAnchors
+
+	gccNumFlags
+)
+
+var gccSpace = buildGCC()
+
+// GCC returns the GNU-compiler-like optimization space: an -O level plus
+// binary -f switches, mirroring how Combined Elimination treats GCC (all
+// O3-implied flags on, then iterative elimination).
+func GCC() *Space { return gccSpace }
+
+func buildGCC() *Space {
+	flags := make([]Flag, gccNumFlags)
+
+	flags[GccOptLevel] = Flag{
+		Name: "O", Values: []string{"1", "2", "3"}, Default: 2,
+		apply: func(k *Knobs, v int) { k.OptLevel = v + 1 },
+	}
+	flags[GccTreeVectorize] = onOff("ftree-vectorize", true, func(k *Knobs, on bool) { k.VecEnabled = on })
+	flags[GccSlpVectorize] = onOff("ftree-slp-vectorize", true, func(k *Knobs, on bool) { k.SafePadding = on })
+	flags[GccVectCostModel] = Flag{
+		Name: "fvect-cost-model", Values: []string{"cheap", "dynamic"}, Default: 0,
+		apply: func(k *Knobs, v int) {
+			if v == 0 {
+				k.VecThreshold = 100
+			} else {
+				k.VecThreshold = 35
+			}
+		},
+	}
+	flags[GccPreferAVX128] = onOff("mprefer-avx128", false, func(k *Knobs, on bool) {
+		if on {
+			k.SimdWidthPref = 128
+		}
+	})
+	flags[GccUnrollLoops] = onOff("funroll-loops", false, func(k *Knobs, on bool) {
+		if on {
+			k.UnrollMode = 4
+		}
+	})
+	flags[GccUnrollAllLoops] = onOff("funroll-all-loops", false, func(k *Knobs, on bool) { k.UnrollAggressive = on })
+	flags[GccPrefetchLoopArrays] = onOff("fprefetch-loop-arrays", false, func(k *Knobs, on bool) {
+		if on {
+			k.Prefetch = 3
+		} else {
+			k.Prefetch = 1
+		}
+	})
+	flags[GccInlineFunctions] = onOff("finline-functions", true, func(k *Knobs, on bool) {
+		if on {
+			k.InlineLevel = 2
+		} else {
+			k.InlineLevel = 1
+		}
+	})
+	flags[GccIPAPTA] = onOff("fipa-pta", false, func(k *Knobs, on bool) { k.IP = on })
+	flags[GccLTO] = onOff("flto", false, func(k *Knobs, on bool) { k.IPO = on })
+	flags[GccStrictAliasing] = onOff("fstrict-aliasing", true, func(k *Knobs, on bool) { k.AnsiAlias = on })
+	flags[GccPeelLoops] = onOff("fpeel-loops", true, func(k *Knobs, on bool) { k.DynamicAlign = on })
+	flags[GccSplitLoops] = onOff("fsplit-loops", true, func(k *Knobs, on bool) { k.MultiVersion = on })
+	flags[GccUnswitchLoops] = onOff("funswitch-loops", true, func(k *Knobs, on bool) { k.SubscriptRange = on })
+	flags[GccTreeLoopDistribution] = onOff("ftree-loop-distribution", false, func(k *Knobs, on bool) {
+		if on {
+			k.MemLayout = 2
+		}
+	})
+	flags[GccGcseAfterReload] = onOff("fgcse-after-reload", true, func(k *Knobs, on bool) { k.ScalarRep = on })
+	flags[GccIpaCpClone] = onOff("fipa-cp-clone", true, func(k *Knobs, on bool) { k.ClassAnalysis = on })
+	flags[GccTreePartialPre] = onOff("ftree-partial-pre", true, func(k *Knobs, on bool) { k.Calloc = on })
+	flags[GccSchedulePressure] = onOff("fsched-pressure", false, func(k *Knobs, on bool) {
+		if on {
+			k.RAStrategy = RABlock
+		}
+	})
+	flags[GccRegRenaming] = onOff("frename-registers", false, func(k *Knobs, on bool) {
+		if on {
+			k.RAStrategy = RARoutine
+		}
+	})
+	flags[GccAlignLoopsFlag] = onOff("falign-loops", true, func(k *Knobs, on bool) { k.AlignLoops = on })
+	flags[GccAlignFunctionsFlag] = onOff("falign-functions", true, func(k *Knobs, on bool) { k.AlignFunctions = on })
+	flags[GccOmitFramePointer] = onOff("fomit-frame-pointer", true, func(k *Knobs, on bool) { k.OmitFP = on })
+	flags[GccTreeSlsr] = onOff("ftree-slsr", true, func(k *Knobs, on bool) { k.JumpTables = on })
+	flags[GccSectionAnchors] = onOff("fsection-anchors", false, func(k *Knobs, on bool) { k.FnSplit = on })
+
+	return &Space{
+		Flavor: FlavorGCC,
+		Flags:  flags,
+		base: Knobs{
+			// GCC defaults for knobs its flags never touch.
+			UnrollMode:   UnrollAuto,
+			InlineFactor: 100,
+			HeapArrays:   -1,
+			StreamStores: StreamAuto,
+		},
+	}
+}

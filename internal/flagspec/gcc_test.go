@@ -1,0 +1,73 @@
+package flagspec
+
+import "testing"
+
+// TestGCCKnobMappings pins the semantic mapping of the GCC flag surface
+// onto the shared knob set.
+func TestGCCKnobMappings(t *testing.T) {
+	s := GCC()
+	b := s.Baseline()
+
+	if k := b.With(GccTreeVectorize, 0).Knobs(); k.VecEnabled {
+		t.Error("-fno-tree-vectorize should disable vectorization")
+	}
+	if k := b.With(GccVectCostModel, 1).Knobs(); k.VecThreshold != 35 {
+		t.Errorf("dynamic cost model → threshold %d, want 35", k.VecThreshold)
+	}
+	if k := b.Knobs(); k.VecThreshold != 100 {
+		t.Errorf("cheap cost model → threshold %d, want 100", k.VecThreshold)
+	}
+	if k := b.With(GccPreferAVX128, 1).Knobs(); k.SimdWidthPref != 128 {
+		t.Error("-mprefer-avx128 should cap the width preference")
+	}
+	if k := b.With(GccUnrollLoops, 1).Knobs(); k.UnrollMode != 4 {
+		t.Errorf("-funroll-loops → unroll %d, want 4", k.UnrollMode)
+	}
+	if k := b.With(GccLTO, 1).Knobs(); !k.IPO {
+		t.Error("-flto should enable IPO")
+	}
+	if k := b.With(GccStrictAliasing, 0).Knobs(); k.AnsiAlias {
+		t.Error("-fno-strict-aliasing should clear the alias assumption")
+	}
+	if k := b.With(GccPrefetchLoopArrays, 1).Knobs(); k.Prefetch != 3 {
+		t.Errorf("-fprefetch-loop-arrays → prefetch %d, want 3", k.Prefetch)
+	}
+	if k := b.With(GccInlineFunctions, 0).Knobs(); k.InlineLevel != 1 {
+		t.Errorf("-fno-inline-functions → inline level %d, want 1", k.InlineLevel)
+	}
+	if k := b.With(GccTreeLoopDistribution, 1).Knobs(); k.MemLayout != 2 {
+		t.Errorf("-ftree-loop-distribution → mem layout %d, want 2", k.MemLayout)
+	}
+	if k := b.With(GccSchedulePressure, 1).Knobs(); k.RAStrategy != RABlock {
+		t.Error("-fsched-pressure should select block RA")
+	}
+	if k := b.With(GccRegRenaming, 1).Knobs(); k.RAStrategy != RARoutine {
+		t.Error("-frename-registers should select routine RA")
+	}
+}
+
+// TestGCCBaseKnobsCovered: knobs the GCC flags never touch come from the
+// space's base knob set, not Go zero values.
+func TestGCCBaseKnobsCovered(t *testing.T) {
+	k := GCC().Baseline().Knobs()
+	if k.InlineFactor != 100 {
+		t.Errorf("base InlineFactor %d, want 100", k.InlineFactor)
+	}
+	if k.HeapArrays != -1 {
+		t.Errorf("base HeapArrays %d, want -1 (off)", k.HeapArrays)
+	}
+	if k.StreamStores != StreamAuto {
+		t.Errorf("base StreamStores %d, want auto", k.StreamStores)
+	}
+	if k.OverrideLimits {
+		t.Error("GCC surface must not enable override-limits (no such flag)")
+	}
+}
+
+// TestGCCSpaceSmallerThanICC: the binary GCC space is far smaller than
+// the multi-valued ICC space, as in the published CE setups.
+func TestGCCSpaceSmallerThanICC(t *testing.T) {
+	if GCC().Size() >= ICC().Size() {
+		t.Errorf("GCC space (%.3e) not smaller than ICC (%.3e)", GCC().Size(), ICC().Size())
+	}
+}

@@ -1,0 +1,170 @@
+package flagspec
+
+// Indices of the ICC flags in the space returned by ICC(). Exposed so the
+// compiler model, the case study (§4.4) and tests can address flags
+// symbolically.
+const (
+	IccOptLevel = iota
+	IccUnroll
+	IccVec
+	IccVecThreshold
+	IccSimdWidth
+	IccIPO
+	IccIP
+	IccInlineLevel
+	IccInlineFactor
+	IccPrefetch
+	IccStreamStores
+	IccAnsiAlias
+	IccBlockFactor
+	IccMemLayout
+	IccRAStrategy
+	IccHeapArrays
+	IccScalarRep
+	IccSubscriptInRange
+	IccUnrollAggressive
+	IccMultiVersion
+	IccDynamicAlign
+	IccAlignFunctions
+	IccAlignLoops
+	IccOmitFP
+	IccMatmul
+	IccPad
+	IccFnSplit
+	IccCalloc
+	IccJumpTables
+	IccClassAnalysis
+	IccArgNoAlias
+	IccSafePadding
+	IccOverrideLimits
+
+	iccNumFlags
+)
+
+func onOff(name string, def bool, apply func(k *Knobs, on bool)) Flag {
+	d := 0
+	if def {
+		d = 1
+	}
+	return Flag{
+		Name:    name,
+		Values:  []string{"off", "on"},
+		Default: d,
+		apply:   func(k *Knobs, v int) { apply(k, v == 1) },
+	}
+}
+
+var iccSpace = buildICC()
+
+// ICC returns the 33-flag Intel-compiler-like optimization space used for
+// all main experiments (§3.2). The space has ~2.2e13 points; the paper
+// reports "roughly 2.3e13". Floating-point-model flags are excluded, as the
+// paper enforces strict FP reproducibility with -fp-model source.
+func ICC() *Space { return iccSpace }
+
+func buildICC() *Space {
+	flags := make([]Flag, iccNumFlags)
+
+	flags[IccOptLevel] = Flag{
+		Name: "O", Values: []string{"1", "2", "3"}, Default: 2,
+		apply: func(k *Knobs, v int) { k.OptLevel = v + 1 },
+	}
+	flags[IccUnroll] = Flag{
+		Name: "unroll", Values: []string{"auto", "0", "2", "4", "8", "16"}, Default: 0,
+		apply: func(k *Knobs, v int) {
+			modes := [...]int{UnrollAuto, UnrollDisable, 2, 4, 8, 16}
+			k.UnrollMode = modes[v]
+		},
+	}
+	flags[IccVec] = onOff("vec", true, func(k *Knobs, on bool) { k.VecEnabled = on })
+	flags[IccVecThreshold] = Flag{
+		Name: "vec-threshold", Values: []string{"0", "35", "70", "100"}, Default: 3,
+		apply: func(k *Knobs, v int) {
+			th := [...]int{0, 35, 70, 100}
+			k.VecThreshold = th[v]
+		},
+	}
+	flags[IccSimdWidth] = Flag{
+		Name: "qopt-simd-width", Values: []string{"auto", "128", "256"}, Default: 0,
+		apply: func(k *Knobs, v int) {
+			switch v {
+			case 1:
+				k.SimdWidthPref = 128
+			case 2:
+				k.SimdWidthPref = 256
+			default:
+				k.SimdWidthPref = WidthAuto
+			}
+		},
+	}
+	flags[IccIPO] = onOff("ipo", false, func(k *Knobs, on bool) { k.IPO = on })
+	flags[IccIP] = onOff("ip", false, func(k *Knobs, on bool) { k.IP = on })
+	flags[IccInlineLevel] = Flag{
+		Name: "inline-level", Values: []string{"0", "1", "2"}, Default: 2,
+		apply: func(k *Knobs, v int) { k.InlineLevel = v },
+	}
+	flags[IccInlineFactor] = Flag{
+		Name: "inline-factor", Values: []string{"50", "100", "200", "300", "400"}, Default: 1,
+		apply: func(k *Knobs, v int) {
+			factors := [...]int{50, 100, 200, 300, 400}
+			k.InlineFactor = factors[v]
+		},
+	}
+	flags[IccPrefetch] = Flag{
+		Name: "qopt-prefetch", Values: []string{"0", "1", "2", "3", "4"}, Default: 2,
+		apply: func(k *Knobs, v int) { k.Prefetch = v },
+	}
+	flags[IccStreamStores] = Flag{
+		Name: "qopt-streaming-stores", Values: []string{"auto", "always", "never"}, Default: 0,
+		apply: func(k *Knobs, v int) { k.StreamStores = v },
+	}
+	flags[IccAnsiAlias] = onOff("ansi-alias", false, func(k *Knobs, on bool) { k.AnsiAlias = on })
+	flags[IccBlockFactor] = Flag{
+		Name: "qopt-block-factor", Values: []string{"0", "8", "16", "32", "64", "128"}, Default: 0,
+		apply: func(k *Knobs, v int) {
+			factors := [...]int{0, 8, 16, 32, 64, 128}
+			k.BlockFactor = factors[v]
+		},
+	}
+	flags[IccMemLayout] = Flag{
+		Name: "qopt-mem-layout-trans", Values: []string{"0", "1", "2", "3"}, Default: 1,
+		apply: func(k *Knobs, v int) { k.MemLayout = v },
+	}
+	flags[IccRAStrategy] = Flag{
+		Name: "qopt-ra-region-strategy", Values: []string{"default", "block", "routine"}, Default: 0,
+		apply: func(k *Knobs, v int) { k.RAStrategy = v },
+	}
+	flags[IccHeapArrays] = Flag{
+		Name: "heap-arrays", Values: []string{"off", "0", "64"}, Default: 0,
+		apply: func(k *Knobs, v int) {
+			switch v {
+			case 0:
+				k.HeapArrays = -1
+			case 1:
+				k.HeapArrays = 0
+			default:
+				k.HeapArrays = 64
+			}
+		},
+	}
+
+	flags[IccScalarRep] = onOff("scalar-rep", true, func(k *Knobs, on bool) { k.ScalarRep = on })
+	flags[IccSubscriptInRange] = onOff("qopt-subscript-in-range", false, func(k *Knobs, on bool) { k.SubscriptRange = on })
+	flags[IccUnrollAggressive] = onOff("unroll-aggressive", false, func(k *Knobs, on bool) { k.UnrollAggressive = on })
+	flags[IccMultiVersion] = onOff("qopt-multi-version-aggressive", false, func(k *Knobs, on bool) { k.MultiVersion = on })
+	flags[IccDynamicAlign] = onOff("qopt-dynamic-align", true, func(k *Knobs, on bool) { k.DynamicAlign = on })
+	flags[IccAlignFunctions] = onOff("falign-functions", false, func(k *Knobs, on bool) { k.AlignFunctions = on })
+	flags[IccAlignLoops] = onOff("falign-loops", false, func(k *Knobs, on bool) { k.AlignLoops = on })
+	flags[IccOmitFP] = onOff("fomit-frame-pointer", true, func(k *Knobs, on bool) { k.OmitFP = on })
+	flags[IccMatmul] = onOff("qopt-matmul", false, func(k *Knobs, on bool) { k.Matmul = on })
+	flags[IccPad] = onOff("pad", false, func(k *Knobs, on bool) { k.Pad = on })
+	flags[IccFnSplit] = onOff("fnsplit", false, func(k *Knobs, on bool) { k.FnSplit = on })
+	flags[IccCalloc] = onOff("qopt-calloc", false, func(k *Knobs, on bool) { k.Calloc = on })
+	flags[IccJumpTables] = onOff("qopt-jump-tables", true, func(k *Knobs, on bool) { k.JumpTables = on })
+	flags[IccClassAnalysis] = onOff("qopt-class-analysis", false, func(k *Knobs, on bool) { k.ClassAnalysis = on })
+	flags[IccArgNoAlias] = onOff("fargument-noalias", false, func(k *Knobs, on bool) { k.ArgNoAlias = on })
+	flags[IccSafePadding] = onOff("qopt-assume-safe-padding", false, func(k *Knobs, on bool) { k.SafePadding = on })
+	flags[IccOverrideLimits] = onOff("qoverride-limits", false, func(k *Knobs, on bool) { k.OverrideLimits = on })
+
+	return &Space{Flavor: FlavorICC, Flags: flags}
+}

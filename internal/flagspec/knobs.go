@@ -1,0 +1,122 @@
+package flagspec
+
+import "funcytuner/internal/xrand"
+
+// Unroll modes.
+const (
+	UnrollAuto    = -1 // compiler heuristic picks the factor
+	UnrollDisable = 1  // no unrolling
+)
+
+// Streaming-store policies.
+const (
+	StreamAuto = iota
+	StreamAlways
+	StreamNever
+)
+
+// Register-allocator region strategies.
+const (
+	RADefault = iota
+	RABlock
+	RARoutine
+)
+
+// SIMD width preferences (bits). WidthAuto lets the vectorizer pick.
+const WidthAuto = 0
+
+// Knobs is the flavor-independent set of optimization decisions a CV
+// selects. The compiler model consumes Knobs, never raw flags, so the ICC
+// and GCC spaces can share one pass pipeline.
+type Knobs struct {
+	OptLevel int // 1..3
+
+	// Loop transformations.
+	UnrollMode       int // UnrollAuto, UnrollDisable, or explicit factor 2..16
+	UnrollAggressive bool
+	BlockFactor      int // 0 = no tiling, else tile size hint
+	MemLayout        int // 0..3 memory-layout transformation aggressiveness
+
+	// Vectorization.
+	VecEnabled     bool
+	VecThreshold   int // 0..100, ICC -vec-threshold semantics (100 = conservative)
+	SimdWidthPref  int // WidthAuto, 128, 256
+	DynamicAlign   bool
+	SafePadding    bool
+	MultiVersion   bool // aggressive multi-versioning (runtime alias checks)
+	SubscriptRange bool
+
+	// Inter-procedural optimization.
+	IPO          bool // multi-file IPO at link time
+	IP           bool // single-file IPO
+	InlineLevel  int  // 0..2
+	InlineFactor int  // 50..400 (percent of default growth budget)
+
+	// Memory system.
+	Prefetch     int // 0..4
+	StreamStores int // StreamAuto/Always/Never
+	Pad          bool
+	Calloc       bool
+	HeapArrays   int // -1 off, else threshold KB
+
+	// Aliasing.
+	AnsiAlias  bool
+	ArgNoAlias bool
+
+	// Scalar / codegen.
+	ScalarRep      bool
+	RAStrategy     int
+	OmitFP         bool
+	AlignFunctions bool
+	AlignLoops     bool
+	FnSplit        bool
+	JumpTables     bool
+	ClassAnalysis  bool
+	Matmul         bool
+	OverrideLimits bool
+}
+
+// LinkKey fingerprints the link-sensitive knob subset. Two modules whose
+// CVs share a LinkKey behave as if compiled uniformly: link-time IPO sees
+// consistent summaries and introduces no cross-module interference (§1:
+// "link-time inter-procedural optimizations ... may invalidate earlier
+// transformations that were made independently").
+func (k Knobs) LinkKey() uint64 {
+	b2u := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return xrand.Combine(
+		b2u(k.IPO),
+		b2u(k.IP),
+		uint64(k.InlineLevel),
+		b2u(k.AnsiAlias),
+		uint64(k.MemLayout),
+		uint64(k.SimdWidthPref),
+	)
+}
+
+// SchedKey fingerprints the codegen-idiosyncrasy knob subset (instruction
+// selection, scheduling, code layout, register allocation). The cost model
+// hashes it with the loop identity to produce the per-loop IS/IO/RS effects
+// of Table 3.
+func (k Knobs) SchedKey() uint64 {
+	b2u := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return xrand.Combine(
+		uint64(k.RAStrategy),
+		b2u(k.OmitFP),
+		b2u(k.AlignFunctions),
+		b2u(k.AlignLoops),
+		b2u(k.FnSplit),
+		b2u(k.JumpTables),
+		b2u(k.ScalarRep),
+		uint64(k.OptLevel),
+	)
+}

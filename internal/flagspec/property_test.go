@@ -1,0 +1,163 @@
+package flagspec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"funcytuner/internal/xrand"
+)
+
+// TestPropertyStringParseRoundTrip: String/Parse is the identity on both
+// spaces for arbitrary CVs.
+func TestPropertyStringParseRoundTrip(t *testing.T) {
+	f := func(seed uint64, gcc bool) bool {
+		space := ICC()
+		if gcc {
+			space = GCC()
+		}
+		cv := space.Random(xrand.New(seed))
+		parsed, err := space.Parse(cv.String())
+		return err == nil && parsed.Equal(cv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyEncodeDecodeIdentity: Encode∘Decode is the identity.
+func TestPropertyEncodeDecodeIdentity(t *testing.T) {
+	f := func(seed uint64) bool {
+		cv := ICC().Random(xrand.New(seed))
+		return ICC().Decode(cv.Encode()).Equal(cv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDecodeTotal: Decode accepts any float vector of the right
+// length and produces a valid CV.
+func TestPropertyDecodeTotal(t *testing.T) {
+	space := ICC()
+	f := func(raw []float64, seed uint64) bool {
+		x := make([]float64, space.NumFlags())
+		r := xrand.New(seed)
+		for i := range x {
+			if i < len(raw) {
+				x[i] = raw[i]
+			} else {
+				x[i] = r.Range(-3, 3)
+			}
+		}
+		cv := space.Decode(x)
+		for i, fl := range space.Flags {
+			if cv.Value(i) < 0 || cv.Value(i) >= len(fl.Values) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMutateDistanceBound: Mutate(k) changes at most k flags and
+// never leaves the space.
+func TestPropertyMutateDistanceBound(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		k := 1 + int(kRaw%6)
+		r := xrand.New(seed)
+		cv := ICC().Random(r)
+		m := cv.Mutate(r, k)
+		if m.Distance(cv) > k {
+			return false
+		}
+		for i, fl := range ICC().Flags {
+			if m.Value(i) < 0 || m.Value(i) >= len(fl.Values) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCrossoverStaysBetweenParents: every child coordinate comes
+// from one of the parents, so distance to each parent is bounded by the
+// parents' mutual distance.
+func TestPropertyCrossoverStaysBetweenParents(t *testing.T) {
+	f := func(s1, s2, s3 uint64) bool {
+		r := xrand.New(s3)
+		a := ICC().Random(xrand.New(s1))
+		b := ICC().Random(xrand.New(s2))
+		c := a.Crossover(r, b)
+		d := a.Distance(b)
+		return c.Distance(a) <= d && c.Distance(b) <= d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyKeyInjectiveOnSamples: no Key collisions among distinct
+// sampled CVs (probabilistic injectivity over a large sample).
+func TestPropertyKeyInjectiveOnSamples(t *testing.T) {
+	r := xrand.NewFromString("key-injective")
+	seen := map[uint64]string{}
+	for i := 0; i < 20000; i++ {
+		cv := ICC().Random(r)
+		k := cv.Key()
+		if prev, ok := seen[k]; ok && prev != cv.String() {
+			t.Fatalf("key collision between %q and %q", prev, cv.String())
+		}
+		seen[k] = cv.String()
+	}
+}
+
+// TestPropertyAltValueDiffersFromDefault on every flag of both spaces.
+func TestPropertyAltValueDiffersFromDefault(t *testing.T) {
+	for _, space := range []*Space{ICC(), GCC()} {
+		for i, fl := range space.Flags {
+			alt := space.AltValue(i)
+			if alt == fl.Default {
+				t.Errorf("%v flag %s: alt == default", space.Flavor, fl.Name)
+			}
+			if alt < 0 || alt >= len(fl.Values) {
+				t.Errorf("%v flag %s: alt out of range", space.Flavor, fl.Name)
+			}
+		}
+	}
+}
+
+// TestPropertyKnobsTotal: Knobs() never panics and yields sane core knobs
+// for arbitrary CVs in both spaces.
+func TestPropertyKnobsTotal(t *testing.T) {
+	f := func(seed uint64, gcc bool) bool {
+		space := ICC()
+		if gcc {
+			space = GCC()
+		}
+		k := space.Random(xrand.New(seed)).Knobs()
+		if k.OptLevel < 1 || k.OptLevel > 3 {
+			return false
+		}
+		if k.Prefetch < 0 || k.Prefetch > 4 {
+			return false
+		}
+		if k.VecThreshold < 0 || k.VecThreshold > 100 {
+			return false
+		}
+		switch k.UnrollMode {
+		case UnrollAuto, UnrollDisable, 2, 4, 8, 16:
+		default:
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,334 @@
+// Package ir defines the program representation the FuncyTuner
+// reproduction tunes: programs made of hot OpenMP loops plus non-loop
+// code, organized into compilation modules.
+//
+// The real paper tunes C/C++/Fortran sources; the search algorithms,
+// however, never inspect program text — they observe only (compilation
+// vector → runtime) responses, per loop and end-to-end. A Loop here is
+// therefore a feature vector capturing the code-structure properties that
+// determine how compiler optimizations pay off: trip counts, control-flow
+// divergence, memory-access regularity, dependence depth, alias ambiguity,
+// and working-set size. The compiler model (internal/compiler) interprets
+// these features; the execution model (internal/exec) turns compiled loops
+// into seconds.
+package ir
+
+import (
+	"fmt"
+
+	"funcytuner/internal/xrand"
+)
+
+// Lang is a source language (Table 1 lists C, C++, and Fortran programs).
+type Lang int
+
+const (
+	LangC Lang = iota
+	LangCXX
+	LangFortran
+)
+
+func (l Lang) String() string {
+	switch l {
+	case LangC:
+		return "C"
+	case LangCXX:
+		return "C++"
+	case LangFortran:
+		return "Fortran"
+	default:
+		return fmt.Sprintf("Lang(%d)", int(l))
+	}
+}
+
+// Loop describes one hot loop nest (typically an OpenMP-parallel loop).
+type Loop struct {
+	// Name identifies the loop ("dt", "cell3", ... for CloverLeaf §4.4).
+	Name string
+	// File is the source file holding the loop; loops in the same file are
+	// more strongly coupled at link time.
+	File string
+	// ID is a stable seed for the loop's codegen idiosyncrasies.
+	ID uint64
+
+	// TripCount is the number of iterations per invocation at the
+	// program's base input size.
+	TripCount float64
+	// InvocationsPerStep is how many times the loop runs per time-step.
+	InvocationsPerStep float64
+	// WorkPerIter is abstract scalar work units per iteration (one unit ≈
+	// one FP op slot at IPC 1).
+	WorkPerIter float64
+	// BytesPerIter is the memory traffic per iteration before caching.
+	BytesPerIter float64
+
+	// FPFraction is the fraction of WorkPerIter that is vectorizable FP
+	// arithmetic (the rest is scalar bookkeeping, Amdahl-style).
+	FPFraction float64
+	// Divergence in [0,1]: control-flow divergence inside the body. High
+	// divergence makes SIMD masks/permutations expensive and causes
+	// static-schedule imbalance.
+	Divergence float64
+	// StrideIrregular in [0,1]: fraction of accesses that are
+	// gather/scatter-like.
+	StrideIrregular float64
+	// DepChain in [0,1]: loop-carried dependence depth. High values
+	// forbid vectorization and make unrolling useless.
+	DepChain float64
+	// CallDensity: calls per iteration that must be inlined before the
+	// loop can be optimized as a unit.
+	CallDensity float64
+	// AliasAmbiguity in [0,1]: pointer-alias uncertainty; above ~0.25 the
+	// vectorizer needs -ansi-alias/-fargument-noalias/multi-versioning.
+	AliasAmbiguity float64
+
+	// WorkingSetKB is the per-thread working set at base size.
+	WorkingSetKB float64
+	// Reuse in [0,1]: blocking/tiling potential (temporal reuse that a
+	// cache-blocked schedule can exploit).
+	Reuse float64
+	// ConflictProne in [0,1]: power-of-two leading dimensions that padding
+	// (-pad) can fix.
+	ConflictProne float64
+	// MatmulLike marks loops the -qopt-matmul pattern matcher recognizes.
+	MatmulLike bool
+
+	// Parallel marks OpenMP loops (all hot loops in the paper's suite are).
+	Parallel bool
+	// BodySize is a relative measure of the loop body's instruction count
+	// (1 = small kernel); it gates unrolling against i-cache pressure.
+	BodySize float64
+
+	// ScaleExp: work scales as (size/baseSize)^ScaleExp (2 for surface
+	// loops, 3 for volume loops of 3-D codes).
+	ScaleExp float64
+	// WSScaleExp: working set scales as (size/baseSize)^WSScaleExp.
+	WSScaleExp float64
+}
+
+// NonLoop describes the non-loop remainder of a program: setup, MPI-style
+// exchange stubs, I/O, and scattered cold code. Its runtime "cannot be
+// directly measured" (§3.3) and is derived by subtraction, but the
+// simulator of course knows it exactly.
+type NonLoop struct {
+	// WorkPerStep is scalar work units executed per time-step outside hot loops.
+	WorkPerStep float64
+	// SetupWork is one-time work units at program start.
+	SetupWork float64
+	// Sensitivity in [0,1]: how much CV choice can move non-loop time
+	// (code layout, inlining of cold calls).
+	Sensitivity float64
+	// CallHeavy marks call-dominated non-loop code that benefits from
+	// higher inline levels.
+	CallHeavy bool
+}
+
+// Program is one benchmark: hot loops + non-loop code + coupling.
+type Program struct {
+	// Name is the benchmark name from Table 1.
+	Name string
+	// Lang is the (dominant) source language.
+	Lang Lang
+	// LOC is the source size from Table 1 (documentation only).
+	LOC int
+	// Domain is the application domain from Table 1.
+	Domain string
+	// Seed drives all program-specific deterministic idiosyncrasies.
+	Seed uint64
+
+	// Loops are the hot loops, ordered hottest-first by convention.
+	Loops []Loop
+	// NonLoopCode is everything else.
+	NonLoopCode NonLoop
+
+	// Coupling[i][j] in [0,1] is the link-time interference strength
+	// between loops i and j (and row/col len(Loops) couples each loop to
+	// the non-loop base module). Symmetric, zero diagonal.
+	Coupling [][]float64
+
+	// BaseSize is the input size the loop features are calibrated at.
+	BaseSize float64
+	// BaseSteps is a nominal step count used for documentation.
+	BaseSteps int
+
+	// PGOFails marks programs whose -prof-gen instrumentation run fails
+	// (§4.2.2 reports LULESH and Optewe).
+	PGOFails bool
+}
+
+// NumLoops returns the number of hot loops.
+func (p *Program) NumLoops() int { return len(p.Loops) }
+
+// BaseIndex returns the coupling-matrix index of the non-loop base module.
+func (p *Program) BaseIndex() int { return len(p.Loops) }
+
+// LoopIndex returns the index of the named loop, or -1.
+func (p *Program) LoopIndex(name string) int {
+	for i := range p.Loops {
+		if p.Loops[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural invariants. Program definitions are static
+// data; Validate keeps hand-edited models honest.
+func (p *Program) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("ir: program without name")
+	}
+	if len(p.Loops) == 0 {
+		return fmt.Errorf("ir: program %s has no hot loops", p.Name)
+	}
+	if p.BaseSize <= 0 {
+		return fmt.Errorf("ir: program %s BaseSize must be positive", p.Name)
+	}
+	n := len(p.Loops) + 1
+	if len(p.Coupling) != n {
+		return fmt.Errorf("ir: program %s coupling matrix is %dx? want %dx%d", p.Name, len(p.Coupling), n, n)
+	}
+	seen := map[string]bool{}
+	for i := range p.Loops {
+		l := &p.Loops[i]
+		if l.Name == "" {
+			return fmt.Errorf("ir: %s loop %d unnamed", p.Name, i)
+		}
+		if seen[l.Name] {
+			return fmt.Errorf("ir: %s duplicate loop name %q", p.Name, l.Name)
+		}
+		seen[l.Name] = true
+		for _, v := range []struct {
+			name string
+			val  float64
+		}{
+			{"FPFraction", l.FPFraction}, {"Divergence", l.Divergence},
+			{"StrideIrregular", l.StrideIrregular}, {"DepChain", l.DepChain},
+			{"AliasAmbiguity", l.AliasAmbiguity}, {"Reuse", l.Reuse},
+			{"ConflictProne", l.ConflictProne},
+		} {
+			if v.val < 0 || v.val > 1 {
+				return fmt.Errorf("ir: %s/%s %s = %v outside [0,1]", p.Name, l.Name, v.name, v.val)
+			}
+		}
+		if l.TripCount <= 0 || l.WorkPerIter <= 0 || l.InvocationsPerStep <= 0 {
+			return fmt.Errorf("ir: %s/%s has non-positive work parameters", p.Name, l.Name)
+		}
+		if l.ScaleExp <= 0 || l.WSScaleExp < 0 {
+			return fmt.Errorf("ir: %s/%s has bad scaling exponents", p.Name, l.Name)
+		}
+	}
+	for i := range p.Coupling {
+		if len(p.Coupling[i]) != n {
+			return fmt.Errorf("ir: %s coupling row %d has %d cols, want %d", p.Name, i, len(p.Coupling[i]), n)
+		}
+		for j := range p.Coupling[i] {
+			c := p.Coupling[i][j]
+			if c < 0 || c > 1 {
+				return fmt.Errorf("ir: %s coupling[%d][%d]=%v outside [0,1]", p.Name, i, j, c)
+			}
+			if p.Coupling[i][j] != p.Coupling[j][i] {
+				return fmt.Errorf("ir: %s coupling not symmetric at (%d,%d)", p.Name, i, j)
+			}
+			if i == j && c != 0 {
+				return fmt.Errorf("ir: %s coupling diagonal (%d) nonzero", p.Name, i)
+			}
+		}
+	}
+	return nil
+}
+
+// LoopID derives a stable loop identifier from program and loop names.
+func LoopID(program, loop string) uint64 {
+	return xrand.Combine(xrand.HashString(program), xrand.HashString(loop))
+}
+
+// Input selects a workload: a problem size (same units as BaseSize) and a
+// time-step count, as in Table 2 ("LULESH: size, steps — 200, 10").
+type Input struct {
+	// Name labels the input ("train", "test", "ref", "small", "large").
+	Name string
+	// Size is the problem size.
+	Size float64
+	// Steps is the number of simulation time-steps.
+	Steps int
+}
+
+func (in Input) String() string {
+	return fmt.Sprintf("%s(size=%g,steps=%d)", in.Name, in.Size, in.Steps)
+}
+
+// Module is a compilation unit: a set of loop indices, or the base module
+// holding all non-loop code (and any non-outlined loops).
+type Module struct {
+	// Name identifies the module ("loop:dt", "base").
+	Name string
+	// LoopIdx are indices into Program.Loops compiled in this module.
+	LoopIdx []int
+	// IsBase marks the module holding non-loop code.
+	IsBase bool
+}
+
+// Partition is a complete division of a program into compilation modules,
+// produced either trivially (whole program = one module) or by the
+// outliner. Invariant: every loop appears in exactly one module, and
+// exactly one module is the base.
+type Partition struct {
+	Program *Program
+	Modules []Module
+}
+
+// WholeProgram returns the traditional single-module compilation model
+// (§2.1: "a traditional compilation model treats all source files as a
+// single compilation module M").
+func WholeProgram(p *Program) Partition {
+	idx := make([]int, len(p.Loops))
+	for i := range idx {
+		idx[i] = i
+	}
+	return Partition{
+		Program: p,
+		Modules: []Module{{Name: "whole", LoopIdx: idx, IsBase: true}},
+	}
+}
+
+// Validate checks the partition invariants.
+func (pt Partition) Validate() error {
+	if pt.Program == nil {
+		return fmt.Errorf("ir: partition without program")
+	}
+	seen := make([]int, len(pt.Program.Loops))
+	bases := 0
+	for _, m := range pt.Modules {
+		if m.IsBase {
+			bases++
+		}
+		for _, li := range m.LoopIdx {
+			if li < 0 || li >= len(seen) {
+				return fmt.Errorf("ir: partition module %s references loop %d", m.Name, li)
+			}
+			seen[li]++
+		}
+	}
+	if bases != 1 {
+		return fmt.Errorf("ir: partition has %d base modules, want 1", bases)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			return fmt.Errorf("ir: loop %d appears in %d modules", i, c)
+		}
+	}
+	return nil
+}
+
+// ModuleOf returns the index of the module containing loop li.
+func (pt Partition) ModuleOf(li int) int {
+	for mi, m := range pt.Modules {
+		for _, l := range m.LoopIdx {
+			if l == li {
+				return mi
+			}
+		}
+	}
+	return -1
+}

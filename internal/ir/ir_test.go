@@ -1,0 +1,169 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// testProgram builds a minimal valid two-loop program.
+func testProgram() *Program {
+	mk := func(name string) Loop {
+		return Loop{
+			Name: name, File: "kernels.c", ID: LoopID("test", name),
+			TripCount: 1e6, InvocationsPerStep: 1, WorkPerIter: 10,
+			BytesPerIter: 16, FPFraction: 0.8, Parallel: true,
+			ScaleExp: 2, WSScaleExp: 1, WorkingSetKB: 100, BodySize: 1,
+		}
+	}
+	return &Program{
+		Name: "test", Lang: LangC, LOC: 1000, Domain: "testing",
+		Seed:  42,
+		Loops: []Loop{mk("a"), mk("b")},
+		NonLoopCode: NonLoop{
+			WorkPerStep: 1e6, SetupWork: 1e6, Sensitivity: 0.5,
+		},
+		Coupling: [][]float64{
+			{0, 0.5, 0.1},
+			{0.5, 0, 0.2},
+			{0.1, 0.2, 0},
+		},
+		BaseSize: 100, BaseSteps: 10,
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := testProgram().Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Program)
+		want   string
+	}{
+		{"no name", func(p *Program) { p.Name = "" }, "without name"},
+		{"no loops", func(p *Program) { p.Loops = nil }, "no hot loops"},
+		{"bad base size", func(p *Program) { p.BaseSize = 0 }, "BaseSize"},
+		{"duplicate loop", func(p *Program) { p.Loops[1].Name = "a" }, "duplicate"},
+		{"feature out of range", func(p *Program) { p.Loops[0].Divergence = 1.5 }, "outside [0,1]"},
+		{"negative feature", func(p *Program) { p.Loops[0].Reuse = -0.1 }, "outside [0,1]"},
+		{"zero trip count", func(p *Program) { p.Loops[0].TripCount = 0 }, "non-positive"},
+		{"zero scale exp", func(p *Program) { p.Loops[0].ScaleExp = 0 }, "scaling"},
+		{"coupling shape", func(p *Program) { p.Coupling = p.Coupling[:2] }, "coupling matrix"},
+		{"coupling asym", func(p *Program) { p.Coupling[0][1] = 0.9 }, "not symmetric"},
+		{"coupling diag", func(p *Program) { p.Coupling[1][1] = 0.3 }, "diagonal"},
+		{"coupling range", func(p *Program) { p.Coupling[0][2] = 2; p.Coupling[2][0] = 2 }, "outside [0,1]"},
+	}
+	for _, c := range cases {
+		p := testProgram()
+		c.mutate(p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted a broken program", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestLoopIndex(t *testing.T) {
+	p := testProgram()
+	if p.LoopIndex("b") != 1 {
+		t.Error("LoopIndex(b) wrong")
+	}
+	if p.LoopIndex("zz") != -1 {
+		t.Error("LoopIndex of missing loop should be -1")
+	}
+	if p.BaseIndex() != 2 {
+		t.Error("BaseIndex wrong")
+	}
+}
+
+func TestLoopIDStable(t *testing.T) {
+	if LoopID("p", "l") != LoopID("p", "l") {
+		t.Error("LoopID not deterministic")
+	}
+	if LoopID("p", "l") == LoopID("p", "m") {
+		t.Error("LoopID collision for different loops")
+	}
+	if LoopID("p", "l") == LoopID("q", "l") {
+		t.Error("LoopID collision for different programs")
+	}
+}
+
+func TestWholeProgramPartition(t *testing.T) {
+	p := testProgram()
+	pt := WholeProgram(p)
+	if err := pt.Validate(); err != nil {
+		t.Fatalf("WholeProgram partition invalid: %v", err)
+	}
+	if len(pt.Modules) != 1 || !pt.Modules[0].IsBase {
+		t.Fatalf("WholeProgram should be one base module: %+v", pt.Modules)
+	}
+	if pt.ModuleOf(0) != 0 || pt.ModuleOf(1) != 0 {
+		t.Error("ModuleOf wrong for whole-program partition")
+	}
+}
+
+func TestPartitionValidateCatches(t *testing.T) {
+	p := testProgram()
+	// Loop in two modules.
+	bad := Partition{Program: p, Modules: []Module{
+		{Name: "m0", LoopIdx: []int{0, 1}, IsBase: true},
+		{Name: "m1", LoopIdx: []int{1}},
+	}}
+	if bad.Validate() == nil {
+		t.Error("duplicate loop assignment accepted")
+	}
+	// Missing loop.
+	bad = Partition{Program: p, Modules: []Module{
+		{Name: "m0", LoopIdx: []int{0}, IsBase: true},
+	}}
+	if bad.Validate() == nil {
+		t.Error("missing loop accepted")
+	}
+	// Two base modules.
+	bad = Partition{Program: p, Modules: []Module{
+		{Name: "m0", LoopIdx: []int{0}, IsBase: true},
+		{Name: "m1", LoopIdx: []int{1}, IsBase: true},
+	}}
+	if bad.Validate() == nil {
+		t.Error("two base modules accepted")
+	}
+	// Out-of-range loop index.
+	bad = Partition{Program: p, Modules: []Module{
+		{Name: "m0", LoopIdx: []int{0, 5}, IsBase: true},
+	}}
+	if bad.Validate() == nil {
+		t.Error("out-of-range loop index accepted")
+	}
+}
+
+func TestModuleOfMissing(t *testing.T) {
+	p := testProgram()
+	pt := Partition{Program: p, Modules: []Module{{Name: "m0", LoopIdx: []int{0}, IsBase: true}}}
+	if pt.ModuleOf(1) != -1 {
+		t.Error("ModuleOf for unassigned loop should be -1")
+	}
+}
+
+func TestLangString(t *testing.T) {
+	if LangC.String() != "C" || LangCXX.String() != "C++" || LangFortran.String() != "Fortran" {
+		t.Error("Lang strings wrong")
+	}
+	if Lang(9).String() == "" {
+		t.Error("unknown Lang should render")
+	}
+}
+
+func TestInputString(t *testing.T) {
+	in := Input{Name: "train", Size: 2000, Steps: 60}
+	s := in.String()
+	if !strings.Contains(s, "train") || !strings.Contains(s, "2000") || !strings.Contains(s, "60") {
+		t.Errorf("Input.String() = %q", s)
+	}
+}

@@ -1,0 +1,88 @@
+// Package omp models the OpenMP runtime behaviour that the execution
+// engine needs: static work distribution across a fixed thread team,
+// load imbalance induced by control-flow divergence, fork/join barrier
+// overhead, and NUMA bandwidth effects for large working sets.
+//
+// The paper pins every experiment to 16 OpenMP threads with an explicit
+// proclist (Table 2); this package reproduces that configuration's
+// first-order performance characteristics rather than scheduling real
+// threads — the workloads themselves are simulated.
+package omp
+
+import "funcytuner/internal/arch"
+
+// Team describes one parallel region execution configuration.
+type Team struct {
+	Machine *arch.Machine
+	Threads int
+}
+
+// NewTeam returns the team the paper's configuration would create on m.
+func NewTeam(m *arch.Machine) Team {
+	return Team{Machine: m, Threads: m.OMPThreads}
+}
+
+// barrierSeconds is the fork/join plus barrier cost per parallel region
+// invocation. It grows slightly with the team size and with the number of
+// NUMA nodes the team spans.
+func (t Team) barrierSeconds() float64 {
+	base := 2.0e-6 // tree barrier on-node
+	span := float64(t.Machine.NUMANodes)
+	return base * (1 + 0.25*span) * float64(t.Threads) / 16.0
+}
+
+// Imbalance returns the fractional load imbalance for a statically
+// scheduled loop whose per-iteration work varies with control-flow
+// divergence. divergence in [0,1]; 0 = perfectly uniform iterations.
+func (t Team) Imbalance(divergence float64) float64 {
+	if t.Threads <= 1 {
+		return 0
+	}
+	// With static scheduling, per-thread sums of divergent iteration costs
+	// spread roughly with the divergence level; calibrated so heavily
+	// divergent loops lose ~12% to imbalance at 16 threads.
+	imb := divergence * 0.12
+	if imb > 0.25 {
+		imb = 0.25
+	}
+	return imb
+}
+
+// EffectiveBandwidthGBs returns the memory bandwidth available to the team
+// for a loop with the given per-thread working set (KB). Large working
+// sets on multi-NUMA machines pay a remote-access penalty because Table 2's
+// proclist spreads 16 threads across all nodes while first-touch placement
+// concentrates pages.
+func (t Team) EffectiveBandwidthGBs(workingSetKB float64) float64 {
+	bw := t.Machine.MemBWGBs
+	if t.Machine.NUMANodes > 1 {
+		totalWS := workingSetKB * float64(t.Threads)
+		if totalWS > t.Machine.LLCTotalKB() {
+			// Fraction of accesses that cross the NUMA interconnect.
+			remote := 1.0 - 1.0/float64(t.Machine.NUMANodes)
+			penalty := 1.0 - 0.22*remote
+			bw *= penalty
+		}
+	}
+	return bw
+}
+
+// ParallelTime converts a total amount of per-invocation sequential work
+// (seconds at one thread) into wall-clock seconds on the team, applying
+// speedup, imbalance and barrier cost. Loops that are not parallel run on
+// one thread with no barrier.
+func (t Team) ParallelTime(seqSeconds, divergence float64, parallel bool) float64 {
+	if !parallel || t.Threads <= 1 {
+		return seqSeconds
+	}
+	cores := float64(t.Machine.TotalCores())
+	threads := float64(t.Threads)
+	// SMT threads beyond physical cores add ~25% throughput each.
+	eff := threads
+	if threads > cores {
+		eff = cores + 0.25*(threads-cores)
+	}
+	perThread := seqSeconds / eff
+	perThread *= 1 + t.Imbalance(divergence)
+	return perThread + t.barrierSeconds()
+}

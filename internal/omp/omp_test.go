@@ -1,0 +1,79 @@
+package omp
+
+import (
+	"testing"
+
+	"funcytuner/internal/arch"
+)
+
+func TestParallelSpeedup(t *testing.T) {
+	team := NewTeam(arch.Broadwell())
+	seq := 1.0
+	par := team.ParallelTime(seq, 0, true)
+	speedup := seq / par
+	if speedup < 10 || speedup > 16 {
+		t.Errorf("16-thread speedup = %v, want within [10,16]", speedup)
+	}
+}
+
+func TestSerialLoopUnchanged(t *testing.T) {
+	team := NewTeam(arch.Broadwell())
+	if got := team.ParallelTime(2.5, 0.5, false); got != 2.5 {
+		t.Errorf("serial loop time = %v, want 2.5", got)
+	}
+}
+
+func TestDivergenceCostsImbalance(t *testing.T) {
+	team := NewTeam(arch.Broadwell())
+	uniform := team.ParallelTime(1.0, 0, true)
+	divergent := team.ParallelTime(1.0, 0.8, true)
+	if divergent <= uniform {
+		t.Error("divergent loop should run slower due to imbalance")
+	}
+	ratio := divergent / uniform
+	if ratio > 1.3 {
+		t.Errorf("imbalance penalty %.2fx too extreme", ratio)
+	}
+}
+
+func TestImbalanceClamped(t *testing.T) {
+	team := NewTeam(arch.Opteron())
+	if imb := team.Imbalance(5.0); imb > 0.25 {
+		t.Errorf("imbalance %v not clamped", imb)
+	}
+	if imb := team.Imbalance(0); imb != 0 {
+		t.Errorf("zero divergence imbalance = %v", imb)
+	}
+	one := Team{Machine: arch.Opteron(), Threads: 1}
+	if one.Imbalance(0.9) != 0 {
+		t.Error("single thread cannot be imbalanced")
+	}
+}
+
+func TestNUMABandwidthPenalty(t *testing.T) {
+	team := NewTeam(arch.Opteron()) // 4 NUMA nodes
+	small := team.EffectiveBandwidthGBs(16)
+	big := team.EffectiveBandwidthGBs(1 << 20)
+	if big >= small {
+		t.Error("large working set should see NUMA-reduced bandwidth")
+	}
+	if small != arch.Opteron().MemBWGBs {
+		t.Errorf("cache-resident working set bandwidth = %v, want full %v", small, arch.Opteron().MemBWGBs)
+	}
+}
+
+func TestBarrierCostVisibleForTinyWork(t *testing.T) {
+	team := NewTeam(arch.Broadwell())
+	tiny := team.ParallelTime(1e-9, 0, true)
+	if tiny < 1e-6 {
+		t.Errorf("tiny parallel region %.3e s should be barrier-dominated", tiny)
+	}
+}
+
+func TestMoreNUMAMoreBarrier(t *testing.T) {
+	opt := NewTeam(arch.Opteron())
+	bdw := NewTeam(arch.Broadwell())
+	if opt.barrierSeconds() <= bdw.barrierSeconds() {
+		t.Error("4-node Opteron barrier should cost more than 2-node Broadwell")
+	}
+}

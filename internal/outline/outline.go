@@ -1,0 +1,85 @@
+// Package outline implements FuncyTuner's loop-outlining transformation
+// (§2.2.2 / §3.3): each hot loop becomes a separate compilation module so
+// its compilation flags can be chosen independently; everything else —
+// non-loop code and loops under the hotness threshold — stays in the base
+// module.
+package outline
+
+import (
+	"fmt"
+	"sort"
+
+	"funcytuner/internal/arch"
+	"funcytuner/internal/caliper"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/ir"
+	"funcytuner/internal/xrand"
+)
+
+// HotThreshold is the paper's outlining rule: loops at ≥ 1.0% of the
+// O3 baseline's end-to-end runtime are outlined (§3.3).
+const HotThreshold = 0.01
+
+// Outline builds a partition with one module per listed loop index; all
+// remaining loops join the base module.
+func Outline(prog *ir.Program, hot []int) (ir.Partition, error) {
+	part := ir.Partition{Program: prog}
+	inHot := make([]bool, len(prog.Loops))
+	for _, li := range hot {
+		if li < 0 || li >= len(prog.Loops) {
+			return ir.Partition{}, fmt.Errorf("outline: loop index %d out of range", li)
+		}
+		if inHot[li] {
+			return ir.Partition{}, fmt.Errorf("outline: loop %d listed twice", li)
+		}
+		inHot[li] = true
+	}
+	for _, li := range hot {
+		part.Modules = append(part.Modules, ir.Module{
+			Name:    "loop:" + prog.Loops[li].Name,
+			LoopIdx: []int{li},
+		})
+	}
+	base := ir.Module{Name: "base", IsBase: true}
+	for li := range prog.Loops {
+		if !inHot[li] {
+			base.LoopIdx = append(base.LoopIdx, li)
+		}
+	}
+	part.Modules = append(part.Modules, base)
+	if err := part.Validate(); err != nil {
+		return ir.Partition{}, err
+	}
+	return part, nil
+}
+
+// Result is the outcome of profile-guided outlining.
+type Result struct {
+	// Partition is the outlined program: one module per hot loop + base.
+	Partition ir.Partition
+	// Profile is the O3 baseline profile used to pick hot loops.
+	Profile caliper.Profile
+	// Hot are the outlined loop indices, hottest first.
+	Hot []int
+}
+
+// AutoOutline profiles the O3 baseline (with Caliper instrumentation) and
+// outlines every loop at or above threshold. runs instrumented executions
+// are averaged; rng seeds measurement noise (nil = exact).
+func AutoOutline(tc *compiler.Toolchain, prog *ir.Program, m *arch.Machine, in ir.Input, threshold float64, runs int, rng *xrand.Rand) (Result, error) {
+	baseline, err := tc.CompileUniform(prog, ir.WholeProgram(prog), tc.Space.Baseline(), m)
+	if err != nil {
+		return Result{}, err
+	}
+	prof := caliper.Collect(baseline, m, in, runs, rng)
+	hot := prof.HotLoops(threshold)
+	// Stable module order: keep program order for reproducible CV
+	// assignment, but record hotness order in Hot.
+	ordered := append([]int(nil), hot...)
+	sort.Ints(ordered)
+	part, err := Outline(prog, ordered)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Partition: part, Profile: prof, Hot: hot}, nil
+}

@@ -1,0 +1,111 @@
+package outline
+
+import (
+	"testing"
+
+	"funcytuner/internal/apps"
+	"funcytuner/internal/arch"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/xrand"
+)
+
+func TestOutlineExplicit(t *testing.T) {
+	p := apps.MustGet(apps.Swim)
+	part, err := Outline(p, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := part.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Two loop modules + base.
+	if len(part.Modules) != 3 {
+		t.Fatalf("got %d modules", len(part.Modules))
+	}
+	if !part.Modules[2].IsBase {
+		t.Error("last module should be base")
+	}
+	// Loops 1, 3, 4 stay in the base module.
+	if got := len(part.Modules[2].LoopIdx); got != 3 {
+		t.Errorf("base holds %d loops, want 3", got)
+	}
+}
+
+func TestOutlineErrors(t *testing.T) {
+	p := apps.MustGet(apps.Swim)
+	if _, err := Outline(p, []int{99}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := Outline(p, []int{1, 1}); err == nil {
+		t.Error("duplicate index accepted")
+	}
+}
+
+func TestAutoOutlineAllApps(t *testing.T) {
+	tc := compiler.NewToolchain(flagspec.ICC())
+	for _, p := range apps.All() {
+		for _, m := range arch.All() {
+			res, err := AutoOutline(tc, p, m, apps.TuningInput(p.Name, m), HotThreshold, 1, nil)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", p.Name, m.Name, err)
+			}
+			if err := res.Partition.Validate(); err != nil {
+				t.Fatalf("%s on %s: %v", p.Name, m.Name, err)
+			}
+			// §2.1: J (compilation modules) ranges from 5 to 33.
+			j := len(res.Partition.Modules)
+			if j < 5 || j > 33 {
+				t.Errorf("%s on %s: J = %d outside [5, 33]", p.Name, m.Name, j)
+			}
+			if len(res.Hot) == 0 {
+				t.Errorf("%s on %s: no hot loops", p.Name, m.Name)
+			}
+		}
+	}
+}
+
+func TestAutoOutlineDeterministicWithSeed(t *testing.T) {
+	tc := compiler.NewToolchain(flagspec.ICC())
+	p := apps.MustGet(apps.CloverLeaf)
+	m := arch.Broadwell()
+	in := apps.TuningInput(apps.CloverLeaf, m)
+	a, err := AutoOutline(tc, p, m, in, HotThreshold, 3, xrand.NewFromString("seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AutoOutline(tc, p, m, in, HotThreshold, 3, xrand.NewFromString("seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Hot) != len(b.Hot) {
+		t.Fatal("same-seed outlining differs")
+	}
+	for i := range a.Hot {
+		if a.Hot[i] != b.Hot[i] {
+			t.Fatal("same-seed hot order differs")
+		}
+	}
+}
+
+func TestHighThresholdShrinksModules(t *testing.T) {
+	tc := compiler.NewToolchain(flagspec.ICC())
+	p := apps.MustGet(apps.CloverLeaf)
+	m := arch.Broadwell()
+	in := apps.TuningInput(apps.CloverLeaf, m)
+	low, _ := AutoOutline(tc, p, m, in, 0.01, 1, nil)
+	high, _ := AutoOutline(tc, p, m, in, 0.05, 1, nil)
+	if len(high.Hot) >= len(low.Hot) {
+		t.Errorf("5%% threshold outlined %d loops, 1%% outlined %d", len(high.Hot), len(low.Hot))
+	}
+	// dt (6.3%) must survive even the 5% threshold.
+	found := false
+	for _, li := range high.Hot {
+		if p.Loops[li].Name == "dt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("dt should pass a 5% threshold")
+	}
+}

@@ -1,0 +1,68 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markdown renders the table as a GitHub-flavored markdown table, with
+// notes as a trailing blockquote.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| " + mdEscape(t.RowName))
+	for _, c := range t.Cols {
+		b.WriteString(" | " + mdEscape(c))
+	}
+	b.WriteString(" |\n|")
+	for i := 0; i <= len(t.Cols); i++ {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString("| " + mdEscape(r))
+		for _, c := range t.Cols {
+			if v, ok := t.cells[r][c]; ok {
+				fmt.Fprintf(&b, " | %.3f", v)
+			} else {
+				b.WriteString(" | -")
+			}
+		}
+		b.WriteString(" |\n")
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the text table as GitHub-flavored markdown.
+func (t *TextTable) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	b.WriteString("| " + mdEscape(t.RowName))
+	for _, c := range t.Cols {
+		b.WriteString(" | " + mdEscape(c))
+	}
+	b.WriteString(" |\n|")
+	for i := 0; i <= len(t.Cols); i++ {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString("| " + mdEscape(r))
+		for _, c := range t.Cols {
+			b.WriteString(" | " + mdEscape(t.cells[r][c]))
+		}
+		b.WriteString(" |\n")
+	}
+	return b.String()
+}
+
+func mdEscape(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}

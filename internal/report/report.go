@@ -1,0 +1,183 @@
+// Package report renders experiment results as aligned ASCII tables and
+// CSV, the two formats the reproduction's harness emits for every figure
+// and table of the paper.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a labeled grid of numeric cells (rows × columns).
+type Table struct {
+	Title   string
+	RowName string
+	Cols    []string
+	rows    []string
+	cells   map[string]map[string]float64
+	notes   []string
+}
+
+// NewTable creates a table with the given column order.
+func NewTable(title, rowName string, cols ...string) *Table {
+	return &Table{
+		Title:   title,
+		RowName: rowName,
+		Cols:    cols,
+		cells:   make(map[string]map[string]float64),
+	}
+}
+
+// Set stores a cell, creating the row on first use (row order = insertion
+// order).
+func (t *Table) Set(row, col string, v float64) {
+	if _, ok := t.cells[row]; !ok {
+		t.cells[row] = make(map[string]float64)
+		t.rows = append(t.rows, row)
+	}
+	t.cells[row][col] = v
+}
+
+// Get returns a cell value and whether it was set.
+func (t *Table) Get(row, col string) (float64, bool) {
+	r, ok := t.cells[row]
+	if !ok {
+		return 0, false
+	}
+	v, ok := r[col]
+	return v, ok
+}
+
+// Rows returns the rows in insertion order.
+func (t *Table) Rows() []string { return append([]string(nil), t.rows...) }
+
+// AddNote appends a free-form footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	width := len(t.RowName)
+	for _, r := range t.rows {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", width+2, t.RowName)
+	for _, c := range t.Cols {
+		fmt.Fprintf(&b, "%12s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		fmt.Fprintf(&b, "%-*s", width+2, r)
+		for _, c := range t.Cols {
+			if v, ok := t.cells[r][c]; ok {
+				fmt.Fprintf(&b, "%12.3f", v)
+			} else {
+				fmt.Fprintf(&b, "%12s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV emits the table as comma-separated values (header row first).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.RowName))
+	for _, c := range t.Cols {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(csvEscape(r))
+		for _, c := range t.Cols {
+			b.WriteByte(',')
+			if v, ok := t.cells[r][c]; ok {
+				fmt.Fprintf(&b, "%g", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// TextTable is a grid of string cells for qualitative tables (Table 3's
+// optimization notes).
+type TextTable struct {
+	Title   string
+	RowName string
+	Cols    []string
+	rows    []string
+	cells   map[string]map[string]string
+}
+
+// NewTextTable creates a text table.
+func NewTextTable(title, rowName string, cols ...string) *TextTable {
+	return &TextTable{Title: title, RowName: rowName, Cols: cols, cells: map[string]map[string]string{}}
+}
+
+// Set stores a cell.
+func (t *TextTable) Set(row, col, v string) {
+	if _, ok := t.cells[row]; !ok {
+		t.cells[row] = map[string]string{}
+		t.rows = append(t.rows, row)
+	}
+	t.cells[row][col] = v
+}
+
+// Get returns a cell.
+func (t *TextTable) Get(row, col string) string { return t.cells[row][col] }
+
+// Render formats the table.
+func (t *TextTable) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	rowW := len(t.RowName)
+	for _, r := range t.rows {
+		if len(r) > rowW {
+			rowW = len(r)
+		}
+	}
+	colW := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		colW[i] = len(c)
+		for _, r := range t.rows {
+			if n := len(t.cells[r][c]); n > colW[i] {
+				colW[i] = n
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", rowW+2, t.RowName)
+	for i, c := range t.Cols {
+		fmt.Fprintf(&b, "  %-*s", colW[i], c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		fmt.Fprintf(&b, "%-*s", rowW+2, r)
+		for i, c := range t.Cols {
+			fmt.Fprintf(&b, "  %-*s", colW[i], t.cells[r][c])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

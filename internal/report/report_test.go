@@ -1,0 +1,116 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "bench", "A", "B")
+	tb.Set("x", "A", 1.5)
+	tb.Set("x", "B", 2.0)
+	tb.Set("longername", "A", 0.25)
+	tb.AddNote("hello %d", 42)
+	out := tb.Render()
+	for _, want := range []string{"Title", "bench", "A", "B", "1.500", "0.250", "note: hello 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q in:\n%s", want, out)
+		}
+	}
+	// Missing cell renders as '-'.
+	if !strings.Contains(out, "-") {
+		t.Error("missing cell placeholder absent")
+	}
+}
+
+func TestTableRowOrderIsInsertion(t *testing.T) {
+	tb := NewTable("", "r", "c")
+	tb.Set("z", "c", 1)
+	tb.Set("a", "c", 2)
+	rows := tb.Rows()
+	if rows[0] != "z" || rows[1] != "a" {
+		t.Errorf("rows = %v, want insertion order", rows)
+	}
+}
+
+func TestTableGet(t *testing.T) {
+	tb := NewTable("", "r", "c")
+	tb.Set("r1", "c", 3.5)
+	if v, ok := tb.Get("r1", "c"); !ok || v != 3.5 {
+		t.Errorf("Get = %v, %v", v, ok)
+	}
+	if _, ok := tb.Get("nope", "c"); ok {
+		t.Error("Get on missing row should report !ok")
+	}
+	if _, ok := tb.Get("r1", "nope"); ok {
+		t.Error("Get on missing col should report !ok")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("", "bench", "A", "B,with comma")
+	tb.Set(`quote"y`, "A", 1)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	if lines[0] != `bench,A,"B,with comma"` {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], `"quote""y",1,`) {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestTextTable(t *testing.T) {
+	tb := NewTextTable("T3", "alg", "dt", "acc")
+	tb.Set("O3", "dt", "S, unroll2")
+	tb.Set("O3", "acc", "256")
+	tb.Set("CFR", "dt", "S")
+	out := tb.Render()
+	for _, want := range []string{"T3", "alg", "dt", "acc", "S, unroll2", "256"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("TextTable missing %q in:\n%s", want, out)
+		}
+	}
+	if tb.Get("O3", "dt") != "S, unroll2" {
+		t.Error("TextTable Get wrong")
+	}
+	if tb.Get("none", "dt") != "" {
+		t.Error("missing TextTable cell should be empty")
+	}
+}
+
+func TestColumnsAligned(t *testing.T) {
+	tb := NewTable("", "r", "col")
+	tb.Set("a", "col", 1)
+	tb.Set("bb", "col", 2)
+	lines := strings.Split(strings.TrimSpace(tb.Render()), "\n")
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("rows not aligned:\n%q\n%q", lines[1], lines[2])
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	tb := NewTable("Fig X", "bench", "A", "B|pipe")
+	tb.Set("r1", "A", 1.234)
+	tb.AddNote("a note")
+	md := tb.Markdown()
+	for _, want := range []string{"### Fig X", "| bench | A | B\\|pipe |", "| r1 | 1.234 | - |", "> a note"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q in:\n%s", want, md)
+		}
+	}
+}
+
+func TestMarkdownTextTable(t *testing.T) {
+	tb := NewTextTable("T", "alg", "dt")
+	tb.Set("CFR", "dt", "S, unroll2")
+	md := tb.Markdown()
+	for _, want := range []string{"### T", "| CFR | S, unroll2 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("Markdown missing %q in:\n%s", want, md)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package stats provides the small set of statistics used by the
+// FuncyTuner reproduction: means, geometric means (the paper's headline
+// aggregation), standard deviations, and online (Welford) accumulation for
+// the repeated-measurement protocol of §4.1.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// it returns NaN for empty input or any non-positive value. The paper
+// reports all aggregate speedups as geometric means.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator) of xs.
+// It returns 0 for fewer than two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Min returns the minimum of xs and its index. It panics on empty input.
+func Min(xs []float64) (float64, int) {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	best, idx := xs[0], 0
+	for i, x := range xs[1:] {
+		if x < best {
+			best, idx = x, i+1
+		}
+	}
+	return best, idx
+}
+
+// Max returns the maximum of xs and its index. It panics on empty input.
+func Max(xs []float64) (float64, int) {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	best, idx := xs[0], 0
+	for i, x := range xs[1:] {
+		if x > best {
+			best, idx = x, i+1
+		}
+	}
+	return best, idx
+}
+
+// ArgSort returns indices that would sort xs ascending. Ties keep the
+// original (stable) order so that pruning "top X smallest" (Algorithm 1,
+// line 11) is deterministic.
+func ArgSort(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	return idx
+}
+
+// TopKSmallest returns the indices of the k smallest values of xs (k is
+// clamped to len(xs)), in ascending value order.
+func TopKSmallest(xs []float64, k int) []int {
+	if k > len(xs) {
+		k = len(xs)
+	}
+	if k <= 0 {
+		return nil
+	}
+	return ArgSort(xs)[:k]
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation. It panics on empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Welford accumulates a running mean and variance without storing samples.
+// The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (NaN if empty).
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// StdDev returns the running sample standard deviation (0 for n < 2).
+func (w *Welford) StdDev() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// WelchT computes Welch's t-statistic for two independent samples —
+// positive when sample a's mean exceeds sample b's. The reproduction uses
+// it to back §4.1's claim that the measured speedups carry "high
+// statistical significance" over the 10-run measurement protocol.
+func WelchT(a, b []float64) float64 {
+	ma, mb := Mean(a), Mean(b)
+	va := StdDev(a) * StdDev(a)
+	vb := StdDev(b) * StdDev(b)
+	den := math.Sqrt(va/float64(len(a)) + vb/float64(len(b)))
+	if den == 0 {
+		if ma == mb {
+			return 0
+		}
+		return math.Inf(sign(ma - mb))
+	}
+	return (ma - mb) / den
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

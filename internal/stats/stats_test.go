@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !almost(got, 2, 1e-12) {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 2, 2}); !almost(got, 2, 1e-12) {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("GeoMean(nil) should be NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, 0})) {
+		t.Error("GeoMean with zero should be NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -2})) {
+		t.Error("GeoMean with negative should be NaN")
+	}
+}
+
+func TestGeoMeanLEArithmeticMean(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			v = math.Abs(v)
+			if v > 1e-6 && v < 1e6 && !math.IsNaN(v) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return GeoMean(xs) <= Mean(xs)*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almost(got, 2.13808993, 1e-6) {
+		t.Errorf("StdDev = %v", got)
+	}
+	if StdDev([]float64{3}) != 0 {
+		t.Error("StdDev of single sample should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	v, i := Min([]float64{3, 1, 2})
+	if v != 1 || i != 1 {
+		t.Errorf("Min = (%v,%d)", v, i)
+	}
+	v, i = Max([]float64{3, 1, 9, 9})
+	if v != 9 || i != 2 {
+		t.Errorf("Max = (%v,%d), want first max index", v, i)
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min(nil) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestArgSortStable(t *testing.T) {
+	xs := []float64{2, 1, 2, 0}
+	got := ArgSort(xs)
+	want := []int{3, 1, 0, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ArgSort = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTopKSmallest(t *testing.T) {
+	xs := []float64{5, 3, 8, 1, 9}
+	got := TopKSmallest(xs, 2)
+	if len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Errorf("TopKSmallest = %v", got)
+	}
+	if got := TopKSmallest(xs, 100); len(got) != len(xs) {
+		t.Errorf("TopKSmallest clamp failed: %v", got)
+	}
+	if TopKSmallest(xs, 0) != nil {
+		t.Error("TopKSmallest(0) should be nil")
+	}
+}
+
+func TestTopKSmallestProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		k := len(xs) / 2
+		top := TopKSmallest(xs, k)
+		if len(top) != k {
+			return false
+		}
+		// Every selected value must be <= every non-selected value.
+		sel := make(map[int]bool, k)
+		var maxSel float64 = math.Inf(-1)
+		for _, i := range top {
+			sel[i] = true
+			if xs[i] > maxSel {
+				maxSel = xs[i]
+			}
+		}
+		for i, v := range xs {
+			if !sel[i] && v < maxSel {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("P50 = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("P25 = %v", got)
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	xs := []float64{3.1, 4.1, 5.9, 2.6, 5.3, 5.8, 9.7, 9.3}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != len(xs) {
+		t.Errorf("N = %d", w.N())
+	}
+	if !almost(w.Mean(), Mean(xs), 1e-12) {
+		t.Errorf("Welford mean %v vs %v", w.Mean(), Mean(xs))
+	}
+	if !almost(w.StdDev(), StdDev(xs), 1e-12) {
+		t.Errorf("Welford stddev %v vs %v", w.StdDev(), StdDev(xs))
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if !math.IsNaN(w.Mean()) {
+		t.Error("empty Welford mean should be NaN")
+	}
+	if w.StdDev() != 0 {
+		t.Error("empty Welford stddev should be 0")
+	}
+}
+
+func TestWelchT(t *testing.T) {
+	fast := []float64{10.0, 10.1, 9.9, 10.05, 9.95}
+	slow := []float64{11.0, 11.1, 10.9, 11.05, 10.95}
+	if ts := WelchT(slow, fast); ts < 5 {
+		t.Errorf("clearly separated samples give t=%v", ts)
+	}
+	if ts := WelchT(fast, slow); ts > -5 {
+		t.Errorf("order should flip the sign: t=%v", ts)
+	}
+	same := []float64{1, 1, 1}
+	if ts := WelchT(same, same); ts != 0 {
+		t.Errorf("identical zero-variance samples give t=%v", ts)
+	}
+	if ts := WelchT([]float64{2, 2}, []float64{1, 1}); !math.IsInf(ts, 1) {
+		t.Errorf("separated zero-variance samples give t=%v", ts)
+	}
+}

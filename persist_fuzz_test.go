@@ -1,0 +1,29 @@
+package funcytuner
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadTuning: arbitrary JSON must never panic the loader, and
+// accepted documents must yield CVs consistent with their module count.
+func FuzzLoadTuning(f *testing.F) {
+	f.Add(`{"flavor":"icc","modules":[]}`)
+	f.Add(`{"flavor":"gcc"}`)
+	f.Add(`{"program":"CL","flavor":"icc","modules":[{"name":"m","flags":"` +
+		ICCSpace().Baseline().String() + `"}]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"flavor":"icc","modules":[{"flags":"-O=9"}]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		st, cvs, err := LoadTuning(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(cvs) != len(st.Modules) {
+			t.Fatalf("accepted document yields %d CVs for %d modules", len(cvs), len(st.Modules))
+		}
+		for _, cv := range cvs {
+			_ = cv.Knobs() // must be materializable
+		}
+	})
+}

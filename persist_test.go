@@ -1,0 +1,92 @@
+package funcytuner
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	tuner := testTuner(t)
+	prog, _ := Benchmark(Swim)
+	m, _ := MachineByName("broadwell")
+	in := TuningInput(Swim, m)
+	rep, err := tuner.Tune(prog, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, cvs, err := LoadTuning(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Program != Swim || st.Machine != "broadwell" || st.Algorithm != "CFR" {
+		t.Errorf("provenance wrong: %+v", st)
+	}
+	if st.Flavor != "icc" {
+		t.Errorf("flavor %q", st.Flavor)
+	}
+	if len(cvs) != len(rep.Best.ModuleCVs) {
+		t.Fatalf("loaded %d CVs, saved %d", len(cvs), len(rep.Best.ModuleCVs))
+	}
+	for i := range cvs {
+		if !cvs[i].Equal(rep.Best.ModuleCVs[i]) {
+			t.Fatalf("module %d CV changed across save/load", i)
+		}
+	}
+	// The loaded configuration reproduces the tuned runtime exactly.
+	ev, err := rep.Evaluate(cvs, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Total != rep.Best.TrueTime {
+		t.Errorf("loaded config runs in %v, tuned %v", ev.Total, rep.Best.TrueTime)
+	}
+}
+
+func TestLoadTuningErrors(t *testing.T) {
+	if _, _, err := LoadTuning(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, _, err := LoadTuning(strings.NewReader(`{"flavor":"msvc"}`)); err == nil {
+		t.Error("unknown flavor accepted")
+	}
+	bad := `{"flavor":"icc","modules":[{"name":"m","flags":"-nonsense=1"}]}`
+	if _, _, err := LoadTuning(strings.NewReader(bad)); err == nil {
+		t.Error("unparseable flags accepted")
+	}
+}
+
+func TestTuneAdaptiveStopsEarly(t *testing.T) {
+	prog, _ := Benchmark(CloverLeaf)
+	m, _ := MachineByName("broadwell")
+	in := TuningInput(CloverLeaf, m)
+	tuner := NewTuner(Options{Machine: m, Samples: 600, TopX: 40, Seed: "adaptive-test"})
+
+	full, err := tuner.Tune(prog, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rule := StopRule{MinEvaluations: 40, Patience: 80}
+	adaptive, err := tuner.TuneAdaptive(prog, in, rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Best.Algorithm != "CFR.adaptive" {
+		t.Errorf("algorithm %q", adaptive.Best.Algorithm)
+	}
+	if adaptive.Best.Evaluations >= full.Best.Evaluations {
+		t.Errorf("adaptive used %d evaluations, full used %d", adaptive.Best.Evaluations, full.Best.Evaluations)
+	}
+	// Early stopping must retain most of the full search's benefit.
+	if adaptive.Best.Speedup < 1.0 {
+		t.Errorf("adaptive speedup %.3f below baseline", adaptive.Best.Speedup)
+	}
+	gap := full.Best.Speedup - adaptive.Best.Speedup
+	if gap > 0.06 {
+		t.Errorf("early stopping lost too much: full %.3f vs adaptive %.3f", full.Best.Speedup, adaptive.Best.Speedup)
+	}
+}

@@ -1,0 +1,74 @@
+package funcytuner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"funcytuner/internal/ir"
+	"funcytuner/internal/xrand"
+)
+
+// Program models are plain exported-field structs, so users can author
+// their own applications as JSON and tune them from the CLI
+// (`funcytuner -program my-app.json`). See examples/custom_program for the
+// equivalent in Go and internal/ir for field semantics.
+
+// SaveProgram serializes a program model as JSON.
+func SaveProgram(w io.Writer, prog *Program) error {
+	if err := Validate(prog); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(prog)
+}
+
+// LoadProgram parses a JSON program model, fills in derivable fields
+// (loop IDs, program seed, default coupling matrix when omitted) and
+// validates it.
+func LoadProgram(r io.Reader) (*Program, error) {
+	var prog Program
+	if err := json.NewDecoder(r).Decode(&prog); err != nil {
+		return nil, fmt.Errorf("funcytuner: decoding program: %w", err)
+	}
+	if prog.Seed == 0 {
+		prog.Seed = xrand.HashString("funcytuner/user-program/" + prog.Name)
+	}
+	for i := range prog.Loops {
+		l := &prog.Loops[i]
+		if l.ID == 0 {
+			l.ID = ir.LoopID(prog.Name, l.Name)
+		}
+		if l.InvocationsPerStep == 0 {
+			l.InvocationsPerStep = 1
+		}
+		if l.ScaleExp == 0 {
+			l.ScaleExp = 2
+		}
+		if l.BodySize == 0 {
+			l.BodySize = 1
+		}
+	}
+	if prog.Coupling == nil {
+		// Default: couple loops sharing a source file at 0.6, everything
+		// to the base module at 0.05.
+		n := len(prog.Loops) + 1
+		prog.Coupling = make([][]float64, n)
+		for i := range prog.Coupling {
+			prog.Coupling[i] = make([]float64, n)
+		}
+		for i := 0; i < len(prog.Loops); i++ {
+			for j := i + 1; j < len(prog.Loops); j++ {
+				if prog.Loops[i].File != "" && prog.Loops[i].File == prog.Loops[j].File {
+					prog.Coupling[i][j], prog.Coupling[j][i] = 0.6, 0.6
+				}
+			}
+			prog.Coupling[i][n-1], prog.Coupling[n-1][i] = 0.05, 0.05
+		}
+	}
+	if err := Validate(&prog); err != nil {
+		return nil, err
+	}
+	return &prog, nil
+}

@@ -1,0 +1,101 @@
+package funcytuner
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const userProgJSON = `{
+  "Name": "jsonapp",
+  "Domain": "demo",
+  "LOC": 700,
+  "Loops": [
+    {"Name": "a", "File": "k.f90", "TripCount": 1e8, "WorkPerIter": 6,
+     "BytesPerIter": 20, "FPFraction": 0.9, "WorkingSetKB": 8000,
+     "Parallel": true, "WSScaleExp": 2},
+    {"Name": "b", "File": "k.f90", "TripCount": 1e8, "WorkPerIter": 8,
+     "BytesPerIter": 8, "FPFraction": 0.7, "Divergence": 0.4,
+     "WorkingSetKB": 1000, "Parallel": true, "WSScaleExp": 2}
+  ],
+  "NonLoopCode": {"WorkPerStep": 5e8, "SetupWork": 5e8, "Sensitivity": 0.3},
+  "BaseSize": 1000,
+  "BaseSteps": 10
+}`
+
+func TestLoadProgramDefaults(t *testing.T) {
+	prog, err := LoadProgram(strings.NewReader(userProgJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Seed == 0 {
+		t.Error("seed not derived")
+	}
+	for i := range prog.Loops {
+		l := &prog.Loops[i]
+		if l.ID == 0 || l.InvocationsPerStep != 1 || l.ScaleExp != 2 || l.BodySize != 1 {
+			t.Errorf("loop %s defaults not applied: %+v", l.Name, l)
+		}
+	}
+	// Same-file loops coupled by default; everything lightly to base.
+	if prog.Coupling[0][1] != 0.6 || prog.Coupling[1][0] != 0.6 {
+		t.Errorf("same-file coupling = %v", prog.Coupling[0][1])
+	}
+	if prog.Coupling[0][2] != 0.05 {
+		t.Errorf("base coupling = %v", prog.Coupling[0][2])
+	}
+}
+
+func TestLoadProgramIsTunable(t *testing.T) {
+	prog, err := LoadProgram(strings.NewReader(userProgJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := MachineByName("broadwell")
+	tuner := NewTuner(Options{Machine: m, Samples: 120, TopX: 12, Seed: "json-prog"})
+	rep, err := tuner.Tune(prog, Input{Name: "user", Size: prog.BaseSize, Steps: prog.BaseSteps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Best.Speedup < 0.95 || rep.Best.Speedup > 1.5 {
+		t.Errorf("implausible speedup %v", rep.Best.Speedup)
+	}
+}
+
+func TestSaveProgramRoundTrip(t *testing.T) {
+	prog, err := LoadProgram(strings.NewReader(userProgJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveProgram(&buf, prog); err != nil {
+		t.Fatal(err)
+	}
+	again, err := LoadProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Name != prog.Name || again.NumLoops() != prog.NumLoops() {
+		t.Error("round trip changed the program")
+	}
+	if again.Loops[0].ID != prog.Loops[0].ID {
+		t.Error("loop IDs changed across round trip")
+	}
+}
+
+func TestLoadProgramRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"Name":"x"}`, // no loops
+		`{"Name":"x","BaseSize":100,"Loops":[{"Name":"a","TripCount":1,` +
+			`"WorkPerIter":1,"Divergence":7,"Parallel":true}]}`, // feature out of range
+	}
+	for _, c := range cases {
+		if _, err := LoadProgram(strings.NewReader(c)); err == nil {
+			t.Errorf("invalid program accepted: %.40s", c)
+		}
+	}
+	if err := SaveProgram(&bytes.Buffer{}, nil); err == nil {
+		t.Error("SaveProgram(nil) accepted")
+	}
+}
