@@ -5,13 +5,21 @@
 //
 //	funcytuner [-bench CL] [-machine broadwell] [-samples 1000] [-topx 50]
 //	           [-compare] [-seed funcytuner] [-flags]
+//	           [-fault-rate 1] [-max-retries 2] [-checkpoint f] [-resume f]
 //
 // With -compare, all four §2.2 algorithms run and their speedups are
 // reported side by side; otherwise only the collection + CFR pipeline
 // runs. With -flags, the winning per-module CVs are printed in full.
+//
+// The resilience flags exercise the fault-tolerant evaluation harness:
+// -fault-rate scales the default injected fault mix (0 = off, 1 = the
+// default 2%/1%/0.5%/4% ICE/crash/timeout/flake rates), -checkpoint
+// persists progress, and -resume continues a killed run from its
+// checkpoint with bit-identical results.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -36,6 +44,12 @@ func main() {
 	showFlags := flag.Bool("flags", false, "print the winning per-module compilation vectors")
 	adaptive := flag.Bool("adaptive", false, "early-stopped CFR (convergence-trend budget policy)")
 	save := flag.String("save", "", "write the winning configuration as JSON to this file")
+	faultRate := flag.Float64("fault-rate", 0, "scale the default injected fault mix (0 = off, 1 = default rates)")
+	maxRetries := flag.Int("max-retries", 0, "retry budget for transient failures (0 = default 2)")
+	timeout := flag.Float64("timeout", 0, "per-evaluation deadline in simulated seconds (0 = off)")
+	checkpoint := flag.String("checkpoint", "", "persist tuning progress to this file")
+	resume := flag.String("resume", "", "resume from this checkpoint file (missing file starts fresh)")
+	killAfter := flag.Int("kill-after", 0, "simulate a node failure after N evaluations (crash-testing)")
 	flag.Parse()
 
 	m, err := funcytuner.MachineByName(*machine)
@@ -73,6 +87,12 @@ func main() {
 	}
 	tuner := funcytuner.NewTuner(funcytuner.Options{
 		Machine: m, Samples: *samples, TopX: *topx, Seed: *seed,
+		Faults:         funcytuner.DefaultFaultRates().Scale(*faultRate),
+		MaxRetries:     *maxRetries,
+		TimeoutBudget:  *timeout,
+		Checkpoint:     *checkpoint,
+		Resume:         *resume,
+		KillAfterEvals: *killAfter,
 	})
 
 	fmt.Printf("tuning %s on %s with input %s\n", prog.Name, m, in)
@@ -86,6 +106,9 @@ func main() {
 		rep, err = tuner.Tune(prog, in)
 	}
 	if err != nil {
+		if errors.Is(err, funcytuner.ErrKilled) && *checkpoint != "" {
+			log.Fatalf("%v\nresume with: -resume %s", err, *checkpoint)
+		}
 		log.Fatal(err)
 	}
 
@@ -102,6 +125,13 @@ func main() {
 	}
 	fmt.Printf("\ntuning cost: %d compiles, %d runs, %.1f simulated hours\n",
 		rep.Compiles, rep.Runs, rep.SimulatedHours)
+	if ft := rep.Faults; ft != (funcytuner.FaultTally{}) {
+		fmt.Printf("faults: %d ICEs, %d crashes, %d timeouts, %d flakes; %d retries, %d wasted compiles, %.1f simulated hours lost\n",
+			ft.CompileFailures, ft.RunCrashes, ft.Timeouts, ft.Flakes,
+			ft.Retries, ft.WastedCompiles, ft.LostHours)
+		fmt.Printf("quarantined %d poison CVs; %d modules degraded to baseline\n",
+			ft.Quarantined, ft.DegradedModules)
+	}
 	fmt.Printf("CFR converged within 5%% of its final best after %d evaluations\n",
 		rep.Best.ConvergedAt(0.05))
 

@@ -37,6 +37,8 @@ package funcytuner
 
 import (
 	"fmt"
+	"math"
+	"os"
 
 	"funcytuner/internal/apps"
 	"funcytuner/internal/arch"
@@ -44,6 +46,7 @@ import (
 	"funcytuner/internal/compiler"
 	"funcytuner/internal/core"
 	"funcytuner/internal/exec"
+	"funcytuner/internal/faults"
 	"funcytuner/internal/flagspec"
 	"funcytuner/internal/ir"
 	"funcytuner/internal/outline"
@@ -67,7 +70,26 @@ type (
 	Space = flagspec.Space
 	// Profile is a Caliper-style per-loop profile.
 	Profile = caliper.Profile
+	// FaultRates configures deterministic fault injection (per-evaluation
+	// probabilities of compile failure, run crash, timeout and transient
+	// flake). The zero value disables injection.
+	FaultRates = faults.Rates
+	// Checkpoint is the JSON-portable partial state of a tuning run.
+	Checkpoint = core.Checkpoint
 )
+
+// ErrKilled reports that a tuning run hit its simulated node failure
+// (Options.KillAfterEvals) mid-run; resume it from its checkpoint.
+var ErrKilled = core.ErrKilled
+
+// DefaultFaultRates returns a realistic long-campaign fault mix (2% ICEs,
+// 1% run crashes, 0.5% timeouts, 4% transient flakes). Scale it with
+// FaultRates.Scale to dial severity.
+func DefaultFaultRates() FaultRates { return faults.Default() }
+
+// LoadCheckpoint reads and validates a checkpoint file written during a
+// run with Options.Checkpoint set.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return core.LoadCheckpointFile(path) }
 
 // Benchmark name constants (Table 1).
 const (
@@ -120,15 +142,82 @@ type Options struct {
 	Workers int
 	// HotThreshold is the outlining threshold (default 0.01, §3.3).
 	HotThreshold float64
+
+	// Faults enables deterministic fault injection on the evaluation path
+	// (see FaultRates). Zero value = off; the clean path is bit-identical
+	// to a tuner without the resilience machinery.
+	Faults FaultRates
+	// MaxRetries caps retries of transient (flake) failures (default 2).
+	MaxRetries int
+	// BackoffSeconds is the initial retry backoff in simulated seconds,
+	// doubled per retry (default 5).
+	BackoffSeconds float64
+	// BackoffCapSeconds caps the exponential backoff (default 60).
+	BackoffCapSeconds float64
+	// TimeoutBudget is the per-evaluation deadline in simulated seconds;
+	// runs exceeding it are killed and score +Inf. 0 disables it.
+	TimeoutBudget float64
+	// Checkpoint, when non-empty, persists tuning progress to this file so
+	// a killed run can be resumed.
+	Checkpoint string
+	// Resume, when non-empty, loads a checkpoint file before tuning and
+	// skips its completed samples; the resumed run's Report is
+	// bit-identical to an uninterrupted run. A missing file starts fresh.
+	// Progress keeps checkpointing to the same file unless Checkpoint
+	// names a different one.
+	Resume string
+	// CheckpointEvery is the flush cadence in completed evaluations
+	// (default 25).
+	CheckpointEvery int
+	// KillAfterEvals, when > 0, simulates a node failure after that many
+	// evaluations (the run aborts with ErrKilled) — the crash-testing
+	// hook for checkpoint/resume.
+	KillAfterEvals int
+}
+
+// validate rejects option values that would silently misbehave. Defaults
+// have already been applied.
+func (o Options) validate() error {
+	if o.Samples < 1 {
+		return fmt.Errorf("funcytuner: Samples must be positive, got %d", o.Samples)
+	}
+	if o.TopX < 1 || o.TopX > o.Samples {
+		return fmt.Errorf("funcytuner: TopX must be in [1, Samples], got %d", o.TopX)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("funcytuner: Workers must be >= 0, got %d", o.Workers)
+	}
+	if !(o.HotThreshold > 0 && o.HotThreshold <= 1) {
+		return fmt.Errorf("funcytuner: HotThreshold must be in (0, 1], got %v", o.HotThreshold)
+	}
+	if o.MaxRetries < 0 {
+		return fmt.Errorf("funcytuner: MaxRetries must be >= 0, got %d", o.MaxRetries)
+	}
+	if o.BackoffSeconds < 0 || o.BackoffCapSeconds < 0 {
+		return fmt.Errorf("funcytuner: backoff seconds must be >= 0")
+	}
+	if o.TimeoutBudget < 0 || math.IsNaN(o.TimeoutBudget) || math.IsInf(o.TimeoutBudget, 0) {
+		return fmt.Errorf("funcytuner: TimeoutBudget must be a finite value >= 0, got %v", o.TimeoutBudget)
+	}
+	if o.CheckpointEvery < 0 {
+		return fmt.Errorf("funcytuner: CheckpointEvery must be >= 0, got %d", o.CheckpointEvery)
+	}
+	if o.KillAfterEvals < 0 {
+		return fmt.Errorf("funcytuner: KillAfterEvals must be >= 0, got %d", o.KillAfterEvals)
+	}
+	return o.Faults.Validate()
 }
 
 // Tuner drives the FuncyTuner pipeline.
 type Tuner struct {
 	opts Options
 	tc   *compiler.Toolchain
+	err  error // deferred option-validation error, surfaced by Tune et al.
 }
 
-// NewTuner builds a tuner, applying defaults for unset options.
+// NewTuner builds a tuner, applying defaults for unset options. Invalid
+// options (negative budgets, HotThreshold outside (0, 1], malformed fault
+// rates, ...) are reported by the first Tune/TuneAdaptive/Compare call.
 func NewTuner(opts Options) *Tuner {
 	if opts.Machine == nil {
 		opts.Machine = arch.Broadwell()
@@ -152,7 +241,7 @@ func NewTuner(opts Options) *Tuner {
 	if opts.HotThreshold == 0 {
 		opts.HotThreshold = outline.HotThreshold
 	}
-	return &Tuner{opts: opts, tc: compiler.NewToolchain(opts.Space)}
+	return &Tuner{opts: opts, tc: compiler.NewToolchain(opts.Space), err: opts.validate()}
 }
 
 // Result is one algorithm's outcome (re-exported from the core engine).
@@ -176,8 +265,31 @@ type Report struct {
 	// SimulatedHours is the simulated tuning wall-clock (§4.3 discusses
 	// 1.5-day to 1-week real overheads).
 	SimulatedHours float64
+	// Faults tallies what fault injection cost the run (all zero on clean
+	// runs).
+	Faults FaultTally
 
 	sess *core.Session
+}
+
+// FaultTally summarizes resilience activity over a tuning run.
+type FaultTally struct {
+	// CompileFailures, RunCrashes, Timeouts and Flakes count evaluations
+	// lost to each injected fault class (Flakes counts individual flaked
+	// attempts; retried evaluations may still succeed).
+	CompileFailures, RunCrashes, Timeouts, Flakes int64
+	// Retries counts retry attempts spent on transient failures.
+	Retries int64
+	// WastedCompiles counts module compilations discarded by ICEs.
+	WastedCompiles int64
+	// LostHours is the simulated wall-clock lost to faults (wasted runs,
+	// timeout budgets, retry backoff) — a subset of SimulatedHours.
+	LostHours float64
+	// Quarantined is the number of poison CVs barred from re-sampling.
+	Quarantined int
+	// DegradedModules is the number of modules that fell back to the
+	// baseline CV because their measurements kept failing.
+	DegradedModules int
 }
 
 // Evaluation is one assembled executable's noise-free behaviour on an
@@ -221,21 +333,54 @@ func uniform(part ir.Partition, cv CV) []CV {
 	return out
 }
 
-// session builds the outlined core session for prog on in.
+// session builds the outlined core session for prog on in, wiring the
+// resilience policy and (when configured) the checkpointer.
 func (t *Tuner) session(prog *Program, in Input) (*core.Session, outline.Result, error) {
+	if t.err != nil {
+		return nil, outline.Result{}, t.err
+	}
 	res, err := outline.AutoOutline(t.tc, prog, t.opts.Machine, in, t.opts.HotThreshold, 1, nil)
 	if err != nil {
 		return nil, outline.Result{}, err
 	}
 	sess, err := core.NewSession(t.tc, prog, res.Partition, t.opts.Machine, in, core.Config{
-		Samples: t.opts.Samples,
-		TopX:    t.opts.TopX,
-		Seed:    t.opts.Seed,
-		Workers: t.opts.Workers,
-		Noisy:   *t.opts.Noisy,
+		Samples:           t.opts.Samples,
+		TopX:              t.opts.TopX,
+		Seed:              t.opts.Seed,
+		Workers:           t.opts.Workers,
+		Noisy:             *t.opts.Noisy,
+		Faults:            t.opts.Faults,
+		MaxRetries:        t.opts.MaxRetries,
+		BackoffSeconds:    t.opts.BackoffSeconds,
+		BackoffCapSeconds: t.opts.BackoffCapSeconds,
+		TimeoutBudget:     t.opts.TimeoutBudget,
+		KillAfterEvals:    t.opts.KillAfterEvals,
 	})
 	if err != nil {
 		return nil, outline.Result{}, err
+	}
+	if path := t.opts.Checkpoint; path != "" || t.opts.Resume != "" {
+		if path == "" {
+			path = t.opts.Resume
+		}
+		ckpt := core.NewCheckpointer(path, t.opts.CheckpointEvery)
+		if t.opts.Resume != "" {
+			ck, err := core.LoadCheckpointFile(t.opts.Resume)
+			switch {
+			case os.IsNotExist(err):
+				// Nothing persisted yet: start fresh, checkpointing to
+				// the same path.
+			case err != nil:
+				return nil, outline.Result{}, err
+			default:
+				if err := ckpt.Resume(ck); err != nil {
+					return nil, outline.Result{}, err
+				}
+			}
+		}
+		if err := sess.AttachCheckpointer(ckpt); err != nil {
+			return nil, outline.Result{}, err
+		}
 	}
 	return sess, res, nil
 }
@@ -302,6 +447,10 @@ func (t *Tuner) Compare(prog *Program, in Input) (*Report, error) {
 }
 
 func (t *Tuner) report(sess *core.Session, out outline.Result, all map[string]*Result) *Report {
+	degraded := 0
+	if cfr := all["CFR"]; cfr != nil {
+		degraded = len(cfr.DegradedModules)
+	}
 	return &Report{
 		Best:           all["CFR"],
 		All:            all,
@@ -311,7 +460,18 @@ func (t *Tuner) report(sess *core.Session, out outline.Result, all map[string]*R
 		Compiles:       sess.Cost.Compiles(),
 		Runs:           sess.Cost.Runs(),
 		SimulatedHours: sess.Cost.SimulatedHours(),
-		sess:           sess,
+		Faults: FaultTally{
+			CompileFailures: sess.Cost.CompileFailures(),
+			RunCrashes:      sess.Cost.RunCrashes(),
+			Timeouts:        sess.Cost.Timeouts(),
+			Flakes:          sess.Cost.Flakes(),
+			Retries:         sess.Cost.Retries(),
+			WastedCompiles:  sess.Cost.WastedCompiles(),
+			LostHours:       sess.Cost.FaultHours(),
+			Quarantined:     len(sess.Quarantined()),
+			DegradedModules: degraded,
+		},
+		sess: sess,
 	}
 }
 

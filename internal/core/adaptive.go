@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"funcytuner/internal/flagspec"
-	"funcytuner/internal/stats"
 )
 
 // StopRule configures adaptive (early-stopping) CFR. §4.3 observes that
@@ -46,15 +45,16 @@ func (s *Session) CFRAdaptive(col *Collection, rule StopRule) (*Result, error) {
 		rule.MinEvaluations = 1
 	}
 
-	// Pruning identical to CFR.
-	pruned := make([][]flagspec.CV, len(s.Part.Modules))
-	for mi := range s.Part.Modules {
-		idx := stats.TopKSmallest(col.Times[mi], s.Config.TopX)
-		pool := make([]flagspec.CV, len(idx))
-		for i, k := range idx {
-			pool[i] = col.CVs[k]
-		}
-		pruned[mi] = pool
+	// Pruning identical to CFR (quarantine and degradation included).
+	pruned, degraded := s.prunedPools(col)
+
+	// Checkpoint replay: previously persisted evaluations feed the same
+	// sequential stopping logic, so a resumed adaptive search stops at
+	// exactly the evaluation the uninterrupted run would have.
+	ckTimes := make([]float64, s.Config.Samples)
+	ckDone := make([]bool, s.Config.Samples)
+	if s.ckpt != nil {
+		s.ckpt.restoreCFR(ckTimes, ckDone)
 	}
 
 	// Sequential re-sampling with the same stream as CFR, so the first N
@@ -71,9 +71,22 @@ func (s *Session) CFRAdaptive(col *Collection, rule StopRule) (*Result, error) {
 		for mi := range a {
 			a[mi] = pruned[mi][draw.Intn(len(pruned[mi]))]
 		}
-		t, err := s.measure(a, "cfr", k)
-		if err != nil {
-			return nil, err
+		var t float64
+		if ckDone[k] {
+			t = ckTimes[k]
+		} else {
+			var ec evalCost
+			var err error
+			t, ec, err = s.measureEval(a, "cfr", k)
+			if err != nil {
+				if s.ckpt != nil {
+					s.ckpt.Flush() // persist progress before surfacing the kill
+				}
+				return nil, err
+			}
+			if s.ckpt != nil {
+				s.ckpt.markCFR(s, k, t, ec)
+			}
 		}
 		times = append(times, t)
 		if bestCVs == nil || t < bestTime {
@@ -86,9 +99,15 @@ func (s *Session) CFRAdaptive(col *Collection, rule StopRule) (*Result, error) {
 			break
 		}
 	}
+	if s.ckpt != nil {
+		if err := s.ckpt.Flush(); err != nil {
+			return nil, err
+		}
+	}
 	res, err := s.finish("CFR.adaptive", bestCVs, bestTime, times)
 	if err != nil {
 		return nil, err
 	}
+	res.DegradedModules = degraded
 	return res, nil
 }

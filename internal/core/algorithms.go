@@ -29,6 +29,10 @@ type Result struct {
 	// Trace[k] is the best measured time after k+1 evaluations of the
 	// algorithm's own search phase (convergence behaviour, §4.3).
 	Trace []float64
+	// DegradedModules lists modules (by partition index) that fell back
+	// to the baseline CV because their measurements kept failing under
+	// fault injection (CFR variants only; nil on clean runs).
+	DegradedModules []int
 }
 
 // Collection is the output of FuncyTuner's per-loop runtime collection
@@ -46,7 +50,10 @@ type Collection struct {
 
 // Collect runs the per-loop data-collection phase: every pre-sampled CV
 // compiles all modules uniformly, runs once with Caliper instrumentation,
-// and records per-module times.
+// and records per-module times. With a checkpointer attached, completed
+// samples are persisted as they land and previously persisted samples are
+// restored instead of re-evaluated — each sample is a pure function of
+// (seed, index), so the resumed collection is bit-identical.
 func (s *Session) Collect() (*Collection, error) {
 	cvs := s.PreSample()
 	col := &Collection{
@@ -57,9 +64,16 @@ func (s *Session) Collect() (*Collection, error) {
 	for mi := range col.Times {
 		col.Times[mi] = make([]float64, len(cvs))
 	}
+	done := make([]bool, len(cvs))
+	if s.ckpt != nil {
+		s.ckpt.restoreCollect(col, done)
+	}
 	errs := make([]error, len(cvs))
 	s.parFor(len(cvs), func(k int) {
-		per, total, err := s.measureUniform(cvs[k], "collect", k)
+		if done[k] {
+			return
+		}
+		per, total, ec, err := s.measureUniformEval(cvs[k], "collect", k)
 		if err != nil {
 			errs[k] = err
 			return
@@ -68,7 +82,15 @@ func (s *Session) Collect() (*Collection, error) {
 			col.Times[mi][k] = per[mi]
 		}
 		col.Totals[k] = total
+		if s.ckpt != nil {
+			s.ckpt.markCollect(s, k, per, total, ec)
+		}
 	})
+	if s.ckpt != nil {
+		if err := s.ckpt.Flush(); err != nil {
+			return nil, err
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -182,16 +204,9 @@ func (s *Session) CFR(col *Collection) (*Result, error) {
 	if err := s.checkCollection(col); err != nil {
 		return nil, err
 	}
-	// Line 10–11: prune the pre-sampled space per module.
-	pruned := make([][]flagspec.CV, len(s.Part.Modules))
-	for mi := range s.Part.Modules {
-		idx := stats.TopKSmallest(col.Times[mi], s.Config.TopX)
-		pool := make([]flagspec.CV, len(idx))
-		for i, k := range idx {
-			pool[i] = col.CVs[k]
-		}
-		pruned[mi] = pool
-	}
+	// Line 10–11: prune the pre-sampled space per module (quarantined CVs
+	// excluded; failing modules degrade to baseline — see prunedPools).
+	pruned, degraded := s.prunedPools(col)
 	// Lines 12–18: re-sample per-module CVs in the pruned space.
 	assignments := make([][]flagspec.CV, s.Config.Samples)
 	draw := s.rng.Split("cfr-assign", 0)
@@ -203,10 +218,30 @@ func (s *Session) CFR(col *Collection) (*Result, error) {
 		assignments[k] = a
 	}
 	times := make([]float64, len(assignments))
+	done := make([]bool, len(assignments))
+	if s.ckpt != nil {
+		s.ckpt.restoreCFR(times, done)
+	}
 	errs := make([]error, len(assignments))
 	s.parFor(len(assignments), func(k int) {
-		times[k], errs[k] = s.measure(assignments[k], "cfr", k)
+		if done[k] {
+			return
+		}
+		t, ec, err := s.measureEval(assignments[k], "cfr", k)
+		if err != nil {
+			errs[k] = err
+			return
+		}
+		times[k] = t
+		if s.ckpt != nil {
+			s.ckpt.markCFR(s, k, t, ec)
+		}
 	})
+	if s.ckpt != nil {
+		if err := s.ckpt.Flush(); err != nil {
+			return nil, err
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -214,7 +249,12 @@ func (s *Session) CFR(col *Collection) (*Result, error) {
 	}
 	// Lines 22–25.
 	_, bestK := stats.Min(times)
-	return s.finish("CFR", assignments[bestK], times[bestK], times)
+	res, err := s.finish("CFR", assignments[bestK], times[bestK], times)
+	if err != nil {
+		return nil, err
+	}
+	res.DegradedModules = degraded
+	return res, nil
 }
 
 // RunAll executes the full §4.1 protocol on the session: Random, then the

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"funcytuner/internal/caliper"
+	"funcytuner/internal/exec"
+	"funcytuner/internal/faults"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/stats"
+)
+
+// This file is the fault-tolerant half of the evaluation path. Real
+// FuncyTuner campaigns run for days on shared nodes (§4.3); the harness
+// therefore treats evaluation failure as a first-class outcome:
+//
+//   - injected internal compiler errors quarantine the offending CV and
+//     report +Inf, so the combo is never re-sampled;
+//   - injected run crashes and deadline blowups report +Inf and charge
+//     their wasted simulated time;
+//   - transient flakes are retried with capped exponential backoff before
+//     the evaluation is given up as +Inf (transient — not quarantined);
+//   - a module whose pruned pool ends up empty or all-failed degrades to
+//     its baseline CV instead of aborting the run.
+//
+// Everything is deterministic per (seed, CV/assembly, machine, attempt),
+// so fault-injected runs remain bit-reproducible at any worker count and
+// across checkpoint/resume.
+
+// checkKilled returns ErrKilled once the simulated node failure has hit.
+func (s *Session) checkKilled() error {
+	if s.Config.KillAfterEvals > 0 && s.killed.Load() {
+		return ErrKilled
+	}
+	return nil
+}
+
+// finishEval applies the evaluation's cost and advances the simulated
+// node-failure clock.
+func (s *Session) finishEval(ec evalCost) {
+	s.Cost.add(ec)
+	if s.Config.KillAfterEvals > 0 {
+		if s.evals.Add(1) >= int64(s.Config.KillAfterEvals) {
+			s.killed.Store(true)
+		}
+	}
+}
+
+// quarantineCV marks a CV fingerprint as poison.
+func (s *Session) quarantineCV(key uint64) {
+	s.qmu.Lock()
+	s.quarantine[key] = true
+	s.qmu.Unlock()
+}
+
+func (s *Session) isQuarantined(key uint64) bool {
+	s.qmu.Lock()
+	q := s.quarantine[key]
+	s.qmu.Unlock()
+	return q
+}
+
+// Quarantined returns the poison CV fingerprints, sorted for stable
+// reporting and checkpointing.
+func (s *Session) Quarantined() []uint64 {
+	s.qmu.Lock()
+	keys := make([]uint64, 0, len(s.quarantine))
+	for k := range s.quarantine {
+		keys = append(keys, k)
+	}
+	s.qmu.Unlock()
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	return keys
+}
+
+func (s *Session) restoreQuarantine(keys []uint64) {
+	s.qmu.Lock()
+	for _, k := range keys {
+		s.quarantine[k] = true
+	}
+	s.qmu.Unlock()
+}
+
+// icePass applies the injected compile-failure model to an assignment:
+// any module CV classified as an ICE is quarantined. It reports whether
+// the assembly's compilation died.
+func (s *Session) icePass(cvs []flagspec.CV, ec *evalCost) bool {
+	if s.faults == nil {
+		return false
+	}
+	ice := false
+	for _, cv := range cvs {
+		key := cv.Key()
+		if s.faults.CompileFails(key) {
+			s.quarantineCV(key)
+			ice = true
+		}
+	}
+	if ice {
+		ec.wastedCompiles += int64(len(s.Part.Modules))
+		ec.compileFails++
+	}
+	return ice
+}
+
+// assemblyKey fingerprints the per-module CV assignment for the
+// per-assembly fault draws.
+func (s *Session) assemblyKey(cvs []flagspec.CV) (key uint64, allBaseline bool) {
+	keys := make([]uint64, len(cvs))
+	allBaseline = true
+	for i, cv := range cvs {
+		keys[i] = cv.Key()
+		if keys[i] != s.baselineKey {
+			allBaseline = false
+		}
+	}
+	return faults.AssemblyKey(keys), allBaseline
+}
+
+// faultedRun wraps one successful compile's run phase with the injected
+// run-level fault model and the per-evaluation deadline. run() must be a
+// pure function of the session state (it is invoked exactly once) and
+// returns the run's end-to-end simulated time plus whether the harness
+// deadline killed it (exec.Result.Killed; a killed run's t is the
+// deadline it consumed). faultedRun returns the measured value: t on
+// success, +Inf when the evaluation is lost. crashQ lists CV
+// fingerprints to quarantine on a permanent run crash (used by uniform
+// evaluations, where the crash is attributable to a single CV).
+func (s *Session) faultedRun(ec *evalCost, akey uint64, exempt bool, crashQ []uint64, run func() (float64, bool)) float64 {
+	if s.faults != nil && !exempt {
+		if s.faults.RunCrashes(akey) {
+			for _, q := range crashQ {
+				s.quarantineCV(q)
+			}
+			ec.runCrashes++
+			ec.addRun(0.1) // the failed launch still costs a moment
+			ec.addFault(0.1)
+			return math.Inf(1)
+		}
+		if s.faults.TimesOut(akey) {
+			// Runtime blowup: the run burns the whole deadline budget
+			// before the harness kills it.
+			budget := s.Config.timeoutBudget()
+			ec.timeouts++
+			ec.addRun(budget)
+			ec.addFault(budget)
+			return math.Inf(1)
+		}
+	}
+	t, killed := run()
+	if killed {
+		// Genuinely pathological variant: the harness killed the run at
+		// the deadline, so the deadline is the wall-clock it consumed.
+		ec.timeouts++
+		ec.addRun(t)
+		ec.addFault(t)
+		return math.Inf(1)
+	}
+	// Transient flakes: retry with capped exponential backoff. Each
+	// attempt draws independently, so the fault stream is a pure function
+	// of (seed, assembly, attempt) and retries are bit-reproducible.
+	if s.faults != nil {
+		for attempt := 0; s.faults.Flakes(akey, attempt); attempt++ {
+			ec.flakes++
+			ec.addRun(t) // the flaked attempt still ran
+			ec.addFault(t)
+			if attempt >= s.Config.maxRetries() {
+				return math.Inf(1) // give up; transient, so no quarantine
+			}
+			back := s.Config.backoff(attempt)
+			ec.retries++
+			ec.simMicros += int64(back * 1e6) // backoff burns wall-clock
+			ec.addFault(back)
+		}
+	}
+	ec.addRun(t)
+	return t
+}
+
+// measureEval is measure plus the evaluation's cost delta, for
+// checkpointing. The delta is applied to the session CostAccount before
+// returning.
+func (s *Session) measureEval(cvs []flagspec.CV, phase string, k int) (float64, evalCost, error) {
+	var ec evalCost
+	if err := s.checkKilled(); err != nil {
+		return 0, ec, err
+	}
+	if s.icePass(cvs, &ec) {
+		s.finishEval(ec)
+		return math.Inf(1), ec, nil
+	}
+	exe, err := s.Toolchain.Compile(s.Prog, s.Part, cvs, s.Machine)
+	if err != nil {
+		return 0, ec, err
+	}
+	ec.compiles += int64(len(s.Part.Modules))
+	if exe.Crashes() {
+		ec.addRun(0.1) // the failed launch still costs a moment
+		s.finishEval(ec)
+		return math.Inf(1), ec, nil
+	}
+	akey, exempt := s.assemblyKey(cvs)
+	t := s.faultedRun(&ec, akey, exempt, nil, func() (float64, bool) {
+		res := exec.Run(exe, s.Machine, s.Input, exec.Options{
+			Noise:           s.noise(phase, k),
+			DeadlineSeconds: s.Config.TimeoutBudget,
+		})
+		return res.Total, res.Killed
+	})
+	s.finishEval(ec)
+	return t, ec, nil
+}
+
+// measureUniform compiles every module with cv and runs instrumented,
+// returning per-coupling-unit times: entries 0..J-1 are hot-loop times in
+// module order, entry J is the derived non-loop time (§3.3), and the
+// returned total is the end-to-end time.
+func (s *Session) measureUniform(cv flagspec.CV, phase string, k int) (perModule []float64, total float64, err error) {
+	per, total, _, err := s.measureUniformEval(cv, phase, k)
+	return per, total, err
+}
+
+// infPerModule is the per-module outcome of a failed uniform evaluation:
+// every module entry goes to +Inf so the CV drops out of all pruned pools.
+func (s *Session) infPerModule() []float64 {
+	per := make([]float64, len(s.Part.Modules))
+	for i := range per {
+		per[i] = math.Inf(1)
+	}
+	return per
+}
+
+// measureUniformEval is measureUniform plus the evaluation's cost delta.
+func (s *Session) measureUniformEval(cv flagspec.CV, phase string, k int) (perModule []float64, total float64, ec evalCost, err error) {
+	if err := s.checkKilled(); err != nil {
+		return nil, 0, ec, err
+	}
+	uniform := make([]flagspec.CV, len(s.Part.Modules))
+	for i := range uniform {
+		uniform[i] = cv
+	}
+	if s.icePass(uniform, &ec) {
+		s.finishEval(ec)
+		return s.infPerModule(), math.Inf(1), ec, nil
+	}
+	exe, err := s.Toolchain.CompileUniform(s.Prog, s.Part, cv, s.Machine)
+	if err != nil {
+		return nil, 0, ec, err
+	}
+	ec.compiles += int64(len(s.Part.Modules))
+	if exe.Crashes() {
+		// A crashing variant yields no per-loop data.
+		ec.addRun(0.1)
+		s.finishEval(ec)
+		return s.infPerModule(), math.Inf(1), ec, nil
+	}
+	akey, exempt := s.assemblyKey(uniform)
+	var prof caliper.Profile
+	t := s.faultedRun(&ec, akey, exempt, []uint64{cv.Key()}, func() (float64, bool) {
+		// The caliper path doesn't go through exec.Options, so the
+		// harness deadline is emulated here with the same semantics.
+		prof = s.caliperProfile(exe, phase, k)
+		if dl := s.Config.TimeoutBudget; dl > 0 && prof.Total > dl {
+			return dl, true
+		}
+		return prof.Total, false
+	})
+	if math.IsInf(t, 1) {
+		s.finishEval(ec)
+		return s.infPerModule(), math.Inf(1), ec, nil
+	}
+	perModule = make([]float64, len(s.Part.Modules))
+	for mi, mod := range s.Part.Modules {
+		if mod.IsBase {
+			perModule[mi] = prof.NonLoop
+			// Loops left in the base module (under the hotness
+			// threshold) count toward the base module's time.
+			for _, li := range mod.LoopIdx {
+				perModule[mi] += prof.PerLoop[li]
+			}
+			continue
+		}
+		for _, li := range mod.LoopIdx {
+			perModule[mi] += prof.PerLoop[li]
+		}
+	}
+	s.finishEval(ec)
+	return perModule, prof.Total, ec, nil
+}
+
+// prunedPools applies Algorithm 1's per-module pruning (top-X by measured
+// per-module time) with the resilience overlays: quarantined CVs never
+// enter a pool, and a module whose pool would be empty — or, under fault
+// injection, whose every surviving candidate failed to produce a finite
+// measurement — degrades to the baseline CV instead of aborting the run.
+// With no quarantined CVs the pools are exactly the clean Algorithm 1
+// pools.
+func (s *Session) prunedPools(col *Collection) (pools [][]flagspec.CV, degraded []int) {
+	pools = make([][]flagspec.CV, len(s.Part.Modules))
+	baseline := s.Toolchain.Space.Baseline()
+	anyQuarantine := len(s.Quarantined()) > 0
+	for mi := range s.Part.Modules {
+		candIdx := make([]int, 0, len(col.CVs))
+		candTimes := make([]float64, 0, len(col.CVs))
+		if anyQuarantine {
+			for k := range col.CVs {
+				if s.isQuarantined(col.CVs[k].Key()) {
+					continue
+				}
+				candIdx = append(candIdx, k)
+				candTimes = append(candTimes, col.Times[mi][k])
+			}
+		} else {
+			for k := range col.CVs {
+				candIdx = append(candIdx, k)
+			}
+			candTimes = col.Times[mi]
+		}
+		idx := stats.TopKSmallest(candTimes, s.Config.TopX)
+		pool := make([]flagspec.CV, len(idx))
+		finite := false
+		for i, ci := range idx {
+			pool[i] = col.CVs[candIdx[ci]]
+			if !math.IsInf(candTimes[ci], 1) {
+				finite = true
+			}
+		}
+		if len(pool) == 0 || (s.faults != nil && !finite) {
+			// Graceful degradation: the module's measurements keep
+			// failing, so it falls back to the known-safe baseline CV.
+			pool = []flagspec.CV{baseline}
+			degraded = append(degraded, mi)
+		}
+		pools[mi] = pool
+	}
+	return pools, degraded
+}

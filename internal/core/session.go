@@ -10,9 +10,17 @@
 // noise flows from named xrand streams keyed by the session seed and the
 // sample index, so results are bit-reproducible regardless of the worker
 // count.
+//
+// The session is also the resilience boundary for long campaigns: injected
+// compile/run faults (internal/faults), retry-with-backoff for transient
+// failures, quarantine of poison CVs, graceful degradation to baseline
+// CVs, and checkpoint/resume all live on the evaluation path here. With
+// fault injection disabled (the zero Config) none of it is reachable and
+// the clean path is bit-identical to a session without the machinery.
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -23,9 +31,29 @@ import (
 	"funcytuner/internal/caliper"
 	"funcytuner/internal/compiler"
 	"funcytuner/internal/exec"
+	"funcytuner/internal/faults"
 	"funcytuner/internal/flagspec"
 	"funcytuner/internal/ir"
 	"funcytuner/internal/xrand"
+)
+
+// ErrKilled reports that the session hit its simulated node failure
+// (Config.KillAfterEvals) mid-run. A checkpointed session can be resumed
+// from the last flushed sample.
+var ErrKilled = errors.New("core: session killed (simulated node failure)")
+
+// Defaults for the resilience policy, applied when fault injection is
+// enabled and the corresponding Config field is zero.
+const (
+	// DefaultMaxRetries caps retry attempts for transient flakes.
+	DefaultMaxRetries = 2
+	// DefaultBackoffSeconds is the initial retry backoff (simulated).
+	DefaultBackoffSeconds = 5.0
+	// DefaultBackoffCapSeconds caps the exponential backoff (simulated).
+	DefaultBackoffCapSeconds = 60.0
+	// DefaultTimeoutBudget is the deadline charged to injected
+	// timeout-class evaluations when Config.TimeoutBudget is unset.
+	DefaultTimeoutBudget = 300.0
 )
 
 // Config parameterizes a tuning session.
@@ -42,6 +70,29 @@ type Config struct {
 	// Noisy enables measurement noise (on by default in experiments;
 	// tests may disable it for exactness).
 	Noisy bool
+
+	// Faults configures deterministic fault injection on the evaluation
+	// path. The zero value disables injection entirely: the clean path
+	// is bit-identical to a session without the resilience machinery.
+	Faults faults.Rates
+	// MaxRetries caps retry attempts for transient (flake) failures;
+	// 0 means DefaultMaxRetries.
+	MaxRetries int
+	// BackoffSeconds is the initial retry backoff in simulated seconds,
+	// doubled per retry; 0 means DefaultBackoffSeconds.
+	BackoffSeconds float64
+	// BackoffCapSeconds caps the exponential backoff; 0 means
+	// DefaultBackoffCapSeconds.
+	BackoffCapSeconds float64
+	// TimeoutBudget is the per-evaluation deadline in simulated seconds.
+	// When > 0, any run exceeding it is killed at the deadline and
+	// reported +Inf; 0 disables deadline enforcement for real runs
+	// (injected timeout-class faults then charge DefaultTimeoutBudget).
+	TimeoutBudget float64
+	// KillAfterEvals, when > 0, simulates a node failure: the session
+	// aborts with ErrKilled once that many evaluations have completed.
+	// It is the crash-testing hook for checkpoint/resume.
+	KillAfterEvals int
 }
 
 // DefaultConfig returns the paper's settings: 1000 samples, top-50
@@ -57,12 +108,81 @@ func (c Config) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+func (c Config) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	return DefaultMaxRetries
+}
+
+func (c Config) backoff(attempt int) float64 {
+	base := c.BackoffSeconds
+	if base <= 0 {
+		base = DefaultBackoffSeconds
+	}
+	cap := c.BackoffCapSeconds
+	if cap <= 0 {
+		cap = DefaultBackoffCapSeconds
+	}
+	b := base
+	for i := 0; i < attempt && b < cap; i++ {
+		b *= 2
+	}
+	if b > cap {
+		b = cap
+	}
+	return b
+}
+
+func (c Config) timeoutBudget() float64 {
+	if c.TimeoutBudget > 0 {
+		return c.TimeoutBudget
+	}
+	return DefaultTimeoutBudget
+}
+
+// validate rejects configurations that would silently misbehave.
+func (c Config) validate() error {
+	if c.Samples < 1 {
+		return fmt.Errorf("core: Samples must be >= 1, got %d", c.Samples)
+	}
+	if c.TopX < 1 || c.TopX > c.Samples {
+		return fmt.Errorf("core: TopX must be in [1, Samples], got %d", c.TopX)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers must be >= 0, got %d", c.Workers)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("core: MaxRetries must be >= 0, got %d", c.MaxRetries)
+	}
+	if c.BackoffSeconds < 0 || c.BackoffCapSeconds < 0 {
+		return fmt.Errorf("core: backoff seconds must be >= 0")
+	}
+	if c.TimeoutBudget < 0 || math.IsNaN(c.TimeoutBudget) || math.IsInf(c.TimeoutBudget, 0) {
+		return fmt.Errorf("core: TimeoutBudget must be a finite value >= 0, got %v", c.TimeoutBudget)
+	}
+	if c.KillAfterEvals < 0 {
+		return fmt.Errorf("core: KillAfterEvals must be >= 0, got %d", c.KillAfterEvals)
+	}
+	return c.Faults.Validate()
+}
+
 // CostAccount tallies simulated tuning cost (§4.3 discusses the 1.5-day to
-// 1-week tuning overheads; we track the simulated equivalents).
+// 1-week tuning overheads; we track the simulated equivalents) plus the
+// resilience overheads: retries, wasted compiles, and simulated hours lost
+// to faults.
 type CostAccount struct {
 	compiles  atomic.Int64
 	runs      atomic.Int64
 	simMicros atomic.Int64 // simulated wall-clock, microseconds
+
+	retries        atomic.Int64
+	wastedCompiles atomic.Int64
+	faultMicros    atomic.Int64 // simulated wall-clock lost to faults
+	compileFails   atomic.Int64
+	runCrashes     atomic.Int64
+	timeouts       atomic.Int64
+	flakes         atomic.Int64
 }
 
 // Compiles returns the number of module compilations performed.
@@ -76,9 +196,121 @@ func (c *CostAccount) SimulatedHours() float64 {
 	return float64(c.simMicros.Load()) / 1e6 / 3600
 }
 
-func (c *CostAccount) addRun(seconds float64) {
-	c.runs.Add(1)
-	c.simMicros.Add(int64(seconds * 1e6))
+// Retries returns the number of transient-fault retries performed.
+func (c *CostAccount) Retries() int64 { return c.retries.Load() }
+
+// WastedCompiles returns the number of module compilations that died with
+// an injected internal compiler error.
+func (c *CostAccount) WastedCompiles() int64 { return c.wastedCompiles.Load() }
+
+// FaultHours returns the simulated wall-clock lost to faults (wasted
+// runs, timeout budgets, retry backoff), in hours. It is a subset of
+// SimulatedHours.
+func (c *CostAccount) FaultHours() float64 {
+	return float64(c.faultMicros.Load()) / 1e6 / 3600
+}
+
+// CompileFailures returns the number of evaluations lost to injected ICEs.
+func (c *CostAccount) CompileFailures() int64 { return c.compileFails.Load() }
+
+// RunCrashes returns the number of evaluations lost to injected crashes.
+func (c *CostAccount) RunCrashes() int64 { return c.runCrashes.Load() }
+
+// Timeouts returns the number of evaluations killed at the deadline.
+func (c *CostAccount) Timeouts() int64 { return c.timeouts.Load() }
+
+// Flakes returns the number of transient failures observed (each retry
+// that flaked counts once).
+func (c *CostAccount) Flakes() int64 { return c.flakes.Load() }
+
+// evalCost is one evaluation's contribution to the CostAccount. Evaluation
+// paths accumulate into an evalCost and apply it once, so checkpointing
+// can record exactly the cost of the samples it marks complete.
+type evalCost struct {
+	compiles, runs, simMicros                  int64
+	retries, wastedCompiles, faultMicros       int64
+	compileFails, runCrashes, timeouts, flakes int64
+}
+
+// addRun charges one program execution of the given simulated duration.
+func (ec *evalCost) addRun(seconds float64) {
+	ec.runs++
+	ec.simMicros += int64(seconds * 1e6)
+}
+
+// addFault charges simulated wall-clock lost to a fault (already counted
+// in simMicros where applicable).
+func (ec *evalCost) addFault(seconds float64) {
+	ec.faultMicros += int64(seconds * 1e6)
+}
+
+// add applies a completed evaluation's cost to the account.
+func (c *CostAccount) add(ec evalCost) {
+	c.compiles.Add(ec.compiles)
+	c.runs.Add(ec.runs)
+	c.simMicros.Add(ec.simMicros)
+	c.retries.Add(ec.retries)
+	c.wastedCompiles.Add(ec.wastedCompiles)
+	c.faultMicros.Add(ec.faultMicros)
+	c.compileFails.Add(ec.compileFails)
+	c.runCrashes.Add(ec.runCrashes)
+	c.timeouts.Add(ec.timeouts)
+	c.flakes.Add(ec.flakes)
+}
+
+// CostSnapshot is the JSON-portable form of a CostAccount, carried inside
+// checkpoints so a resumed campaign reports the full cost of the work it
+// inherited.
+type CostSnapshot struct {
+	Compiles       int64 `json:"compiles"`
+	Runs           int64 `json:"runs"`
+	SimMicros      int64 `json:"sim_micros"`
+	Retries        int64 `json:"retries"`
+	WastedCompiles int64 `json:"wasted_compiles"`
+	FaultMicros    int64 `json:"fault_micros"`
+	CompileFails   int64 `json:"compile_fails"`
+	RunCrashes     int64 `json:"run_crashes"`
+	Timeouts       int64 `json:"timeouts"`
+	Flakes         int64 `json:"flakes"`
+}
+
+func (s CostSnapshot) addEval(ec evalCost) CostSnapshot {
+	s.Compiles += ec.compiles
+	s.Runs += ec.runs
+	s.SimMicros += ec.simMicros
+	s.Retries += ec.retries
+	s.WastedCompiles += ec.wastedCompiles
+	s.FaultMicros += ec.faultMicros
+	s.CompileFails += ec.compileFails
+	s.RunCrashes += ec.runCrashes
+	s.Timeouts += ec.timeouts
+	s.Flakes += ec.flakes
+	return s
+}
+
+func (s CostSnapshot) validate() error {
+	for _, v := range []int64{s.Compiles, s.Runs, s.SimMicros, s.Retries,
+		s.WastedCompiles, s.FaultMicros, s.CompileFails, s.RunCrashes,
+		s.Timeouts, s.Flakes} {
+		if v < 0 {
+			return fmt.Errorf("core: negative cost counter in checkpoint")
+		}
+	}
+	return nil
+}
+
+// restore overwrites the account with a snapshot (checkpoint resume).
+func (c *CostAccount) restore(s CostSnapshot) {
+	c.compiles.Store(s.Compiles)
+	c.runs.Store(s.Runs)
+	c.simMicros.Store(s.SimMicros)
+	c.retries.Store(s.Retries)
+	c.wastedCompiles.Store(s.WastedCompiles)
+	c.faultMicros.Store(s.FaultMicros)
+	c.compileFails.Store(s.CompileFails)
+	c.runCrashes.Store(s.RunCrashes)
+	c.timeouts.Store(s.Timeouts)
+	c.flakes.Store(s.Flakes)
 }
 
 // Session is one (program, partition, machine, input) tuning context.
@@ -94,6 +326,21 @@ type Session struct {
 	Cost CostAccount
 
 	rng *xrand.Rand
+
+	// Resilience state. faults is nil when injection is disabled;
+	// quarantine holds fingerprints of poison CVs (permanent failures)
+	// that must never re-enter a pruned pool.
+	faults      *faults.Model
+	baselineKey uint64
+	qmu         sync.Mutex
+	quarantine  map[uint64]bool
+
+	// Simulated node-failure state (Config.KillAfterEvals).
+	evals  atomic.Int64
+	killed atomic.Bool
+
+	// Optional checkpoint sink/source for Collect and CFR.
+	ckpt *Checkpointer
 }
 
 // NewSession builds a session. The partition normally comes from
@@ -105,20 +352,21 @@ func NewSession(tc *compiler.Toolchain, prog *ir.Program, part ir.Partition, m *
 	if part.Program != prog {
 		return nil, fmt.Errorf("core: partition belongs to a different program")
 	}
-	if cfg.Samples < 1 {
-		return nil, fmt.Errorf("core: Samples must be >= 1, got %d", cfg.Samples)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	if cfg.TopX < 1 || cfg.TopX > cfg.Samples {
-		return nil, fmt.Errorf("core: TopX must be in [1, Samples], got %d", cfg.TopX)
-	}
+	baselineKey := tc.Space.Baseline().Key()
 	return &Session{
-		Toolchain: tc,
-		Prog:      prog,
-		Part:      part,
-		Machine:   m,
-		Input:     in,
-		Config:    cfg,
-		rng:       xrand.NewFromString("core/" + cfg.Seed + "/" + prog.Name + "/" + m.Name),
+		Toolchain:   tc,
+		Prog:        prog,
+		Part:        part,
+		Machine:     m,
+		Input:       in,
+		Config:      cfg,
+		rng:         xrand.NewFromString("core/" + cfg.Seed + "/" + prog.Name + "/" + m.Name),
+		faults:      faults.New(cfg.Seed, m.ID, baselineKey, cfg.Faults),
+		baselineKey: baselineKey,
+		quarantine:  make(map[uint64]bool),
 	}, nil
 }
 
@@ -140,60 +388,11 @@ func (s *Session) noise(phase string, k int) *xrand.Rand {
 // measure compiles the partition with per-module CVs and runs it once,
 // returning the end-to-end measured time. Crashing code variants (§3.2:
 // some flag settings "prevent a program from running successfully")
-// report +Inf, so they lose every argmin without special-casing.
+// report +Inf, so they lose every argmin without special-casing; so do
+// injected faults that exhaust the retry budget.
 func (s *Session) measure(cvs []flagspec.CV, phase string, k int) (float64, error) {
-	exe, err := s.Toolchain.Compile(s.Prog, s.Part, cvs, s.Machine)
-	if err != nil {
-		return 0, err
-	}
-	s.Cost.compiles.Add(int64(len(s.Part.Modules)))
-	if exe.Crashes() {
-		s.Cost.addRun(0.1) // the failed launch still costs a moment
-		return math.Inf(1), nil
-	}
-	res := exec.Run(exe, s.Machine, s.Input, exec.Options{Noise: s.noise(phase, k)})
-	s.Cost.addRun(res.Total)
-	return res.Total, nil
-}
-
-// measureUniform compiles every module with cv and runs instrumented,
-// returning per-coupling-unit times: entries 0..J-1 are hot-loop times in
-// module order, entry J is the derived non-loop time (§3.3), and the
-// returned total is the end-to-end time.
-func (s *Session) measureUniform(cv flagspec.CV, phase string, k int) (perModule []float64, total float64, err error) {
-	exe, err := s.Toolchain.CompileUniform(s.Prog, s.Part, cv, s.Machine)
-	if err != nil {
-		return nil, 0, err
-	}
-	s.Cost.compiles.Add(int64(len(s.Part.Modules)))
-	if exe.Crashes() {
-		// A crashing variant yields no per-loop data: every module entry
-		// goes to +Inf so the CV drops out of all pruned pools.
-		s.Cost.addRun(0.1)
-		perModule = make([]float64, len(s.Part.Modules))
-		for i := range perModule {
-			perModule[i] = math.Inf(1)
-		}
-		return perModule, math.Inf(1), nil
-	}
-	prof := caliper.Collect(exe, s.Machine, s.Input, 1, s.noise(phase, k))
-	s.Cost.addRun(prof.Total)
-	perModule = make([]float64, len(s.Part.Modules))
-	for mi, mod := range s.Part.Modules {
-		if mod.IsBase {
-			perModule[mi] = prof.NonLoop
-			// Loops left in the base module (under the hotness
-			// threshold) count toward the base module's time.
-			for _, li := range mod.LoopIdx {
-				perModule[mi] += prof.PerLoop[li]
-			}
-			continue
-		}
-		for _, li := range mod.LoopIdx {
-			perModule[mi] += prof.PerLoop[li]
-		}
-	}
-	return perModule, prof.Total, nil
+	t, _, err := s.measureEval(cvs, phase, k)
+	return t, err
 }
 
 // BaselineTime returns the noise-free O3 end-to-end time of the original
@@ -268,4 +467,10 @@ func (s *Session) parFor(n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// caliperProfile is the instrumented run for measureUniform, factored out
+// so the resilient wrapper can re-run it per attempt bookkeeping.
+func (s *Session) caliperProfile(exe *compiler.Executable, phase string, k int) caliper.Profile {
+	return caliper.Collect(exe, s.Machine, s.Input, 1, s.noise(phase, k))
 }

@@ -36,6 +36,10 @@ type Options struct {
 	// Noise, when non-nil, draws measurement noise; nil runs are exact
 	// (useful for calibration and tests).
 	Noise *xrand.Rand
+	// DeadlineSeconds, when > 0, models a harness-enforced per-run
+	// deadline: a run whose simulated time exceeds it is killed at the
+	// deadline (Result.Killed). 0 disables enforcement.
+	DeadlineSeconds float64
 }
 
 // Result is the outcome of one run.
@@ -50,6 +54,11 @@ type Result struct {
 	// NonLoop is the derived non-loop time (Total − ΣPerLoop − Setup-free
 	// accounting is folded in here, matching §3.3's subtraction).
 	NonLoop float64
+	// Killed reports that the run exceeded Options.DeadlineSeconds and
+	// was terminated; Total then holds the deadline (the wall-clock the
+	// doomed run actually consumed), and the per-loop attribution is the
+	// truncated run's — unusable for tuning.
+	Killed bool
 }
 
 // Run executes exe on machine m with input in.
@@ -95,6 +104,9 @@ func Run(exe *compiler.Executable, m *arch.Machine, in ir.Input, opt Options) Re
 	}
 	if opt.Noise != nil {
 		total *= 1 + 0.004*opt.Noise.Norm()
+	}
+	if opt.DeadlineSeconds > 0 && total > opt.DeadlineSeconds {
+		return Result{Total: opt.DeadlineSeconds, PerLoop: perLoop, NonLoop: total - loopSum, Killed: true}
 	}
 	return Result{Total: total, PerLoop: perLoop, NonLoop: total - loopSum}
 }

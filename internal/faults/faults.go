@@ -1,0 +1,229 @@
+// Package faults models the evaluation failures of real tuning campaigns.
+// §4.3 reports FuncyTuner runs of 1.5 days to a week on shared HPC nodes;
+// at that scale compile failures (internal compiler errors on hostile flag
+// combinations), crashed or pathologically slow code variants, and plain
+// node flakiness are routine, and a production harness must treat them as
+// first-class outcomes rather than aborting the campaign.
+//
+// Every injected fault is a pure function of (session seed, machine,
+// CV/assembly fingerprint[, attempt]): no shared mutable state, no clock,
+// no OS randomness. That keeps fault-injected runs bit-reproducible
+// regardless of worker count, and lets a resumed run re-derive exactly the
+// same fault outcomes as the run it replaces.
+//
+// Fault classes:
+//
+//   - CompileFail — an ICE triggered by a specific flag interaction.
+//     Permanent per (CV, machine): retrying never helps, so the harness
+//     quarantines the CV.
+//   - RunCrash — the linked assembly faults at runtime. Permanent per
+//     (assembly, machine).
+//   - Timeout — a runtime blowup past the evaluation deadline; the run is
+//     killed at the budget. Permanent per (assembly, machine).
+//   - Flake — a transient node failure (OOM-killed daemon, filesystem
+//     hiccup); drawn per attempt, so retry-with-backoff recovers.
+//
+// The baseline (-O3 default) CV is exempt from permanent faults: the
+// conservative configuration every compiler ships is, by construction, the
+// one combination that does not tickle hostile-flag bugs. That guarantee is
+// what makes "degrade a failing module to its baseline CV" a safe fallback.
+package faults
+
+import (
+	"fmt"
+
+	"funcytuner/internal/xrand"
+)
+
+// Class is the outcome classification of one evaluation attempt.
+type Class int
+
+const (
+	// OK means the evaluation proceeds normally.
+	OK Class = iota
+	// CompileFail is a permanent per-CV internal compiler error.
+	CompileFail
+	// RunCrash is a permanent per-assembly runtime fault.
+	RunCrash
+	// Timeout is a permanent per-assembly runtime blowup past the deadline.
+	Timeout
+	// Flake is a transient per-attempt failure; retrying can succeed.
+	Flake
+)
+
+// String names the class for logs and reports.
+func (c Class) String() string {
+	switch c {
+	case OK:
+		return "ok"
+	case CompileFail:
+		return "compile-fail"
+	case RunCrash:
+		return "run-crash"
+	case Timeout:
+		return "timeout"
+	case Flake:
+		return "flake"
+	default:
+		return fmt.Sprintf("faults.Class(%d)", int(c))
+	}
+}
+
+// Rates configures per-class injection probabilities. The zero value
+// disables injection entirely (the clean path).
+type Rates struct {
+	// CompileFail is the per-CV probability of a permanent ICE.
+	CompileFail float64 `json:"compile_fail"`
+	// RunCrash is the per-assembly probability of a permanent crash.
+	RunCrash float64 `json:"run_crash"`
+	// Timeout is the per-assembly probability of a runtime blowup that
+	// hits the evaluation deadline.
+	Timeout float64 `json:"timeout"`
+	// Flake is the per-attempt probability of a transient failure.
+	Flake float64 `json:"flake"`
+}
+
+// Default returns the documented injection mix for robustness experiments:
+// a 2% ICE rate, 1% crash rate, 0.5% timeout rate and 4% transient-flake
+// rate — roughly the failure climate of a week-long shared-node campaign.
+func Default() Rates {
+	return Rates{CompileFail: 0.02, RunCrash: 0.01, Timeout: 0.005, Flake: 0.04}
+}
+
+// Scale multiplies every class rate by f, clamping each to [0, 0.95].
+func (r Rates) Scale(f float64) Rates {
+	clamp := func(x float64) float64 {
+		x *= f
+		if x < 0 {
+			return 0
+		}
+		if x > 0.95 {
+			return 0.95
+		}
+		return x
+	}
+	return Rates{
+		CompileFail: clamp(r.CompileFail),
+		RunCrash:    clamp(r.RunCrash),
+		Timeout:     clamp(r.Timeout),
+		Flake:       clamp(r.Flake),
+	}
+}
+
+// Enabled reports whether any class has a nonzero rate.
+func (r Rates) Enabled() bool {
+	return r.CompileFail > 0 || r.RunCrash > 0 || r.Timeout > 0 || r.Flake > 0
+}
+
+// Validate rejects rates outside [0, 1). A rate of exactly 1 would make
+// every evaluation (or every retry) fail unconditionally, which turns the
+// harness into a no-op; the catastrophic-failure regime is reachable at
+// 0.95+ without degenerating.
+func (r Rates) Validate() error {
+	check := func(name string, v float64) error {
+		if v != v { // NaN
+			return fmt.Errorf("faults: %s rate is NaN", name)
+		}
+		if v < 0 || v >= 1 {
+			return fmt.Errorf("faults: %s rate %v outside [0, 1)", name, v)
+		}
+		return nil
+	}
+	if err := check("CompileFail", r.CompileFail); err != nil {
+		return err
+	}
+	if err := check("RunCrash", r.RunCrash); err != nil {
+		return err
+	}
+	if err := check("Timeout", r.Timeout); err != nil {
+		return err
+	}
+	return check("Flake", r.Flake)
+}
+
+// Model draws deterministic fault classifications for one tuning session.
+// A nil *Model is valid and injects nothing.
+type Model struct {
+	rates    Rates
+	seed     uint64
+	machine  uint64
+	baseline uint64
+}
+
+// Domain-separation salts for the per-class draws.
+const (
+	saltICE   = 0x1cef0a17
+	saltCrash = 0xc7a5bbad
+	saltTO    = 0x71aeb0de
+	saltFlake = 0xf1a4e5e1
+)
+
+// New builds a model for a session. seed is the session's experiment seed,
+// machineID the target platform's identity, baselineKey the fingerprint of
+// the space's baseline CV (exempt from permanent faults). Rates with no
+// nonzero class yield a nil model, so the clean path pays nothing.
+func New(seed string, machineID, baselineKey uint64, r Rates) *Model {
+	if !r.Enabled() {
+		return nil
+	}
+	return &Model{
+		rates:    r,
+		seed:     xrand.HashString("faults/" + seed),
+		machine:  machineID,
+		baseline: baselineKey,
+	}
+}
+
+// unit maps a draw identity to a deterministic uniform in [0, 1).
+func (m *Model) unit(key, salt uint64) float64 {
+	return float64(xrand.Combine(m.seed, m.machine, key, salt)>>11) / (1 << 53)
+}
+
+// CompileFails reports whether compiling any module with the CV whose
+// fingerprint is cvKey dies with an ICE. Permanent: every attempt on this
+// machine gives the same answer. The baseline CV never fails.
+func (m *Model) CompileFails(cvKey uint64) bool {
+	if m == nil || cvKey == m.baseline {
+		return false
+	}
+	return m.unit(cvKey, saltICE) < m.rates.CompileFail
+}
+
+// RunCrashes reports whether the assembly with fingerprint akey crashes at
+// runtime. Permanent per (assembly, machine).
+func (m *Model) RunCrashes(akey uint64) bool {
+	if m == nil {
+		return false
+	}
+	return m.unit(akey, saltCrash) < m.rates.RunCrash
+}
+
+// TimesOut reports whether the assembly blows past the evaluation deadline.
+// Permanent per (assembly, machine).
+func (m *Model) TimesOut(akey uint64) bool {
+	if m == nil {
+		return false
+	}
+	return m.unit(akey, saltTO) < m.rates.Timeout
+}
+
+// Flakes reports whether the attempt-th try of running the assembly fails
+// transiently. Each attempt draws independently, so retries recover with
+// probability 1 - Flake per try.
+func (m *Model) Flakes(akey uint64, attempt int) bool {
+	if m == nil {
+		return false
+	}
+	return m.unit(xrand.Combine(akey, uint64(attempt)), saltFlake) < m.rates.Flake
+}
+
+// AssemblyKey fingerprints a per-module CV assignment from the module CV
+// fingerprints, for the per-assembly fault draws. Uniform assemblies (all
+// modules sharing one CV) hash identically whether they were built by the
+// collection phase or by per-program random search.
+func AssemblyKey(cvKeys []uint64) uint64 {
+	parts := make([]uint64, 0, len(cvKeys)+1)
+	parts = append(parts, 0xa55e3b1e)
+	parts = append(parts, cvKeys...)
+	return xrand.Combine(parts...)
+}

@@ -1,0 +1,158 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/xrand"
+)
+
+func TestZeroRatesInjectNothing(t *testing.T) {
+	if New("s", 1, 2, Rates{}) != nil {
+		t.Fatal("zero rates should yield a nil model")
+	}
+	var m *Model
+	if m.CompileFails(7) || m.RunCrashes(7) || m.TimesOut(7) || m.Flakes(7, 0) {
+		t.Fatal("nil model must never inject")
+	}
+}
+
+func TestDeterministicAcrossInstances(t *testing.T) {
+	a := New("seed", 0xa3d1, 99, Default())
+	b := New("seed", 0xa3d1, 99, Default())
+	for key := uint64(0); key < 2000; key++ {
+		if a.CompileFails(key) != b.CompileFails(key) ||
+			a.RunCrashes(key) != b.RunCrashes(key) ||
+			a.TimesOut(key) != b.TimesOut(key) ||
+			a.Flakes(key, int(key%5)) != b.Flakes(key, int(key%5)) {
+			t.Fatalf("same-seed models disagree at key %d", key)
+		}
+	}
+	c := New("other-seed", 0xa3d1, 99, Default())
+	same := 0
+	for key := uint64(0); key < 2000; key++ {
+		if a.Flakes(key, 0) == c.Flakes(key, 0) {
+			same++
+		}
+	}
+	if same == 2000 {
+		t.Fatal("different seeds produce identical fault streams")
+	}
+}
+
+func TestRatesCalibrated(t *testing.T) {
+	r := Rates{CompileFail: 0.10, RunCrash: 0.05, Timeout: 0.02, Flake: 0.20}
+	m := New("cal", 0xb7e2, 1, r)
+	const n = 20000
+	var ice, crash, to, flake int
+	rng := xrand.NewFromString("faults-cal")
+	for i := 0; i < n; i++ {
+		key := rng.Uint64()
+		if m.CompileFails(key) {
+			ice++
+		}
+		if m.RunCrashes(key) {
+			crash++
+		}
+		if m.TimesOut(key) {
+			to++
+		}
+		if m.Flakes(key, 0) {
+			flake++
+		}
+	}
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"ice", float64(ice) / n, r.CompileFail},
+		{"crash", float64(crash) / n, r.RunCrash},
+		{"timeout", float64(to) / n, r.Timeout},
+		{"flake", float64(flake) / n, r.Flake},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 0.3*c.want+0.005 {
+			t.Errorf("%s rate %.4f, configured %.4f", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestBaselineExempt(t *testing.T) {
+	space := flagspec.ICC()
+	base := space.Baseline().Key()
+	// Even at a 95% ICE rate the baseline CV must compile.
+	m := New("hostile", 0xc5f3, base, Default().Scale(50))
+	if m.CompileFails(base) {
+		t.Fatal("baseline CV must never compile-fail")
+	}
+}
+
+func TestFlakeAttemptsIndependent(t *testing.T) {
+	m := New("retry", 1, 0, Rates{Flake: 0.5})
+	// With p=0.5 per attempt, some key must flake on attempt 0 and pass on
+	// a later attempt — that is what makes retry-with-backoff worthwhile.
+	recovered := false
+	for key := uint64(0); key < 200; key++ {
+		if m.Flakes(key, 0) && !m.Flakes(key, 1) {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatal("no key recovers on retry; attempts are not independent")
+	}
+}
+
+func TestValidateAndScale(t *testing.T) {
+	if err := (Rates{CompileFail: -0.1}).Validate(); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if err := (Rates{Flake: 1.0}).Validate(); err == nil {
+		t.Error("rate of 1 accepted")
+	}
+	if err := (Rates{RunCrash: math.NaN()}).Validate(); err == nil {
+		t.Error("NaN rate accepted")
+	}
+	if err := Default().Validate(); err != nil {
+		t.Errorf("Default rates invalid: %v", err)
+	}
+	s := Default().Scale(1000)
+	if err := s.Validate(); err != nil {
+		t.Errorf("scaled rates must clamp into validity: %v", err)
+	}
+	if s.CompileFail != 0.95 {
+		t.Errorf("Scale should clamp at 0.95, got %v", s.CompileFail)
+	}
+	if (Rates{}).Enabled() {
+		t.Error("zero rates report enabled")
+	}
+	if !Default().Enabled() {
+		t.Error("default rates report disabled")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		OK: "ok", CompileFail: "compile-fail", RunCrash: "run-crash",
+		Timeout: "timeout", Flake: "flake", Class(42): "faults.Class(42)",
+	} {
+		if c.String() != want {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}
+
+func TestAssemblyKeyUniformConsistency(t *testing.T) {
+	keys := []uint64{7, 7, 7}
+	if AssemblyKey(keys) != AssemblyKey([]uint64{7, 7, 7}) {
+		t.Fatal("AssemblyKey not deterministic")
+	}
+	if AssemblyKey([]uint64{7, 7}) == AssemblyKey([]uint64{7, 7, 7}) {
+		t.Fatal("AssemblyKey ignores module count")
+	}
+	if AssemblyKey([]uint64{1, 2}) == AssemblyKey([]uint64{2, 1}) {
+		t.Fatal("AssemblyKey ignores order")
+	}
+}

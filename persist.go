@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
+	"funcytuner/internal/apps"
 	"funcytuner/internal/flagspec"
 )
 
@@ -56,7 +58,11 @@ func (r *Report) Save(w io.Writer) error {
 }
 
 // LoadTuning parses a SavedTuning and re-materializes its CVs against the
-// matching flag space.
+// matching flag space. Documents that could not have come from a real run
+// are rejected: unknown flag-space flavors, non-finite or non-positive
+// measured outcomes, no modules at all, and — when Program names a known
+// benchmark — more modules than the benchmark has coupling units
+// (hot loops + the base module).
 func LoadTuning(rd io.Reader) (*SavedTuning, []CV, error) {
 	var st SavedTuning
 	if err := json.NewDecoder(rd).Decode(&st); err != nil {
@@ -70,6 +76,21 @@ func LoadTuning(rd io.Reader) (*SavedTuning, []CV, error) {
 		space = flagspec.GCC()
 	default:
 		return nil, nil, fmt.Errorf("funcytuner: unknown flavor %q", st.Flavor)
+	}
+	if !(st.Speedup > 0) || math.IsInf(st.Speedup, 0) {
+		return nil, nil, fmt.Errorf("funcytuner: saved tuning has implausible speedup %v", st.Speedup)
+	}
+	if !(st.Baseline > 0) || math.IsInf(st.Baseline, 0) {
+		return nil, nil, fmt.Errorf("funcytuner: saved tuning has implausible baseline %v", st.Baseline)
+	}
+	if len(st.Modules) == 0 {
+		return nil, nil, fmt.Errorf("funcytuner: saved tuning has no modules")
+	}
+	if prog, err := apps.Get(st.Program); err == nil {
+		if max := len(prog.Loops) + 1; len(st.Modules) > max {
+			return nil, nil, fmt.Errorf("funcytuner: saved tuning has %d modules, but %s has at most %d coupling units",
+				len(st.Modules), st.Program, max)
+		}
 	}
 	cvs := make([]CV, 0, len(st.Modules))
 	for _, m := range st.Modules {

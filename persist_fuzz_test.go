@@ -3,6 +3,8 @@ package funcytuner
 import (
 	"strings"
 	"testing"
+
+	"funcytuner/internal/core"
 )
 
 // FuzzLoadTuning: arbitrary JSON must never panic the loader, and
@@ -10,8 +12,9 @@ import (
 func FuzzLoadTuning(f *testing.F) {
 	f.Add(`{"flavor":"icc","modules":[]}`)
 	f.Add(`{"flavor":"gcc"}`)
-	f.Add(`{"program":"CL","flavor":"icc","modules":[{"name":"m","flags":"` +
+	f.Add(`{"program":"CL","flavor":"icc","speedup":1.2,"baseline_seconds":80,"modules":[{"name":"m","flags":"` +
 		ICCSpace().Baseline().String() + `"}]}`)
+	f.Add(`{"flavor":"icc","speedup":-1,"baseline_seconds":1,"modules":[{"name":"m","flags":""}]}`)
 	f.Add(`not json at all`)
 	f.Add(`{"flavor":"icc","modules":[{"flags":"-O=9"}]}`)
 	f.Fuzz(func(t *testing.T, input string) {
@@ -22,8 +25,38 @@ func FuzzLoadTuning(f *testing.F) {
 		if len(cvs) != len(st.Modules) {
 			t.Fatalf("accepted document yields %d CVs for %d modules", len(cvs), len(st.Modules))
 		}
+		if len(cvs) == 0 {
+			t.Fatal("accepted document has no modules")
+		}
+		if !(st.Speedup > 0) || !(st.Baseline > 0) {
+			t.Fatalf("accepted document has implausible outcome (speedup=%v, baseline=%v)", st.Speedup, st.Baseline)
+		}
 		for _, cv := range cvs {
 			_ = cv.Knobs() // must be materializable
+		}
+	})
+}
+
+// FuzzDecodeCheckpoint: arbitrary JSON must never panic the checkpoint
+// loader, and anything it accepts must re-validate.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	f.Add(`{"version":1,"program":"CL","machine":"broadwell","flavor":"icc",
+	  "seed":"s","samples":2,"topx":1,"modules":1,
+	  "times":[["0x1p+02",""]],"totals":["0x1.8p+02",""],"cfr_times":["",""],
+	  "collect_done":[0],"quarantine":["a3"],"cost":{"compiles":3,"runs":1,"sim_micros":7}}`)
+	f.Add(`{"version":1,"samples":2,"topx":1,"modules":1,
+	  "times":[["+Inf",""]],"totals":["+Inf",""],"cfr_times":["",""],"collect_done":[0]}`)
+	f.Add(`{"version":99}`)
+	f.Add(`{"version":1,"samples":2,"topx":1,"modules":1,
+	  "times":[["",""]],"totals":["",""],"cfr_times":["",""],"cost":{"runs":-1}}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, input string) {
+		ck, err := core.DecodeCheckpoint(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := ck.Validate(); err != nil {
+			t.Fatalf("accepted checkpoint fails re-validation: %v", err)
 		}
 	})
 }

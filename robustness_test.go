@@ -1,0 +1,190 @@
+package funcytuner
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Every benchmark must complete a tuning run under the default fault mix
+// and produce a usable result; across the suite the injection machinery
+// must actually fire.
+func TestTuneWithFaultsAllBenchmarks(t *testing.T) {
+	m, err := MachineByName("broadwell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total FaultTally
+	for _, name := range Benchmarks() {
+		prog, err := Benchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuner := NewTuner(Options{
+			Machine: m, Samples: 60, TopX: 10, Seed: "robustness",
+			Faults: DefaultFaultRates(),
+		})
+		rep, err := tuner.Tune(prog, TuningInput(name, m))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !(rep.Best.Speedup > 0) || math.IsInf(rep.Best.Speedup, 0) {
+			t.Errorf("%s: unusable speedup %v under faults", name, rep.Best.Speedup)
+		}
+		total.CompileFailures += rep.Faults.CompileFailures
+		total.RunCrashes += rep.Faults.RunCrashes
+		total.Flakes += rep.Faults.Flakes
+		total.Retries += rep.Faults.Retries
+		total.WastedCompiles += rep.Faults.WastedCompiles
+		total.LostHours += rep.Faults.LostHours
+		total.Quarantined += rep.Faults.Quarantined
+	}
+	if total.CompileFailures == 0 || total.Quarantined == 0 {
+		t.Error("no compile failures across the whole suite at a 2% ICE rate")
+	}
+	if total.Flakes == 0 || total.Retries == 0 {
+		t.Error("no flakes/retries across the whole suite at a 4% flake rate")
+	}
+	if total.WastedCompiles == 0 || !(total.LostHours > 0) {
+		t.Error("fault injection cost nothing across the whole suite")
+	}
+}
+
+// An Options-level killed-and-resumed run must report exactly what the
+// uninterrupted run reports.
+func TestKillResumeReportEquality(t *testing.T) {
+	m, _ := MachineByName("sandybridge")
+	prog, err := Benchmark(Swim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := TuningInput(Swim, m)
+	base := Options{
+		Machine: m, Samples: 40, TopX: 8, Seed: "resume-equality",
+		Faults: DefaultFaultRates(), CheckpointEvery: 5,
+	}
+	want, err := NewTuner(base).Tune(prog, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "tune.ckpt")
+	killOpts := base
+	killOpts.Checkpoint = path
+	killOpts.KillAfterEvals = 25
+	if _, err := NewTuner(killOpts).Tune(prog, in); !errors.Is(err, ErrKilled) {
+		t.Fatalf("expected ErrKilled, got %v", err)
+	}
+
+	resumeOpts := base
+	resumeOpts.Resume = path
+	got, err := NewTuner(resumeOpts).Tune(prog, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Best.BestMeasured != want.Best.BestMeasured || got.Best.Speedup != want.Best.Speedup {
+		t.Fatalf("resumed best (%v, %v) != uninterrupted (%v, %v)",
+			got.Best.BestMeasured, got.Best.Speedup, want.Best.BestMeasured, want.Best.Speedup)
+	}
+	for i := range want.Best.Trace {
+		if got.Best.Trace[i] != want.Best.Trace[i] {
+			t.Fatalf("trace[%d] differs after resume", i)
+		}
+	}
+	if got.Compiles != want.Compiles || got.Runs != want.Runs || got.SimulatedHours != want.SimulatedHours {
+		t.Fatalf("resumed cost (%d, %d, %v) != uninterrupted (%d, %d, %v)",
+			got.Compiles, got.Runs, got.SimulatedHours, want.Compiles, want.Runs, want.SimulatedHours)
+	}
+	if got.Faults != want.Faults {
+		t.Fatalf("resumed fault tally %+v != uninterrupted %+v", got.Faults, want.Faults)
+	}
+}
+
+// NewTuner defers option validation to the first pipeline call.
+func TestNewTunerValidation(t *testing.T) {
+	m, _ := MachineByName("broadwell")
+	prog, err := Benchmark(Swim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := TuningInput(Swim, m)
+	bad := []Options{
+		{Samples: -1},
+		{TopX: -5},
+		{Workers: -2},
+		{Samples: 10, TopX: 50}, // TopX > Samples
+		{HotThreshold: -0.5},
+		{HotThreshold: 1.5},
+		{MaxRetries: -1},
+		{BackoffSeconds: -1},
+		{BackoffCapSeconds: -1},
+		{TimeoutBudget: -1},
+		{TimeoutBudget: math.Inf(1)},
+		{CheckpointEvery: -1},
+		{KillAfterEvals: -1},
+		{Faults: FaultRates{RunCrash: 1.5}},
+		{Faults: FaultRates{Flake: math.NaN()}},
+	}
+	for i, opts := range bad {
+		opts.Machine = m
+		tuner := NewTuner(opts)
+		if _, err := tuner.Tune(prog, in); err == nil {
+			t.Errorf("bad options %d accepted: %+v", i, bad[i])
+		}
+	}
+	// Sane options (including fault injection) still pass.
+	tuner := NewTuner(Options{Machine: m, Samples: 20, TopX: 5, Faults: DefaultFaultRates()})
+	if _, err := tuner.Tune(prog, in); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+}
+
+// LoadTuning rejects documents that could not have come from a real run.
+func TestLoadTuningHardening(t *testing.T) {
+	module := `{"name":"m","flags":"` + ICCSpace().Baseline().String() + `"}`
+	valid := `{"program":"nobody","flavor":"icc","speedup":1.1,"baseline_seconds":100,"modules":[` + module + `]}`
+	if _, _, err := LoadTuning(strings.NewReader(valid)); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	bad := map[string]string{
+		"unknown flavor": `{"flavor":"llvm","speedup":1.1,"baseline_seconds":100,"modules":[` + module + `]}`,
+		"zero speedup":   `{"flavor":"icc","baseline_seconds":100,"modules":[` + module + `]}`,
+		"negative":       `{"flavor":"icc","speedup":-2,"baseline_seconds":100,"modules":[` + module + `]}`,
+		"zero baseline":  `{"flavor":"icc","speedup":1.1,"modules":[` + module + `]}`,
+		"no modules":     `{"flavor":"icc","speedup":1.1,"baseline_seconds":100,"modules":[]}`,
+		"too many module": `{"program":"swim","flavor":"icc","speedup":1.1,"baseline_seconds":100,"modules":[` +
+			strings.Repeat(module+",", 40) + module + `]}`,
+	}
+	for name, doc := range bad {
+		if _, _, err := LoadTuning(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// A checkpoint written by a faulted, killed run loads and validates.
+func TestLoadCheckpointFromRun(t *testing.T) {
+	m, _ := MachineByName("broadwell")
+	prog, err := Benchmark(CloverLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	tuner := NewTuner(Options{
+		Machine: m, Samples: 30, TopX: 5, Seed: "ckload",
+		Faults: DefaultFaultRates(), Checkpoint: path, CheckpointEvery: 3,
+		KillAfterEvals: 12,
+	})
+	if _, err := tuner.Tune(prog, TuningInput(CloverLeaf, m)); !errors.Is(err, ErrKilled) {
+		t.Fatalf("expected ErrKilled, got %v", err)
+	}
+	ck, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Program != prog.Name || ck.Samples != 30 || len(ck.CollectDone) == 0 {
+		t.Fatalf("checkpoint does not reflect the run: %+v", ck)
+	}
+}
