@@ -4,12 +4,19 @@
 // Usage:
 //
 //	funcytuner [-bench CL] [-machine broadwell] [-samples 1000] [-topx 50]
-//	           [-compare] [-seed funcytuner] [-flags]
+//	           [-compare] [-seed funcytuner] [-flags] [-workers N]
+//	           [-cache] [-cache-size N]
 //	           [-fault-rate 1] [-max-retries 2] [-checkpoint f] [-resume f]
 //
 // With -compare, all four §2.2 algorithms run and their speedups are
 // reported side by side; otherwise only the collection + CFR pipeline
 // runs. With -flags, the winning per-module CVs are printed in full.
+// -workers bounds evaluation parallelism (0 = GOMAXPROCS).
+//
+// The content-addressed compile/link cache is on by default (-cache=false
+// disables it; -cache-size bounds it in entries). Compilation is pure, so
+// cached runs are bit-identical to uncached ones — the run summary shows
+// how much physical compile/link work the cache removed.
 //
 // The resilience flags exercise the fault-tolerant evaluation harness:
 // -fault-rate scales the default injected fault mix (0 = off, 1 = the
@@ -40,6 +47,9 @@ func main() {
 	samples := flag.Int("samples", 1000, "evaluation budget K")
 	topx := flag.Int("topx", 50, "CFR pruning width X")
 	seed := flag.String("seed", "funcytuner", "tuning seed (equal seeds reproduce exactly)")
+	workers := flag.Int("workers", 0, "parallel evaluation workers (0 = GOMAXPROCS)")
+	cache := flag.Bool("cache", true, "memoize compile/link work (bit-identical results, less work)")
+	cacheSize := flag.Int("cache-size", 0, "compile cache bound in entries (0 = default size)")
 	compare := flag.Bool("compare", false, "run Random/FR/G/CFR side by side (§4.1 protocol)")
 	showFlags := flag.Bool("flags", false, "print the winning per-module compilation vectors")
 	adaptive := flag.Bool("adaptive", false, "early-stopped CFR (convergence-trend budget policy)")
@@ -85,8 +95,14 @@ func main() {
 		}
 		in = funcytuner.TuningInput(*bench, m)
 	}
+	cacheBound := *cacheSize
+	if !*cache {
+		cacheBound = -1
+	}
 	tuner := funcytuner.NewTuner(funcytuner.Options{
 		Machine: m, Samples: *samples, TopX: *topx, Seed: *seed,
+		Workers:        *workers,
+		CacheSize:      cacheBound,
 		Faults:         funcytuner.DefaultFaultRates().Scale(*faultRate),
 		MaxRetries:     *maxRetries,
 		TimeoutBudget:  *timeout,
@@ -125,6 +141,12 @@ func main() {
 	}
 	fmt.Printf("\ntuning cost: %d compiles, %d runs, %.1f simulated hours\n",
 		rep.Compiles, rep.Runs, rep.SimulatedHours)
+	if cs := rep.Cache; cs != (funcytuner.CacheStats{}) {
+		fmt.Printf("compile cache: objects %d hits / %d misses, links %d hits / %d misses, %d coalesced, %d evictions; %d loop compiles (~%.1f MB codegen) elided\n",
+			cs.ObjectHits, cs.ObjectMisses, cs.LinkHits, cs.LinkMisses,
+			cs.Coalesced(), cs.Evictions, cs.LoopCompilesSaved,
+			float64(cs.BytesSaved)/(1<<20))
+	}
 	if ft := rep.Faults; ft != (funcytuner.FaultTally{}) {
 		fmt.Printf("faults: %d ICEs, %d crashes, %d timeouts, %d flakes; %d retries, %d wasted compiles, %.1f simulated hours lost\n",
 			ft.CompileFailures, ft.RunCrashes, ft.Timeouts, ft.Flakes,

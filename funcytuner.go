@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 
 	"funcytuner/internal/apps"
 	"funcytuner/internal/arch"
@@ -142,6 +143,13 @@ type Options struct {
 	Workers int
 	// HotThreshold is the outlining threshold (default 0.01, §3.3).
 	HotThreshold float64
+	// CacheSize bounds the content-addressed compile/link cache, in
+	// entries. 0 selects the default size (compiler.DefaultCacheSize);
+	// negative disables caching entirely. Compilation is a pure function
+	// of its inputs, so cache-on runs are bit-identical to cache-off runs
+	// — the cache only removes redundant work (Report.Cache reports how
+	// much).
+	CacheSize int
 
 	// Faults enables deterministic fault injection on the evaluation path
 	// (see FaultRates). Zero value = off; the clean path is bit-identical
@@ -241,7 +249,11 @@ func NewTuner(opts Options) *Tuner {
 	if opts.HotThreshold == 0 {
 		opts.HotThreshold = outline.HotThreshold
 	}
-	return &Tuner{opts: opts, tc: compiler.NewToolchain(opts.Space), err: opts.validate()}
+	tc := compiler.NewToolchain(opts.Space)
+	if opts.CacheSize >= 0 {
+		tc.AttachCache(compiler.NewCompileCache(opts.CacheSize))
+	}
+	return &Tuner{opts: opts, tc: tc, err: opts.validate()}
 }
 
 // Result is one algorithm's outcome (re-exported from the core engine).
@@ -268,9 +280,22 @@ type Report struct {
 	// Faults tallies what fault injection cost the run (all zero on clean
 	// runs).
 	Faults FaultTally
+	// Cache reports the compile/link cache's real-work counters: hits,
+	// misses, singleflight coalesces, evictions, and the elided codegen
+	// work. All zero with the cache disabled. These are observability,
+	// not results: they depend on scheduling and cache size, so
+	// Fingerprint deliberately excludes them.
+	Cache CacheStats
 
 	sess *core.Session
 }
+
+// CacheStats is the compile/link cache activity snapshot (re-exported
+// from the compiler layer).
+type CacheStats = compiler.CacheStats
+
+// DefaultCacheSize is the default entry bound of the compile/link cache.
+const DefaultCacheSize = compiler.DefaultCacheSize
 
 // FaultTally summarizes resilience activity over a tuning run.
 type FaultTally struct {
@@ -471,8 +496,61 @@ func (t *Tuner) report(sess *core.Session, out outline.Result, all map[string]*R
 			Quarantined:     len(sess.Quarantined()),
 			DegradedModules: degraded,
 		},
-		sess: sess,
+		Cache: sess.CacheStats(),
+		sess:  sess,
 	}
+}
+
+// Fingerprint hashes the deterministic content of the report: every
+// algorithm's result (chosen CVs, measured/true/baseline times, traces,
+// degraded modules), the outlining profile, and the simulated cost and
+// fault tallies. It deliberately excludes Cache — cache counters depend
+// on scheduling and configuration, not on the tuning outcome. For one
+// seed, Fingerprint is invariant across worker counts, cache on/off, and
+// checkpoint kill/resume; the robustness tests and the CI benchmark
+// smoke job enforce exactly that.
+func (r *Report) Fingerprint() uint64 {
+	var h []uint64
+	add := func(vs ...uint64) { h = append(h, vs...) }
+	addF := func(fs ...float64) {
+		for _, f := range fs {
+			add(math.Float64bits(f))
+		}
+	}
+	names := make([]string, 0, len(r.All))
+	for name := range r.All {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		res := r.All[name]
+		add(xrand.HashString(name), xrand.HashString(res.Algorithm), uint64(res.Evaluations))
+		for _, cv := range res.ModuleCVs {
+			add(cv.Key())
+		}
+		addF(res.BestMeasured, res.TrueTime, res.Baseline, res.Speedup)
+		for _, v := range res.Trace {
+			addF(v)
+		}
+		for _, mi := range res.DegradedModules {
+			add(uint64(mi))
+		}
+	}
+	addF(r.Profile.Total, r.Profile.TotalStd, r.Profile.NonLoop)
+	for _, v := range r.Profile.PerLoop {
+		addF(v)
+	}
+	for _, li := range r.HotLoops {
+		add(uint64(li))
+	}
+	add(uint64(r.Modules), uint64(r.Compiles), uint64(r.Runs))
+	addF(r.SimulatedHours)
+	ft := r.Faults
+	add(uint64(ft.CompileFailures), uint64(ft.RunCrashes), uint64(ft.Timeouts),
+		uint64(ft.Flakes), uint64(ft.Retries), uint64(ft.WastedCompiles),
+		uint64(ft.Quarantined), uint64(ft.DegradedModules))
+	addF(ft.LostHours)
+	return xrand.Combine(h...)
 }
 
 // ProfileBaseline profiles prog's O3 baseline on m with in, using runs

@@ -117,13 +117,21 @@ type Profile struct {
 // Collect runs exe `runs` times with instrumentation and aggregates.
 // The rng seeds measurement noise; pass nil for exact (noise-free) timing.
 func Collect(exe *compiler.Executable, m *arch.Machine, in ir.Input, runs int, rng *xrand.Rand) Profile {
+	return CollectWith(exec.NewRunProfile(exe.Prog, m, in), exe, runs, rng)
+}
+
+// CollectWith is Collect reusing a precomputed run profile — the form the
+// tuning session uses, since it collects thousands of profiles of the
+// same (program, machine, input) and the profile hoists the run-invariant
+// cost-model work out of each one.
+func CollectWith(rp *exec.RunProfile, exe *compiler.Executable, runs int, rng *xrand.Rand) Profile {
 	if runs < 1 {
 		runs = 1
 	}
 	p := Profile{
 		Program: exe.Prog,
-		Machine: m,
-		Input:   in,
+		Machine: rp.Machine(),
+		Input:   rp.Input(),
 		Runs:    runs,
 		PerLoop: make([]float64, len(exe.Prog.Loops)),
 	}
@@ -133,12 +141,19 @@ func Collect(exe *compiler.Executable, m *arch.Machine, in ir.Input, runs int, r
 		if rng != nil {
 			noise = rng.Split("caliper-run", r)
 		}
-		res := exec.Run(exe, m, in, exec.Options{Instrumented: true, Noise: noise})
-		// Feed per-region times through the annotation layer, as the
-		// real pipeline would (begin/end around each outlined loop).
-		ann := annotateRun(exe.Prog, res)
+		res := rp.Run(exe, exec.Options{Instrumented: true, Noise: noise})
+		// Attribute per-region times the way the annotation layer does:
+		// each region's inclusive time is the clock at End minus the
+		// clock at Begin, with the clock advancing by the loop's time
+		// between them. The prefix-sum subtraction below is exactly that
+		// arithmetic (TestCollectMatchesAnnotatorReplay pins the
+		// equivalence against a real Annotator replay) without paying an
+		// annotator's region maps on every one of a session's K samples.
+		now := 0.0
 		for li := range exe.Prog.Loops {
-			p.PerLoop[li] += ann.InclusiveTime(exe.Prog.Loops[li].Name)
+			start := now
+			now += res.PerLoop[li]
+			p.PerLoop[li] += now - start
 		}
 		totals = append(totals, res.Total)
 	}

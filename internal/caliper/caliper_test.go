@@ -8,6 +8,7 @@ import (
 	"funcytuner/internal/apps"
 	"funcytuner/internal/arch"
 	"funcytuner/internal/compiler"
+	"funcytuner/internal/exec"
 	"funcytuner/internal/flagspec"
 	"funcytuner/internal/ir"
 	"funcytuner/internal/xrand"
@@ -156,5 +157,59 @@ func TestCollectZeroRunsClamped(t *testing.T) {
 	prof := collectCL(t, 0, nil)
 	if prof.Runs != 1 {
 		t.Errorf("Runs = %d, want clamp to 1", prof.Runs)
+	}
+}
+
+// TestCollectMatchesAnnotatorReplay pins Collect's inline per-region
+// attribution to the annotation layer it models: replaying the same run
+// through a real Annotator must yield bit-identical inclusive times.
+func TestCollectMatchesAnnotatorReplay(t *testing.T) {
+	p := apps.MustGet(apps.CloverLeaf)
+	m := arch.Broadwell()
+	tc := compiler.NewToolchain(flagspec.ICC())
+	exe, err := tc.CompileUniform(p, ir.WholeProgram(p), flagspec.ICC().Baseline(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := apps.TuningInput(apps.CloverLeaf, m)
+	rng := xrand.NewFromString("caliper-replay-equiv")
+	prof := Collect(exe, m, in, 1, rng.Split("collect", 0))
+	res := exec.Run(exe, m, in, exec.Options{
+		Instrumented: true,
+		Noise:        rng.Split("collect", 0).Split("caliper-run", 0),
+	})
+	ann := annotateRun(p, res)
+	for li := range p.Loops {
+		if got, want := prof.PerLoop[li], ann.InclusiveTime(p.Loops[li].Name); got != want {
+			t.Errorf("loop %s: Collect attributed %v, annotator replay %v", p.Loops[li].Name, got, want)
+		}
+	}
+}
+
+// TestCollectWithSharedProfileEquality: Collect through a reused
+// RunProfile (the session's hot path) must be bit-identical to the
+// self-contained Collect.
+func TestCollectWithSharedProfileEquality(t *testing.T) {
+	p := apps.MustGet(apps.CloverLeaf)
+	m := arch.Broadwell()
+	tc := compiler.NewToolchain(flagspec.ICC())
+	exe, err := tc.CompileUniform(p, ir.WholeProgram(p), flagspec.ICC().Baseline(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := apps.TuningInput(apps.CloverLeaf, m)
+	rp := exec.NewRunProfile(p, m, in)
+	for r := 0; r < 3; r++ {
+		rng := xrand.NewFromString("caliper-profile-equiv")
+		a := Collect(exe, m, in, 2, rng.Split("c", r))
+		b := CollectWith(rp, exe, 2, rng.Split("c", r))
+		if a.Total != b.Total || a.NonLoop != b.NonLoop {
+			t.Fatalf("run %d: totals diverge: %v vs %v", r, a.Total, b.Total)
+		}
+		for li := range a.PerLoop {
+			if a.PerLoop[li] != b.PerLoop[li] {
+				t.Fatalf("run %d loop %d: %v vs %v", r, li, a.PerLoop[li], b.PerLoop[li])
+			}
+		}
 	}
 }

@@ -1,0 +1,176 @@
+package compiler
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"funcytuner/internal/arch"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/ir"
+)
+
+// Cached compilation must be bit-identical to uncached compilation for
+// identical inputs — the purity invariant the whole cache rests on.
+func TestCachedCompileBitIdentical(t *testing.T) {
+	prog := fixture()
+	m := arch.Broadwell()
+	space := flagspec.ICC()
+	part := perLoopPartition(prog)
+
+	plain := NewToolchain(space)
+	cached := NewToolchain(space)
+	cached.AttachCache(NewCompileCache(1 << 12))
+
+	cvs := []flagspec.CV{
+		space.Baseline(),
+		space.Baseline().With(flagspec.IccPrefetch, 2),
+		space.Baseline().With(flagspec.IccUnroll, 1),
+	}
+	for _, cv := range cvs {
+		// Twice through the cached toolchain: a miss, then a hit.
+		for pass := 0; pass < 2; pass++ {
+			want, err := plain.CompileUniform(prog, part, cv, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := cached.CompileUniform(prog, part, cv, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want.PerLoop, got.PerLoop) ||
+				!reflect.DeepEqual(want.Interference, got.Interference) ||
+				want.NonLoop != got.NonLoop {
+				t.Fatalf("cached executable differs from uncached (cv %s, pass %d)", cv, pass)
+			}
+		}
+	}
+	st := cached.Cache().Stats()
+	if st.LinkHits == 0 || st.LinkMisses == 0 {
+		t.Fatalf("expected link-tier hits and misses, got %+v", st)
+	}
+	if st.LoopCompilesSaved == 0 || st.BytesSaved == 0 {
+		t.Fatalf("no work-saved accounting: %+v", st)
+	}
+}
+
+// Assemblies differing in a single module must reuse every other
+// module's object — the CFR/greedy workload shape.
+func TestCacheObjectReuseAcrossAssemblies(t *testing.T) {
+	prog := fixture()
+	m := arch.Broadwell()
+	tc := NewToolchain(flagspec.ICC())
+	tc.AttachCache(NewCompileCache(1 << 12))
+	part := perLoopPartition(prog)
+	base := tc.Space.Baseline()
+
+	cvs := make([]flagspec.CV, len(part.Modules))
+	for i := range cvs {
+		cvs[i] = base
+	}
+	if _, err := tc.Compile(prog, part, cvs, m); err != nil {
+		t.Fatal(err)
+	}
+	before := tc.Cache().Stats()
+	// One-module delta: only that module should miss the object tier.
+	cvs[0] = base.With(flagspec.IccPrefetch, 3)
+	if _, err := tc.Compile(prog, part, cvs, m); err != nil {
+		t.Fatal(err)
+	}
+	st := tc.Cache().Stats()
+	if miss := st.ObjectMisses - before.ObjectMisses; miss != 1 {
+		t.Fatalf("one-module delta recompiled %d modules", miss)
+	}
+	if hits := st.ObjectHits - before.ObjectHits; hits != int64(len(part.Modules)-1) {
+		t.Fatalf("object hits = %d, want %d", hits, len(part.Modules)-1)
+	}
+}
+
+// A fresh, structurally equal partition must hit: keys are structural,
+// not pointer identity (ir.WholeProgram allocates a new one per call).
+func TestCacheKeysAreStructural(t *testing.T) {
+	prog := fixture()
+	m := arch.Broadwell()
+	tc := NewToolchain(flagspec.ICC())
+	tc.AttachCache(NewCompileCache(1 << 10))
+	cv := tc.Space.Baseline()
+
+	if _, err := tc.CompileUniform(prog, ir.WholeProgram(prog), cv, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.CompileUniform(prog, ir.WholeProgram(prog), cv, m); err != nil {
+		t.Fatal(err)
+	}
+	if st := tc.Cache().Stats(); st.LinkHits != 1 || st.LinkMisses != 1 {
+		t.Fatalf("fresh-but-equal partition missed: %+v", st)
+	}
+}
+
+// Distinct machines, LTO modes and CVs must not share entries.
+func TestCacheKeySensitivity(t *testing.T) {
+	prog := fixture()
+	space := flagspec.ICC()
+	part := ir.WholeProgram(prog)
+	cv := space.Baseline()
+
+	tc := NewToolchain(space)
+	tc.AttachCache(NewCompileCache(1 << 10))
+	if _, err := tc.CompileUniform(prog, part, cv, arch.Broadwell()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.CompileUniform(prog, part, cv, arch.Opteron()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.CompileUniform(prog, part, cv.With(flagspec.IccPrefetch, 1), arch.Broadwell()); err != nil {
+		t.Fatal(err)
+	}
+	lto := NewToolchain(space)
+	lto.DisableLTO = true
+	lto.AttachCache(tc.Cache()) // shared cache, different LTO mode
+	if _, err := lto.CompileUniform(prog, part, cv, arch.Broadwell()); err != nil {
+		t.Fatal(err)
+	}
+	if st := tc.Cache().Stats(); st.LinkHits != 0 || st.LinkMisses != 4 {
+		t.Fatalf("key collision across machine/CV/LTO: %+v", st)
+	}
+}
+
+// Concurrent compiles of one hot assembly do the work once (singleflight)
+// and everyone gets an equivalent executable.
+func TestCachedCompileConcurrent(t *testing.T) {
+	prog := fixture()
+	m := arch.SandyBridge()
+	tc := NewToolchain(flagspec.ICC())
+	tc.AttachCache(NewCompileCache(1 << 12))
+	part := ir.WholeProgram(prog)
+	cv := tc.Space.Baseline()
+
+	const workers = 16
+	exes := make([]*Executable, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			exe, err := tc.CompileUniform(prog, part, cv, m)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			exes[w] = exe
+		}(w)
+	}
+	wg.Wait()
+	st := tc.Cache().Stats()
+	if st.LinkMisses != 1 {
+		t.Fatalf("assembly compiled %d times under concurrency", st.LinkMisses)
+	}
+	if st.LinkHits+st.LinkCoalesced != workers-1 {
+		t.Fatalf("hits+coalesced = %d, want %d (%+v)", st.LinkHits+st.LinkCoalesced, workers-1, st)
+	}
+	for w := 1; w < workers; w++ {
+		if !reflect.DeepEqual(exes[0].PerLoop, exes[w].PerLoop) {
+			t.Fatalf("worker %d got a different executable", w)
+		}
+	}
+}

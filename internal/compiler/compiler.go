@@ -92,6 +92,11 @@ type ObjectModule struct {
 	Loops []LoopCode
 	// NonLoop is set for the base module.
 	NonLoop NonLoopCode
+	// CrashProne records the deterministic crash-model draw for this
+	// (program, knobs, machine) at compile time, so the linked
+	// executable's crash check is a bit test instead of J knob
+	// re-materializations per evaluation (see crash.go).
+	CrashProne bool
 }
 
 // Executable is a fully linked program image.
@@ -109,6 +114,10 @@ type Executable struct {
 	Interference []float64
 
 	machineID uint64
+	// crashes is the precomputed OR over the modules' CrashProne bits
+	// (Crashes() used to re-derive every module's knob set per call —
+	// once per evaluation — for a value fixed at link time).
+	crashes bool
 }
 
 // NonLoopInterference returns the base-module interference multiplier.
@@ -126,18 +135,47 @@ type Toolchain struct {
 	// potential"). Without it there is no link-time interference, so
 	// greedy combination becomes safe; used by the LTO ablation.
 	DisableLTO bool
+
+	// cache, when attached, memoizes object modules and linked
+	// executables (see cached.go). Compilation is pure, so the cache is
+	// behaviour-invisible: only the amount of physical work changes.
+	cache *CompileCache
 }
 
 // NewToolchain returns a toolchain over the given flag space.
 func NewToolchain(space *flagspec.Space) *Toolchain { return &Toolchain{Space: space} }
 
-// CompileModule compiles one module of prog with cv for machine m.
+// CompileModule compiles one module of prog with cv for machine m. With a
+// cache attached, the compiled object is served content-addressed: equal
+// (program, module, CV, machine) requests share one ObjectModule, and
+// concurrent first requests are deduplicated by singleflight.
 func (tc *Toolchain) CompileModule(prog *ir.Program, mod ir.Module, cv flagspec.CV, m *arch.Machine) ObjectModule {
 	if cv.Space() != tc.Space {
 		panic("compiler: CV from a different toolchain's space")
 	}
-	k := cv.Knobs()
-	obj := ObjectModule{Module: mod, CV: cv, Knobs: k}
+	if tc.cache == nil {
+		return tc.compileModule(prog, mod, cv, m)
+	}
+	return *tc.compileModuleKeyed(tc.moduleKey(prog, mod, cv, m), prog, mod, cv, m)
+}
+
+// compileModuleKeyed is CompileModule with the object-tier key already
+// derived (Compile derives all module keys while fingerprinting the
+// assembly, so the cached path never hashes a module twice). The returned
+// object is the cache-resident one — shared, and never mutated by any
+// consumer (link copies loop codes out before perturbing them).
+func (tc *Toolchain) compileModuleKeyed(key uint64, prog *ir.Program, mod ir.Module, cv flagspec.CV, m *arch.Machine) *ObjectModule {
+	obj := tc.cache.objects.Get(key, func() (any, int64) {
+		o := tc.compileModule(prog, mod, cv, m)
+		return &o, moduleWork(mod)
+	})
+	return obj.(*ObjectModule)
+}
+
+// compileModule is the uncached pass pipeline over one module.
+func (tc *Toolchain) compileModule(prog *ir.Program, mod ir.Module, cv flagspec.CV, m *arch.Machine) ObjectModule {
+	k := tc.knobsFor(cv)
+	obj := ObjectModule{Module: mod, CV: cv, Knobs: k, CrashProne: crashDraw(prog.Seed, k, m.ID)}
 	for _, li := range mod.LoopIdx {
 		obj.Loops = append(obj.Loops, compileLoop(&prog.Loops[li], li, k, m, tc.Space.Flavor))
 	}
@@ -148,16 +186,45 @@ func (tc *Toolchain) CompileModule(prog *ir.Program, mod ir.Module, cv flagspec.
 }
 
 // Compile compiles every module of the partition with its assigned CV and
-// links the result. cvs must have one CV per module (same order).
+// links the result. cvs must have one CV per module (same order). With a
+// cache attached, the whole compile+link is memoized on the assembly
+// fingerprint; on a miss the per-module compiles still go through the
+// object tier, so an assembly differing from a cached one in a single
+// module re-compiles only that module before re-linking.
 func (tc *Toolchain) Compile(prog *ir.Program, part ir.Partition, cvs []flagspec.CV, m *arch.Machine) (*Executable, error) {
 	if len(cvs) != len(part.Modules) {
 		return nil, fmt.Errorf("compiler: %d CVs for %d modules", len(cvs), len(part.Modules))
 	}
-	objs := make([]ObjectModule, len(part.Modules))
-	for i, mod := range part.Modules {
-		objs[i] = tc.CompileModule(prog, mod, cvs[i], m)
+	if tc.cache == nil {
+		return tc.compile(prog, part, cvs, m, nil)
 	}
-	return tc.Link(prog, part, objs, m)
+	moduleKeys := make([]uint64, len(part.Modules))
+	akey := tc.assemblyKey(prog, part, cvs, m, moduleKeys)
+	res := tc.cache.links.Get(akey, func() (any, int64) {
+		exe, err := tc.compile(prog, part, cvs, m, moduleKeys)
+		return compiled{exe: exe, err: err}, int64(len(prog.Loops)) + 1
+	}).(compiled)
+	return res.exe, res.err
+}
+
+// compile is the uncached compile-all-then-link path. With a cache
+// attached, moduleKeys carries the object-tier keys assemblyKey already
+// derived, so module compiles go through the object tier without
+// re-hashing, and cached objects are linked in place without copying.
+func (tc *Toolchain) compile(prog *ir.Program, part ir.Partition, cvs []flagspec.CV, m *arch.Machine, moduleKeys []uint64) (*Executable, error) {
+	objs := make([]*ObjectModule, len(part.Modules))
+	if moduleKeys != nil {
+		for i, mod := range part.Modules {
+			objs[i] = tc.compileModuleKeyed(moduleKeys[i], prog, mod, cvs[i], m)
+		}
+	} else {
+		fresh := make([]ObjectModule, len(part.Modules))
+		for i, mod := range part.Modules {
+			fresh[i] = tc.compileModule(prog, mod, cvs[i], m)
+			objs[i] = &fresh[i]
+		}
+	}
+	return tc.link(prog, part, objs, m)
 }
 
 // CompileUniform compiles the whole partition with a single CV — the

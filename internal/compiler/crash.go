@@ -36,15 +36,10 @@ func crashDraw(progSeed uint64, k flagspec.Knobs, machineID uint64) bool {
 }
 
 // Crashes reports whether the linked executable faults at startup
-// (segfault-class failure) instead of producing timings.
-func (e *Executable) Crashes() bool {
-	for _, cv := range e.ModuleCVs {
-		if crashDraw(e.Prog.Seed, cv.Knobs(), e.machineID) {
-			return true
-		}
-	}
-	return false
-}
+// (segfault-class failure) instead of producing timings. The draw is
+// fixed per (program, module knobs, machine), so it is made once per
+// module at compile time (ObjectModule.CrashProne) and ORed at link.
+func (e *Executable) Crashes() bool { return e.crashes }
 
 // crashProbe is exposed for tests: it finds a crashing CV for a program
 // and machine by scanning random CVs, returning the zero CV if none is

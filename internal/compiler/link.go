@@ -30,6 +30,18 @@ import (
 // interference-free per-loop times, and why summing their minima
 // (G.Independent) overstates what greedy linking (G.realized) delivers.
 func (tc *Toolchain) Link(prog *ir.Program, part ir.Partition, objs []ObjectModule, m *arch.Machine) (*Executable, error) {
+	ptrs := make([]*ObjectModule, len(objs))
+	for i := range objs {
+		ptrs[i] = &objs[i]
+	}
+	return tc.link(prog, part, ptrs, m)
+}
+
+// link is Link over object pointers — the internal form, letting the
+// compile cache link its resident objects without copying them (each
+// ObjectModule embeds a full knob set per loop, so the copies are what
+// dominated cached-compile cost). link never writes through objs.
+func (tc *Toolchain) link(prog *ir.Program, part ir.Partition, objs []*ObjectModule, m *arch.Machine) (*Executable, error) {
 	if err := part.Validate(); err != nil {
 		return nil, err
 	}
@@ -52,6 +64,7 @@ func (tc *Toolchain) Link(prog *ir.Program, part ir.Partition, objs []ObjectModu
 	moduleOf := make([]int, nLoops+1)
 	for mi, obj := range objs {
 		exe.ModuleCVs[mi] = obj.CV
+		exe.crashes = exe.crashes || obj.CrashProne
 		lk := obj.Knobs.LinkKey()
 		for j, li := range obj.Module.LoopIdx {
 			exe.PerLoop[li] = obj.Loops[j]

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// A panicking evaluation worker must not crash the process anonymously:
+// the panic is re-raised after the pool drains, annotated with the
+// failing sample index and carrying the original panic value and stack.
+func TestParForPanicCarriesSampleIndex(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		s := newCLSession(t, 10, 2, true)
+		s.Config.Workers = workers
+		var visited [20]bool
+		got := func() (msg string) {
+			defer func() {
+				if r := recover(); r != nil {
+					msg, _ = r.(string)
+				}
+			}()
+			s.parFor(20, func(i int) {
+				visited[i] = true
+				if i == 7 {
+					panic("injected test failure")
+				}
+			})
+			return ""
+		}()
+		if got == "" {
+			t.Fatalf("workers=%d: panic was swallowed", workers)
+		}
+		if !strings.Contains(got, "sample 7") {
+			t.Errorf("workers=%d: panic lacks the failing index: %q", workers, got)
+		}
+		if !strings.Contains(got, "injected test failure") {
+			t.Errorf("workers=%d: panic lost the original value: %q", workers, got)
+		}
+		if !strings.Contains(got, "parfor_test.go") {
+			t.Errorf("workers=%d: panic lost the worker stack", workers)
+		}
+		if !visited[7] {
+			t.Errorf("workers=%d: sample 7 never ran", workers)
+		}
+	}
+}
+
+// Clean parFor runs are unaffected by the recovery wrapper.
+func TestParForCompletesAllIndices(t *testing.T) {
+	s := newCLSession(t, 10, 2, true)
+	s.Config.Workers = 8
+	var seen [100]int32
+	s.parFor(100, func(i int) { seen[i]++ })
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("index %d ran %d times", i, n)
+		}
+	}
+}

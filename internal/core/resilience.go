@@ -105,17 +105,18 @@ func (s *Session) icePass(cvs []flagspec.CV, ec *evalCost) bool {
 }
 
 // assemblyKey fingerprints the per-module CV assignment for the
-// per-assembly fault draws.
+// per-assembly fault draws. Allocation-free: it runs once per evaluation.
 func (s *Session) assemblyKey(cvs []flagspec.CV) (key uint64, allBaseline bool) {
-	keys := make([]uint64, len(cvs))
+	h := faults.NewAssemblyHasher()
 	allBaseline = true
-	for i, cv := range cvs {
-		keys[i] = cv.Key()
-		if keys[i] != s.baselineKey {
+	for _, cv := range cvs {
+		k := cv.Key()
+		h.Add(k)
+		if k != s.baselineKey {
 			allBaseline = false
 		}
 	}
-	return faults.AssemblyKey(keys), allBaseline
+	return h.Sum(), allBaseline
 }
 
 // faultedRun wraps one successful compile's run phase with the injected
@@ -190,7 +191,7 @@ func (s *Session) measureEval(cvs []flagspec.CV, phase string, k int) (float64, 
 		s.finishEval(ec)
 		return math.Inf(1), ec, nil
 	}
-	exe, err := s.Toolchain.Compile(s.Prog, s.Part, cvs, s.Machine)
+	exe, err := s.prep.Compile(cvs)
 	if err != nil {
 		return 0, ec, err
 	}
@@ -202,7 +203,7 @@ func (s *Session) measureEval(cvs []flagspec.CV, phase string, k int) (float64, 
 	}
 	akey, exempt := s.assemblyKey(cvs)
 	t := s.faultedRun(&ec, akey, exempt, nil, func() (float64, bool) {
-		res := exec.Run(exe, s.Machine, s.Input, exec.Options{
+		res := s.runProf.Run(exe, exec.Options{
 			Noise:           s.noise(phase, k),
 			DeadlineSeconds: s.Config.TimeoutBudget,
 		})
@@ -244,7 +245,7 @@ func (s *Session) measureUniformEval(cv flagspec.CV, phase string, k int) (perMo
 		s.finishEval(ec)
 		return s.infPerModule(), math.Inf(1), ec, nil
 	}
-	exe, err := s.Toolchain.CompileUniform(s.Prog, s.Part, cv, s.Machine)
+	exe, err := s.prep.CompileUniform(cv)
 	if err != nil {
 		return nil, 0, ec, err
 	}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -185,7 +186,11 @@ type CostAccount struct {
 	flakes         atomic.Int64
 }
 
-// Compiles returns the number of module compilations performed.
+// Compiles returns the number of module compilations the tuning protocol
+// performed *logically*. This is the paper's simulated cost metric and is
+// invariant to the compile cache: a cache hit still counts, because the
+// real toolchain would have had to compile (or fetch) that module. The
+// physically elided work is tracked separately — see Session.CacheStats.
 func (c *CostAccount) Compiles() int64 { return c.compiles.Load() }
 
 // Runs returns the number of program executions performed.
@@ -341,6 +346,14 @@ type Session struct {
 
 	// Optional checkpoint sink/source for Collect and CFR.
 	ckpt *Checkpointer
+
+	// runProf precomputes the run-invariant cost-model terms for
+	// (Prog, Machine, Input) — every session run goes through it. Sound
+	// because a session's program is immutable for its lifetime.
+	runProf *exec.RunProfile
+	// prep snapshots the cache-key prefixes for (Prog, Part, Machine), so
+	// every evaluation's compile hashes only the varying CV keys.
+	prep *compiler.Prepared
 }
 
 // NewSession builds a session. The partition normally comes from
@@ -356,6 +369,10 @@ func NewSession(tc *compiler.Toolchain, prog *ir.Program, part ir.Partition, m *
 		return nil, err
 	}
 	baselineKey := tc.Space.Baseline().Key()
+	prep, err := tc.Prepare(prog, part, m)
+	if err != nil {
+		return nil, err
+	}
 	return &Session{
 		Toolchain:   tc,
 		Prog:        prog,
@@ -367,7 +384,19 @@ func NewSession(tc *compiler.Toolchain, prog *ir.Program, part ir.Partition, m *
 		faults:      faults.New(cfg.Seed, m.ID, baselineKey, cfg.Faults),
 		baselineKey: baselineKey,
 		quarantine:  make(map[uint64]bool),
+		runProf:     exec.NewRunProfile(prog, m, in),
+		prep:        prep,
 	}, nil
+}
+
+// CacheStats snapshots the real-work counters of the toolchain's
+// compile/link cache: hits, misses, singleflight coalesces, evictions and
+// the bytes-equivalent of elided codegen. All zero when no cache is
+// attached. Unlike the CostAccount's simulated counters, these depend on
+// scheduling and cache configuration, so they are observability only and
+// never enter deterministic outputs.
+func (s *Session) CacheStats() compiler.CacheStats {
+	return s.Toolchain.Cache().Stats()
 }
 
 // PreSample draws the K CVs shared by all algorithms (step 1 of every
@@ -402,27 +431,27 @@ func (s *Session) BaselineTime() (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return exec.Run(exe, s.Machine, s.Input, exec.Options{}).Total, nil
+	return s.runProf.Run(exe, exec.Options{}).Total, nil
 }
 
 // TrueTime re-measures a per-module CV assignment without noise, for
 // stable reporting of a chosen configuration. Crashing configurations
 // report +Inf.
 func (s *Session) TrueTime(cvs []flagspec.CV) (float64, error) {
-	exe, err := s.Toolchain.Compile(s.Prog, s.Part, cvs, s.Machine)
+	exe, err := s.prep.Compile(cvs)
 	if err != nil {
 		return 0, err
 	}
 	if exe.Crashes() {
 		return math.Inf(1), nil
 	}
-	return exec.Run(exe, s.Machine, s.Input, exec.Options{}).Total, nil
+	return s.runProf.Run(exe, exec.Options{}).Total, nil
 }
 
 // TrueTimeOn is TrueTime evaluated on a different input (the §4.3
 // generalization experiments tune on one input and test on another).
 func (s *Session) TrueTimeOn(cvs []flagspec.CV, in ir.Input) (float64, error) {
-	exe, err := s.Toolchain.Compile(s.Prog, s.Part, cvs, s.Machine)
+	exe, err := s.prep.Compile(cvs)
 	if err != nil {
 		return 0, err
 	}
@@ -438,14 +467,58 @@ func (s *Session) BaselineTimeOn(in ir.Input) (float64, error) {
 	return exec.Run(exe, s.Machine, in, exec.Options{}).Total, nil
 }
 
+// workerPanic captures the first panic raised by a parFor worker so it
+// can be re-raised with its sample index and original stack once the
+// pool drains — instead of an anonymous process crash from a goroutine.
+type workerPanic struct {
+	mu    sync.Mutex
+	set   bool
+	index int
+	value any
+	stack []byte
+}
+
+// run invokes fn(i), converting a panic into a recorded failure. It
+// reports whether the sample completed normally.
+func (w *workerPanic) run(i int, fn func(int)) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.mu.Lock()
+			if !w.set {
+				w.set, w.index, w.value, w.stack = true, i, r, debug.Stack()
+			}
+			w.mu.Unlock()
+			ok = false
+		}
+	}()
+	fn(i)
+	return true
+}
+
+// rethrow re-raises the recorded panic, annotated with the failing
+// sample index and the worker's stack at the point of failure.
+func (w *workerPanic) rethrow() {
+	if w.set {
+		panic(fmt.Sprintf("core: evaluation worker panicked at sample %d: %v\n%s",
+			w.index, w.value, w.stack))
+	}
+}
+
 // parFor runs fn(i) for i in [0,n) on the session's worker pool. fn must
-// only write to index-disjoint state.
+// only write to index-disjoint state. A panicking fn no longer kills the
+// process anonymously: the panicking worker stops claiming work, the
+// remaining workers drain, and the first panic is re-raised with its
+// sample index and original stack.
 func (s *Session) parFor(n int, fn func(i int)) {
+	var wp workerPanic
 	workers := s.Config.workers()
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if !wp.run(i, fn) {
+				break
+			}
 		}
+		wp.rethrow()
 		return
 	}
 	var wg sync.WaitGroup
@@ -462,15 +535,18 @@ func (s *Session) parFor(n int, fn func(i int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				if !wp.run(i, fn) {
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	wp.rethrow()
 }
 
 // caliperProfile is the instrumented run for measureUniform, factored out
 // so the resilient wrapper can re-run it per attempt bookkeeping.
 func (s *Session) caliperProfile(exe *compiler.Executable, phase string, k int) caliper.Profile {
-	return caliper.Collect(exe, s.Machine, s.Input, 1, s.noise(phase, k))
+	return caliper.CollectWith(s.runProf, exe, 1, s.noise(phase, k))
 }

@@ -163,7 +163,7 @@ func TestPropertyTrueVecCostPositive(t *testing.T) {
 			if width > m.VecBits {
 				continue
 			}
-			c := trueVecCost(&l, m, code)
+			c := trueVecCost(&l, m, code, math.Pow(l.Divergence, 1.3))
 			if !(c > 0) || math.IsInf(c, 0) {
 				return false
 			}

@@ -217,13 +217,27 @@ func (m *Model) Flakes(akey uint64, attempt int) bool {
 	return m.unit(xrand.Combine(akey, uint64(attempt)), saltFlake) < m.rates.Flake
 }
 
+// assemblyTag domain-separates assembly fingerprints from other Combine
+// streams.
+const assemblyTag = 0xa55e3b1e
+
 // AssemblyKey fingerprints a per-module CV assignment from the module CV
 // fingerprints, for the per-assembly fault draws. Uniform assemblies (all
 // modules sharing one CV) hash identically whether they were built by the
 // collection phase or by per-program random search.
 func AssemblyKey(cvKeys []uint64) uint64 {
-	parts := make([]uint64, 0, len(cvKeys)+1)
-	parts = append(parts, 0xa55e3b1e)
-	parts = append(parts, cvKeys...)
-	return xrand.Combine(parts...)
+	h := NewAssemblyHasher()
+	for _, k := range cvKeys {
+		h.Add(k)
+	}
+	return h.Sum()
+}
+
+// NewAssemblyHasher returns a streaming hasher producing exactly what
+// AssemblyKey would for the module CV fingerprints subsequently Added —
+// the allocation-free form for per-evaluation hot paths.
+func NewAssemblyHasher() xrand.Hasher {
+	var h xrand.Hasher
+	h.Add(assemblyTag)
+	return h
 }

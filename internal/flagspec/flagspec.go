@@ -18,6 +18,7 @@ package flagspec
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"funcytuner/internal/xrand"
 )
@@ -106,6 +107,22 @@ func (s *Space) FlagIndex(name string) int {
 type CV struct {
 	space *Space
 	vals  []uint8
+	// memo caches the Key fingerprint. It is shared by copies of the CV
+	// (copying a CV does not copy vals either) and refreshed by Clone,
+	// which is the documented mutation point. A nil memo (zero-value CVs,
+	// literals) just computes the key every time.
+	memo *cvMemo
+}
+
+// cvMemo lazily caches the CV's 64-bit fingerprint. Key is hot — fault
+// draws, quarantine checks, dedup maps and the compile cache all key on
+// it — while CV construction sites (Parse, Mutate, With) want to mutate
+// vals after cloning, so the key is computed on first use rather than
+// eagerly. Concurrent first uses race benignly: both compute the same
+// value; set is published after key so a reader seeing set also sees key.
+type cvMemo struct {
+	key atomic.Uint64
+	set atomic.Bool
 }
 
 // Space returns the space this CV belongs to.
@@ -127,7 +144,7 @@ func (s *Space) Baseline() CV {
 	for i, f := range s.Flags {
 		vals[i] = uint8(f.Default)
 	}
-	return CV{space: s, vals: vals}
+	return CV{space: s, vals: vals, memo: new(cvMemo)}
 }
 
 // Make constructs a CV from explicit value indices (len must match the
@@ -143,7 +160,7 @@ func (s *Space) Make(vals []int) (CV, error) {
 		}
 		out[i] = uint8(v)
 	}
-	return CV{space: s, vals: out}, nil
+	return CV{space: s, vals: out, memo: new(cvMemo)}, nil
 }
 
 // Random samples a CV uniformly from the space (each flag value with equal
@@ -153,7 +170,7 @@ func (s *Space) Random(r *xrand.Rand) CV {
 	for i, f := range s.Flags {
 		vals[i] = uint8(r.Intn(len(f.Values)))
 	}
-	return CV{space: s, vals: vals}
+	return CV{space: s, vals: vals, memo: new(cvMemo)}
 }
 
 // Sample draws n CVs uniformly (with replacement between draws but each
@@ -166,10 +183,12 @@ func (s *Space) Sample(r *xrand.Rand, n int) []CV {
 	return out
 }
 
-// Clone returns a deep copy whose value slice can be mutated safely.
+// Clone returns a deep copy whose value slice can be mutated safely. The
+// clone carries its own (unset) key memo, so mutating the copy never
+// disturbs the original's fingerprint.
 func (cv CV) Clone() CV {
 	vals := append([]uint8(nil), cv.vals...)
-	return CV{space: cv.space, vals: vals}
+	return CV{space: cv.space, vals: vals, memo: new(cvMemo)}
 }
 
 // With returns a copy of cv with flag i set to value v.
@@ -196,13 +215,23 @@ func (cv CV) Equal(other CV) bool {
 }
 
 // Key returns a 64-bit fingerprint of the CV, suitable for dedup maps.
+// The fingerprint is memoized per CV: evaluation pipelines key fault
+// draws, quarantine sets and the compile cache on it, many times per CV.
 func (cv CV) Key() uint64 {
-	parts := make([]uint64, 0, len(cv.vals)+1)
-	parts = append(parts, uint64(cv.space.Flavor))
-	for _, v := range cv.vals {
-		parts = append(parts, uint64(v))
+	if cv.memo != nil && cv.memo.set.Load() {
+		return cv.memo.key.Load()
 	}
-	return xrand.Combine(parts...)
+	var h xrand.Hasher
+	h.Add(uint64(cv.space.Flavor))
+	for _, v := range cv.vals {
+		h.Add(uint64(v))
+	}
+	k := h.Sum()
+	if cv.memo != nil {
+		cv.memo.key.Store(k)
+		cv.memo.set.Store(true)
+	}
+	return k
 }
 
 // String renders the CV in a command-line-like form, e.g.
@@ -311,7 +340,7 @@ func (s *Space) Decode(x []float64) CV {
 		}
 		vals[i] = uint8(idx)
 	}
-	return CV{space: s, vals: vals}
+	return CV{space: s, vals: vals, memo: new(cvMemo)}
 }
 
 // Mutate returns a copy of cv with k uniformly chosen flags re-sampled.

@@ -340,3 +340,35 @@ func TestFlavorString(t *testing.T) {
 		t.Error("unknown flavor should still render")
 	}
 }
+
+// The memoized Key must equal the unmemoized computation and must not
+// leak across Clone/With mutation.
+func TestKeyMemoConsistency(t *testing.T) {
+	s := ICC()
+	cv := s.Random(xrand.NewFromString("key-memo"))
+	first := cv.Key()
+	if first != cv.Key() {
+		t.Fatal("Key not stable across calls")
+	}
+	// A structurally equal CV built independently must hash identically.
+	re, err := s.Parse(cv.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Key() != first {
+		t.Fatal("re-parsed CV key differs from original")
+	}
+	// Mutating a clone must change the clone's key, not the original's.
+	mut := cv.With(0, s.AltValue(0))
+	if mut.Key() == first {
+		t.Fatal("With did not change the key")
+	}
+	if cv.Key() != first {
+		t.Fatal("original key disturbed by With")
+	}
+	// Zero-memo CVs (struct copies of internals) still hash correctly.
+	back := mut.With(0, cv.Value(0))
+	if back.Key() != first {
+		t.Fatal("round-trip mutation does not restore the key")
+	}
+}

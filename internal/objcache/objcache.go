@@ -1,0 +1,258 @@
+// Package objcache is a sharded, content-addressed, bounded LRU cache
+// with singleflight deduplication, built for memoizing compilation work
+// on the evaluation pipeline (ccache for the simulated toolchain).
+//
+// Keys are 64-bit content fingerprints (the caller derives them from the
+// program, module identity, compilation vector and machine); values are
+// opaque. Because the modeled compiler is a pure function of its key
+// inputs, a cached value is bit-identical to a recomputation, so the
+// cache can only change how much work runs — never what any evaluation
+// observes. See DESIGN.md §9 for the purity argument.
+//
+// Three properties matter at paper scale (K=1000 samples × J modules ×
+// several machines):
+//
+//   - sharding: keys are spread over power-of-two shards, each with its
+//     own lock, so GOMAXPROCS evaluation workers don't serialize on one
+//     mutex;
+//   - singleflight: concurrent Gets of the same missing key do the work
+//     once — the first caller computes, the rest wait and share the
+//     result (they are counted as "coalesced", not as hits or misses);
+//   - bounded memory: each shard holds an LRU list capped at
+//     capacity/shards entries, so a week-long campaign cannot grow the
+//     cache without bound.
+//
+// The hot paths are deliberately allocation-lean: the LRU list is
+// intrusive (entries carry their own links, no container/list elements),
+// stats are plain per-shard counters folded on demand (no cross-core
+// atomic traffic), and the singleflight wait channel is only allocated
+// when a second caller actually shows up — the common uncontended miss
+// pays for the entry, and nothing else.
+package objcache
+
+import "sync"
+
+// shardCount is the number of independently locked shards. Power of two
+// so shard selection is a mask of the (already well-mixed) key.
+const shardCount = 16
+
+// Stats is a point-in-time snapshot of cache activity. Hits, Misses and
+// Coalesced partition completed Gets; how a given Get classifies can
+// depend on goroutine scheduling (a racing worker may turn a would-be
+// miss into a coalesced wait), so stats are observability, never part of
+// any deterministic output.
+type Stats struct {
+	// Hits counts Gets served from a resident entry.
+	Hits int64
+	// Misses counts Gets that ran the compute function.
+	Misses int64
+	// Coalesced counts Gets that piggybacked on another goroutine's
+	// in-flight compute for the same key (singleflight dedup).
+	Coalesced int64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int64
+	// WorkSaved accumulates the caller-declared work units (the second
+	// return of the compute function) of every hit and coalesced Get —
+	// the work that would have run without the cache.
+	WorkSaved int64
+}
+
+// Cache is a sharded LRU keyed by uint64 fingerprints.
+type Cache struct {
+	shards   [shardCount]shard
+	perShard int
+}
+
+type shard struct {
+	mu     sync.Mutex
+	items  map[uint64]*entry
+	flight map[uint64]*flightCall
+	// Intrusive LRU list: head = most recently used.
+	head, tail *entry
+
+	hits, misses, coalesced, evictions, workSaved int64
+}
+
+type entry struct {
+	key        uint64
+	val        any
+	work       int64
+	prev, next *entry
+}
+
+// flightCall is one in-progress compute shared by coalesced waiters.
+// done is nil until the first waiter arrives (created under the shard
+// lock); the computing goroutine closes it — if present — after val/work
+// (or panicked) are written, so waiters read them race-free.
+type flightCall struct {
+	done     chan struct{}
+	val      any
+	work     int64
+	panicked any
+}
+
+// New returns a cache bounded to roughly `capacity` entries (split
+// evenly across shards, minimum one entry per shard). capacity must be
+// positive.
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		panic("objcache: capacity must be >= 1")
+	}
+	perShard := (capacity + shardCount - 1) / shardCount
+	c := &Cache{perShard: perShard}
+	for i := range c.shards {
+		c.shards[i].items = make(map[uint64]*entry)
+		c.shards[i].flight = make(map[uint64]*flightCall)
+	}
+	return c
+}
+
+// unlink removes e from the LRU list (e must be resident).
+func (sh *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recently used entry.
+func (sh *shard) pushFront(e *entry) {
+	e.prev, e.next = nil, sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+// Get returns the value for key, computing it at most once across
+// concurrent callers. compute returns the value plus its cost in
+// caller-defined work units (credited to Stats.WorkSaved whenever the
+// cached value is reused). A panic in compute is propagated to every
+// waiting caller and nothing is cached.
+func (c *Cache) Get(key uint64, compute func() (any, int64)) any {
+	sh := &c.shards[key&(shardCount-1)]
+	sh.mu.Lock()
+	if e, ok := sh.items[key]; ok {
+		if sh.head != e {
+			sh.unlink(e)
+			sh.pushFront(e)
+		}
+		sh.hits++
+		sh.workSaved += e.work
+		v := e.val
+		sh.mu.Unlock()
+		return v
+	}
+	if fc, ok := sh.flight[key]; ok {
+		if fc.done == nil {
+			fc.done = make(chan struct{})
+		}
+		done := fc.done
+		sh.coalesced++
+		sh.mu.Unlock()
+		<-done
+		if fc.panicked != nil {
+			panic(fc.panicked)
+		}
+		sh.mu.Lock()
+		sh.workSaved += fc.work
+		sh.mu.Unlock()
+		return fc.val
+	}
+	fc := &flightCall{}
+	sh.flight[key] = fc
+	sh.misses++
+	sh.mu.Unlock()
+
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		// compute panicked: unpark waiters with the panic value and
+		// leave the key uncached so a later Get retries.
+		fc.panicked = recover()
+		sh.mu.Lock()
+		delete(sh.flight, key)
+		done := fc.done
+		sh.mu.Unlock()
+		if done != nil {
+			close(done)
+		}
+		panic(fc.panicked)
+	}()
+	val, work := compute()
+	completed = true
+
+	fc.val, fc.work = val, work
+	sh.mu.Lock()
+	delete(sh.flight, key)
+	if _, ok := sh.items[key]; !ok {
+		e := &entry{key: key, val: val, work: work}
+		sh.pushFront(e)
+		sh.items[key] = e
+		for len(sh.items) > c.perShard {
+			old := sh.tail
+			sh.unlink(old)
+			delete(sh.items, old.key)
+			sh.evictions++
+		}
+	}
+	done := fc.done
+	sh.mu.Unlock()
+	if done != nil {
+		close(done)
+	}
+	return val
+}
+
+// Peek reports whether key is resident, without touching LRU order or
+// stats (test/introspection hook).
+func (c *Cache) Peek(key uint64) bool {
+	sh := &c.shards[key&(shardCount-1)]
+	sh.mu.Lock()
+	_, ok := sh.items[key]
+	sh.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity returns the total entry bound.
+func (c *Cache) Capacity() int { return c.perShard * shardCount }
+
+// Stats snapshots the activity counters.
+func (c *Cache) Stats() Stats {
+	var s Stats
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Hits += sh.hits
+		s.Misses += sh.misses
+		s.Coalesced += sh.coalesced
+		s.Evictions += sh.evictions
+		s.WorkSaved += sh.workSaved
+		sh.mu.Unlock()
+	}
+	return s
+}

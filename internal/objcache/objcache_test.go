@@ -1,0 +1,128 @@
+package objcache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetComputesOnceAndHits(t *testing.T) {
+	c := New(64)
+	calls := 0
+	compute := func() (any, int64) { calls++; return "v", 7 }
+	if got := c.Get(42, compute); got != "v" {
+		t.Fatalf("Get = %v", got)
+	}
+	if got := c.Get(42, compute); got != "v" {
+		t.Fatalf("second Get = %v", got)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Coalesced != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.WorkSaved != 7 {
+		t.Fatalf("WorkSaved = %d, want 7", st.WorkSaved)
+	}
+	if !c.Peek(42) || c.Peek(43) {
+		t.Fatal("Peek disagrees with contents")
+	}
+}
+
+func TestLRUBound(t *testing.T) {
+	c := New(shardCount) // one entry per shard
+	// Two keys landing in the same shard: the second evicts the first.
+	k1, k2 := uint64(5), uint64(5+shardCount)
+	c.Get(k1, func() (any, int64) { return 1, 1 })
+	c.Get(k2, func() (any, int64) { return 2, 1 })
+	if c.Peek(k1) {
+		t.Fatal("k1 survived past the shard capacity")
+	}
+	if !c.Peek(k2) {
+		t.Fatal("k2 missing")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", st.Evictions)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	// An evicted key recomputes (a miss, not a hit).
+	calls := 0
+	c.Get(k1, func() (any, int64) { calls++; return 1, 1 })
+	if calls != 1 {
+		t.Fatal("evicted key did not recompute")
+	}
+}
+
+func TestSingleflightCoalesces(t *testing.T) {
+	c := New(64)
+	const waiters = 32
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]any, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Get(99, func() (any, int64) {
+				computes.Add(1)
+				<-gate // hold the flight open so others coalesce
+				return "shared", 3
+			})
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times under concurrency", n)
+	}
+	for i, r := range results {
+		if r != "shared" {
+			t.Fatalf("waiter %d got %v", i, r)
+		}
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses+st.Coalesced != waiters {
+		t.Fatalf("hit+miss+coalesced = %d, want %d (stats %+v)",
+			st.Hits+st.Misses+st.Coalesced, waiters, st)
+	}
+	if st.Misses != 1 {
+		t.Fatalf("Misses = %d, want 1", st.Misses)
+	}
+	// Every reuse (hit or coalesced) credits the declared work units.
+	if st.WorkSaved != 3*(waiters-1) {
+		t.Fatalf("WorkSaved = %d, want %d", st.WorkSaved, 3*(waiters-1))
+	}
+}
+
+func TestComputePanicPropagatesAndRetries(t *testing.T) {
+	c := New(64)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic swallowed")
+			}
+		}()
+		c.Get(7, func() (any, int64) { panic("boom") })
+	}()
+	if c.Peek(7) {
+		t.Fatal("panicked compute was cached")
+	}
+	// The key stays usable afterwards.
+	if got := c.Get(7, func() (any, int64) { return "ok", 1 }); got != "ok" {
+		t.Fatalf("retry Get = %v", got)
+	}
+}
+
+func TestNewRejectsNonPositiveCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}

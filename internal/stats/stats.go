@@ -6,6 +6,7 @@ package stats
 
 import (
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -83,13 +84,26 @@ func Max(xs []float64) (float64, int) {
 
 // ArgSort returns indices that would sort xs ascending. Ties keep the
 // original (stable) order so that pruning "top X smallest" (Algorithm 1,
-// line 11) is deterministic.
+// line 11) is deterministic. Stability comes from the explicit index
+// tie-break, which lets the non-reflective slices.SortFunc do the work
+// (this runs over every module's K measurements when pools are pruned).
 func ArgSort(xs []float64) []int {
 	idx := make([]int, len(xs))
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	slices.SortFunc(idx, func(a, b int) int {
+		switch {
+		case xs[a] < xs[b]:
+			return -1
+		case xs[b] < xs[a]:
+			return 1
+		default:
+			// Equal or unordered (NaN): keep original order, exactly as
+			// a stable sort with a `<` comparator would.
+			return a - b
+		}
+	})
 	return idx
 }
 

@@ -42,15 +42,49 @@ func HashString(s string) uint64 {
 	return splitMix64(&h)
 }
 
+// combineInit is the Combine fold's initial state: fractional bits of
+// sqrt(2).
+const combineInit uint64 = 0x6a09e667f3bcc908
+
 // Combine mixes a sequence of 64-bit values into a single seed. It is used
 // to derive child stream seeds from (parentSeed, key, index) tuples.
 func Combine(vs ...uint64) uint64 {
-	var state uint64 = 0x6a09e667f3bcc908 // fractional bits of sqrt(2)
+	var h Hasher
 	for _, v := range vs {
-		state ^= v
-		state = splitMix64(&state)
+		h.Add(v)
 	}
-	return splitMix64(&state)
+	return h.Sum()
+}
+
+// Hasher is the streaming form of Combine: adding v1..vn and calling Sum
+// returns exactly Combine(v1, ..., vn), with no allocation. The zero value
+// is ready to use. Hot paths (cache keys, fault-draw fingerprints) use it
+// to avoid materializing argument slices; everything keyed on Combine
+// values — fault draws, quarantine sets, checkpoints — therefore sees
+// identical fingerprints whichever form produced them.
+type Hasher struct {
+	state uint64
+	n     int
+}
+
+// Add folds one value into the hash.
+func (h *Hasher) Add(v uint64) {
+	if h.n == 0 {
+		h.state = combineInit
+	}
+	h.n++
+	h.state ^= v
+	h.state = splitMix64(&h.state)
+}
+
+// Sum finalizes and returns the hash. The Hasher itself is not consumed:
+// further Adds continue the same stream.
+func (h *Hasher) Sum() uint64 {
+	s := h.state
+	if h.n == 0 {
+		s = combineInit
+	}
+	return splitMix64(&s)
 }
 
 // Rand is a xoshiro256** generator. The zero value is NOT usable; construct

@@ -207,3 +207,43 @@ func TestCombineOrderSensitive(t *testing.T) {
 		t.Fatal("Combine not deterministic")
 	}
 }
+
+func TestHasherMatchesCombine(t *testing.T) {
+	cases := [][]uint64{
+		{},
+		{0},
+		{42},
+		{1, 2, 3},
+		{0xffffffffffffffff, 0, 0x6a09e667f3bcc908},
+		{7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7},
+	}
+	for _, vs := range cases {
+		var h Hasher
+		for _, v := range vs {
+			h.Add(v)
+		}
+		if got, want := h.Sum(), Combine(vs...); got != want {
+			t.Errorf("Hasher(%v) = %#x, Combine = %#x", vs, got, want)
+		}
+	}
+	// Sum must not consume the stream: interleaved Sums see prefixes.
+	var h Hasher
+	for i, v := range []uint64{9, 8, 7} {
+		h.Add(v)
+		if got, want := h.Sum(), Combine([]uint64{9, 8, 7}[:i+1]...); got != want {
+			t.Errorf("prefix %d: Hasher = %#x, Combine = %#x", i+1, got, want)
+		}
+	}
+}
+
+func TestHasherZeroValueUsable(t *testing.T) {
+	var a, b Hasher
+	if a.Sum() != Combine() {
+		t.Error("zero-value Sum differs from Combine()")
+	}
+	a.Add(5)
+	b.Add(5)
+	if a.Sum() != b.Sum() || a.Sum() != Combine(5) {
+		t.Error("zero-value Hasher streams diverge")
+	}
+}

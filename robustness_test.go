@@ -102,6 +102,100 @@ func TestKillResumeReportEquality(t *testing.T) {
 	}
 }
 
+// Cache-on runs must be bit-identical to cache-off runs for the same
+// seed, across worker counts 1/4/GOMAXPROCS and with both zero and
+// nonzero fault rates. Report.Fingerprint covers every deterministic
+// output (all five algorithms, traces, profile, simulated costs, fault
+// tallies) and excludes only the cache counters themselves.
+func TestCacheBitIdenticalAcrossWorkersAndFaults(t *testing.T) {
+	m, _ := MachineByName("broadwell")
+	prog, err := Benchmark(CloverLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := TuningInput(CloverLeaf, m)
+	for _, rates := range []FaultRates{{}, DefaultFaultRates()} {
+		faulty := rates != (FaultRates{})
+		off := Options{
+			Machine: m, Samples: 30, TopX: 6, Seed: "cache-equality",
+			Faults: rates, Workers: 1, CacheSize: -1,
+		}
+		want, err := NewTuner(off).Compare(prog, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Cache != (CacheStats{}) {
+			t.Fatalf("faults=%v: cache-off run reported cache activity: %+v", faulty, want.Cache)
+		}
+		wantFP := want.Fingerprint()
+		for _, workers := range []int{1, 4, 0} {
+			on := off
+			on.Workers = workers
+			on.CacheSize = 0 // default-size cache
+			got, err := NewTuner(on).Compare(prog, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Fingerprint() != wantFP {
+				t.Errorf("faults=%v workers=%d: cache-on fingerprint differs from cache-off", faulty, workers)
+			}
+			if got.Compiles != want.Compiles || got.Runs != want.Runs {
+				t.Errorf("faults=%v workers=%d: simulated cost changed: (%d, %d) vs (%d, %d)",
+					faulty, workers, got.Compiles, got.Runs, want.Compiles, want.Runs)
+			}
+			if got.Cache.ObjectHits == 0 || got.Cache.Hits() == 0 {
+				t.Errorf("faults=%v workers=%d: cache never hit: %+v", faulty, workers, got.Cache)
+			}
+		}
+	}
+}
+
+// A killed-and-resumed run with the cache enabled must report exactly
+// what an uninterrupted cache-off run reports — checkpoint/resume and
+// memoization compose without touching results. Under nonzero fault
+// rates this also pins the fault/quarantine interaction: injected ICE
+// draws key on CV fingerprints, never on whether a compile physically
+// ran, so cached runs quarantine identically.
+func TestKillResumeCacheEquality(t *testing.T) {
+	m, _ := MachineByName("sandybridge")
+	prog, err := Benchmark(Swim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := TuningInput(Swim, m)
+	off := Options{
+		Machine: m, Samples: 40, TopX: 8, Seed: "cache-resume",
+		Faults: DefaultFaultRates(), CheckpointEvery: 5, CacheSize: -1,
+	}
+	want, err := NewTuner(off).Tune(prog, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "tune.ckpt")
+	killOpts := off
+	killOpts.CacheSize = 0 // cache on
+	killOpts.Checkpoint = path
+	killOpts.KillAfterEvals = 25
+	if _, err := NewTuner(killOpts).Tune(prog, in); !errors.Is(err, ErrKilled) {
+		t.Fatalf("expected ErrKilled, got %v", err)
+	}
+
+	resumeOpts := off
+	resumeOpts.CacheSize = 0
+	resumeOpts.Resume = path
+	got, err := NewTuner(resumeOpts).Tune(prog, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("cached kill/resume fingerprint differs from uninterrupted cache-off run")
+	}
+	if got.Faults != want.Faults {
+		t.Fatalf("cached resume fault tally %+v != %+v", got.Faults, want.Faults)
+	}
+}
+
 // NewTuner defers option validation to the first pipeline call.
 func TestNewTunerValidation(t *testing.T) {
 	m, _ := MachineByName("broadwell")
