@@ -29,7 +29,9 @@ import (
 	"funcytuner/internal/experiments"
 	"funcytuner/internal/flagspec"
 	"funcytuner/internal/ir"
+	"funcytuner/internal/metrics"
 	"funcytuner/internal/outline"
+	"funcytuner/internal/trace"
 	"funcytuner/internal/xrand"
 )
 
@@ -322,6 +324,54 @@ func BenchmarkCFRSessionCached(b *testing.B) {
 			runSession(b, cc)
 		}
 	})
+}
+
+// BenchmarkSessionTraceDisabled quantifies the observability overhead on
+// the paper-scale CFR session (the BenchmarkCFRSessionCached cold
+// workload):
+//
+//   - observability=off: no recorder, no registry — the nil-receiver
+//     fast path every ordinary run takes. Comparing this against
+//     BenchmarkCFRSessionCached/cold bounds the cost of *having* the
+//     instrumentation hooks compiled in (the acceptance bar is <2%).
+//   - observability=on: trace recorder and metrics registry attached —
+//     what a -trace run pays.
+func BenchmarkSessionTraceDisabled(b *testing.B) {
+	prog := apps.MustGet(apps.CloverLeaf)
+	m := arch.Broadwell()
+	in := apps.TuningInput(apps.CloverLeaf, m)
+	res, err := outline.AutoOutline(compiler.NewToolchain(flagspec.ICC()), prog, m, in, outline.HotThreshold, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, observed := range []bool{false, true} {
+		name := "observability=off"
+		if observed {
+			name = "observability=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tc := compiler.NewToolchain(flagspec.ICC())
+				tc.AttachCache(compiler.NewCompileCache(0))
+				sess, err := core.NewSession(tc, prog, res.Partition, m, in, core.DefaultConfig("bench-cfr"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if observed {
+					sess.AttachTrace(trace.NewRecorder())
+					sess.AttachMetrics(metrics.NewRegistry())
+				}
+				col, err := sess.Collect()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sess.CFR(col); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFlagSpaceSampling measures CV sampling + knob materialization.

@@ -7,6 +7,7 @@
 //	           [-compare] [-seed funcytuner] [-flags] [-workers N]
 //	           [-cache] [-cache-size N]
 //	           [-fault-rate 1] [-max-retries 2] [-checkpoint f] [-resume f]
+//	           [-trace out.jsonl] [-progress] [-report run.md]
 //
 // With -compare, all four §2.2 algorithms run and their speedups are
 // reported side by side; otherwise only the collection + CFR pipeline
@@ -23,17 +24,27 @@
 // default 2%/1%/0.5%/4% ICE/crash/timeout/flake rates), -checkpoint
 // persists progress, and -resume continues a killed run from its
 // checkpoint with bit-identical results.
+//
+// Observability: -trace writes the run's structured event stream as
+// JSONL (with wall-clock stamps for live inspection; the deterministic
+// canonical view strips them), -progress prints periodic progress lines
+// with an ETA to stderr, and -report writes a markdown run report
+// including the metrics snapshot. None of them change results: traced
+// runs are bit-identical to untraced ones.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
+	"time"
 
 	"funcytuner"
+	"funcytuner/internal/report"
 )
 
 func main() {
@@ -60,6 +71,9 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "persist tuning progress to this file")
 	resume := flag.String("resume", "", "resume from this checkpoint file (missing file starts fresh)")
 	killAfter := flag.Int("kill-after", 0, "simulate a node failure after N evaluations (crash-testing)")
+	tracePath := flag.String("trace", "", "write the structured event trace as JSONL to this file")
+	progress := flag.Bool("progress", false, "print periodic progress lines with ETA to stderr")
+	reportPath := flag.String("report", "", "write a markdown run report (results + metrics) to this file")
 	flag.Parse()
 
 	m, err := funcytuner.MachineByName(*machine)
@@ -99,6 +113,22 @@ func main() {
 	if !*cache {
 		cacheBound = -1
 	}
+	var rec *funcytuner.TraceRecorder
+	var traceFile *os.File
+	if *tracePath != "" {
+		// Open the destination before tuning so an unwritable path fails
+		// fast instead of after a long campaign.
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec = funcytuner.NewTraceRecorder()
+		rec.WallClock(func() int64 { return time.Now().UnixNano() })
+	}
+	var progressTo io.Writer
+	if *progress {
+		progressTo = os.Stderr
+	}
 	tuner := funcytuner.NewTuner(funcytuner.Options{
 		Machine: m, Samples: *samples, TopX: *topx, Seed: *seed,
 		Workers:        *workers,
@@ -109,6 +139,8 @@ func main() {
 		Checkpoint:     *checkpoint,
 		Resume:         *resume,
 		KillAfterEvals: *killAfter,
+		Trace:          rec,
+		Progress:       progressTo,
 	})
 
 	fmt.Printf("tuning %s on %s with input %s\n", prog.Name, m, in)
@@ -121,11 +153,25 @@ func main() {
 	default:
 		rep, err = tuner.Tune(prog, in)
 	}
+	// The trace is written even when the run died (ErrKilled): the partial
+	// event stream is exactly what post-mortem debugging wants.
+	if rec != nil {
+		werr := rec.Snapshot().WriteJSONL(traceFile)
+		if cerr := traceFile.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			log.Fatal(werr)
+		}
+	}
 	if err != nil {
 		if errors.Is(err, funcytuner.ErrKilled) && *checkpoint != "" {
 			log.Fatalf("%v\nresume with: -resume %s", err, *checkpoint)
 		}
 		log.Fatal(err)
+	}
+	if rec != nil {
+		fmt.Printf("wrote %d trace events to %s\n", rec.Len(), *tracePath)
 	}
 
 	fmt.Printf("\nO3 baseline profile (%d modules after outlining):\n%s\n", rep.Modules, rep.Profile)
@@ -175,4 +221,26 @@ func main() {
 		}
 		fmt.Printf("\nsaved the winning configuration to %s\n", *save)
 	}
+
+	if *reportPath != "" {
+		if err := os.WriteFile(*reportPath, []byte(markdownReport(prog.Name, names, rep)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote the run report to %s\n", *reportPath)
+	}
+}
+
+// markdownReport renders the run as a small markdown document: the
+// speedup table, the tuning cost, and the metrics snapshot.
+func markdownReport(prog string, names []string, rep *funcytuner.Report) string {
+	tbl := report.NewTable("FuncyTuner run: "+prog, "algorithm", "speedup", "baseline s", "best s", "evaluations")
+	for _, name := range names {
+		r := rep.All[name]
+		tbl.Set(name, "speedup", r.Speedup)
+		tbl.Set(name, "baseline s", r.Baseline)
+		tbl.Set(name, "best s", r.TrueTime)
+		tbl.Set(name, "evaluations", float64(r.Evaluations))
+	}
+	tbl.AddNote("%d compiles, %d runs, %.1f simulated hours", rep.Compiles, rep.Runs, rep.SimulatedHours)
+	return tbl.Markdown() + "\n" + report.MetricsMarkdown(rep.Metrics)
 }

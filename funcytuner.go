@@ -37,9 +37,12 @@ package funcytuner
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"sort"
+	"sync"
+	"time"
 
 	"funcytuner/internal/apps"
 	"funcytuner/internal/arch"
@@ -50,7 +53,9 @@ import (
 	"funcytuner/internal/faults"
 	"funcytuner/internal/flagspec"
 	"funcytuner/internal/ir"
+	"funcytuner/internal/metrics"
 	"funcytuner/internal/outline"
+	"funcytuner/internal/trace"
 	"funcytuner/internal/xrand"
 )
 
@@ -77,7 +82,22 @@ type (
 	FaultRates = faults.Rates
 	// Checkpoint is the JSON-portable partial state of a tuning run.
 	Checkpoint = core.Checkpoint
+	// TraceRecorder accumulates structured trace events from a run (see
+	// Options.Trace and internal/trace for the event taxonomy).
+	TraceRecorder = trace.Recorder
+	// TuningTrace is an ordered collection of trace events, as returned by
+	// TraceRecorder.Snapshot. Its Canonical view is deterministic; its
+	// WriteJSONL/ReadJSONL round-trip is byte-stable.
+	TuningTrace = trace.Trace
+	// MetricsSnapshot is a frozen view of a run's counters, gauges and
+	// histograms (Report.Metrics).
+	MetricsSnapshot = metrics.Snapshot
 )
+
+// NewTraceRecorder returns an empty trace recorder for Options.Trace.
+// Call WallClock on it to add wall-clock stamps for live inspection —
+// the canonical (deterministic) trace strips them.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
 
 // ErrKilled reports that a tuning run hit its simulated node failure
 // (Options.KillAfterEvals) mid-run; resume it from its checkpoint.
@@ -181,6 +201,20 @@ type Options struct {
 	// evaluations (the run aborts with ErrKilled) — the crash-testing
 	// hook for checkpoint/resume.
 	KillAfterEvals int
+
+	// Trace, when non-nil, records structured span events (session, phase,
+	// compile, link, run, retry, fault, cache, eval) into the recorder as
+	// the run executes. Tracing is strictly observational: a traced run's
+	// Report is bit-identical to an untraced one, and the recorder's
+	// Canonical() trace is itself deterministic for a given seed/config
+	// across worker counts. Nil disables tracing at zero cost.
+	Trace *TraceRecorder
+	// Progress, when non-nil, receives periodic one-line progress reports
+	// (completed evaluations, simulated hours, ETA) while tuning runs,
+	// plus a final line when the run ends. Typically os.Stderr.
+	Progress io.Writer
+	// ProgressEvery is the progress-reporting cadence (default 5s).
+	ProgressEvery time.Duration
 }
 
 // validate rejects option values that would silently misbehave. Defaults
@@ -212,6 +246,9 @@ func (o Options) validate() error {
 	}
 	if o.KillAfterEvals < 0 {
 		return fmt.Errorf("funcytuner: KillAfterEvals must be >= 0, got %d", o.KillAfterEvals)
+	}
+	if o.ProgressEvery < 0 {
+		return fmt.Errorf("funcytuner: ProgressEvery must be >= 0, got %v", o.ProgressEvery)
 	}
 	return o.Faults.Validate()
 }
@@ -286,6 +323,12 @@ type Report struct {
 	// not results: they depend on scheduling and cache size, so
 	// Fingerprint deliberately excludes them.
 	Cache CacheStats
+	// Metrics is the run's instrument snapshot: counters mirroring the
+	// cost ledger (compiles, runs, retries, fault classes), cache outcome
+	// counters, configuration gauges, and eval-latency/retry histograms.
+	// Like Cache it is observability, excluded from Fingerprint (the
+	// cache counters inside it are scheduling-dependent).
+	Metrics MetricsSnapshot
 
 	sess *core.Session
 }
@@ -407,7 +450,73 @@ func (t *Tuner) session(prog *Program, in Input) (*core.Session, outline.Result,
 			return nil, outline.Result{}, err
 		}
 	}
+	// Metrics are always on (the registry is cheap and Report.Metrics is
+	// always populated); tracing only when the caller supplied a recorder.
+	// Attached after the checkpointer so the quarantine gauge reflects any
+	// restored state.
+	sess.AttachMetrics(metrics.NewRegistry())
+	sess.AttachTrace(t.opts.Trace)
 	return sess, res, nil
+}
+
+// startProgress launches the periodic progress reporter when
+// Options.Progress is set. expected is the nominal evaluation budget of
+// the protocol about to run (an upper bound for early-stopped searches).
+// The returned stop function ends the reporter and emits a final line;
+// it is safe to call exactly once.
+func (t *Tuner) startProgress(sess *core.Session, expected int64) func() {
+	w := t.opts.Progress
+	if w == nil {
+		return func() {}
+	}
+	every := t.opts.ProgressEvery
+	if every <= 0 {
+		every = 5 * time.Second
+	}
+	start := time.Now()
+	emit := func(final bool) {
+		n := sess.CompletedEvals()
+		pct := 0.0
+		if expected > 0 {
+			pct = 100 * float64(n) / float64(expected)
+			if pct > 100 {
+				pct = 100
+			}
+		}
+		line := fmt.Sprintf("funcytuner: %d/%d evals (%.1f%%), %.1f simulated hours",
+			n, expected, pct, sess.Cost.SimulatedHours())
+		if !final && n > 0 && n < expected {
+			if rate := float64(n) / time.Since(start).Seconds(); rate > 0 {
+				eta := time.Duration(float64(expected-n) / rate * float64(time.Second))
+				line += fmt.Sprintf(", eta %s", eta.Round(time.Second))
+			}
+		}
+		if final {
+			line += ", done"
+		}
+		fmt.Fprintln(w, line)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				emit(false)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+		emit(true)
+	}
 }
 
 // Tune runs the FuncyTuner pipeline (collection + CFR) on prog with in.
@@ -416,6 +525,8 @@ func (t *Tuner) Tune(prog *Program, in Input) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	stop := t.startProgress(sess, 2*int64(t.opts.Samples))
+	defer stop()
 	col, err := sess.Collect()
 	if err != nil {
 		return nil, err
@@ -444,6 +555,12 @@ func (t *Tuner) TuneAdaptive(prog *Program, in Input, rule StopRule) (*Report, e
 	if err != nil {
 		return nil, err
 	}
+	maxEvals := int64(rule.MaxEvaluations)
+	if maxEvals <= 0 || maxEvals > int64(t.opts.Samples) {
+		maxEvals = int64(t.opts.Samples)
+	}
+	stop := t.startProgress(sess, int64(t.opts.Samples)+maxEvals)
+	defer stop()
 	col, err := sess.Collect()
 	if err != nil {
 		return nil, err
@@ -464,6 +581,9 @@ func (t *Tuner) Compare(prog *Program, in Input) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Random K + collection K + FR K + greedy 1 + CFR K.
+	stop := t.startProgress(sess, 4*int64(t.opts.Samples)+1)
+	defer stop()
 	all, err := sess.RunAll()
 	if err != nil {
 		return nil, err
@@ -496,16 +616,18 @@ func (t *Tuner) report(sess *core.Session, out outline.Result, all map[string]*R
 			Quarantined:     len(sess.Quarantined()),
 			DegradedModules: degraded,
 		},
-		Cache: sess.CacheStats(),
-		sess:  sess,
+		Cache:   sess.CacheStats(),
+		Metrics: sess.MetricsSnapshot(),
+		sess:    sess,
 	}
 }
 
 // Fingerprint hashes the deterministic content of the report: every
 // algorithm's result (chosen CVs, measured/true/baseline times, traces,
 // degraded modules), the outlining profile, and the simulated cost and
-// fault tallies. It deliberately excludes Cache — cache counters depend
-// on scheduling and configuration, not on the tuning outcome. For one
+// fault tallies. It deliberately excludes Cache and Metrics — cache and
+// instrument counters depend on scheduling and configuration, not on
+// the tuning outcome. For one
 // seed, Fingerprint is invariant across worker counts, cache on/off, and
 // checkpoint kill/resume; the robustness tests and the CI benchmark
 // smoke job enforce exactly that.

@@ -124,6 +124,32 @@ func (cc *CompileCache) Stats() CacheStats {
 	}
 }
 
+// Tier names reported to Observe callbacks.
+const (
+	// ObjectTier is the per-(module, CV) object cache.
+	ObjectTier = "object"
+	// LinkTier is the per-assembly compile+link cache.
+	LinkTier = "link"
+)
+
+// Observe registers fn for per-request activity on the object and link
+// tiers (the knobs front-end tier stays internal, matching Stats). fn
+// runs on the requesting goroutine, outside cache locks; pass nil to
+// detach. Register before concurrent use. Like Stats, outcomes depend
+// on goroutine scheduling, so observers feed observability only.
+func (cc *CompileCache) Observe(fn func(tier string, oc objcache.Outcome)) {
+	if cc == nil {
+		return
+	}
+	if fn == nil {
+		cc.objects.SetObserver(nil)
+		cc.links.SetObserver(nil)
+		return
+	}
+	cc.objects.SetObserver(func(oc objcache.Outcome) { fn(ObjectTier, oc) })
+	cc.links.SetObserver(func(oc objcache.Outcome) { fn(LinkTier, oc) })
+}
+
 // Len returns resident entries across both tiers (tests, introspection).
 func (cc *CompileCache) Len() int {
 	if cc == nil {

@@ -1,0 +1,81 @@
+package compiler
+
+import (
+	"sync"
+	"testing"
+
+	"funcytuner/internal/arch"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/objcache"
+)
+
+// CompileCache.Observe must route per-request outcomes through with the
+// right tier label, agree with Stats, and detach cleanly.
+func TestCompileCacheObserve(t *testing.T) {
+	prog := fixture()
+	m := arch.Broadwell()
+	space := flagspec.ICC()
+	part := perLoopPartition(prog)
+
+	tc := NewToolchain(space)
+	cc := NewCompileCache(1 << 12)
+	tc.AttachCache(cc)
+
+	var mu sync.Mutex
+	counts := map[string]map[objcache.Outcome]int64{}
+	cc.Observe(func(tier string, oc objcache.Outcome) {
+		mu.Lock()
+		if counts[tier] == nil {
+			counts[tier] = map[objcache.Outcome]int64{}
+		}
+		counts[tier][oc]++
+		mu.Unlock()
+	})
+
+	// Three assemblies: all-baseline (object+link misses), one module
+	// changed (J−1 object hits, link miss), all-baseline again (link hit —
+	// the link tier short-circuits, so no object requests at all).
+	base := space.Baseline()
+	cvs := make([]flagspec.CV, len(part.Modules))
+	for i := range cvs {
+		cvs[i] = base
+	}
+	compile := func() {
+		if _, err := tc.Compile(prog, part, cvs, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compile()
+	cvs[0] = base.With(flagspec.IccPrefetch, 4)
+	compile()
+	cvs[0] = base
+	compile()
+	st := cc.Stats()
+	if st.ObjectMisses == 0 || st.ObjectHits == 0 || st.LinkMisses == 0 || st.LinkHits == 0 {
+		t.Fatalf("workload did not exercise both tiers both ways: %+v", st)
+	}
+	obj, lnk := counts[ObjectTier], counts[LinkTier]
+	if obj[objcache.OutcomeHit] != st.ObjectHits || obj[objcache.OutcomeMiss] != st.ObjectMisses ||
+		obj[objcache.OutcomeCoalesced] != st.ObjectCoalesced {
+		t.Fatalf("object-tier observer %v disagrees with Stats %+v", obj, st)
+	}
+	if lnk[objcache.OutcomeHit] != st.LinkHits || lnk[objcache.OutcomeMiss] != st.LinkMisses ||
+		lnk[objcache.OutcomeCoalesced] != st.LinkCoalesced {
+		t.Fatalf("link-tier observer %v disagrees with Stats %+v", lnk, st)
+	}
+
+	// Detach: further traffic is unobserved but still counted by Stats.
+	cc.Observe(nil)
+	before := lnk[objcache.OutcomeHit]
+	compile() // link hit
+	if counts[LinkTier][objcache.OutcomeHit] != before {
+		t.Fatal("detached observer still called")
+	}
+	if cc.Stats().LinkHits == st.LinkHits {
+		t.Fatal("Stats stopped counting after detach")
+	}
+
+	// A nil cache ignores Observe without panicking.
+	var nilCC *CompileCache
+	nilCC.Observe(func(string, objcache.Outcome) {})
+}

@@ -44,6 +44,9 @@ func (s *Session) CFRAdaptive(col *Collection, rule StopRule) (*Result, error) {
 	if rule.MinEvaluations < 1 {
 		rule.MinEvaluations = 1
 	}
+	// The adaptive search evaluates the same "cfr" phase stream, so its
+	// spans share the phase name; the marker keeps the ordinal moving.
+	s.tr.Phase("cfr")
 
 	// Pruning identical to CFR (quarantine and degradation included).
 	pruned, degraded := s.prunedPools(col)

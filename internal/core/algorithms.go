@@ -55,6 +55,7 @@ type Collection struct {
 // restored instead of re-evaluated — each sample is a pure function of
 // (seed, index), so the resumed collection is bit-identical.
 func (s *Session) Collect() (*Collection, error) {
+	s.tr.Phase("collect")
 	cvs := s.PreSample()
 	col := &Collection{
 		CVs:    cvs,
@@ -105,6 +106,7 @@ func (s *Session) Collect() (*Collection, error) {
 // ir.WholeProgram for strict fidelity (outlining is a no-op for uniform
 // compilation in this model, but the paper draws the distinction).
 func (s *Session) Random() (*Result, error) {
+	s.tr.Phase("random")
 	cvs := s.PreSample()
 	times := make([]float64, len(cvs))
 	errs := make([]error, len(cvs))
@@ -132,6 +134,7 @@ func (s *Session) Random() (*Result, error) {
 // module independently draws one CV from the K pre-sampled CVs (with
 // replacement); the assembled executable is measured end-to-end.
 func (s *Session) FR() (*Result, error) {
+	s.tr.Phase("fr")
 	cvs := s.PreSample()
 	assignments := make([][]flagspec.CV, s.Config.Samples)
 	draw := s.rng.Split("fr-assign", 0)
@@ -165,6 +168,7 @@ func (s *Session) Greedy(col *Collection) (realized, independent *Result, err er
 	if err := s.checkCollection(col); err != nil {
 		return nil, nil, err
 	}
+	s.tr.Phase("greedy")
 	chosen := make([]flagspec.CV, len(s.Part.Modules))
 	indepSum := 0.0
 	for mi := range s.Part.Modules {
@@ -204,6 +208,7 @@ func (s *Session) CFR(col *Collection) (*Result, error) {
 	if err := s.checkCollection(col); err != nil {
 		return nil, err
 	}
+	s.tr.Phase("cfr")
 	// Line 10–11: prune the pre-sampled space per module (quarantined CVs
 	// excluded; failing modules degrade to baseline — see prunedPools).
 	pruned, degraded := s.prunedPools(col)

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/metrics"
+	"funcytuner/internal/objcache"
+	"funcytuner/internal/trace"
+)
+
+// This file is the session's observability surface: an optional trace
+// recorder and an optional metrics registry, attached after NewSession
+// and before the first evaluation. Both are strictly read-only with
+// respect to the tuning pipeline — they draw no randomness, take no
+// decisions, and touch no deterministic output, so attaching them
+// cannot change any Report (the bit-identity tests pin this). When
+// neither is attached the cost is a handful of nil-receiver method
+// calls per evaluation (see BenchmarkSessionTraceDisabled).
+//
+// Metric names the session registers. Counters are incremented at the
+// same branch sites that mutate the evalCost ledger, so after any run
+// each counter equals the corresponding CostAccount accessor exactly —
+// a cross-check the metrics property tests enforce.
+const (
+	// MetricEvals counts completed evaluations (finishEval calls).
+	MetricEvals = "evals"
+	// MetricCompiles mirrors CostAccount.Compiles.
+	MetricCompiles = "compiles"
+	// MetricRuns mirrors CostAccount.Runs.
+	MetricRuns = "runs"
+	// MetricSimMicros mirrors the CostAccount simulated-clock total.
+	MetricSimMicros = "sim_micros"
+	// MetricFaultMicros mirrors the simulated clock lost to faults.
+	MetricFaultMicros = "fault_micros"
+	// MetricRetries mirrors CostAccount.Retries.
+	MetricRetries = "retries"
+	// MetricFlakes mirrors CostAccount.Flakes.
+	MetricFlakes = "flakes"
+	// MetricTimeouts mirrors CostAccount.Timeouts.
+	MetricTimeouts = "timeouts"
+	// MetricCompileFailures mirrors CostAccount.CompileFailures.
+	MetricCompileFailures = "compile_failures"
+	// MetricRunCrashes mirrors CostAccount.RunCrashes.
+	MetricRunCrashes = "run_crashes"
+	// MetricWastedCompiles mirrors CostAccount.WastedCompiles.
+	MetricWastedCompiles = "wasted_compiles"
+
+	// Cache counters mirror compiler.CacheStats per tier; they come from
+	// the cache's observer hook and, like CacheStats, are scheduling-
+	// dependent observability.
+	MetricCacheObjectHits      = "cache_object_hits"
+	MetricCacheObjectMisses    = "cache_object_misses"
+	MetricCacheObjectCoalesced = "cache_object_coalesced"
+	MetricCacheLinkHits        = "cache_link_hits"
+	MetricCacheLinkMisses      = "cache_link_misses"
+	MetricCacheLinkCoalesced   = "cache_link_coalesced"
+
+	// Gauges.
+	MetricWorkers     = "workers"
+	MetricSamples     = "samples"
+	MetricModules     = "modules"
+	MetricQuarantined = "quarantined"
+
+	// Histograms.
+	MetricEvalSimSeconds = "eval_sim_seconds"
+	MetricEvalRetries    = "eval_retries"
+)
+
+// evalSimBuckets are the eval-latency histogram bounds in simulated
+// seconds (benchmark runs are 3–36 s; faulted evaluations can burn a
+// whole timeout budget).
+var evalSimBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+
+// evalRetryBuckets bound the per-evaluation retry-count histogram.
+var evalRetryBuckets = []float64{0, 1, 2, 3, 5, 8}
+
+// sessionMetrics holds the session's pre-resolved instruments. The zero
+// value (enabled=false, all instruments nil) is the disabled state:
+// every instrument method no-ops on nil, and finishEval short-circuits
+// on the flag so the disabled path stays a single branch.
+type sessionMetrics struct {
+	enabled bool
+
+	evals, compiles, runs     *metrics.Counter
+	simMicros, faultMicros    *metrics.Counter
+	retries, flakes, timeouts *metrics.Counter
+	compileFails, runCrashes  *metrics.Counter
+	wastedCompiles            *metrics.Counter
+	cacheObj, cacheLink       [3]*metrics.Counter // indexed by objcache.Outcome
+	quarantined               *metrics.Gauge
+	evalSim, evalRetries      *metrics.Histogram
+}
+
+func newSessionMetrics(reg *metrics.Registry) sessionMetrics {
+	return sessionMetrics{
+		enabled:        true,
+		evals:          reg.Counter(MetricEvals),
+		compiles:       reg.Counter(MetricCompiles),
+		runs:           reg.Counter(MetricRuns),
+		simMicros:      reg.Counter(MetricSimMicros),
+		faultMicros:    reg.Counter(MetricFaultMicros),
+		retries:        reg.Counter(MetricRetries),
+		flakes:         reg.Counter(MetricFlakes),
+		timeouts:       reg.Counter(MetricTimeouts),
+		compileFails:   reg.Counter(MetricCompileFailures),
+		runCrashes:     reg.Counter(MetricRunCrashes),
+		wastedCompiles: reg.Counter(MetricWastedCompiles),
+		cacheObj: [3]*metrics.Counter{
+			objcache.OutcomeHit:       reg.Counter(MetricCacheObjectHits),
+			objcache.OutcomeMiss:      reg.Counter(MetricCacheObjectMisses),
+			objcache.OutcomeCoalesced: reg.Counter(MetricCacheObjectCoalesced),
+		},
+		cacheLink: [3]*metrics.Counter{
+			objcache.OutcomeHit:       reg.Counter(MetricCacheLinkHits),
+			objcache.OutcomeMiss:      reg.Counter(MetricCacheLinkMisses),
+			objcache.OutcomeCoalesced: reg.Counter(MetricCacheLinkCoalesced),
+		},
+		quarantined: reg.Gauge(MetricQuarantined),
+		evalSim:     reg.Histogram(MetricEvalSimSeconds, evalSimBuckets),
+		evalRetries: reg.Histogram(MetricEvalRetries, evalRetryBuckets),
+	}
+}
+
+// finishEval feeds the aggregate counters and per-evaluation histograms
+// from a completed evaluation's cost delta, mirroring CostAccount.add.
+func (m *sessionMetrics) finishEval(ec evalCost) {
+	if !m.enabled {
+		return
+	}
+	m.evals.Inc()
+	m.compiles.Add(ec.compiles)
+	m.runs.Add(ec.runs)
+	m.simMicros.Add(ec.simMicros)
+	m.faultMicros.Add(ec.faultMicros)
+	m.evalSim.Observe(ec.simSeconds())
+	m.evalRetries.Observe(float64(ec.retries))
+}
+
+// simSeconds is the evaluation's simulated-clock offset so far, in
+// seconds — the deterministic timestamp trace events carry.
+func (ec *evalCost) simSeconds() float64 { return float64(ec.simMicros) / 1e6 }
+
+// AttachTrace attaches a trace recorder to the session and emits the
+// session marker. Call after NewSession, before the first evaluation.
+// A nil recorder leaves tracing disabled.
+func (s *Session) AttachTrace(r *trace.Recorder) {
+	if r == nil {
+		return
+	}
+	s.tr = r
+	s.wireCacheObserver()
+	r.Session(s.Prog.Name + "/" + s.Machine.Name + "/" + s.Config.Seed)
+}
+
+// AttachMetrics registers the session's instruments in reg and starts
+// recording. Call after NewSession (and after any checkpoint restore,
+// so the quarantine gauge starts correct), before the first evaluation.
+// Metrics cover work performed by this session only: a resumed run's
+// CostAccount includes inherited cost, its metrics do not.
+func (s *Session) AttachMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s.reg = reg
+	s.met = newSessionMetrics(reg)
+	reg.Gauge(MetricWorkers).Set(float64(s.Config.workers()))
+	reg.Gauge(MetricSamples).Set(float64(s.Config.Samples))
+	reg.Gauge(MetricModules).Set(float64(len(s.Part.Modules)))
+	s.qmu.Lock()
+	s.met.quarantined.Set(float64(len(s.quarantine)))
+	s.qmu.Unlock()
+	s.wireCacheObserver()
+}
+
+// MetricsSnapshot freezes the session's registry (zero Snapshot when no
+// metrics are attached).
+func (s *Session) MetricsSnapshot() metrics.Snapshot { return s.reg.Snapshot() }
+
+// CompletedEvals returns the number of evaluations this session has
+// finished — the progress-reporting feed. Like all observability it is
+// scheduling-neutral but moment-dependent; it never enters results.
+func (s *Session) CompletedEvals() int64 { return s.completed.Load() }
+
+// wireCacheObserver routes the toolchain cache's per-request outcomes
+// into the session's metrics and trace. Installed once, on the first
+// Attach; the observer reads s.tr/s.met at call time, so attach order
+// doesn't matter.
+func (s *Session) wireCacheObserver() {
+	if s.cacheWired {
+		return
+	}
+	cc := s.Toolchain.Cache()
+	if cc == nil {
+		return
+	}
+	s.cacheWired = true
+	cc.Observe(func(tier string, oc objcache.Outcome) { s.observeCache(tier, oc) })
+}
+
+// observeCache records one cache request. Cache classification depends
+// on goroutine scheduling (a racing worker turns a miss into a
+// coalesced wait), so the trace event is marked Sched and excluded from
+// the canonical trace — the same reasoning that keeps CacheStats out of
+// Report.Fingerprint.
+func (s *Session) observeCache(tier string, oc objcache.Outcome) {
+	if s.met.enabled && int(oc) < len(s.met.cacheObj) {
+		switch tier {
+		case compiler.ObjectTier:
+			s.met.cacheObj[oc].Inc()
+		case compiler.LinkTier:
+			s.met.cacheLink[oc].Inc()
+		}
+	}
+	s.tr.Emit(trace.Event{
+		Kind:   trace.KindCache,
+		Sample: -1,
+		Name:   tier + "-" + oc.String(),
+		Sched:  true,
+	})
+}
+
+// closeEval stamps the evaluation-close event ("ok" for a finite
+// measurement, "lost" for an abandoned one) and flushes the span to the
+// recorder in one locked append.
+func (s *Session) closeEval(tb *trace.Batch, ec *evalCost, t float64) {
+	if tb == nil {
+		return
+	}
+	name := "ok"
+	if math.IsInf(t, 1) {
+		name = "lost"
+	}
+	tb.Add(trace.Event{Kind: trace.KindEval, Name: name, Seconds: t, Sim: ec.simSeconds()})
+	tb.Commit()
+}

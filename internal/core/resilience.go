@@ -9,6 +9,7 @@ import (
 	"funcytuner/internal/faults"
 	"funcytuner/internal/flagspec"
 	"funcytuner/internal/stats"
+	"funcytuner/internal/trace"
 )
 
 // This file is the fault-tolerant half of the evaluation path. Real
@@ -36,10 +37,12 @@ func (s *Session) checkKilled() error {
 	return nil
 }
 
-// finishEval applies the evaluation's cost and advances the simulated
-// node-failure clock.
+// finishEval applies the evaluation's cost, feeds the observability
+// layer, and advances the simulated node-failure clock.
 func (s *Session) finishEval(ec evalCost) {
 	s.Cost.add(ec)
+	s.completed.Add(1)
+	s.met.finishEval(ec)
 	if s.Config.KillAfterEvals > 0 {
 		if s.evals.Add(1) >= int64(s.Config.KillAfterEvals) {
 			s.killed.Store(true)
@@ -47,10 +50,12 @@ func (s *Session) finishEval(ec evalCost) {
 	}
 }
 
-// quarantineCV marks a CV fingerprint as poison.
+// quarantineCV marks a CV fingerprint as poison. The gauge update rides
+// inside the lock so its final value is exactly the quarantine size.
 func (s *Session) quarantineCV(key uint64) {
 	s.qmu.Lock()
 	s.quarantine[key] = true
+	s.met.quarantined.Set(float64(len(s.quarantine)))
 	s.qmu.Unlock()
 }
 
@@ -85,7 +90,7 @@ func (s *Session) restoreQuarantine(keys []uint64) {
 // icePass applies the injected compile-failure model to an assignment:
 // any module CV classified as an ICE is quarantined. It reports whether
 // the assembly's compilation died.
-func (s *Session) icePass(cvs []flagspec.CV, ec *evalCost) bool {
+func (s *Session) icePass(cvs []flagspec.CV, ec *evalCost, tb *trace.Batch) bool {
 	if s.faults == nil {
 		return false
 	}
@@ -100,6 +105,10 @@ func (s *Session) icePass(cvs []flagspec.CV, ec *evalCost) bool {
 	if ice {
 		ec.wastedCompiles += int64(len(s.Part.Modules))
 		ec.compileFails++
+		s.met.compileFails.Inc()
+		s.met.wastedCompiles.Add(int64(len(s.Part.Modules)))
+		tb.Add(trace.Event{Kind: trace.KindFault, Name: faults.CompileFail.String(),
+			Modules: len(s.Part.Modules), Sim: ec.simSeconds()})
 	}
 	return ice
 }
@@ -128,7 +137,7 @@ func (s *Session) assemblyKey(cvs []flagspec.CV) (key uint64, allBaseline bool) 
 // success, +Inf when the evaluation is lost. crashQ lists CV
 // fingerprints to quarantine on a permanent run crash (used by uniform
 // evaluations, where the crash is attributable to a single CV).
-func (s *Session) faultedRun(ec *evalCost, akey uint64, exempt bool, crashQ []uint64, run func() (float64, bool)) float64 {
+func (s *Session) faultedRun(ec *evalCost, akey uint64, exempt bool, crashQ []uint64, tb *trace.Batch, run func() (float64, bool)) float64 {
 	if s.faults != nil && !exempt {
 		if s.faults.RunCrashes(akey) {
 			for _, q := range crashQ {
@@ -137,6 +146,9 @@ func (s *Session) faultedRun(ec *evalCost, akey uint64, exempt bool, crashQ []ui
 			ec.runCrashes++
 			ec.addRun(0.1) // the failed launch still costs a moment
 			ec.addFault(0.1)
+			s.met.runCrashes.Inc()
+			tb.Add(trace.Event{Kind: trace.KindFault, Name: faults.RunCrash.String(),
+				Seconds: 0.1, Sim: ec.simSeconds()})
 			return math.Inf(1)
 		}
 		if s.faults.TimesOut(akey) {
@@ -146,6 +158,9 @@ func (s *Session) faultedRun(ec *evalCost, akey uint64, exempt bool, crashQ []ui
 			ec.timeouts++
 			ec.addRun(budget)
 			ec.addFault(budget)
+			s.met.timeouts.Inc()
+			tb.Add(trace.Event{Kind: trace.KindFault, Name: faults.Timeout.String(),
+				Seconds: budget, Sim: ec.simSeconds()})
 			return math.Inf(1)
 		}
 	}
@@ -156,6 +171,9 @@ func (s *Session) faultedRun(ec *evalCost, akey uint64, exempt bool, crashQ []ui
 		ec.timeouts++
 		ec.addRun(t)
 		ec.addFault(t)
+		s.met.timeouts.Inc()
+		tb.Add(trace.Event{Kind: trace.KindFault, Name: "deadline",
+			Seconds: t, Sim: ec.simSeconds()})
 		return math.Inf(1)
 	}
 	// Transient flakes: retry with capped exponential backoff. Each
@@ -166,6 +184,9 @@ func (s *Session) faultedRun(ec *evalCost, akey uint64, exempt bool, crashQ []ui
 			ec.flakes++
 			ec.addRun(t) // the flaked attempt still ran
 			ec.addFault(t)
+			s.met.flakes.Inc()
+			tb.Add(trace.Event{Kind: trace.KindFault, Name: faults.Flake.String(),
+				Attempt: attempt + 1, Seconds: t, Sim: ec.simSeconds()})
 			if attempt >= s.Config.maxRetries() {
 				return math.Inf(1) // give up; transient, so no quarantine
 			}
@@ -173,6 +194,9 @@ func (s *Session) faultedRun(ec *evalCost, akey uint64, exempt bool, crashQ []ui
 			ec.retries++
 			ec.simMicros += int64(back * 1e6) // backoff burns wall-clock
 			ec.addFault(back)
+			s.met.retries.Inc()
+			tb.Add(trace.Event{Kind: trace.KindRetry,
+				Attempt: attempt + 1, Seconds: back, Sim: ec.simSeconds()})
 		}
 	}
 	ec.addRun(t)
@@ -187,8 +211,10 @@ func (s *Session) measureEval(cvs []flagspec.CV, phase string, k int) (float64, 
 	if err := s.checkKilled(); err != nil {
 		return 0, ec, err
 	}
-	if s.icePass(cvs, &ec) {
+	tb := s.tr.Batch(phase, k)
+	if s.icePass(cvs, &ec, tb) {
 		s.finishEval(ec)
+		s.closeEval(tb, &ec, math.Inf(1))
 		return math.Inf(1), ec, nil
 	}
 	exe, err := s.prep.Compile(cvs)
@@ -196,20 +222,36 @@ func (s *Session) measureEval(cvs []flagspec.CV, phase string, k int) (float64, 
 		return 0, ec, err
 	}
 	ec.compiles += int64(len(s.Part.Modules))
+	tb.Add(trace.Event{Kind: trace.KindCompile, Modules: len(s.Part.Modules)})
+	tb.Add(trace.Event{Kind: trace.KindLink})
 	if exe.Crashes() {
 		ec.addRun(0.1) // the failed launch still costs a moment
+		tb.Add(trace.Event{Kind: trace.KindFault, Name: "crash", Seconds: 0.1, Sim: ec.simSeconds()})
 		s.finishEval(ec)
+		s.closeEval(tb, &ec, math.Inf(1))
 		return math.Inf(1), ec, nil
 	}
 	akey, exempt := s.assemblyKey(cvs)
-	t := s.faultedRun(&ec, akey, exempt, nil, func() (float64, bool) {
-		res := s.runProf.Run(exe, exec.Options{
-			Noise:           s.noise(phase, k),
-			DeadlineSeconds: s.Config.TimeoutBudget,
-		})
+	opt := exec.Options{
+		Noise:           s.noise(phase, k),
+		DeadlineSeconds: s.Config.TimeoutBudget,
+	}
+	if tb != nil {
+		opt.Observer = func(res exec.Result) {
+			name := "ok"
+			if res.Killed {
+				name = "killed"
+			}
+			tb.Add(trace.Event{Kind: trace.KindRun, Name: name,
+				Seconds: res.Total, Sim: ec.simSeconds()})
+		}
+	}
+	t := s.faultedRun(&ec, akey, exempt, nil, tb, func() (float64, bool) {
+		res := s.runProf.Run(exe, opt)
 		return res.Total, res.Killed
 	})
 	s.finishEval(ec)
+	s.closeEval(tb, &ec, t)
 	return t, ec, nil
 }
 
@@ -241,8 +283,10 @@ func (s *Session) measureUniformEval(cv flagspec.CV, phase string, k int) (perMo
 	for i := range uniform {
 		uniform[i] = cv
 	}
-	if s.icePass(uniform, &ec) {
+	tb := s.tr.Batch(phase, k)
+	if s.icePass(uniform, &ec, tb) {
 		s.finishEval(ec)
+		s.closeEval(tb, &ec, math.Inf(1))
 		return s.infPerModule(), math.Inf(1), ec, nil
 	}
 	exe, err := s.prep.CompileUniform(cv)
@@ -250,25 +294,33 @@ func (s *Session) measureUniformEval(cv flagspec.CV, phase string, k int) (perMo
 		return nil, 0, ec, err
 	}
 	ec.compiles += int64(len(s.Part.Modules))
+	tb.Add(trace.Event{Kind: trace.KindCompile, Modules: len(s.Part.Modules)})
+	tb.Add(trace.Event{Kind: trace.KindLink})
 	if exe.Crashes() {
 		// A crashing variant yields no per-loop data.
 		ec.addRun(0.1)
+		tb.Add(trace.Event{Kind: trace.KindFault, Name: "crash", Seconds: 0.1, Sim: ec.simSeconds()})
 		s.finishEval(ec)
+		s.closeEval(tb, &ec, math.Inf(1))
 		return s.infPerModule(), math.Inf(1), ec, nil
 	}
 	akey, exempt := s.assemblyKey(uniform)
 	var prof caliper.Profile
-	t := s.faultedRun(&ec, akey, exempt, []uint64{cv.Key()}, func() (float64, bool) {
+	t := s.faultedRun(&ec, akey, exempt, []uint64{cv.Key()}, tb, func() (float64, bool) {
 		// The caliper path doesn't go through exec.Options, so the
-		// harness deadline is emulated here with the same semantics.
+		// harness deadline is emulated here with the same semantics (and
+		// the run event is stamped here, where the profile is in hand).
 		prof = s.caliperProfile(exe, phase, k)
 		if dl := s.Config.TimeoutBudget; dl > 0 && prof.Total > dl {
+			tb.Add(trace.Event{Kind: trace.KindRun, Name: "killed", Seconds: dl, Sim: ec.simSeconds()})
 			return dl, true
 		}
+		tb.Add(trace.Event{Kind: trace.KindRun, Name: "ok", Seconds: prof.Total, Sim: ec.simSeconds()})
 		return prof.Total, false
 	})
 	if math.IsInf(t, 1) {
 		s.finishEval(ec)
+		s.closeEval(tb, &ec, t)
 		return s.infPerModule(), math.Inf(1), ec, nil
 	}
 	perModule = make([]float64, len(s.Part.Modules))
@@ -287,6 +339,7 @@ func (s *Session) measureUniformEval(cv flagspec.CV, phase string, k int) (perMo
 		}
 	}
 	s.finishEval(ec)
+	s.closeEval(tb, &ec, t)
 	return perModule, prof.Total, ec, nil
 }
 

@@ -35,6 +35,8 @@ import (
 	"funcytuner/internal/faults"
 	"funcytuner/internal/flagspec"
 	"funcytuner/internal/ir"
+	"funcytuner/internal/metrics"
+	"funcytuner/internal/trace"
 	"funcytuner/internal/xrand"
 )
 
@@ -343,6 +345,15 @@ type Session struct {
 	// Simulated node-failure state (Config.KillAfterEvals).
 	evals  atomic.Int64
 	killed atomic.Bool
+
+	// Observability (see observe.go). tr is nil and met disabled unless
+	// AttachTrace/AttachMetrics were called; completed feeds progress
+	// reporting; cacheWired guards one-time cache-observer installation.
+	tr         *trace.Recorder
+	met        sessionMetrics
+	reg        *metrics.Registry
+	completed  atomic.Int64
+	cacheWired bool
 
 	// Optional checkpoint sink/source for Collect and CFR.
 	ckpt *Checkpointer

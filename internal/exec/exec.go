@@ -40,6 +40,11 @@ type Options struct {
 	// deadline: a run whose simulated time exceeds it is killed at the
 	// deadline (Result.Killed). 0 disables enforcement.
 	DeadlineSeconds float64
+	// Observer, when non-nil, receives the Result just before the run
+	// returns — the tracing hook for callers whose run sits behind a
+	// closure (the session's resilience wrapper). It must not mutate
+	// shared state the run depends on.
+	Observer func(Result)
 }
 
 // Result is the outcome of one run.
@@ -186,10 +191,14 @@ func (p *RunProfile) run(exe *compiler.Executable, opt Options) Result {
 	if opt.Noise != nil {
 		total *= 1 + 0.004*opt.Noise.Norm()
 	}
+	res := Result{Total: total, PerLoop: perLoop, NonLoop: total - loopSum}
 	if opt.DeadlineSeconds > 0 && total > opt.DeadlineSeconds {
-		return Result{Total: opt.DeadlineSeconds, PerLoop: perLoop, NonLoop: total - loopSum, Killed: true}
+		res = Result{Total: opt.DeadlineSeconds, PerLoop: perLoop, NonLoop: total - loopSum, Killed: true}
 	}
-	return Result{Total: total, PerLoop: perLoop, NonLoop: total - loopSum}
+	if opt.Observer != nil {
+		opt.Observer(res)
+	}
+	return res
 }
 
 // hashUnit maps a tuple of values to a deterministic uniform in [0,1).

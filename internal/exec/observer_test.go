@@ -1,0 +1,44 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"funcytuner/internal/arch"
+	"funcytuner/internal/compiler"
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/ir"
+)
+
+// Options.Observer must receive exactly the Result the run returns —
+// including the deadline-killed form — and must not change the result.
+func TestRunObserver(t *testing.T) {
+	prog := fixture()
+	m := arch.Broadwell()
+	tc := compiler.NewToolchain(flagspec.ICC())
+	exe, err := tc.CompileUniform(prog, ir.WholeProgram(prog), flagspec.ICC().Baseline(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ir.Input{Name: "t", Size: prog.BaseSize, Steps: 10}
+
+	plain := Run(exe, m, in, Options{})
+	var seen []Result
+	observed := Run(exe, m, in, Options{Observer: func(r Result) { seen = append(seen, r) }})
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatalf("observer changed the result: %+v vs %+v", plain, observed)
+	}
+	if len(seen) != 1 || !reflect.DeepEqual(seen[0], observed) {
+		t.Fatalf("observer saw %+v, run returned %+v", seen, observed)
+	}
+
+	seen = nil
+	dl := plain.Total / 2
+	killed := Run(exe, m, in, Options{DeadlineSeconds: dl, Observer: func(r Result) { seen = append(seen, r) }})
+	if !killed.Killed || killed.Total != dl {
+		t.Fatalf("expected a deadline kill at %v, got %+v", dl, killed)
+	}
+	if len(seen) != 1 || !seen[0].Killed || seen[0].Total != dl {
+		t.Fatalf("observer did not see the killed result: %+v", seen)
+	}
+}

@@ -1,0 +1,310 @@
+// Package metrics provides process-local counters, gauges, and
+// fixed-bucket histograms for the tuning pipeline, with a snapshot/diff
+// API for reporting.
+//
+// The design rules mirror internal/trace:
+//
+//   - nil-safety: a nil *Counter / *Gauge / *Histogram no-ops on every
+//     method, and a nil *Registry hands out nil instruments, so
+//     instrumented code never branches on whether metrics are enabled;
+//   - no perturbation: instruments are atomics with no locks on the hot
+//     path and draw no randomness, so enabling metrics cannot change
+//     any deterministic output;
+//   - cross-checkability: the session wires counters at the same branch
+//     sites that mutate the CostAccount ledger, so tests can assert
+//     counter == ledger exactly (see the metrics property tests).
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready;
+// a nil *Counter no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins float value. The zero value is ready; a
+// nil *Gauge no-ops.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the stored value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v <= Bounds[i]; one implicit overflow bucket catches the
+// rest. The zero value is not usable — construct through a Registry.
+// A nil *Histogram no-ops.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1, last = overflow
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Registry is a named collection of instruments. Instruments are
+// get-or-create: asking twice for the same name returns the same
+// instrument (for histograms, the first registration's buckets win).
+// A nil *Registry hands out nil instruments.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Nil registry → nil counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Nil registry → nil gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds on first use. Nil registry → nil
+// histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is the frozen state of one histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds.
+	Bounds []float64 `json:"bounds"`
+	// Counts has len(Bounds)+1 entries; the last is the overflow bucket.
+	Counts []int64 `json:"counts"`
+	// Count is the total number of observations.
+	Count int64 `json:"count"`
+	// Sum is the sum of observed values.
+	Sum float64 `json:"sum"`
+}
+
+// Snapshot is a frozen view of a registry. The zero value is an empty
+// snapshot.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry's current state. A nil registry yields
+// the zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			hs := HistogramSnapshot{
+				Bounds: append([]float64(nil), h.bounds...),
+				Counts: make([]int64, len(h.counts)),
+				Count:  h.Count(),
+				Sum:    h.Sum(),
+			}
+			for i := range h.counts {
+				hs.Counts[i] = h.counts[i].Load()
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// Counter returns the snapshotted value of a counter (0 when absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Gauge returns the snapshotted value of a gauge (0 when absent).
+func (s Snapshot) Gauge(name string) float64 { return s.Gauges[name] }
+
+// Diff returns the change from prev to s: counter values and histogram
+// counts subtract (clamped at zero for counters absent from s), gauges
+// keep their current value. Useful for per-phase deltas when one
+// registry spans a whole run.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	var d Snapshot
+	if len(s.Counters) > 0 {
+		d.Counters = make(map[string]int64, len(s.Counters))
+		for name, v := range s.Counters {
+			d.Counters[name] = v - prev.Counters[name]
+		}
+	}
+	if len(s.Gauges) > 0 {
+		d.Gauges = make(map[string]float64, len(s.Gauges))
+		for name, v := range s.Gauges {
+			d.Gauges[name] = v
+		}
+	}
+	if len(s.Histograms) > 0 {
+		d.Histograms = make(map[string]HistogramSnapshot, len(s.Histograms))
+		for name, hs := range s.Histograms {
+			out := HistogramSnapshot{
+				Bounds: append([]float64(nil), hs.Bounds...),
+				Counts: append([]int64(nil), hs.Counts...),
+				Count:  hs.Count,
+				Sum:    hs.Sum,
+			}
+			if p, ok := prev.Histograms[name]; ok && len(p.Counts) == len(out.Counts) {
+				for i := range out.Counts {
+					out.Counts[i] -= p.Counts[i]
+				}
+				out.Count -= p.Count
+				out.Sum -= p.Sum
+			}
+			d.Histograms[name] = out
+		}
+	}
+	return d
+}
+
+// Names returns the sorted counter names of the snapshot — rendering
+// helpers use it to keep output deterministic despite map storage.
+func (s Snapshot) Names() (counters, gauges, histograms []string) {
+	for name := range s.Counters {
+		counters = append(counters, name)
+	}
+	for name := range s.Gauges {
+		gauges = append(gauges, name)
+	}
+	for name := range s.Histograms {
+		histograms = append(histograms, name)
+	}
+	sort.Strings(counters)
+	sort.Strings(gauges)
+	sort.Strings(histograms)
+	return counters, gauges, histograms
+}

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// Nil instruments and a nil registry must no-op on every method.
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram observed something")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", []float64{1}) != nil {
+		t.Fatal("nil registry handed out a non-nil instrument")
+	}
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot non-empty")
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("evals")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("evals") != c {
+		t.Fatal("registry did not return the same counter for the same name")
+	}
+	g := r.Gauge("workers")
+	g.Set(8)
+	g.Set(4)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %v, want 4 (last write wins)", g.Value())
+	}
+	if r.Gauge("workers") != g {
+		t.Fatal("registry did not return the same gauge for the same name")
+	}
+}
+
+// Observations must land in the first bucket whose bound >= v, with an
+// overflow bucket past the last bound; the first registration's buckets
+// win.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{10, 1, 5}) // sorted on construction
+	for _, v := range []float64{0.5, 1, 1.5, 5, 7, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	if r.Histogram("lat", []float64{99}) != h {
+		t.Fatal("second registration created a new histogram")
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	if want := 0.5 + 1 + 1.5 + 5 + 7 + 10 + 11 + 1000; h.Sum() != want {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+	snap := r.Snapshot().Histograms["lat"]
+	if len(snap.Bounds) != 3 || snap.Bounds[0] != 1 || snap.Bounds[2] != 10 {
+		t.Fatalf("bounds not sorted: %v", snap.Bounds)
+	}
+	// <=1: {0.5, 1}; <=5: {1.5, 5}; <=10: {7, 10}; overflow: {11, 1000}.
+	want := []int64{2, 2, 2, 2}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, snap.Counts[i], w, snap.Counts)
+		}
+	}
+}
+
+func TestSnapshotAccessorsAndDiff(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Gauge("g").Set(2.5)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	prev := r.Snapshot()
+	if prev.Counter("a") != 3 || prev.Counter("missing") != 0 {
+		t.Fatalf("counter accessor wrong: %v", prev.Counters)
+	}
+	if prev.Gauge("g") != 2.5 || prev.Gauge("missing") != 0 {
+		t.Fatalf("gauge accessor wrong: %v", prev.Gauges)
+	}
+
+	r.Counter("a").Add(4)
+	r.Gauge("g").Set(9)
+	r.Histogram("h", nil).Observe(10)
+	d := r.Snapshot().Diff(prev)
+	if d.Counter("a") != 4 {
+		t.Fatalf("counter diff = %d, want 4", d.Counter("a"))
+	}
+	if d.Gauge("g") != 9 {
+		t.Fatalf("gauge diff keeps current value: got %v, want 9", d.Gauge("g"))
+	}
+	hd := d.Histograms["h"]
+	if hd.Count != 1 || hd.Sum != 10 || hd.Counts[0] != 0 || hd.Counts[1] != 1 {
+		t.Fatalf("histogram diff wrong: %+v", hd)
+	}
+	// A later snapshot is isolated from the live registry.
+	if prev.Counter("a") != 3 {
+		t.Fatal("snapshot mutated by later activity")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		r.Counter(n).Inc()
+		r.Gauge(n + "_g").Set(1)
+		r.Histogram(n+"_h", []float64{1}).Observe(0)
+	}
+	cs, gs, hs := r.Snapshot().Names()
+	if len(cs) != 3 || cs[0] != "alpha" || cs[2] != "zeta" {
+		t.Fatalf("counters not sorted: %v", cs)
+	}
+	if len(gs) != 3 || gs[0] != "alpha_g" {
+		t.Fatalf("gauges not sorted: %v", gs)
+	}
+	if len(hs) != 3 || hs[0] != "alpha_h" {
+		t.Fatalf("histograms not sorted: %v", hs)
+	}
+}
+
+// Concurrent instrument updates must be safe (run under -race) and lose
+// no updates — including the CAS-accumulated histogram sum.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(float64(i))
+				r.Histogram("h", []float64{0.5}).Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*per {
+		t.Fatalf("counter lost updates: %d != %d", got, workers*per)
+	}
+	h := r.Histogram("h", nil)
+	if h.Count() != workers*per {
+		t.Fatalf("histogram lost observations: %d != %d", h.Count(), workers*per)
+	}
+	if h.Sum() != float64(workers*per) {
+		t.Fatalf("histogram sum lost updates: %v != %v", h.Sum(), workers*per)
+	}
+	if g := r.Gauge("g").Value(); g < 0 || g >= per || g != math.Trunc(g) {
+		t.Fatalf("gauge holds a value never written: %v", g)
+	}
+}

@@ -57,10 +57,43 @@ type Stats struct {
 	WorkSaved int64
 }
 
+// Outcome classifies one completed Get for observers: served resident
+// (hit), computed (miss), or deduplicated onto another goroutine's
+// in-flight compute (coalesced).
+type Outcome uint8
+
+const (
+	// OutcomeHit is a Get served from a resident entry.
+	OutcomeHit Outcome = iota
+	// OutcomeMiss is a Get that ran the compute function.
+	OutcomeMiss
+	// OutcomeCoalesced is a Get that waited on an in-flight compute.
+	OutcomeCoalesced
+)
+
+// String returns the outcome's wire name.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHit:
+		return "hit"
+	case OutcomeMiss:
+		return "miss"
+	case OutcomeCoalesced:
+		return "coalesced"
+	default:
+		return "unknown"
+	}
+}
+
 // Cache is a sharded LRU keyed by uint64 fingerprints.
 type Cache struct {
 	shards   [shardCount]shard
 	perShard int
+	// obs, when set, is called once per completed Get with its outcome,
+	// outside any shard lock. Like Stats, outcomes depend on goroutine
+	// scheduling, so observers feed observability only — never
+	// deterministic outputs.
+	obs func(Outcome)
 }
 
 type shard struct {
@@ -107,6 +140,20 @@ func New(capacity int) *Cache {
 	return c
 }
 
+// SetObserver registers fn to observe each completed Get. Set it before
+// the cache sees concurrent traffic (it is a plain field, not atomic);
+// pass nil to detach. A panicking compute is not observed — the Get
+// never completed.
+func (c *Cache) SetObserver(fn func(Outcome)) { c.obs = fn }
+
+// observe reports one completed Get. Must be called without shard locks
+// held: observers may do their own locking (trace recorders do).
+func (c *Cache) observe(o Outcome) {
+	if c.obs != nil {
+		c.obs(o)
+	}
+}
+
 // unlink removes e from the LRU list (e must be resident).
 func (sh *shard) unlink(e *entry) {
 	if e.prev != nil {
@@ -151,6 +198,7 @@ func (c *Cache) Get(key uint64, compute func() (any, int64)) any {
 		sh.workSaved += e.work
 		v := e.val
 		sh.mu.Unlock()
+		c.observe(OutcomeHit)
 		return v
 	}
 	if fc, ok := sh.flight[key]; ok {
@@ -167,6 +215,7 @@ func (c *Cache) Get(key uint64, compute func() (any, int64)) any {
 		sh.mu.Lock()
 		sh.workSaved += fc.work
 		sh.mu.Unlock()
+		c.observe(OutcomeCoalesced)
 		return fc.val
 	}
 	fc := &flightCall{}
@@ -213,6 +262,7 @@ func (c *Cache) Get(key uint64, compute func() (any, int64)) any {
 	if done != nil {
 		close(done)
 	}
+	c.observe(OutcomeMiss)
 	return val
 }
 

@@ -1,0 +1,131 @@
+package objcache
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// outcomeLog is a race-safe observer sink.
+type outcomeLog struct {
+	mu  sync.Mutex
+	got []Outcome
+}
+
+func (l *outcomeLog) observe(o Outcome) {
+	l.mu.Lock()
+	l.got = append(l.got, o)
+	l.mu.Unlock()
+}
+
+func (l *outcomeLog) counts() (hit, miss, coalesced int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, o := range l.got {
+		switch o {
+		case OutcomeHit:
+			hit++
+		case OutcomeMiss:
+			miss++
+		case OutcomeCoalesced:
+			coalesced++
+		}
+	}
+	return
+}
+
+func TestOutcomeString(t *testing.T) {
+	want := map[Outcome]string{
+		OutcomeHit:       "hit",
+		OutcomeMiss:      "miss",
+		OutcomeCoalesced: "coalesced",
+		Outcome(99):      "unknown",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("Outcome(%d).String() = %q, want %q", o, o.String(), s)
+		}
+	}
+}
+
+// The observer must see exactly one outcome per completed Get, matching
+// the hit/miss classification Stats reports.
+func TestObserverHitMiss(t *testing.T) {
+	c := New(8)
+	var log outcomeLog
+	c.SetObserver(log.observe)
+	compute := func() (any, int64) { return "v", 1 }
+	c.Get(1, compute) // miss
+	c.Get(1, compute) // hit
+	c.Get(2, compute) // miss
+	hit, miss, coalesced := log.counts()
+	if hit != 1 || miss != 2 || coalesced != 0 {
+		t.Fatalf("observed (hit=%d, miss=%d, coalesced=%d), want (1, 2, 0)", hit, miss, coalesced)
+	}
+	st := c.Stats()
+	if st.Hits != int64(hit) || st.Misses != int64(miss) {
+		t.Fatalf("observer disagrees with Stats: %+v vs %+v", log.got, st)
+	}
+	// Detaching stops observation; Stats keeps counting.
+	c.SetObserver(nil)
+	c.Get(1, compute)
+	if h, _, _ := log.counts(); h != 1 {
+		t.Fatal("detached observer still called")
+	}
+	if c.Stats().Hits != 2 {
+		t.Fatal("Stats stopped counting after observer detach")
+	}
+}
+
+// A Get that piggybacks on an in-flight compute must be observed as
+// coalesced.
+func TestObserverCoalesced(t *testing.T) {
+	c := New(8)
+	var log outcomeLog
+	c.SetObserver(log.observe)
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c.Get(7, func() (any, int64) {
+			close(inFlight)
+			<-release
+			return "v", 1
+		})
+	}()
+	<-inFlight
+	go func() {
+		defer wg.Done()
+		c.Get(7, func() (any, int64) { t.Error("coalesced Get ran compute"); return nil, 0 })
+	}()
+	// Wait for the second Get to register as a waiter before releasing.
+	for c.Stats().Coalesced == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+	wg.Wait()
+	if _, miss, coalesced := log.counts(); miss != 1 || coalesced != 1 {
+		t.Fatalf("observed (miss=%d, coalesced=%d), want (1, 1)", miss, coalesced)
+	}
+}
+
+// A panicking compute is not a completed Get: the observer must not fire
+// for it, and a later retry observes a normal miss.
+func TestObserverSkipsPanickedCompute(t *testing.T) {
+	c := New(8)
+	var log outcomeLog
+	c.SetObserver(log.observe)
+	func() {
+		defer func() { recover() }()
+		c.Get(3, func() (any, int64) { panic("boom") })
+	}()
+	if len(log.got) != 0 {
+		t.Fatalf("panicked Get was observed: %v", log.got)
+	}
+	c.Get(3, func() (any, int64) { return "v", 1 })
+	if _, miss, _ := log.counts(); miss != 1 {
+		t.Fatal("retry after panic not observed as a miss")
+	}
+}

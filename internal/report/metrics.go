@@ -1,0 +1,45 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"funcytuner/internal/metrics"
+)
+
+// MetricsMarkdown renders a metrics snapshot as a markdown section:
+// counter and gauge tables followed by one table per histogram. Output
+// order comes from Snapshot.Names(), so it is deterministic despite the
+// snapshot's map storage. An empty snapshot renders "".
+func MetricsMarkdown(s metrics.Snapshot) string {
+	counters, gauges, hists := s.Names()
+	if len(counters)+len(gauges)+len(hists) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("### Metrics\n")
+	if len(counters) > 0 {
+		b.WriteString("\n| counter | value |\n|---|---|\n")
+		for _, name := range counters {
+			fmt.Fprintf(&b, "| %s | %d |\n", mdEscape(name), s.Counters[name])
+		}
+	}
+	if len(gauges) > 0 {
+		b.WriteString("\n| gauge | value |\n|---|---|\n")
+		for _, name := range gauges {
+			fmt.Fprintf(&b, "| %s | %g |\n", mdEscape(name), s.Gauges[name])
+		}
+	}
+	for _, name := range hists {
+		hs := s.Histograms[name]
+		fmt.Fprintf(&b, "\n**%s** — %d observations, sum %.3f\n\n| bucket | count |\n|---|---|\n",
+			mdEscape(name), hs.Count, hs.Sum)
+		for i, bound := range hs.Bounds {
+			fmt.Fprintf(&b, "| ≤ %g | %d |\n", bound, hs.Counts[i])
+		}
+		if n := len(hs.Bounds); n > 0 && len(hs.Counts) == n+1 {
+			fmt.Fprintf(&b, "| > %g | %d |\n", hs.Bounds[n-1], hs.Counts[n])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"funcytuner/internal/metrics"
+)
+
+func TestMetricsMarkdownEmpty(t *testing.T) {
+	if got := MetricsMarkdown(metrics.Snapshot{}); got != "" {
+		t.Fatalf("empty snapshot rendered %q, want \"\"", got)
+	}
+	if got := MetricsMarkdown(metrics.NewRegistry().Snapshot()); got != "" {
+		t.Fatalf("empty registry snapshot rendered %q, want \"\"", got)
+	}
+}
+
+func TestMetricsMarkdown(t *testing.T) {
+	r := metrics.NewRegistry()
+	r.Counter("zeta").Add(7)
+	r.Counter("alpha").Add(3)
+	r.Gauge("workers").Set(4)
+	h := r.Histogram("lat", []float64{1, 5})
+	for _, v := range []float64{0.5, 3, 100} {
+		h.Observe(v)
+	}
+	got := MetricsMarkdown(r.Snapshot())
+
+	if !strings.HasPrefix(got, "### Metrics\n") {
+		t.Fatalf("missing section header:\n%s", got)
+	}
+	// Counters render sorted by name regardless of registration order.
+	if ia, iz := strings.Index(got, "| alpha | 3 |"), strings.Index(got, "| zeta | 7 |"); ia < 0 || iz < 0 || ia > iz {
+		t.Fatalf("counter rows missing or unsorted (alpha@%d, zeta@%d):\n%s", ia, iz, got)
+	}
+	if !strings.Contains(got, "| workers | 4 |") {
+		t.Fatalf("gauge row missing:\n%s", got)
+	}
+	// Histogram: header with count/sum, one row per bucket, overflow row.
+	for _, want := range []string{
+		"**lat** — 3 observations, sum 103.500",
+		"| ≤ 1 | 1 |",
+		"| ≤ 5 | 1 |",
+		"| > 5 | 1 |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in:\n%s", want, got)
+		}
+	}
+
+	// Deterministic: two snapshots of the same registry render identically.
+	if again := MetricsMarkdown(r.Snapshot()); again != got {
+		t.Fatalf("rendering not deterministic:\n%s\nvs\n%s", got, again)
+	}
+}

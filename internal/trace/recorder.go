@@ -1,0 +1,145 @@
+package trace
+
+import "sync"
+
+// Recorder accumulates events from a running session. A nil *Recorder
+// is a valid, zero-cost recorder: every method no-ops, so call sites
+// never branch on whether tracing is enabled.
+//
+// Concurrency contract: Emit and Batch commits may run concurrently
+// from evaluation workers (they serialize on an internal mutex), but
+// Phase and Session markers must come from the orchestrating goroutine
+// between parallel regions — phase sequencing is deterministic precisely
+// because it is not racing the workers.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	// pseq is the current phase ordinal. Written only by the
+	// orchestrating goroutine (in Phase, between parallel regions) and
+	// read by workers opening batches; the go-statement / wait barriers
+	// around each parallel region order those accesses.
+	pseq int
+	// wall, when set, stamps events with a wall-clock nanosecond time.
+	wall func() int64
+}
+
+// NewRecorder returns an empty recorder with no wall clock.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// WallClock enables wall-clock stamping. clock returns nanoseconds
+// (typically time.Now().UnixNano). Call before recording begins.
+func (r *Recorder) WallClock(clock func() int64) {
+	if r == nil {
+		return
+	}
+	r.wall = clock
+}
+
+func (r *Recorder) now() int64 {
+	if r == nil || r.wall == nil {
+		return 0
+	}
+	return r.wall()
+}
+
+// Emit appends one event under the recorder lock, stamping the current
+// phase ordinal and wall clock. Used for events outside an evaluation
+// span (session markers, cache activity).
+func (r *Recorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	e.PhaseSeq = r.pseq
+	e.Wall = r.now()
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Session records a session marker (phase ordinal 0).
+func (r *Recorder) Session(name string) {
+	if r == nil {
+		return
+	}
+	r.Emit(Event{Kind: KindSession, Name: name, Sample: -1})
+}
+
+// Phase advances the phase ordinal and records a phase marker. Must be
+// called from the orchestrating goroutine, never from workers.
+func (r *Recorder) Phase(name string) {
+	if r == nil {
+		return
+	}
+	r.pseq++
+	r.Emit(Event{Kind: KindPhase, Phase: name, Sample: -1})
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Snapshot copies the recorded events into a Trace.
+func (r *Recorder) Snapshot() *Trace {
+	if r == nil {
+		return &Trace{}
+	}
+	r.mu.Lock()
+	evs := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	return &Trace{Events: evs}
+}
+
+// Batch opens an evaluation span for (phase, sample): events added to
+// the batch buffer locally and reach the recorder in one locked append
+// on Commit, so parFor workers don't contend per event. A nil recorder
+// returns a nil batch, which is itself a valid no-op.
+func (r *Recorder) Batch(phase string, sample int) *Batch {
+	if r == nil {
+		return nil
+	}
+	return &Batch{r: r, pseq: r.pseq, phase: phase, sample: sample}
+}
+
+// Batch buffers the events of one evaluation span. Not safe for
+// concurrent use; each worker owns its batches.
+type Batch struct {
+	r      *Recorder
+	pseq   int
+	phase  string
+	sample int
+	step   int
+	events []Event
+}
+
+// Add stamps e with the span's identity (phase ordinal, phase, sample,
+// step) and buffers it. Nil-safe.
+func (b *Batch) Add(e Event) {
+	if b == nil {
+		return
+	}
+	e.PhaseSeq = b.pseq
+	e.Phase = b.phase
+	e.Sample = b.sample
+	e.Step = b.step
+	e.Wall = b.r.now()
+	b.step++
+	b.events = append(b.events, e)
+}
+
+// Commit flushes the buffered events to the recorder in one locked
+// append. Nil-safe; committing an empty batch is a no-op.
+func (b *Batch) Commit() {
+	if b == nil || len(b.events) == 0 {
+		return
+	}
+	b.r.mu.Lock()
+	b.r.events = append(b.r.events, b.events...)
+	b.r.mu.Unlock()
+	b.events = nil
+}

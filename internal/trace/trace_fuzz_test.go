@@ -1,0 +1,50 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzTraceRoundTrip: arbitrary JSONL must never panic the decoder, and
+// any trace it accepts must re-encode byte-stably — the decode∘encode
+// fixed point the golden-trace tests rely on.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add(`{"kind":"session","sample":-1,"name":"p/m/s"}` + "\n" +
+		`{"kind":"phase","pseq":1,"phase":"collect","sample":-1}`)
+	f.Add(`{"kind":"run","pseq":1,"phase":"cfr","sample":3,"step":2,"name":"ok","seconds":"0x1.38p+04","sim":"0x1.4p+04"}`)
+	f.Add(`{"kind":"eval","sample":0,"name":"lost","seconds":"+Inf"}`)
+	f.Add(`{"kind":"cache","sample":-1,"name":"object-hit","wall":12345,"sched":true}`)
+	f.Add(`{"kind":"run","sample":-2}`)
+	f.Add(`{"kind":"","sample":0}`)
+	f.Add("not json at all\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadJSONL(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := tr.WriteJSONL(&first); err != nil {
+			t.Fatalf("accepted trace fails to encode: %v", err)
+		}
+		dec, err := ReadJSONL(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("encoded trace fails to decode: %v", err)
+		}
+		var second bytes.Buffer
+		if err := dec.WriteJSONL(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("encode not a fixed point:\n%q\nvs\n%q", first.Bytes(), second.Bytes())
+		}
+		// Canonicalization must also be stable on decoded input.
+		canon := dec.Canonical()
+		for _, e := range canon.Events {
+			if e.Sched || e.Wall != 0 {
+				t.Fatalf("canonical event kept nondeterministic fields: %+v", e)
+			}
+		}
+	})
+}
