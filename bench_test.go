@@ -18,6 +18,8 @@ package funcytuner
 // execute, collect) quantify the simulator itself.
 
 import (
+	"context"
+
 	"testing"
 
 	"funcytuner/internal/apps"
@@ -165,11 +167,11 @@ func BenchmarkCFRSession(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		col, err := sess.Collect()
+		col, err := sess.Collect(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := sess.CFR(col); err != nil {
+		if _, err := sess.CFR(context.Background(), col); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -259,11 +261,11 @@ func BenchmarkCollectCached(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				col, err := sess.Collect()
+				col, err := sess.Collect(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := sess.CFR(col); err != nil {
+				if _, err := sess.CFR(context.Background(), col); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -303,11 +305,11 @@ func BenchmarkCFRSessionCached(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		col, err := sess.Collect()
+		col, err := sess.Collect(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := sess.CFR(col); err != nil {
+		if _, err := sess.CFR(context.Background(), col); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -362,11 +364,11 @@ func BenchmarkSessionTraceDisabled(b *testing.B) {
 					sess.AttachTrace(trace.NewRecorder())
 					sess.AttachMetrics(metrics.NewRegistry())
 				}
-				col, err := sess.Collect()
+				col, err := sess.Collect(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := sess.CFR(col); err != nil {
+				if _, err := sess.CFR(context.Background(), col); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"log"
@@ -72,7 +74,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			results, err := sess.RunAll()
+			results, err := sess.RunAll(context.Background())
 			if err != nil {
 				log.Fatal(err)
 			}

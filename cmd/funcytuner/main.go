@@ -23,7 +23,9 @@
 // -fault-rate scales the default injected fault mix (0 = off, 1 = the
 // default 2%/1%/0.5%/4% ICE/crash/timeout/flake rates), -checkpoint
 // persists progress, and -resume continues a killed run from its
-// checkpoint with bit-identical results.
+// checkpoint with bit-identical results. Ctrl-C (or SIGTERM) cancels a
+// run the same way: it stops at the next evaluation boundary, and with
+// -checkpoint set the interrupted campaign resumes bit-identically.
 //
 // Observability: -trace writes the run's structured event stream as
 // JSONL (with wall-clock stamps for live inspection; the deterministic
@@ -34,13 +36,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"funcytuner"
@@ -76,6 +81,12 @@ func main() {
 	reportPath := flag.String("report", "", "write a markdown run report (results + metrics) to this file")
 	flag.Parse()
 
+	if *size < 0 {
+		log.Fatalf("-size must be >= 0, got %v", *size)
+	}
+	if *steps < 0 {
+		log.Fatalf("-steps must be >= 0, got %d", *steps)
+	}
 	m, err := funcytuner.MachineByName(*machine)
 	if err != nil {
 		log.Fatal(err)
@@ -143,16 +154,23 @@ func main() {
 		Progress:       progressTo,
 	})
 
+	// Ctrl-C (or SIGTERM) cancels the run at its next evaluation boundary;
+	// with -checkpoint set, the flushed checkpoint makes the interrupted
+	// campaign resumable with bit-identical results.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	fmt.Printf("tuning %s on %s with input %s\n", prog.Name, m, in)
 	var rep *funcytuner.Report
 	switch {
 	case *compare:
-		rep, err = tuner.Compare(prog, in)
+		rep, err = tuner.CompareContext(ctx, prog, in)
 	case *adaptive:
-		rep, err = tuner.TuneAdaptive(prog, in, funcytuner.DefaultStopRule())
+		rep, err = tuner.TuneAdaptiveContext(ctx, prog, in, funcytuner.DefaultStopRule())
 	default:
-		rep, err = tuner.Tune(prog, in)
+		rep, err = tuner.TuneContext(ctx, prog, in)
 	}
+	stopSignals() // a second Ctrl-C past this point kills us immediately
 	// The trace is written even when the run died (ErrKilled): the partial
 	// event stream is exactly what post-mortem debugging wants.
 	if rec != nil {
@@ -165,7 +183,7 @@ func main() {
 		}
 	}
 	if err != nil {
-		if errors.Is(err, funcytuner.ErrKilled) && *checkpoint != "" {
+		if (errors.Is(err, funcytuner.ErrKilled) || errors.Is(err, context.Canceled)) && *checkpoint != "" {
 			log.Fatalf("%v\nresume with: -resume %s", err, *checkpoint)
 		}
 		log.Fatal(err)
@@ -215,9 +233,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		if err := rep.Save(f); err != nil {
-			log.Fatal(err)
+		// Close errors matter here: the kernel may only surface a full disk
+		// or quota failure at close time, and a silently truncated
+		// configuration file is worse than no file.
+		werr := rep.Save(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			log.Fatal(werr)
 		}
 		fmt.Printf("\nsaved the winning configuration to %s\n", *save)
 	}

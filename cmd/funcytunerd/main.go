@@ -1,0 +1,94 @@
+// Command funcytunerd serves FuncyTuner tuning campaigns as cancellable
+// HTTP jobs. Submit a JSON JobSpec to POST /jobs, watch it via
+// /jobs/{id} and /jobs/{id}/progress, cancel it with
+// POST /jobs/{id}/cancel, and read the winner from /jobs/{id}/result.
+//
+// All jobs share one worker gate (-global-workers), so the daemon's
+// total in-flight evaluations stay bounded no matter how many jobs are
+// submitted. On SIGINT/SIGTERM the daemon stops accepting work, cancels
+// every running job at its next evaluation boundary, and drains each to
+// a valid checkpoint under -data — a restarted daemon (or the CLI) can
+// resume them with the "resume" spec field.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"funcytuner/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "funcytunerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:7461", "listen address")
+	data := flag.String("data", "funcytunerd-data", "checkpoint root directory (one subdirectory per job)")
+	globalWorkers := flag.Int("global-workers", runtime.GOMAXPROCS(0),
+		"total in-flight evaluations across all jobs")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"how long shutdown waits for jobs to drain to their checkpoints")
+	flag.Parse()
+	if *globalWorkers < 1 {
+		return fmt.Errorf("-global-workers must be >= 1, got %d", *globalWorkers)
+	}
+	if *drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be positive, got %v", *drainTimeout)
+	}
+
+	mgr, err := server.NewManager(server.Config{
+		Dir:  *data,
+		Gate: server.NewGate(*globalWorkers),
+	})
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Addr: *addr, Handler: server.NewServer(mgr)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	fmt.Printf("funcytunerd: listening on http://%s (data %s, %d worker slots)\n",
+		*addr, *data, *globalWorkers)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills us
+
+	fmt.Println("funcytunerd: shutting down, draining jobs to checkpoints...")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then drain jobs; each cancelled
+	// job flushes its checkpoint before its goroutine exits.
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "funcytunerd: http shutdown:", err)
+	}
+	if err := mgr.Drain(dctx); err != nil {
+		return err
+	}
+	fmt.Println("funcytunerd: all jobs drained")
+	return <-errc
+}

@@ -36,6 +36,7 @@
 package funcytuner
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -92,6 +93,12 @@ type (
 	// MetricsSnapshot is a frozen view of a run's counters, gauges and
 	// histograms (Report.Metrics).
 	MetricsSnapshot = metrics.Snapshot
+	// WorkerGate bounds evaluation concurrency across tuners (see
+	// Options.Gate): every evaluation holds one gate slot while it runs,
+	// so one gate shared by many concurrent tuning runs caps machine-wide
+	// parallelism. Gates only sequence scheduling; they never change
+	// results.
+	WorkerGate = core.WorkerGate
 )
 
 // NewTraceRecorder returns an empty trace recorder for Options.Trace.
@@ -201,6 +208,11 @@ type Options struct {
 	// evaluations (the run aborts with ErrKilled) — the crash-testing
 	// hook for checkpoint/resume.
 	KillAfterEvals int
+	// Gate, when non-nil, bounds evaluation concurrency across tuners: a
+	// single gate shared by several concurrent runs (the funcytunerd job
+	// service) caps total in-flight evaluations regardless of each run's
+	// Workers setting. Nil leaves the run bounded only by Workers.
+	Gate WorkerGate
 
 	// Trace, when non-nil, records structured span events (session, phase,
 	// compile, link, run, retry, fault, cache, eval) into the recorder as
@@ -423,6 +435,7 @@ func (t *Tuner) session(prog *Program, in Input) (*core.Session, outline.Result,
 		BackoffCapSeconds: t.opts.BackoffCapSeconds,
 		TimeoutBudget:     t.opts.TimeoutBudget,
 		KillAfterEvals:    t.opts.KillAfterEvals,
+		Gate:              t.opts.Gate,
 	})
 	if err != nil {
 		return nil, outline.Result{}, err
@@ -521,17 +534,28 @@ func (t *Tuner) startProgress(sess *core.Session, expected int64) func() {
 
 // Tune runs the FuncyTuner pipeline (collection + CFR) on prog with in.
 func (t *Tuner) Tune(prog *Program, in Input) (*Report, error) {
+	return t.TuneContext(context.Background(), prog, in)
+}
+
+// TuneContext is Tune under a context. Cancelling ctx stops the run at
+// the next evaluation boundary: in-flight evaluations complete and are
+// checkpointed, the checkpoint (when Options.Checkpoint is set) is
+// flushed, and the returned error satisfies errors.Is(err, ctx.Err()).
+// Cancellation is observationally equivalent to KillAfterEvals at the
+// same evaluation index — resuming the checkpoint yields a Report
+// bit-identical to an uninterrupted run.
+func (t *Tuner) TuneContext(ctx context.Context, prog *Program, in Input) (*Report, error) {
 	sess, out, err := t.session(prog, in)
 	if err != nil {
 		return nil, err
 	}
 	stop := t.startProgress(sess, 2*int64(t.opts.Samples))
 	defer stop()
-	col, err := sess.Collect()
+	col, err := sess.Collect(ctx)
 	if err != nil {
 		return nil, err
 	}
-	cfr, err := sess.CFR(col)
+	cfr, err := sess.CFR(ctx, col)
 	if err != nil {
 		return nil, err
 	}
@@ -551,6 +575,12 @@ func DefaultStopRule() StopRule { return core.DefaultStopRule() }
 // turned into a budget policy. The collection phase still uses the full
 // sample budget (its cost is what the per-loop guidance buys).
 func (t *Tuner) TuneAdaptive(prog *Program, in Input, rule StopRule) (*Report, error) {
+	return t.TuneAdaptiveContext(context.Background(), prog, in, rule)
+}
+
+// TuneAdaptiveContext is TuneAdaptive under a context, with the same
+// cancellation semantics as TuneContext.
+func (t *Tuner) TuneAdaptiveContext(ctx context.Context, prog *Program, in Input, rule StopRule) (*Report, error) {
 	sess, out, err := t.session(prog, in)
 	if err != nil {
 		return nil, err
@@ -561,11 +591,11 @@ func (t *Tuner) TuneAdaptive(prog *Program, in Input, rule StopRule) (*Report, e
 	}
 	stop := t.startProgress(sess, int64(t.opts.Samples)+maxEvals)
 	defer stop()
-	col, err := sess.Collect()
+	col, err := sess.Collect(ctx)
 	if err != nil {
 		return nil, err
 	}
-	cfr, err := sess.CFRAdaptive(col, rule)
+	cfr, err := sess.CFRAdaptive(ctx, col, rule)
 	if err != nil {
 		return nil, err
 	}
@@ -577,6 +607,12 @@ func (t *Tuner) TuneAdaptive(prog *Program, in Input, rule StopRule) (*Report, e
 // Compare runs the full §4.1 protocol — Random, FR, G (both variants) and
 // CFR — so the algorithms can be compared on prog.
 func (t *Tuner) Compare(prog *Program, in Input) (*Report, error) {
+	return t.CompareContext(context.Background(), prog, in)
+}
+
+// CompareContext is Compare under a context, with the same cancellation
+// semantics as TuneContext.
+func (t *Tuner) CompareContext(ctx context.Context, prog *Program, in Input) (*Report, error) {
 	sess, out, err := t.session(prog, in)
 	if err != nil {
 		return nil, err
@@ -584,7 +620,7 @@ func (t *Tuner) Compare(prog *Program, in Input) (*Report, error) {
 	// Random K + collection K + FR K + greedy 1 + CFR K.
 	stop := t.startProgress(sess, 4*int64(t.opts.Samples)+1)
 	defer stop()
-	all, err := sess.RunAll()
+	all, err := sess.RunAll(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"funcytuner/internal/flagspec"
@@ -31,7 +32,7 @@ func DefaultStopRule() StopRule {
 // re-sampling are identical, but assemblies are measured sequentially and
 // the search stops once the rule fires. The returned result reports how
 // many evaluations were actually spent.
-func (s *Session) CFRAdaptive(col *Collection, rule StopRule) (*Result, error) {
+func (s *Session) CFRAdaptive(ctx context.Context, col *Collection, rule StopRule) (*Result, error) {
 	if err := s.checkCollection(col); err != nil {
 		return nil, err
 	}
@@ -80,7 +81,7 @@ func (s *Session) CFRAdaptive(col *Collection, rule StopRule) (*Result, error) {
 		} else {
 			var ec evalCost
 			var err error
-			t, ec, err = s.measureEval(a, "cfr", k)
+			t, ec, err = s.measureEval(ctx, a, "cfr", k)
 			if err != nil {
 				if s.ckpt != nil {
 					s.ckpt.Flush() // persist progress before surfacing the kill

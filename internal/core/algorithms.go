@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -53,8 +54,10 @@ type Collection struct {
 // and records per-module times. With a checkpointer attached, completed
 // samples are persisted as they land and previously persisted samples are
 // restored instead of re-evaluated — each sample is a pure function of
-// (seed, index), so the resumed collection is bit-identical.
-func (s *Session) Collect() (*Collection, error) {
+// (seed, index), so the resumed collection is bit-identical. Cancelling
+// ctx stops the phase at an evaluation boundary with the checkpoint
+// flushed; the error satisfies errors.Is(err, context.Canceled).
+func (s *Session) Collect(ctx context.Context) (*Collection, error) {
 	s.tr.Phase("collect")
 	cvs := s.PreSample()
 	col := &Collection{
@@ -70,11 +73,11 @@ func (s *Session) Collect() (*Collection, error) {
 		s.ckpt.restoreCollect(col, done)
 	}
 	errs := make([]error, len(cvs))
-	s.parFor(len(cvs), func(k int) {
+	s.parFor(ctx, len(cvs), func(k int) {
 		if done[k] {
 			return
 		}
-		per, total, ec, err := s.measureUniformEval(cvs[k], "collect", k)
+		per, total, ec, err := s.measureUniformEval(ctx, cvs[k], "collect", k)
 		if err != nil {
 			errs[k] = err
 			return
@@ -97,6 +100,9 @@ func (s *Session) Collect() (*Collection, error) {
 			return nil, err
 		}
 	}
+	if err := s.checkCancelled(ctx); err != nil {
+		return nil, err
+	}
 	return col, nil
 }
 
@@ -105,22 +111,25 @@ func (s *Session) Collect() (*Collection, error) {
 // evaluated on the un-outlined program; construct the session with
 // ir.WholeProgram for strict fidelity (outlining is a no-op for uniform
 // compilation in this model, but the paper draws the distinction).
-func (s *Session) Random() (*Result, error) {
+func (s *Session) Random(ctx context.Context) (*Result, error) {
 	s.tr.Phase("random")
 	cvs := s.PreSample()
 	times := make([]float64, len(cvs))
 	errs := make([]error, len(cvs))
-	s.parFor(len(cvs), func(k int) {
+	s.parFor(ctx, len(cvs), func(k int) {
 		uniform := make([]flagspec.CV, len(s.Part.Modules))
 		for i := range uniform {
 			uniform[i] = cvs[k]
 		}
-		times[k], errs[k] = s.measure(uniform, "random", k)
+		times[k], errs[k] = s.measure(ctx, uniform, "random", k)
 	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := s.checkCancelled(ctx); err != nil {
+		return nil, err
 	}
 	_, bestK := stats.Min(times)
 	uniform := make([]flagspec.CV, len(s.Part.Modules))
@@ -133,7 +142,7 @@ func (s *Session) Random() (*Result, error) {
 // FR is per-function random search (§2.2.2): for each of K rounds, every
 // module independently draws one CV from the K pre-sampled CVs (with
 // replacement); the assembled executable is measured end-to-end.
-func (s *Session) FR() (*Result, error) {
+func (s *Session) FR(ctx context.Context) (*Result, error) {
 	s.tr.Phase("fr")
 	cvs := s.PreSample()
 	assignments := make([][]flagspec.CV, s.Config.Samples)
@@ -147,13 +156,16 @@ func (s *Session) FR() (*Result, error) {
 	}
 	times := make([]float64, len(assignments))
 	errs := make([]error, len(assignments))
-	s.parFor(len(assignments), func(k int) {
-		times[k], errs[k] = s.measure(assignments[k], "fr", k)
+	s.parFor(ctx, len(assignments), func(k int) {
+		times[k], errs[k] = s.measure(ctx, assignments[k], "fr", k)
 	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := s.checkCancelled(ctx); err != nil {
+		return nil, err
 	}
 	_, bestK := stats.Min(times)
 	return s.finish("FR", assignments[bestK], times[bestK], times)
@@ -164,7 +176,7 @@ func (s *Session) FR() (*Result, error) {
 // (i = argmin_k T[j][k]), the modules are linked, and the result measured.
 // It returns both G.realized (the measured assembly) and G.Independent
 // (§3.4's hypothetical bound: the sum of the per-module minima).
-func (s *Session) Greedy(col *Collection) (realized, independent *Result, err error) {
+func (s *Session) Greedy(ctx context.Context, col *Collection) (realized, independent *Result, err error) {
 	if err := s.checkCollection(col); err != nil {
 		return nil, nil, err
 	}
@@ -176,7 +188,7 @@ func (s *Session) Greedy(col *Collection) (realized, independent *Result, err er
 		chosen[mi] = col.CVs[bestK]
 		indepSum += best
 	}
-	measured, err := s.measure(chosen, "greedy", 0)
+	measured, err := s.measure(ctx, chosen, "greedy", 0)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -204,7 +216,7 @@ func (s *Session) Greedy(col *Collection) (realized, independent *Result, err er
 // per-module times; K assemblies are then drawn by sampling each module's
 // CV uniformly from its pruned pool, and each assembly is measured
 // end-to-end. The minimum wins.
-func (s *Session) CFR(col *Collection) (*Result, error) {
+func (s *Session) CFR(ctx context.Context, col *Collection) (*Result, error) {
 	if err := s.checkCollection(col); err != nil {
 		return nil, err
 	}
@@ -228,11 +240,11 @@ func (s *Session) CFR(col *Collection) (*Result, error) {
 		s.ckpt.restoreCFR(times, done)
 	}
 	errs := make([]error, len(assignments))
-	s.parFor(len(assignments), func(k int) {
+	s.parFor(ctx, len(assignments), func(k int) {
 		if done[k] {
 			return
 		}
-		t, ec, err := s.measureEval(assignments[k], "cfr", k)
+		t, ec, err := s.measureEval(ctx, assignments[k], "cfr", k)
 		if err != nil {
 			errs[k] = err
 			return
@@ -252,6 +264,9 @@ func (s *Session) CFR(col *Collection) (*Result, error) {
 			return nil, err
 		}
 	}
+	if err := s.checkCancelled(ctx); err != nil {
+		return nil, err
+	}
 	// Lines 22–25.
 	_, bestK := stats.Min(times)
 	res, err := s.finish("CFR", assignments[bestK], times[bestK], times)
@@ -264,28 +279,28 @@ func (s *Session) CFR(col *Collection) (*Result, error) {
 
 // RunAll executes the full §4.1 protocol on the session: Random, then the
 // collection phase, then FR, G (both variants) and CFR.
-func (s *Session) RunAll() (map[string]*Result, error) {
+func (s *Session) RunAll(ctx context.Context) (map[string]*Result, error) {
 	out := make(map[string]*Result)
-	random, err := s.Random()
+	random, err := s.Random(ctx)
 	if err != nil {
 		return nil, err
 	}
 	out["Random"] = random
-	col, err := s.Collect()
+	col, err := s.Collect(ctx)
 	if err != nil {
 		return nil, err
 	}
-	fr, err := s.FR()
+	fr, err := s.FR(ctx)
 	if err != nil {
 		return nil, err
 	}
 	out["FR"] = fr
-	gr, gi, err := s.Greedy(col)
+	gr, gi, err := s.Greedy(ctx, col)
 	if err != nil {
 		return nil, err
 	}
 	out["G.realized"], out["G.Independent"] = gr, gi
-	cfr, err := s.CFR(col)
+	cfr, err := s.CFR(ctx, col)
 	if err != nil {
 		return nil, err
 	}

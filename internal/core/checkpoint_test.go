@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"errors"
 	"math"
 	"os"
@@ -73,11 +75,11 @@ func snapshot(s *Session) CostSnapshot {
 // bit-identical to an uninterrupted run, for kill points in either phase.
 func TestKillResumeEquality(t *testing.T) {
 	uninterrupted := newCkptSession(t, "", 0, 4)
-	col, err := uninterrupted.Collect()
+	col, err := uninterrupted.Collect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfr, err := uninterrupted.CFR(col)
+	cfr, err := uninterrupted.CFR(context.Background(), col)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,10 +90,10 @@ func TestKillResumeEquality(t *testing.T) {
 	for _, killAt := range []int{17, 63} {
 		path := filepath.Join(t.TempDir(), "run.ckpt")
 		dying := newCkptSession(t, path, killAt, 4)
-		_, err := dying.Collect()
+		_, err := dying.Collect(context.Background())
 		if err == nil {
 			var cfrErr error
-			_, cfrErr = dying.CFR(col)
+			_, cfrErr = dying.CFR(context.Background(), col)
 			err = cfrErr
 		}
 		if !errors.Is(err, ErrKilled) {
@@ -102,11 +104,11 @@ func TestKillResumeEquality(t *testing.T) {
 		}
 
 		resumed := newCkptSession(t, path, 0, 4)
-		rcol, err := resumed.Collect()
+		rcol, err := resumed.Collect(context.Background())
 		if err != nil {
 			t.Fatalf("kill@%d: resumed collect: %v", killAt, err)
 		}
-		rcfr, err := resumed.CFR(rcol)
+		rcfr, err := resumed.CFR(context.Background(), rcol)
 		if err != nil {
 			t.Fatalf("kill@%d: resumed CFR: %v", killAt, err)
 		}
@@ -141,30 +143,30 @@ func TestKillResumeEquality(t *testing.T) {
 func TestKillResumeAdaptiveEquality(t *testing.T) {
 	rule := StopRule{MinEvaluations: 5, Patience: 10}
 	uninterrupted := newCkptSession(t, "", 0, 1)
-	col, err := uninterrupted.Collect()
+	col, err := uninterrupted.Collect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := uninterrupted.CFRAdaptive(col, rule)
+	want, err := uninterrupted.CFRAdaptive(context.Background(), col, rule)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	path := filepath.Join(t.TempDir(), "run.ckpt")
 	dying := newCkptSession(t, path, 55, 1)
-	_, err = dying.Collect()
+	_, err = dying.Collect(context.Background())
 	if err == nil {
-		_, err = dying.CFRAdaptive(col, rule)
+		_, err = dying.CFRAdaptive(context.Background(), col, rule)
 	}
 	if !errors.Is(err, ErrKilled) {
 		t.Fatalf("expected ErrKilled, got %v", err)
 	}
 	resumed := newCkptSession(t, path, 0, 1)
-	rcol, err := resumed.Collect()
+	rcol, err := resumed.Collect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := resumed.CFRAdaptive(rcol, rule)
+	got, err := resumed.CFRAdaptive(context.Background(), rcol, rule)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +180,7 @@ func TestKillResumeAdaptiveEquality(t *testing.T) {
 func TestAttachMismatch(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.ckpt")
 	s := newCkptSession(t, path, 0, 1)
-	if _, err := s.Collect(); err != nil {
+	if _, err := s.Collect(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	ck, err := LoadCheckpointFile(path)
@@ -275,5 +277,96 @@ func TestDecodeCheckpointRejects(t *testing.T) {
 		if _, err := DecodeCheckpoint(strings.NewReader(doc)); err == nil {
 			t.Errorf("bad checkpoint %d accepted", i)
 		}
+	}
+}
+
+// A failed flush must never corrupt the previously committed
+// checkpoint: atomicWriteFile stages into a temp file and only renames
+// a fully synced image over the destination. This is the torn-write
+// regression test for the durability fix (fsync before rename).
+func TestAtomicWriteFailureKeepsCommitted(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	if err := atomicWriteFile(path, []byte("committed"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the staging path: a directory squatting on <path>.tmp
+	// makes the next write fail before it can touch the destination.
+	if err := os.Mkdir(path+".tmp", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := atomicWriteFile(path, []byte("torn"), 0o644); err == nil {
+		t.Fatal("write through a blocked temp path should fail")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "committed" {
+		t.Fatalf("committed file corrupted by failed write: %q", got)
+	}
+	if err := os.Remove(path + ".tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := atomicWriteFile(path, []byte("recovered"), 0o644); err != nil {
+		t.Fatalf("write after clearing temp path: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "recovered" {
+		t.Fatalf("recovery write lost: %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind after successful commit")
+	}
+}
+
+// A checkpoint torn mid-file (as a crash between write and fsync could
+// leave it without the durability ordering) must be rejected on load,
+// never half-resumed.
+func TestTruncatedCheckpointRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	s := newCkptSession(t, path, 0, 1)
+	if err := s.ckpt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpointFile(path); err != nil {
+		t.Fatalf("full checkpoint should load: %v", err)
+	}
+	for _, frac := range []float64{0.25, 0.5, 0.9} {
+		torn := data[:int(float64(len(data))*frac)]
+		if err := os.WriteFile(path, torn, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCheckpointFile(path); err == nil {
+			t.Errorf("torn checkpoint (%d/%d bytes) accepted", len(torn), len(data))
+		}
+	}
+}
+
+// A flush that fails on cadence mid-run must leave the previous
+// checkpoint loadable and resumable.
+func TestFlushFailureLeavesResumableCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	s := newCkptSession(t, path, 0, 1)
+	if err := s.ckpt.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(path+".tmp", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ckpt.Flush(); err == nil {
+		t.Fatal("flush through a blocked temp path should fail")
+	}
+	ck, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatalf("previous checkpoint unreadable after failed flush: %v", err)
+	}
+	if err := ck.Validate(); err != nil {
+		t.Fatalf("previous checkpoint invalid after failed flush: %v", err)
 	}
 }

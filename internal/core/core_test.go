@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -69,7 +71,7 @@ func TestPreSampleDeterministic(t *testing.T) {
 
 func TestCollectShape(t *testing.T) {
 	s := newCLSession(t, 40, 10, false)
-	col, err := s.Collect()
+	col, err := s.Collect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,13 +97,13 @@ func TestCollectShape(t *testing.T) {
 func TestCollectParallelMatchesSerial(t *testing.T) {
 	a := newCLSession(t, 30, 5, true)
 	a.Config.Workers = 1
-	colA, err := a.Collect()
+	colA, err := a.Collect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	b := newCLSession(t, 30, 5, true)
 	b.Config.Workers = 8
-	colB, err := b.Collect()
+	colB, err := b.Collect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +118,7 @@ func TestCollectParallelMatchesSerial(t *testing.T) {
 
 func TestRandomResult(t *testing.T) {
 	s := newCLSession(t, 60, 10, false)
-	r, err := s.Random()
+	r, err := s.Random(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,11 +151,11 @@ func TestRandomResult(t *testing.T) {
 
 func TestGreedyAndCFR(t *testing.T) {
 	s := newCLSession(t, 80, 16, false)
-	col, err := s.Collect()
+	col, err := s.Collect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	gr, gi, err := s.Greedy(col)
+	gr, gi, err := s.Greedy(context.Background(), col)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +169,7 @@ func TestGreedyAndCFR(t *testing.T) {
 	if gi.Speedup < gr.Speedup {
 		t.Errorf("G.Independent (%.3f) below G.realized (%.3f)", gi.Speedup, gr.Speedup)
 	}
-	cfr, err := s.CFR(col)
+	cfr, err := s.CFR(context.Background(), col)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,11 +184,11 @@ func TestGreedyAndCFR(t *testing.T) {
 
 func TestCFRUsesOnlyPrunedCVs(t *testing.T) {
 	s := newCLSession(t, 50, 5, false)
-	col, err := s.Collect()
+	col, err := s.Collect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfr, err := s.CFR(col)
+	cfr, err := s.CFR(context.Background(), col)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +225,7 @@ func topK(xs []float64, k int) []int {
 
 func TestRunAllProducesFiveResults(t *testing.T) {
 	s := newCLSession(t, 40, 8, true)
-	out, err := s.RunAll()
+	out, err := s.RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,10 +244,10 @@ func TestRunAllProducesFiveResults(t *testing.T) {
 
 func TestGreedyChecksCollection(t *testing.T) {
 	s := newCLSession(t, 20, 5, false)
-	if _, _, err := s.Greedy(nil); err == nil {
+	if _, _, err := s.Greedy(context.Background(), nil); err == nil {
 		t.Error("nil collection accepted")
 	}
-	if _, err := s.CFR(&Collection{}); err == nil {
+	if _, err := s.CFR(context.Background(), &Collection{}); err == nil {
 		t.Error("empty collection accepted")
 	}
 }
@@ -267,11 +269,11 @@ func TestConvergedAt(t *testing.T) {
 func TestDeterministicAcrossRuns(t *testing.T) {
 	a := newCLSession(t, 30, 6, true)
 	b := newCLSession(t, 30, 6, true)
-	ra, err := a.Random()
+	ra, err := a.Random(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := b.Random()
+	rb, err := b.Random(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,11 +322,11 @@ func TestDefaultConfigs(t *testing.T) {
 
 func TestCriticalFlagsCore(t *testing.T) {
 	s := newCLSession(t, 120, 15, false)
-	col, err := s.Collect()
+	col, err := s.Collect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfr, err := s.CFR(col)
+	cfr, err := s.CFR(context.Background(), col)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,11 +353,11 @@ func TestCriticalFlagsCore(t *testing.T) {
 
 func TestAttributionCore(t *testing.T) {
 	s := newCLSession(t, 120, 15, false)
-	col, err := s.Collect()
+	col, err := s.Collect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfr, err := s.CFR(col)
+	cfr, err := s.CFR(context.Background(), col)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"funcytuner/internal/apps"
@@ -37,7 +39,7 @@ func TestCrossMachineInvariants(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			all, err := sess.RunAll()
+			all, err := sess.RunAll(context.Background())
 			if err != nil {
 				t.Fatalf("%s on %s: %v", prog.Name, m.Name, err)
 			}

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -19,7 +22,7 @@ func TestParForPanicCarriesSampleIndex(t *testing.T) {
 					msg, _ = r.(string)
 				}
 			}()
-			s.parFor(20, func(i int) {
+			s.parFor(context.Background(), 20, func(i int) {
 				visited[i] = true
 				if i == 7 {
 					panic("injected test failure")
@@ -50,10 +53,74 @@ func TestParForCompletesAllIndices(t *testing.T) {
 	s := newCLSession(t, 10, 2, true)
 	s.Config.Workers = 8
 	var seen [100]int32
-	s.parFor(100, func(i int) { seen[i]++ })
+	s.parFor(context.Background(), 100, func(i int) { seen[i]++ })
 	for i, n := range seen {
 		if n != 1 {
 			t.Fatalf("index %d ran %d times", i, n)
 		}
+	}
+}
+
+// A cancelled context stops parFor from scheduling new indices: with one
+// worker the loop stops exactly at the cancellation point, and with many
+// workers no index is claimed after every worker observes the cancel.
+func TestParForCancelStopsScheduling(t *testing.T) {
+	for _, workers := range []int{1, 6} {
+		s := newCLSession(t, 10, 2, true)
+		s.Config.Workers = workers
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran int32
+		s.parFor(ctx, 1000, func(i int) {
+			atomic.AddInt32(&ran, 1)
+			if atomic.LoadInt32(&ran) == 5 {
+				cancel()
+			}
+		})
+		// Workers already past the claim check may finish their index, so
+		// allow one straggler per worker — but nothing close to the full
+		// range must run.
+		if n := atomic.LoadInt32(&ran); n < 5 || n > int32(5+workers) {
+			t.Errorf("workers=%d: %d indices ran after cancel at 5", workers, n)
+		}
+	}
+
+	// A context cancelled before the loop starts runs nothing at all.
+	s := newCLSession(t, 10, 2, true)
+	s.Config.Workers = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	s.parFor(ctx, 50, func(i int) { atomic.AddInt32(&ran, 1) })
+	if ran != 0 {
+		t.Errorf("pre-cancelled parFor ran %d indices", ran)
+	}
+}
+
+// Cancellation must not swallow a worker panic: the re-raise still
+// carries the failing index even when the context dies mid-loop.
+func TestParForCancelKeepsPanicPropagation(t *testing.T) {
+	s := newCLSession(t, 10, 2, true)
+	s.Config.Workers = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got := func() (msg string) {
+		defer func() {
+			if r := recover(); r != nil {
+				msg, _ = r.(string)
+			}
+		}()
+		s.parFor(ctx, 100, func(i int) {
+			if i == 3 {
+				cancel()
+				panic("cancelled and panicked")
+			}
+		})
+		return ""
+	}()
+	if got == "" {
+		t.Fatal("panic was swallowed under cancellation")
+	}
+	if !strings.Contains(got, "sample 3") || !strings.Contains(got, "cancelled and panicked") {
+		t.Errorf("panic lost its context under cancellation: %q", got)
 	}
 }

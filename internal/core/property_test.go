@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"testing"
 	"testing/quick"
@@ -18,11 +20,11 @@ import (
 // G.Independent equals the sum of the minima.
 func TestPropertyGreedyPicksColumnMinima(t *testing.T) {
 	s := newCLSession(t, 60, 10, true)
-	col, err := s.Collect()
+	col, err := s.Collect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	gr, gi, err := s.Greedy(col)
+	gr, gi, err := s.Greedy(context.Background(), col)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,19 +45,19 @@ func TestPropertyGreedyPicksColumnMinima(t *testing.T) {
 // equals the final value of its convergence trace.
 func TestPropertyBestMeasuredIsTraceMin(t *testing.T) {
 	s := newCLSession(t, 50, 10, true)
-	random, err := s.Random()
+	random, err := s.Random(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	fr, err := s.FR()
+	fr, err := s.FR(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	col, err := s.Collect()
+	col, err := s.Collect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfr, err := s.CFR(col)
+	cfr, err := s.CFR(context.Background(), col)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,22 +73,22 @@ func TestPropertyBestMeasuredIsTraceMin(t *testing.T) {
 // so its best can never beat the full run's.
 func TestPropertyCFRAdaptivePrefixConsistency(t *testing.T) {
 	s := newCLSession(t, 120, 20, true)
-	col, err := s.Collect()
+	col, err := s.Collect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := s.CFR(col)
+	full, err := s.CFR(context.Background(), col)
 	if err != nil {
 		t.Fatal(err)
 	}
 	f := func(p uint8) bool {
 		patience := 10 + int(p%100)
 		s2 := newCLSession(t, 120, 20, true)
-		col2, err := s2.Collect()
+		col2, err := s2.Collect(context.Background())
 		if err != nil {
 			return false
 		}
-		adaptive, err := s2.CFRAdaptive(col2, StopRule{MinEvaluations: 5, Patience: patience})
+		adaptive, err := s2.CFRAdaptive(context.Background(), col2, StopRule{MinEvaluations: 5, Patience: patience})
 		if err != nil {
 			return false
 		}
@@ -109,14 +111,14 @@ func TestPropertyCFRAdaptivePrefixConsistency(t *testing.T) {
 
 func TestCFRAdaptiveValidation(t *testing.T) {
 	s := newCLSession(t, 30, 5, false)
-	col, err := s.Collect()
+	col, err := s.Collect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.CFRAdaptive(col, StopRule{Patience: 0}); err == nil {
+	if _, err := s.CFRAdaptive(context.Background(), col, StopRule{Patience: 0}); err == nil {
 		t.Error("zero patience accepted")
 	}
-	res, err := s.CFRAdaptive(col, StopRule{MinEvaluations: 0, Patience: 5, MaxEvaluations: 99999})
+	res, err := s.CFRAdaptive(context.Background(), col, StopRule{MinEvaluations: 0, Patience: 5, MaxEvaluations: 99999})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +144,7 @@ func TestPropertyCostMonotone(t *testing.T) {
 	}
 	prevRuns, prevHours := s.Cost.Runs(), s.Cost.SimulatedHours()
 	for i := 0; i < 5; i++ {
-		if _, err := s.Random(); err != nil {
+		if _, err := s.Random(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		runs, hours := s.Cost.Runs(), s.Cost.SimulatedHours()

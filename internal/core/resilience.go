@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sort"
 
@@ -35,6 +37,18 @@ func (s *Session) checkKilled() error {
 		return ErrKilled
 	}
 	return nil
+}
+
+// checkCancelled guards an evaluation boundary: a cancelled context or a
+// tripped simulated node failure stops the evaluation before it charges
+// any cost, so the checkpoint only ever contains whole evaluations and
+// cancellation is observationally equivalent to KillAfterEvals at the
+// same evaluation index.
+func (s *Session) checkCancelled(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: session cancelled: %w", err)
+	}
+	return s.checkKilled()
 }
 
 // finishEval applies the evaluation's cost, feeds the observability
@@ -136,8 +150,11 @@ func (s *Session) assemblyKey(cvs []flagspec.CV) (key uint64, allBaseline bool) 
 // deadline it consumed). faultedRun returns the measured value: t on
 // success, +Inf when the evaluation is lost. crashQ lists CV
 // fingerprints to quarantine on a permanent run crash (used by uniform
-// evaluations, where the crash is attributable to a single CV).
-func (s *Session) faultedRun(ec *evalCost, akey uint64, exempt bool, crashQ []uint64, tb *trace.Batch, run func() (float64, bool)) float64 {
+// evaluations, where the crash is attributable to a single CV). A ctx
+// cancelled between retry attempts abandons the evaluation with the
+// context's error: no cost is applied and the sample is never marked
+// complete, so a resumed run recomputes it from scratch, bit-identically.
+func (s *Session) faultedRun(ctx context.Context, ec *evalCost, akey uint64, exempt bool, crashQ []uint64, tb *trace.Batch, run func() (float64, bool)) (float64, error) {
 	if s.faults != nil && !exempt {
 		if s.faults.RunCrashes(akey) {
 			for _, q := range crashQ {
@@ -149,7 +166,7 @@ func (s *Session) faultedRun(ec *evalCost, akey uint64, exempt bool, crashQ []ui
 			s.met.runCrashes.Inc()
 			tb.Add(trace.Event{Kind: trace.KindFault, Name: faults.RunCrash.String(),
 				Seconds: 0.1, Sim: ec.simSeconds()})
-			return math.Inf(1)
+			return math.Inf(1), nil
 		}
 		if s.faults.TimesOut(akey) {
 			// Runtime blowup: the run burns the whole deadline budget
@@ -161,7 +178,7 @@ func (s *Session) faultedRun(ec *evalCost, akey uint64, exempt bool, crashQ []ui
 			s.met.timeouts.Inc()
 			tb.Add(trace.Event{Kind: trace.KindFault, Name: faults.Timeout.String(),
 				Seconds: budget, Sim: ec.simSeconds()})
-			return math.Inf(1)
+			return math.Inf(1), nil
 		}
 	}
 	t, killed := run()
@@ -174,7 +191,7 @@ func (s *Session) faultedRun(ec *evalCost, akey uint64, exempt bool, crashQ []ui
 		s.met.timeouts.Inc()
 		tb.Add(trace.Event{Kind: trace.KindFault, Name: "deadline",
 			Seconds: t, Sim: ec.simSeconds()})
-		return math.Inf(1)
+		return math.Inf(1), nil
 	}
 	// Transient flakes: retry with capped exponential backoff. Each
 	// attempt draws independently, so the fault stream is a pure function
@@ -188,7 +205,7 @@ func (s *Session) faultedRun(ec *evalCost, akey uint64, exempt bool, crashQ []ui
 			tb.Add(trace.Event{Kind: trace.KindFault, Name: faults.Flake.String(),
 				Attempt: attempt + 1, Seconds: t, Sim: ec.simSeconds()})
 			if attempt >= s.Config.maxRetries() {
-				return math.Inf(1) // give up; transient, so no quarantine
+				return math.Inf(1), nil // give up; transient, so no quarantine
 			}
 			back := s.Config.backoff(attempt)
 			ec.retries++
@@ -197,18 +214,21 @@ func (s *Session) faultedRun(ec *evalCost, akey uint64, exempt bool, crashQ []ui
 			s.met.retries.Inc()
 			tb.Add(trace.Event{Kind: trace.KindRetry,
 				Attempt: attempt + 1, Seconds: back, Sim: ec.simSeconds()})
+			if err := ctx.Err(); err != nil {
+				return 0, fmt.Errorf("core: evaluation abandoned between retries: %w", err)
+			}
 		}
 	}
 	ec.addRun(t)
-	return t
+	return t, nil
 }
 
 // measureEval is measure plus the evaluation's cost delta, for
 // checkpointing. The delta is applied to the session CostAccount before
 // returning.
-func (s *Session) measureEval(cvs []flagspec.CV, phase string, k int) (float64, evalCost, error) {
+func (s *Session) measureEval(ctx context.Context, cvs []flagspec.CV, phase string, k int) (float64, evalCost, error) {
 	var ec evalCost
-	if err := s.checkKilled(); err != nil {
+	if err := s.checkCancelled(ctx); err != nil {
 		return 0, ec, err
 	}
 	tb := s.tr.Batch(phase, k)
@@ -246,10 +266,13 @@ func (s *Session) measureEval(cvs []flagspec.CV, phase string, k int) (float64, 
 				Seconds: res.Total, Sim: ec.simSeconds()})
 		}
 	}
-	t := s.faultedRun(&ec, akey, exempt, nil, tb, func() (float64, bool) {
+	t, err := s.faultedRun(ctx, &ec, akey, exempt, nil, tb, func() (float64, bool) {
 		res := s.runProf.Run(exe, opt)
 		return res.Total, res.Killed
 	})
+	if err != nil {
+		return 0, ec, err
+	}
 	s.finishEval(ec)
 	s.closeEval(tb, &ec, t)
 	return t, ec, nil
@@ -259,8 +282,8 @@ func (s *Session) measureEval(cvs []flagspec.CV, phase string, k int) (float64, 
 // returning per-coupling-unit times: entries 0..J-1 are hot-loop times in
 // module order, entry J is the derived non-loop time (§3.3), and the
 // returned total is the end-to-end time.
-func (s *Session) measureUniform(cv flagspec.CV, phase string, k int) (perModule []float64, total float64, err error) {
-	per, total, _, err := s.measureUniformEval(cv, phase, k)
+func (s *Session) measureUniform(ctx context.Context, cv flagspec.CV, phase string, k int) (perModule []float64, total float64, err error) {
+	per, total, _, err := s.measureUniformEval(ctx, cv, phase, k)
 	return per, total, err
 }
 
@@ -275,8 +298,8 @@ func (s *Session) infPerModule() []float64 {
 }
 
 // measureUniformEval is measureUniform plus the evaluation's cost delta.
-func (s *Session) measureUniformEval(cv flagspec.CV, phase string, k int) (perModule []float64, total float64, ec evalCost, err error) {
-	if err := s.checkKilled(); err != nil {
+func (s *Session) measureUniformEval(ctx context.Context, cv flagspec.CV, phase string, k int) (perModule []float64, total float64, ec evalCost, err error) {
+	if err := s.checkCancelled(ctx); err != nil {
 		return nil, 0, ec, err
 	}
 	uniform := make([]flagspec.CV, len(s.Part.Modules))
@@ -306,7 +329,7 @@ func (s *Session) measureUniformEval(cv flagspec.CV, phase string, k int) (perMo
 	}
 	akey, exempt := s.assemblyKey(uniform)
 	var prof caliper.Profile
-	t := s.faultedRun(&ec, akey, exempt, []uint64{cv.Key()}, tb, func() (float64, bool) {
+	t, err := s.faultedRun(ctx, &ec, akey, exempt, []uint64{cv.Key()}, tb, func() (float64, bool) {
 		// The caliper path doesn't go through exec.Options, so the
 		// harness deadline is emulated here with the same semantics (and
 		// the run event is stamped here, where the profile is in hand).
@@ -318,6 +341,9 @@ func (s *Session) measureUniformEval(cv flagspec.CV, phase string, k int) (perMo
 		tb.Add(trace.Event{Kind: trace.KindRun, Name: "ok", Seconds: prof.Total, Sim: ec.simSeconds()})
 		return prof.Total, false
 	})
+	if err != nil {
+		return nil, 0, ec, err
+	}
 	if math.IsInf(t, 1) {
 		s.finishEval(ec)
 		s.closeEval(tb, &ec, t)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -35,11 +37,11 @@ func newFaultySession(t *testing.T, samples, topx, workers int, rates faults.Rat
 
 func runCollectCFR(t *testing.T, s *Session) (*Collection, *Result) {
 	t.Helper()
-	col, err := s.Collect()
+	col, err := s.Collect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.CFR(col)
+	res, err := s.CFR(context.Background(), col)
 	if err != nil {
 		t.Fatal(err)
 	}

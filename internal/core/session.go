@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -44,6 +45,18 @@ import (
 // (Config.KillAfterEvals) mid-run. A checkpointed session can be resumed
 // from the last flushed sample.
 var ErrKilled = errors.New("core: session killed (simulated node failure)")
+
+// WorkerGate bounds evaluation concurrency across sessions. Every
+// evaluation acquires one slot before it starts and releases it when it
+// finishes, so a single gate shared by many concurrent sessions (the
+// funcytunerd job service) caps the machine-wide evaluation parallelism
+// regardless of each session's own Workers setting. Acquire must respect
+// ctx and return its error once the context is cancelled; a gate only
+// sequences scheduling and therefore never changes deterministic outputs.
+type WorkerGate interface {
+	Acquire(ctx context.Context) error
+	Release()
+}
 
 // Defaults for the resilience policy, applied when fault injection is
 // enabled and the corresponding Config field is zero.
@@ -96,6 +109,11 @@ type Config struct {
 	// aborts with ErrKilled once that many evaluations have completed.
 	// It is the crash-testing hook for checkpoint/resume.
 	KillAfterEvals int
+
+	// Gate, when non-nil, bounds evaluation concurrency across sessions:
+	// every evaluation holds one slot while it runs. Nil leaves the
+	// session bounded only by its own Workers setting.
+	Gate WorkerGate
 }
 
 // DefaultConfig returns the paper's settings: 1000 samples, top-50
@@ -430,8 +448,8 @@ func (s *Session) noise(phase string, k int) *xrand.Rand {
 // some flag settings "prevent a program from running successfully")
 // report +Inf, so they lose every argmin without special-casing; so do
 // injected faults that exhaust the retry budget.
-func (s *Session) measure(cvs []flagspec.CV, phase string, k int) (float64, error) {
-	t, _, err := s.measureEval(cvs, phase, k)
+func (s *Session) measure(ctx context.Context, cvs []flagspec.CV, phase string, k int) (float64, error) {
+	t, _, err := s.measureEval(ctx, cvs, phase, k)
 	return t, err
 }
 
@@ -515,17 +533,37 @@ func (w *workerPanic) rethrow() {
 	}
 }
 
+// claim gates one index's evaluation: it refuses once ctx is cancelled
+// (workers stop claiming new indices, in-flight ones drain) and, with a
+// WorkerGate configured, holds a global slot for the duration of fn. The
+// gate and the cancellation check only affect scheduling, which every
+// deterministic output is already invariant to.
+func (s *Session) claim(ctx context.Context, wp *workerPanic, i int, fn func(i int)) (ok bool) {
+	if ctx.Err() != nil {
+		return false
+	}
+	if g := s.Config.Gate; g != nil {
+		if err := g.Acquire(ctx); err != nil {
+			return false
+		}
+		defer g.Release()
+	}
+	return wp.run(i, fn)
+}
+
 // parFor runs fn(i) for i in [0,n) on the session's worker pool. fn must
 // only write to index-disjoint state. A panicking fn no longer kills the
 // process anonymously: the panicking worker stops claiming work, the
 // remaining workers drain, and the first panic is re-raised with its
-// sample index and original stack.
-func (s *Session) parFor(n int, fn func(i int)) {
+// sample index and original stack. A cancelled ctx stops the pool from
+// scheduling new indices; evaluations already underway complete (and are
+// checkpointed), so cancellation always lands on an evaluation boundary.
+func (s *Session) parFor(ctx context.Context, n int, fn func(i int)) {
 	var wp workerPanic
 	workers := s.Config.workers()
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			if !wp.run(i, fn) {
+			if !s.claim(ctx, &wp, i, fn) {
 				break
 			}
 		}
@@ -546,7 +584,7 @@ func (s *Session) parFor(n int, fn func(i int)) {
 				if i >= n {
 					return
 				}
-				if !wp.run(i, fn) {
+				if !s.claim(ctx, &wp, i, fn) {
 					return
 				}
 			}

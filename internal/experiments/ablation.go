@@ -15,6 +15,8 @@ package experiments
 //     Random/G, 3 days for CFR, ...) in simulated hours.
 
 import (
+	"context"
+
 	"fmt"
 
 	"funcytuner/internal/apps"
@@ -48,7 +50,7 @@ func AblationTopX(cfg Config) (*Output, error) {
 		if err != nil {
 			return nil, err
 		}
-		col, err := base.Collect()
+		col, err := base.Collect(context.Background())
 		if err != nil {
 			return nil, err
 		}
@@ -58,7 +60,7 @@ func AblationTopX(cfg Config) (*Output, error) {
 				return nil, err
 			}
 			sess.Config.TopX = x
-			res, err := sess.CFR(col)
+			res, err := sess.CFR(context.Background(), col)
 			if err != nil {
 				return nil, err
 			}
@@ -99,19 +101,19 @@ func Convergence(cfg Config) (*Output, error) {
 		if err != nil {
 			return nil, err
 		}
-		random, err := sess.Random()
+		random, err := sess.Random(context.Background())
 		if err != nil {
 			return nil, err
 		}
-		fr, err := sess.FR()
+		fr, err := sess.FR(context.Background())
 		if err != nil {
 			return nil, err
 		}
-		col, err := sess.Collect()
+		col, err := sess.Collect(context.Background())
 		if err != nil {
 			return nil, err
 		}
-		cfr, err := sess.CFR(col)
+		cfr, err := sess.CFR(context.Background(), col)
 		if err != nil {
 			return nil, err
 		}
@@ -147,7 +149,7 @@ func Overhead(cfg Config) (*Output, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := sess.Random(); err != nil {
+		if _, err := sess.Random(context.Background()); err != nil {
 			return nil, err
 		}
 		randomHours := sess.Cost.SimulatedHours()
@@ -157,11 +159,11 @@ func Overhead(cfg Config) (*Output, error) {
 		if err != nil {
 			return nil, err
 		}
-		col, err := sess2.Collect()
+		col, err := sess2.Collect(context.Background())
 		if err != nil {
 			return nil, err
 		}
-		if _, err := sess2.CFR(col); err != nil {
+		if _, err := sess2.CFR(context.Background(), col); err != nil {
 			return nil, err
 		}
 		cfrHours := sess2.Cost.SimulatedHours()

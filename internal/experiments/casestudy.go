@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"strings"
 
 	"funcytuner/internal/apps"
@@ -35,21 +37,21 @@ func runCaseStudy(cfg Config) (*caseStudy, error) {
 	}
 	cs := &caseStudy{sess: sess, results: map[string]*core.Result{}}
 
-	random, err := sess.Random()
+	random, err := sess.Random(context.Background())
 	if err != nil {
 		return nil, err
 	}
 	cs.results["Random"] = random
-	cs.col, err = sess.Collect()
+	cs.col, err = sess.Collect(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	gReal, gInd, err := sess.Greedy(cs.col)
+	gReal, gInd, err := sess.Greedy(context.Background(), cs.col)
 	if err != nil {
 		return nil, err
 	}
 	cs.results["G.realized"], cs.results["G.Independent"] = gReal, gInd
-	cfr, err := sess.CFR(cs.col)
+	cfr, err := sess.CFR(context.Background(), cs.col)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"funcytuner/internal/apps"
@@ -38,7 +40,7 @@ func fig5Machine(cfg Config, tc *compiler.Toolchain, m *arch.Machine) (*reportTa
 		if err != nil {
 			return nil, err
 		}
-		results, err := sess.RunAll()
+		results, err := sess.RunAll(context.Background())
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"funcytuner/internal/apps"
@@ -44,15 +46,15 @@ func LTOAblation(cfg Config) (*Output, error) {
 			if err != nil {
 				return nil, err
 			}
-			col, err := sess.Collect()
+			col, err := sess.Collect(context.Background())
 			if err != nil {
 				return nil, err
 			}
-			gr, gi, err := sess.Greedy(col)
+			gr, gi, err := sess.Greedy(context.Background(), col)
 			if err != nil {
 				return nil, err
 			}
-			cfr, err := sess.CFR(col)
+			cfr, err := sess.CFR(context.Background(), col)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 
@@ -37,11 +39,11 @@ func Significance(cfg Config) (*Output, error) {
 		if err != nil {
 			return nil, err
 		}
-		col, err := sess.Collect()
+		col, err := sess.Collect(context.Background())
 		if err != nil {
 			return nil, err
 		}
-		cfr, err := sess.CFR(col)
+		cfr, err := sess.CFR(context.Background(), col)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"funcytuner/internal/apps"
 	"funcytuner/internal/arch"
 	"funcytuner/internal/baselines"
@@ -44,19 +46,19 @@ func tuneAllTechniques(cfg Config, tc *compiler.Toolchain, app string, m *arch.M
 	if err != nil {
 		return nil, err
 	}
-	random, err := sess.Random()
+	random, err := sess.Random(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	col, err := sess.Collect()
+	col, err := sess.Collect(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	gReal, _, err := sess.Greedy(col)
+	gReal, _, err := sess.Greedy(context.Background(), col)
 	if err != nil {
 		return nil, err
 	}
-	cfr, err := sess.CFR(col)
+	cfr, err := sess.CFR(context.Background(), col)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// Gate is a counting-semaphore core.WorkerGate: at most `slots`
+// evaluations run at once across every job that shares it. Acquire
+// respects context cancellation, so a cancelled job's workers never
+// deadlock waiting for a slot. The gate also tracks its busy high-water
+// mark, which the concurrency tests use to prove the global bound holds
+// while many jobs run at once.
+type Gate struct {
+	sem chan struct{}
+
+	mu    sync.Mutex
+	busy  int
+	water int
+}
+
+// NewGate returns a gate with n slots. n must be positive.
+func NewGate(n int) *Gate {
+	if n < 1 {
+		n = 1
+	}
+	return &Gate{sem: make(chan struct{}, n)}
+}
+
+// Acquire takes one slot, blocking until one frees or ctx is cancelled.
+func (g *Gate) Acquire(ctx context.Context) error {
+	select {
+	case g.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	g.mu.Lock()
+	g.busy++
+	if g.busy > g.water {
+		g.water = g.busy
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+// Release returns a slot taken by a successful Acquire.
+func (g *Gate) Release() {
+	g.mu.Lock()
+	g.busy--
+	g.mu.Unlock()
+	<-g.sem
+}
+
+// Busy returns the number of slots currently held.
+func (g *Gate) Busy() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.busy
+}
+
+// HighWater returns the maximum number of simultaneously held slots
+// observed over the gate's lifetime.
+func (g *Gate) HighWater() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.water
+}
+
+// Slots returns the gate's capacity.
+func (g *Gate) Slots() int { return cap(g.sem) }

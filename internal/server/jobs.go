@@ -1,0 +1,439 @@
+// Package server is the funcytunerd job service: a job manager that runs
+// tuning campaigns as cancellable background jobs over the cancellable
+// core (TuneContext and friends), plus the HTTP API in server.go.
+//
+// Scaling model: every job gets its own goroutine and its own per-job
+// checkpoint directory, but all jobs share one core.WorkerGate, so the
+// machine-wide number of in-flight evaluations is bounded no matter how
+// many jobs are accepted. Cancellation — whether from the cancel
+// endpoint or from graceful shutdown — lands on an evaluation boundary
+// and drains the job to a valid, resumable checkpoint: resuming it
+// yields a Report bit-identical to an uninterrupted run.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"funcytuner"
+	"funcytuner/internal/metrics"
+)
+
+// Job states.
+const (
+	StateRunning    = "running"
+	StateCancelling = "cancelling"
+	StateDone       = "done"
+	StateCancelled  = "cancelled"
+	StateFailed     = "failed"
+)
+
+// Server-level metric names (the /metrics endpoint snapshots these).
+const (
+	MetricJobsSubmitted = "jobs_submitted"
+	MetricJobsDone      = "jobs_done"
+	MetricJobsCancelled = "jobs_cancelled"
+	MetricJobsFailed    = "jobs_failed"
+	MetricJobsRunning   = "jobs_running"
+	MetricWorkerSlots   = "worker_slots"
+)
+
+// JobSpec is a tuning-job request. Zero fields take the funcytuner
+// facade defaults (Samples 1000, TopX 50, ICC space, noisy runs).
+type JobSpec struct {
+	// Benchmark names a built-in program (LULESH, CL, AMG, ...).
+	Benchmark string `json:"benchmark"`
+	// Machine is the platform model (opteron, sandybridge, broadwell).
+	Machine string `json:"machine"`
+	// Samples is the evaluation budget K; TopX the CFR pruning width.
+	Samples int `json:"samples,omitempty"`
+	TopX    int `json:"topx,omitempty"`
+	// Seed names the run; equal seeds reproduce bit-identically.
+	Seed string `json:"seed,omitempty"`
+	// Workers bounds the job's own parallelism (0 = GOMAXPROCS); the
+	// manager's shared gate still caps evaluations across all jobs.
+	Workers int `json:"workers,omitempty"`
+	// FaultRate scales the default injected fault mix (0 = clean).
+	FaultRate float64 `json:"fault_rate,omitempty"`
+	// Adaptive selects early-stopped CFR; Compare the full §4.1 protocol.
+	Adaptive bool `json:"adaptive,omitempty"`
+	Compare  bool `json:"compare,omitempty"`
+	// CheckpointEvery is the flush cadence in completed evaluations.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Resume names a previous job whose checkpoint this job continues
+	// (the spec must otherwise match that job's, or the run fails its
+	// checkpoint-identity validation).
+	Resume string `json:"resume,omitempty"`
+}
+
+// validate rejects specs the tuner would reject hours later, plus
+// negative values that facade defaults would otherwise mask.
+func (sp *JobSpec) validate() error {
+	if sp.Benchmark == "" {
+		sp.Benchmark = funcytuner.CloverLeaf
+	}
+	if sp.Machine == "" {
+		sp.Machine = "broadwell"
+	}
+	if _, err := funcytuner.Benchmark(sp.Benchmark); err != nil {
+		return err
+	}
+	if _, err := funcytuner.MachineByName(sp.Machine); err != nil {
+		return err
+	}
+	if sp.Samples < 0 {
+		return fmt.Errorf("server: samples must be >= 0, got %d", sp.Samples)
+	}
+	if sp.TopX < 0 {
+		return fmt.Errorf("server: topx must be >= 0, got %d", sp.TopX)
+	}
+	if sp.Workers < 0 {
+		return fmt.Errorf("server: workers must be >= 0, got %d", sp.Workers)
+	}
+	if sp.CheckpointEvery < 0 {
+		return fmt.Errorf("server: checkpoint_every must be >= 0, got %d", sp.CheckpointEvery)
+	}
+	if sp.FaultRate < 0 {
+		return fmt.Errorf("server: fault_rate must be >= 0, got %v", sp.FaultRate)
+	}
+	if sp.Adaptive && sp.Compare {
+		return fmt.Errorf("server: adaptive and compare are mutually exclusive")
+	}
+	return nil
+}
+
+// Job is one tuning campaign owned by the manager.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	ckptPath string
+	cancel   context.CancelFunc
+	progress *lineLog
+	trace    *funcytuner.TraceRecorder
+	done     chan struct{}
+
+	mu        sync.Mutex
+	state     string
+	err       string
+	report    *funcytuner.Report
+	submitted time.Time
+	ended     time.Time
+}
+
+// Status is the JSON view of a job's current state.
+type Status struct {
+	ID    string  `json:"id"`
+	State string  `json:"state"`
+	Spec  JobSpec `json:"spec"`
+	Error string  `json:"error,omitempty"`
+	// Checkpoint is the job's checkpoint file; Resumable reports whether
+	// it exists on disk (a cancelled or killed job can be continued by
+	// submitting a new job with "resume" set to this job's ID).
+	Checkpoint string    `json:"checkpoint,omitempty"`
+	Resumable  bool      `json:"resumable"`
+	Submitted  time.Time `json:"submitted"`
+	Ended      time.Time `json:"ended,omitzero"`
+}
+
+// Result is the JSON view of a completed job's Report.
+type Result struct {
+	ID          string             `json:"id"`
+	Algorithm   string             `json:"algorithm"`
+	Speedup     float64            `json:"speedup"`
+	Baseline    float64            `json:"baseline_seconds"`
+	Best        float64            `json:"best_seconds"`
+	Evaluations int                `json:"evaluations"`
+	Speedups    map[string]float64 `json:"speedups"`
+	ModuleFlags []string           `json:"module_flags"`
+	Modules     int                `json:"modules"`
+	Compiles    int64              `json:"compiles"`
+	Runs        int64              `json:"runs"`
+	SimHours    float64            `json:"simulated_hours"`
+	Fingerprint string             `json:"fingerprint"`
+	Metrics     metrics.Snapshot   `json:"metrics"`
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Dir is the root under which each job gets its checkpoint
+	// directory (<Dir>/<jobID>/checkpoint.json).
+	Dir string
+	// Gate bounds in-flight evaluations across all jobs. Nil leaves
+	// jobs bounded only by their own Workers settings.
+	Gate funcytuner.WorkerGate
+}
+
+// Manager owns the job table and the shared worker gate.
+type Manager struct {
+	cfg Config
+	reg *metrics.Registry
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	seq      int
+	draining bool
+	running  int
+	wg       sync.WaitGroup
+}
+
+// NewManager builds a job manager rooted at cfg.Dir.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("server: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &Manager{cfg: cfg, reg: metrics.NewRegistry(), jobs: make(map[string]*Job)}
+	if g, ok := cfg.Gate.(*Gate); ok && g != nil {
+		m.reg.Gauge(MetricWorkerSlots).Set(float64(g.Slots()))
+	}
+	return m, nil
+}
+
+// Metrics returns the manager's registry (jobs_* counters, gauges).
+func (m *Manager) Metrics() *metrics.Registry { return m.reg }
+
+// Submit validates spec, registers a job and starts it immediately; the
+// shared gate, not admission control, bounds actual compute.
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("server: shutting down, not accepting jobs")
+	}
+	var resumeFrom string
+	if spec.Resume != "" {
+		prior, ok := m.jobs[spec.Resume]
+		if !ok {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("server: unknown job %q to resume", spec.Resume)
+		}
+		resumeFrom = prior.ckptPath
+	}
+	m.seq++
+	id := fmt.Sprintf("job-%04d", m.seq)
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		ID:        id,
+		Spec:      spec,
+		ckptPath:  filepath.Join(m.cfg.Dir, id, "checkpoint.json"),
+		cancel:    cancel,
+		progress:  newLineLog(),
+		trace:     funcytuner.NewTraceRecorder(),
+		done:      make(chan struct{}),
+		state:     StateRunning,
+		submitted: time.Now(),
+	}
+	j.trace.WallClock(func() int64 { return time.Now().UnixNano() })
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.running++
+	m.reg.Gauge(MetricJobsRunning).Set(float64(m.running))
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	m.reg.Counter(MetricJobsSubmitted).Inc()
+	go m.run(ctx, j, resumeFrom)
+	return j, nil
+}
+
+// run executes one job to completion, cancellation or failure.
+func (m *Manager) run(ctx context.Context, j *Job, resumeFrom string) {
+	defer m.wg.Done()
+	defer close(j.done)
+	defer j.progress.Close()
+
+	prog, err := funcytuner.Benchmark(j.Spec.Benchmark)
+	if err != nil {
+		m.finish(j, nil, err)
+		return
+	}
+	machine, err := funcytuner.MachineByName(j.Spec.Machine)
+	if err != nil {
+		m.finish(j, nil, err)
+		return
+	}
+	in := funcytuner.TuningInput(j.Spec.Benchmark, machine)
+	seed := j.Spec.Seed
+	if seed == "" {
+		seed = j.ID
+	}
+	tuner := funcytuner.NewTuner(funcytuner.Options{
+		Machine:         machine,
+		Samples:         j.Spec.Samples,
+		TopX:            j.Spec.TopX,
+		Seed:            seed,
+		Workers:         j.Spec.Workers,
+		Faults:          funcytuner.DefaultFaultRates().Scale(j.Spec.FaultRate),
+		Checkpoint:      j.ckptPath,
+		Resume:          resumeFrom,
+		CheckpointEvery: j.Spec.CheckpointEvery,
+		Gate:            m.cfg.Gate,
+		Trace:           j.trace,
+		Progress:        j.progress,
+		ProgressEvery:   time.Second,
+	})
+	var rep *funcytuner.Report
+	switch {
+	case j.Spec.Compare:
+		rep, err = tuner.CompareContext(ctx, prog, in)
+	case j.Spec.Adaptive:
+		rep, err = tuner.TuneAdaptiveContext(ctx, prog, in, funcytuner.DefaultStopRule())
+	default:
+		rep, err = tuner.TuneContext(ctx, prog, in)
+	}
+	m.finish(j, rep, err)
+}
+
+// finish records a job's terminal state and updates the server metrics.
+func (m *Manager) finish(j *Job, rep *funcytuner.Report, err error) {
+	j.mu.Lock()
+	j.ended = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.report = rep
+		m.reg.Counter(MetricJobsDone).Inc()
+	case errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.err = err.Error()
+		m.reg.Counter(MetricJobsCancelled).Inc()
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+		m.reg.Counter(MetricJobsFailed).Inc()
+	}
+	j.mu.Unlock()
+	m.mu.Lock()
+	m.running--
+	m.reg.Gauge(MetricJobsRunning).Set(float64(m.running))
+	m.mu.Unlock()
+}
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns every job's status in submission order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]Status, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := m.Get(id); ok {
+			out = append(out, j.Status())
+		}
+	}
+	return out
+}
+
+// Cancel requests cancellation of a running job. Idempotent; cancelling
+// a finished job is a no-op. The job drains to its checkpoint and lands
+// in StateCancelled.
+func (m *Manager) Cancel(id string) (Status, error) {
+	j, ok := m.Get(id)
+	if !ok {
+		return Status{}, fmt.Errorf("server: unknown job %q", id)
+	}
+	j.mu.Lock()
+	if j.state == StateRunning {
+		j.state = StateCancelling
+	}
+	j.mu.Unlock()
+	j.cancel()
+	return j.Status(), nil
+}
+
+// Drain stops accepting jobs, cancels every running job, and waits for
+// all of them to reach a terminal state (each cancelled job flushes its
+// checkpoint on the way out). It returns early with ctx's error if the
+// jobs have not drained in time.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	for _, id := range ids {
+		m.Cancel(id) // idempotent; finished jobs no-op
+	}
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// Status snapshots the job's state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, statErr := os.Stat(j.ckptPath)
+	return Status{
+		ID:         j.ID,
+		State:      j.state,
+		Spec:       j.Spec,
+		Error:      j.err,
+		Checkpoint: j.ckptPath,
+		Resumable:  statErr == nil,
+		Submitted:  j.submitted,
+		Ended:      j.ended,
+	}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result renders the completed job's report; an error for any other
+// state.
+func (j *Job) Result() (Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone || j.report == nil {
+		return Result{}, fmt.Errorf("server: job %s is %s, not done", j.ID, j.state)
+	}
+	rep := j.report
+	res := Result{
+		ID:          j.ID,
+		Algorithm:   rep.Best.Algorithm,
+		Speedup:     rep.Best.Speedup,
+		Baseline:    rep.Best.Baseline,
+		Best:        rep.Best.TrueTime,
+		Evaluations: rep.Best.Evaluations,
+		Speedups:    make(map[string]float64, len(rep.All)),
+		Modules:     rep.Modules,
+		Compiles:    rep.Compiles,
+		Runs:        rep.Runs,
+		SimHours:    rep.SimulatedHours,
+		Fingerprint: fmt.Sprintf("%016x", rep.Fingerprint()),
+		Metrics:     rep.Metrics,
+	}
+	for name, r := range rep.All {
+		res.Speedups[name] = r.Speedup
+	}
+	for _, cv := range rep.Best.ModuleCVs {
+		res.ModuleFlags = append(res.ModuleFlags, cv.String())
+	}
+	return res, nil
+}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// lineLog is a thread-safe, append-only line buffer. The tuning run
+// writes progress lines into it (it implements io.Writer for
+// Options.Progress) and any number of HTTP followers stream them out
+// tail -f style, each from the beginning.
+type lineLog struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	lines  []string
+	buf    []byte
+	closed bool
+}
+
+func newLineLog() *lineLog {
+	l := &lineLog{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Write buffers p, publishing a line per '\n'. Always succeeds.
+func (l *lineLog) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf = append(l.buf, p...)
+	for {
+		i := -1
+		for j, b := range l.buf {
+			if b == '\n' {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			break
+		}
+		l.lines = append(l.lines, string(l.buf[:i]))
+		l.buf = append(l.buf[:0], l.buf[i+1:]...)
+	}
+	l.cond.Broadcast()
+	return len(p), nil
+}
+
+// Close flushes any unterminated partial line and ends every follower
+// once it has drained the buffer.
+func (l *lineLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.buf) > 0 {
+		l.lines = append(l.lines, string(l.buf))
+		l.buf = nil
+	}
+	l.closed = true
+	l.cond.Broadcast()
+	return nil
+}
+
+// Lines snapshots the published lines.
+func (l *lineLog) Lines() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, len(l.lines))
+	copy(out, l.lines)
+	return out
+}
+
+// Follow streams every line (from the first) through emit, blocking for
+// new ones until the log closes, ctx is cancelled, or emit fails.
+func (l *lineLog) Follow(ctx context.Context, emit func(line string) error) error {
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		// Wake the cond wait when the follower's context ends; the
+		// goroutine exits as soon as Follow returns.
+		select {
+		case <-ctx.Done():
+		case <-stop:
+		}
+		l.cond.Broadcast()
+	}()
+	next := 0
+	for {
+		l.mu.Lock()
+		for next >= len(l.lines) && !l.closed && ctx.Err() == nil {
+			l.cond.Wait()
+		}
+		batch := l.lines[next:]
+		next = len(l.lines)
+		closed := l.closed
+		l.mu.Unlock()
+		for _, line := range batch {
+			if err := emit(line); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if closed && len(batch) == 0 {
+			return nil
+		}
+		if closed {
+			// Drain once more in case lines landed while emitting.
+			continue
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package funcytuner
 
 import (
+	"context"
+
 	"bytes"
 	"strings"
 	"testing"
@@ -196,11 +198,11 @@ func TestMetricsMatchCostAccountAndCacheStats(t *testing.T) {
 	}
 	sess.AttachMetrics(metrics.NewRegistry())
 	cs0 := sess.CacheStats()
-	col, err := sess.Collect()
+	col, err := sess.Collect(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sess.CFR(col); err != nil {
+	if _, err := sess.CFR(context.Background(), col); err != nil {
 		t.Fatal(err)
 	}
 	snap := sess.MetricsSnapshot()
