@@ -3,12 +3,23 @@
 // /jobs/{id} and /jobs/{id}/progress, cancel it with
 // POST /jobs/{id}/cancel, and read the winner from /jobs/{id}/result.
 //
-// All jobs share one worker gate (-global-workers), so the daemon's
-// total in-flight evaluations stay bounded no matter how many jobs are
-// submitted. On SIGINT/SIGTERM the daemon stops accepting work, cancels
-// every running job at its next evaluation boundary, and drains each to
-// a valid checkpoint under -data — a restarted daemon (or the CLI) can
-// resume them with the "resume" spec field.
+// The daemon runs in one of three modes:
+//
+//	-mode=local        (default) every job evaluates in-process; all
+//	                   jobs share one worker gate (-global-workers)
+//	-mode=coordinator  like local, plus a fleet coordinator mounted at
+//	                   /fleet/ — jobs submitted with "distributed": true
+//	                   dispatch their evaluations to remote workers via
+//	                   the lease protocol (-lease-ttl, -heartbeat)
+//	-mode=worker       no job API; claims evaluations from -coordinator
+//	                   and reports outcomes until quarantined or killed
+//
+// On SIGINT/SIGTERM a local or coordinator daemon stops accepting work,
+// cancels every running job at its next evaluation boundary, and drains
+// each to a valid checkpoint under -data — a restarted daemon (or the
+// CLI) can resume them with the "resume" spec field. A worker simply
+// stops claiming; its in-flight leases expire and are re-dispatched,
+// which changes nothing about the run's result.
 package main
 
 import (
@@ -16,6 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -23,42 +35,192 @@ import (
 	"syscall"
 	"time"
 
+	"funcytuner/internal/faults"
+	"funcytuner/internal/fleet"
+	"funcytuner/internal/metrics"
 	"funcytuner/internal/server"
 )
 
 func main() {
-	if err := run(); err != nil {
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "funcytunerd:", err)
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "funcytunerd:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	addr := flag.String("addr", "127.0.0.1:7461", "listen address")
-	data := flag.String("data", "funcytunerd-data", "checkpoint root directory (one subdirectory per job)")
-	globalWorkers := flag.Int("global-workers", runtime.GOMAXPROCS(0),
-		"total in-flight evaluations across all jobs")
-	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
-		"how long shutdown waits for jobs to drain to their checkpoints")
-	flag.Parse()
-	if *globalWorkers < 1 {
-		return fmt.Errorf("-global-workers must be >= 1, got %d", *globalWorkers)
-	}
-	if *drainTimeout <= 0 {
-		return fmt.Errorf("-drain-timeout must be positive, got %v", *drainTimeout)
-	}
+// config is the parsed, validated command line.
+type config struct {
+	mode          string
+	addr          string
+	data          string
+	globalWorkers int
+	drainTimeout  time.Duration
 
-	mgr, err := server.NewManager(server.Config{
-		Dir:  *data,
-		Gate: server.NewGate(*globalWorkers),
+	// Coordinator-mode lease protocol knobs.
+	leaseTTL       time.Duration
+	heartbeat      time.Duration
+	maxLeaseLosses int
+
+	// Worker-mode knobs.
+	coordinator string
+	workerID    string
+	concurrency int
+	poll        time.Duration
+	faultRate   float64
+}
+
+// parseFlags parses and validates args. It is pure apart from writing
+// usage to errOut, so tests can drive it table-style.
+func parseFlags(args []string, errOut io.Writer) (config, error) {
+	var cfg config
+	fs := flag.NewFlagSet("funcytunerd", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	fs.StringVar(&cfg.mode, "mode", "local", "local, coordinator or worker")
+	fs.StringVar(&cfg.addr, "addr", "127.0.0.1:7461", "listen address (local, coordinator)")
+	fs.StringVar(&cfg.data, "data", "funcytunerd-data", "checkpoint root directory (one subdirectory per job)")
+	fs.IntVar(&cfg.globalWorkers, "global-workers", runtime.GOMAXPROCS(0),
+		"total in-flight evaluations across all jobs (local, coordinator)")
+	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second,
+		"how long shutdown waits for jobs to drain to their checkpoints")
+	fs.DurationVar(&cfg.leaseTTL, "lease-ttl", fleet.DefaultLeaseTTL,
+		"evaluation lease TTL; a worker silent for this long loses its claim (coordinator)")
+	fs.DurationVar(&cfg.heartbeat, "heartbeat", 0,
+		"heartbeat cadence workers are told to keep; 0 = lease-ttl/4 (coordinator)")
+	fs.IntVar(&cfg.maxLeaseLosses, "max-lease-losses", fleet.DefaultMaxLeaseLosses,
+		"consecutive lease losses before a worker is quarantined (coordinator)")
+	fs.StringVar(&cfg.coordinator, "coordinator", "", "coordinator base URL, e.g. http://host:7461 (worker)")
+	fs.StringVar(&cfg.workerID, "worker-id", "", "stable worker identity; default hostname-pid (worker)")
+	fs.IntVar(&cfg.concurrency, "concurrency", runtime.GOMAXPROCS(0), "simultaneous claims (worker)")
+	fs.DurationVar(&cfg.poll, "poll", 2*time.Second, "claim long-poll bound (worker)")
+	fs.Float64Var(&cfg.faultRate, "worker-fault-rate", 0,
+		"scale of the injected worker fault mix, for chaos testing (worker)")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if fs.NArg() > 0 {
+		return cfg, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return cfg, cfg.validate()
+}
+
+func (cfg config) validate() error {
+	switch cfg.mode {
+	case "local", "coordinator", "worker":
+	default:
+		return fmt.Errorf("-mode must be local, coordinator or worker, got %q", cfg.mode)
+	}
+	if cfg.mode == "worker" {
+		if cfg.coordinator == "" {
+			return fmt.Errorf("-mode=worker requires -coordinator URL")
+		}
+		if cfg.concurrency < 1 {
+			return fmt.Errorf("-concurrency must be >= 1, got %d", cfg.concurrency)
+		}
+		if cfg.poll <= 0 {
+			return fmt.Errorf("-poll must be positive, got %v", cfg.poll)
+		}
+		if cfg.faultRate < 0 {
+			return fmt.Errorf("-worker-fault-rate must be >= 0, got %v", cfg.faultRate)
+		}
+		return nil
+	}
+	if cfg.globalWorkers < 1 {
+		return fmt.Errorf("-global-workers must be >= 1, got %d", cfg.globalWorkers)
+	}
+	if cfg.drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout must be positive, got %v", cfg.drainTimeout)
+	}
+	if cfg.mode == "coordinator" {
+		if cfg.leaseTTL <= 0 {
+			return fmt.Errorf("-lease-ttl must be positive, got %v", cfg.leaseTTL)
+		}
+		if cfg.heartbeat < 0 {
+			return fmt.Errorf("-heartbeat must be >= 0, got %v", cfg.heartbeat)
+		}
+		if cfg.heartbeat >= cfg.leaseTTL {
+			return fmt.Errorf("-heartbeat (%v) must be below -lease-ttl (%v), or a healthy worker can lose its lease between beats",
+				cfg.heartbeat, cfg.leaseTTL)
+		}
+		if cfg.maxLeaseLosses < 1 {
+			return fmt.Errorf("-max-lease-losses must be >= 1, got %d", cfg.maxLeaseLosses)
+		}
+	}
+	return nil
+}
+
+func run(cfg config) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if cfg.mode == "worker" {
+		return runWorker(ctx, cfg)
+	}
+	return runServer(ctx, stop, cfg)
+}
+
+// runWorker claims evaluations from the coordinator until the context
+// is cancelled, the coordinator shuts down, or it quarantines us.
+func runWorker(ctx context.Context, cfg config) error {
+	id := cfg.workerID
+	if id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w, err := fleet.NewWorker(fleet.WorkerConfig{
+		ID:          id,
+		Coordinator: cfg.coordinator,
+		Concurrency: cfg.concurrency,
+		Poll:        cfg.poll,
+		Faults:      faults.DefaultWorkerRates().Scale(cfg.faultRate),
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
 	})
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Addr: *addr, Handler: server.NewServer(mgr)}
+	fmt.Printf("funcytunerd: worker %s claiming from %s (%d slots)\n", id, cfg.coordinator, cfg.concurrency)
+	if err := w.Run(ctx); err != nil {
+		return err
+	}
+	fmt.Println("funcytunerd: worker stopped")
+	return nil
+}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+// runServer serves the job API in local or coordinator mode.
+func runServer(ctx context.Context, stop context.CancelFunc, cfg config) error {
+	mcfg := server.Config{
+		Dir:  cfg.data,
+		Gate: server.NewGate(cfg.globalWorkers),
+	}
+	if cfg.mode == "coordinator" {
+		coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+			LeaseTTL:       cfg.leaseTTL,
+			Heartbeat:      cfg.heartbeat,
+			MaxLeaseLosses: cfg.maxLeaseLosses,
+			Registry:       metrics.NewRegistry(),
+		})
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		mcfg.Fleet = coord
+	}
+	mgr, err := server.NewManager(mcfg)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Addr: cfg.addr, Handler: server.NewServer(mgr)}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -68,8 +230,8 @@ func run() error {
 		}
 		errc <- nil
 	}()
-	fmt.Printf("funcytunerd: listening on http://%s (data %s, %d worker slots)\n",
-		*addr, *data, *globalWorkers)
+	fmt.Printf("funcytunerd: %s mode, listening on http://%s (data %s, %d worker slots)\n",
+		cfg.mode, cfg.addr, cfg.data, cfg.globalWorkers)
 
 	select {
 	case err := <-errc:
@@ -79,10 +241,11 @@ func run() error {
 	stop() // restore default signal handling: a second signal kills us
 
 	fmt.Println("funcytunerd: shutting down, draining jobs to checkpoints...")
-	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	// Stop accepting connections first, then drain jobs; each cancelled
-	// job flushes its checkpoint before its goroutine exits.
+	// job flushes its checkpoint before its goroutine exits. Closing the
+	// coordinator (deferred) fails the drained distributed evaluations.
 	if err := srv.Shutdown(dctx); err != nil {
 		fmt.Fprintln(os.Stderr, "funcytunerd: http shutdown:", err)
 	}

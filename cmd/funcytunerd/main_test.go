@@ -1,0 +1,95 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring; empty = must succeed
+		check   func(t *testing.T, cfg config)
+	}{
+		{
+			name: "defaults-are-local",
+			args: nil,
+			check: func(t *testing.T, cfg config) {
+				if cfg.mode != "local" {
+					t.Errorf("mode = %q", cfg.mode)
+				}
+				if cfg.globalWorkers < 1 {
+					t.Errorf("globalWorkers = %d", cfg.globalWorkers)
+				}
+			},
+		},
+		{
+			name: "coordinator-defaults",
+			args: []string{"-mode=coordinator"},
+			check: func(t *testing.T, cfg config) {
+				if cfg.leaseTTL <= 0 {
+					t.Errorf("leaseTTL = %v", cfg.leaseTTL)
+				}
+				if cfg.maxLeaseLosses < 1 {
+					t.Errorf("maxLeaseLosses = %d", cfg.maxLeaseLosses)
+				}
+			},
+		},
+		{
+			name: "worker-ok",
+			args: []string{"-mode=worker", "-coordinator=http://127.0.0.1:7461", "-concurrency=3"},
+			check: func(t *testing.T, cfg config) {
+				if cfg.coordinator != "http://127.0.0.1:7461" || cfg.concurrency != 3 {
+					t.Errorf("cfg = %+v", cfg)
+				}
+			},
+		},
+		{
+			name: "explicit-heartbeat-below-ttl",
+			args: []string{"-mode=coordinator", "-lease-ttl=10s", "-heartbeat=2s"},
+			check: func(t *testing.T, cfg config) {
+				if cfg.heartbeat != 2*time.Second {
+					t.Errorf("heartbeat = %v", cfg.heartbeat)
+				}
+			},
+		},
+		{name: "unknown-mode", args: []string{"-mode=cluster"}, wantErr: "-mode must be"},
+		{name: "zero-global-workers", args: []string{"-global-workers=0"}, wantErr: "-global-workers must be >= 1"},
+		{name: "negative-global-workers", args: []string{"-global-workers=-4"}, wantErr: "-global-workers must be >= 1"},
+		{name: "zero-drain-timeout", args: []string{"-drain-timeout=0s"}, wantErr: "-drain-timeout must be positive"},
+		{name: "heartbeat-equals-ttl", args: []string{"-mode=coordinator", "-lease-ttl=5s", "-heartbeat=5s"}, wantErr: "must be below -lease-ttl"},
+		{name: "heartbeat-above-ttl", args: []string{"-mode=coordinator", "-lease-ttl=5s", "-heartbeat=6s"}, wantErr: "must be below -lease-ttl"},
+		{name: "negative-heartbeat", args: []string{"-mode=coordinator", "-heartbeat=-1s"}, wantErr: "-heartbeat must be >= 0"},
+		{name: "zero-lease-ttl", args: []string{"-mode=coordinator", "-lease-ttl=0s"}, wantErr: "-lease-ttl must be positive"},
+		{name: "zero-lease-losses", args: []string{"-mode=coordinator", "-max-lease-losses=0"}, wantErr: "-max-lease-losses must be >= 1"},
+		{name: "worker-without-coordinator", args: []string{"-mode=worker"}, wantErr: "requires -coordinator"},
+		{name: "worker-zero-concurrency", args: []string{"-mode=worker", "-coordinator=http://x", "-concurrency=0"}, wantErr: "-concurrency must be >= 1"},
+		{name: "worker-zero-poll", args: []string{"-mode=worker", "-coordinator=http://x", "-poll=0s"}, wantErr: "-poll must be positive"},
+		{name: "worker-negative-fault-rate", args: []string{"-mode=worker", "-coordinator=http://x", "-worker-fault-rate=-1"}, wantErr: "-worker-fault-rate must be >= 0"},
+		{name: "stray-args", args: []string{"serve"}, wantErr: "unexpected arguments"},
+		{name: "unknown-flag", args: []string{"-bogus"}, wantErr: "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := parseFlags(tc.args, io.Discard)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if tc.check != nil {
+					tc.check(t, cfg)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error containing %q, got config %+v", tc.wantErr, cfg)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -99,6 +99,20 @@ type (
 	// parallelism. Gates only sequence scheduling; they never change
 	// results.
 	WorkerGate = core.WorkerGate
+	// Evaluator executes evaluation claims outside the tuning process —
+	// the coordinator half of a distributed fleet (see Options.Evaluator
+	// and internal/fleet). Each claim is a pure function of the run's
+	// seed and the claim identity, so remote execution cannot change any
+	// Report.
+	Evaluator = core.RemoteEvaluator
+	// EvalRequest identifies one evaluation claim (phase, sample, CVs).
+	EvalRequest = core.EvalRequest
+	// EvalOutcome is one completed claim's portable result: measured
+	// times, cost delta, quarantine decisions, and the trace span.
+	EvalOutcome = core.EvalOutcome
+	// CostSnapshot is the JSON-portable form of a run's cost ledger,
+	// carried in checkpoints and fleet evaluation outcomes.
+	CostSnapshot = core.CostSnapshot
 )
 
 // NewTraceRecorder returns an empty trace recorder for Options.Trace.
@@ -213,6 +227,13 @@ type Options struct {
 	// service) caps total in-flight evaluations regardless of each run's
 	// Workers setting. Nil leaves the run bounded only by Workers.
 	Gate WorkerGate
+	// Evaluator, when non-nil, turns the run into a fleet coordinator:
+	// every evaluation is dispatched through it (typically to remote
+	// worker processes via internal/fleet) instead of executing
+	// in-process, and its outcome is merged as if measured locally. The
+	// Report is bit-identical to a local run's — evaluations are pure
+	// functions of their claims, so where they execute is unobservable.
+	Evaluator Evaluator
 
 	// Trace, when non-nil, records structured span events (session, phase,
 	// compile, link, run, retry, fault, cache, eval) into the recorder as
@@ -436,6 +457,7 @@ func (t *Tuner) session(prog *Program, in Input) (*core.Session, outline.Result,
 		TimeoutBudget:     t.opts.TimeoutBudget,
 		KillAfterEvals:    t.opts.KillAfterEvals,
 		Gate:              t.opts.Gate,
+		Remote:            t.opts.Evaluator,
 	})
 	if err != nil {
 		return nil, outline.Result{}, err
@@ -531,6 +553,47 @@ func (t *Tuner) startProgress(sess *core.Session, expected int64) func() {
 		emit(true)
 	}
 }
+
+// EvalService executes evaluation claims for a tuning run of prog on in —
+// the worker half of a distributed fleet. It holds a session configured
+// identically to the coordinator's (same seed, budgets, fault rates and
+// outlined partition), so every claim's outcome is bit-identical to what
+// the coordinator would have measured locally.
+type EvalService struct {
+	sess *core.Session
+}
+
+// EvalService builds the claim-execution service for prog on in. The
+// tuner must be local (Options.Evaluator unset): a claim executed by a
+// coordinator would recurse into its own fleet.
+func (t *Tuner) EvalService(prog *Program, in Input) (*EvalService, error) {
+	if t.err != nil {
+		return nil, t.err
+	}
+	if t.opts.Evaluator != nil {
+		return nil, fmt.Errorf("funcytuner: EvalService requires a local tuner (Options.Evaluator is set)")
+	}
+	sess, _, err := t.session(prog, in)
+	if err != nil {
+		return nil, err
+	}
+	return &EvalService{sess: sess}, nil
+}
+
+// Evaluate executes one claim. Claims for distinct (phase, sample) pairs
+// may run concurrently; re-executing a claim returns a bit-identical
+// outcome, which is what makes lease-expiry re-dispatch safe.
+func (s *EvalService) Evaluate(ctx context.Context, req EvalRequest) (EvalOutcome, error) {
+	return s.sess.EvaluateClaim(ctx, req)
+}
+
+// Space returns the flag space claims' CVs must come from — the decoder
+// for wire-format CV values.
+func (s *EvalService) Space() *Space { return s.sess.Toolchain.Space }
+
+// Modules returns the outlined partition's module count J: the CV count
+// a non-collect claim must carry.
+func (s *EvalService) Modules() int { return len(s.sess.Part.Modules) }
 
 // Tune runs the FuncyTuner pipeline (collection + CFR) on prog with in.
 func (t *Tuner) Tune(prog *Program, in Input) (*Report, error) {

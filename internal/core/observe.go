@@ -137,6 +137,24 @@ func (m *sessionMetrics) finishEval(ec evalCost) {
 	m.evalRetries.Observe(float64(ec.retries))
 }
 
+// applyRemote mirrors the per-fault-class counters for a remotely
+// executed evaluation. Local evaluations increment these at the branch
+// sites inside icePass/faultedRun, which run on the worker for a remote
+// claim; replaying them from the cost delta preserves the invariant that
+// each counter equals its CostAccount accessor exactly. The aggregate
+// counters and histograms come from the usual finishEval call.
+func (m *sessionMetrics) applyRemote(ec evalCost) {
+	if !m.enabled {
+		return
+	}
+	m.retries.Add(ec.retries)
+	m.flakes.Add(ec.flakes)
+	m.timeouts.Add(ec.timeouts)
+	m.compileFails.Add(ec.compileFails)
+	m.runCrashes.Add(ec.runCrashes)
+	m.wastedCompiles.Add(ec.wastedCompiles)
+}
+
 // simSeconds is the evaluation's simulated-clock offset so far, in
 // seconds — the deterministic timestamp trace events carry.
 func (ec *evalCost) simSeconds() float64 { return float64(ec.simMicros) / 1e6 }

@@ -113,6 +113,7 @@ func (s *Session) icePass(cvs []flagspec.CV, ec *evalCost, tb *trace.Batch) bool
 		key := cv.Key()
 		if s.faults.CompileFails(key) {
 			s.quarantineCV(key)
+			ec.quarantined = append(ec.quarantined, key)
 			ice = true
 		}
 	}
@@ -159,6 +160,7 @@ func (s *Session) faultedRun(ctx context.Context, ec *evalCost, akey uint64, exe
 		if s.faults.RunCrashes(akey) {
 			for _, q := range crashQ {
 				s.quarantineCV(q)
+				ec.quarantined = append(ec.quarantined, q)
 			}
 			ec.runCrashes++
 			ec.addRun(0.1) // the failed launch still costs a moment
@@ -228,10 +230,17 @@ func (s *Session) faultedRun(ctx context.Context, ec *evalCost, akey uint64, exe
 // returning.
 func (s *Session) measureEval(ctx context.Context, cvs []flagspec.CV, phase string, k int) (float64, evalCost, error) {
 	var ec evalCost
+	if s.Config.Remote != nil {
+		out, ec, err := s.remoteEval(ctx, EvalRequest{Phase: phase, Sample: k, CVs: cvs})
+		if err != nil {
+			return 0, ec, err
+		}
+		return out.Total, ec, nil
+	}
 	if err := s.checkCancelled(ctx); err != nil {
 		return 0, ec, err
 	}
-	tb := s.tr.Batch(phase, k)
+	tb := s.batchFor(phase, k)
 	if s.icePass(cvs, &ec, tb) {
 		s.finishEval(ec)
 		s.closeEval(tb, &ec, math.Inf(1))
@@ -299,6 +308,17 @@ func (s *Session) infPerModule() []float64 {
 
 // measureUniformEval is measureUniform plus the evaluation's cost delta.
 func (s *Session) measureUniformEval(ctx context.Context, cv flagspec.CV, phase string, k int) (perModule []float64, total float64, ec evalCost, err error) {
+	if s.Config.Remote != nil {
+		out, rec, rerr := s.remoteEval(ctx, EvalRequest{Phase: phase, Sample: k, CVs: []flagspec.CV{cv}})
+		if rerr != nil {
+			return nil, 0, rec, rerr
+		}
+		if len(out.PerModule) != len(s.Part.Modules) {
+			return nil, 0, rec, fmt.Errorf("core: remote collect %d returned %d module times, want %d",
+				k, len(out.PerModule), len(s.Part.Modules))
+		}
+		return out.PerModule, out.Total, rec, nil
+	}
 	if err := s.checkCancelled(ctx); err != nil {
 		return nil, 0, ec, err
 	}
@@ -306,7 +326,7 @@ func (s *Session) measureUniformEval(ctx context.Context, cv flagspec.CV, phase 
 	for i := range uniform {
 		uniform[i] = cv
 	}
-	tb := s.tr.Batch(phase, k)
+	tb := s.batchFor(phase, k)
 	if s.icePass(uniform, &ec, tb) {
 		s.finishEval(ec)
 		s.closeEval(tb, &ec, math.Inf(1))

@@ -114,6 +114,14 @@ type Config struct {
 	// every evaluation holds one slot while it runs. Nil leaves the
 	// session bounded only by its own Workers setting.
 	Gate WorkerGate
+
+	// Remote, when non-nil, turns the session into a fleet coordinator:
+	// every evaluation is dispatched through the evaluator instead of
+	// compiling and running locally, and the returned outcome is merged
+	// as if the evaluation had run in-process (see remote.go). Because
+	// each evaluation is a pure function of its claim, the merged results
+	// are bit-identical to a local run's.
+	Remote RemoteEvaluator
 }
 
 // DefaultConfig returns the paper's settings: 1000 samples, top-50
@@ -255,6 +263,10 @@ type evalCost struct {
 	compiles, runs, simMicros                  int64
 	retries, wastedCompiles, faultMicros       int64
 	compileFails, runCrashes, timeouts, flakes int64
+	// quarantined lists the CV fingerprints this evaluation classified as
+	// poison, so a remote outcome can replay the quarantine decisions on
+	// the coordinator. Transport only — never enters the CostAccount.
+	quarantined []uint64
 }
 
 // addRun charges one program execution of the given simulated duration.
@@ -376,6 +388,12 @@ type Session struct {
 	// Optional checkpoint sink/source for Collect and CFR.
 	ckpt *Checkpointer
 
+	// In-flight claim captures (EvaluateClaim): detached trace batches
+	// keyed by (phase, sample), consulted by batchFor so a worker-side
+	// evaluation's span is captured instead of recorded locally.
+	capMu    sync.Mutex
+	captures map[capKey]*trace.Batch
+
 	// runProf precomputes the run-invariant cost-model terms for
 	// (Prog, Machine, Input) — every session run goes through it. Sound
 	// because a session's program is immutable for its lifetime.
@@ -413,6 +431,7 @@ func NewSession(tc *compiler.Toolchain, prog *ir.Program, part ir.Partition, m *
 		faults:      faults.New(cfg.Seed, m.ID, baselineKey, cfg.Faults),
 		baselineKey: baselineKey,
 		quarantine:  make(map[uint64]bool),
+		captures:    make(map[capKey]*trace.Batch),
 		runProf:     exec.NewRunProfile(prog, m, in),
 		prep:        prep,
 	}, nil

@@ -1,0 +1,123 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWorkerModelDeterministic(t *testing.T) {
+	m1 := NewWorkerModel("seed", "worker-0", DefaultWorkerRates())
+	m2 := NewWorkerModel("seed", "worker-0", DefaultWorkerRates())
+	for k := uint64(0); k < 5000; k++ {
+		if a, b := m1.Classify(k), m2.Classify(k); a != b {
+			t.Fatalf("claim %d: same (seed, worker) drew %v vs %v", k, a, b)
+		}
+	}
+}
+
+func TestWorkerModelIndependentStreams(t *testing.T) {
+	base := NewWorkerModel("seed", "worker-0", DefaultWorkerRates())
+	for _, other := range []*WorkerModel{
+		NewWorkerModel("seed", "worker-1", DefaultWorkerRates()),
+		NewWorkerModel("other-seed", "worker-0", DefaultWorkerRates()),
+	} {
+		same := 0
+		const n = 5000
+		for k := uint64(0); k < n; k++ {
+			if base.Classify(k) == other.Classify(k) {
+				same++
+			}
+		}
+		// The streams agree only by chance; with ~90% OK mass they still
+		// must disagree on a visible fraction of claims.
+		if same == n {
+			t.Fatalf("distinct (seed, worker) streams are identical")
+		}
+	}
+}
+
+func TestWorkerModelRates(t *testing.T) {
+	rates := WorkerRates{DieMidEval: 0.1, Stall: 0.1, ReportThenDie: 0.1, StaleReport: 0.1}
+	m := NewWorkerModel("rates", "w", rates)
+	counts := map[WorkerClass]int{}
+	const n = 20000
+	for k := uint64(0); k < n; k++ {
+		counts[m.Classify(k)]++
+	}
+	for _, c := range []WorkerClass{WorkerDieMidEval, WorkerStall, WorkerReportThenDie, WorkerStaleReport} {
+		got := float64(counts[c]) / n
+		if math.Abs(got-0.1) > 0.02 {
+			t.Errorf("%v rate %.3f, want ~0.1", c, got)
+		}
+	}
+	if got := float64(counts[WorkerOK]) / n; math.Abs(got-0.6) > 0.03 {
+		t.Errorf("ok rate %.3f, want ~0.6", got)
+	}
+}
+
+func TestWorkerModelDisabled(t *testing.T) {
+	if m := NewWorkerModel("seed", "w", WorkerRates{}); m != nil {
+		t.Fatalf("zero rates should yield a nil model")
+	}
+	var m *WorkerModel
+	if c := m.Classify(42); c != WorkerOK {
+		t.Fatalf("nil model classified %v, want ok", c)
+	}
+}
+
+func TestWorkerRatesValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		r    WorkerRates
+		ok   bool
+	}{
+		{"zero", WorkerRates{}, true},
+		{"default", DefaultWorkerRates(), true},
+		{"high", WorkerRates{DieMidEval: 0.95}, true},
+		{"negative", WorkerRates{Stall: -0.1}, false},
+		{"one", WorkerRates{ReportThenDie: 1}, false},
+		{"nan", WorkerRates{StaleReport: math.NaN()}, false},
+	}
+	for _, tc := range cases {
+		err := tc.r.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestWorkerRatesScale(t *testing.T) {
+	r := DefaultWorkerRates().Scale(100)
+	for name, v := range map[string]float64{
+		"DieMidEval": r.DieMidEval, "Stall": r.Stall,
+		"ReportThenDie": r.ReportThenDie, "StaleReport": r.StaleReport,
+	} {
+		if v > 0.95 {
+			t.Errorf("%s not clamped: %v", name, v)
+		}
+	}
+	if r := DefaultWorkerRates().Scale(0); r.Enabled() {
+		t.Errorf("scaling to zero should disable every mode")
+	}
+}
+
+func TestWorkerClassString(t *testing.T) {
+	want := map[WorkerClass]string{
+		WorkerOK:            "ok",
+		WorkerDieMidEval:    "die-mid-eval",
+		WorkerStall:         "stall",
+		WorkerReportThenDie: "report-then-die",
+		WorkerStaleReport:   "stale-report",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if got := WorkerClass(99).String(); got != "faults.WorkerClass(99)" {
+		t.Errorf("unknown class string %q", got)
+	}
+}

@@ -1,0 +1,572 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"funcytuner/internal/core"
+	"funcytuner/internal/metrics"
+)
+
+// Coordinator defaults.
+const (
+	// DefaultLeaseTTL is the lease deadline granted with each claim.
+	DefaultLeaseTTL = 10 * time.Second
+	// DefaultMaxLeaseLosses is the consecutive-lease-loss threshold past
+	// which a worker is quarantined (the PR-1 quarantine idea lifted from
+	// CVs to workers: repeated permanent failure means stop feeding it).
+	DefaultMaxLeaseLosses = 3
+	// DefaultRequeueBackoff is the initial delay before an expired
+	// lease's task becomes claimable again, doubled per loss and capped
+	// at DefaultRequeueBackoffCap — the retry/backoff shape of the
+	// evaluation-level resilience path, applied to claims.
+	DefaultRequeueBackoff    = 200 * time.Millisecond
+	DefaultRequeueBackoffCap = 2 * time.Second
+)
+
+// Fleet metric names, registered in the coordinator's registry.
+const (
+	MetricTasksEnqueued      = "fleet_tasks_enqueued"
+	MetricClaims             = "fleet_claims"
+	MetricReportsOK          = "fleet_reports_ok"
+	MetricReportsStale       = "fleet_reports_stale"
+	MetricLeasesExpired      = "fleet_leases_expired"
+	MetricRequeues           = "fleet_requeues"
+	MetricWorkersQuarantined = "fleet_workers_quarantined"
+	// MetricLostLeaseMillis accumulates wall-clock spent inside leases
+	// that expired — the fleet-level fault cost. It lives here, not in
+	// the session CostAccount: lease losses depend on scheduling and
+	// chaos timing, so charging them into the deterministic ledger would
+	// break the fingerprint's worker-kill invariance (the same reasoning
+	// that keeps CacheStats out of Report.Fingerprint).
+	MetricLostLeaseMillis = "fleet_lost_lease_millis"
+	MetricActiveLeases    = "fleet_active_leases"
+	MetricQueueDepth      = "fleet_queue_depth"
+	MetricKnownWorkers    = "fleet_workers"
+)
+
+// Sentinel errors surfaced through the HTTP layer.
+var (
+	// ErrClosed means the coordinator is shut down (claims answer 503).
+	ErrClosed = errors.New("fleet: coordinator closed")
+	// ErrQuarantined means the claiming worker lost too many leases in a
+	// row and is barred (claims answer 403).
+	ErrQuarantined = errors.New("fleet: worker quarantined")
+)
+
+// CoordinatorConfig parameterizes the lease protocol. Zero fields take
+// the defaults above.
+type CoordinatorConfig struct {
+	// LeaseTTL is the deadline granted with each claim.
+	LeaseTTL time.Duration
+	// Heartbeat is the cadence workers are told to beat at; it must be
+	// below LeaseTTL (defaults to LeaseTTL/4).
+	Heartbeat time.Duration
+	// MaxLeaseLosses quarantines a worker after that many consecutive
+	// lease losses.
+	MaxLeaseLosses int
+	// RequeueBackoff/RequeueBackoffCap shape the exponential delay before
+	// an expired task is re-claimable.
+	RequeueBackoff    time.Duration
+	RequeueBackoffCap time.Duration
+	// Registry receives the fleet counters and gauges; nil disables them.
+	Registry *metrics.Registry
+}
+
+func (c CoordinatorConfig) leaseTTL() time.Duration {
+	if c.LeaseTTL > 0 {
+		return c.LeaseTTL
+	}
+	return DefaultLeaseTTL
+}
+
+func (c CoordinatorConfig) heartbeat() time.Duration {
+	if c.Heartbeat > 0 {
+		return c.Heartbeat
+	}
+	return c.leaseTTL() / 4
+}
+
+func (c CoordinatorConfig) maxLeaseLosses() int {
+	if c.MaxLeaseLosses > 0 {
+		return c.MaxLeaseLosses
+	}
+	return DefaultMaxLeaseLosses
+}
+
+func (c CoordinatorConfig) backoff(losses int) time.Duration {
+	base := c.RequeueBackoff
+	if base <= 0 {
+		base = DefaultRequeueBackoff
+	}
+	cap := c.RequeueBackoffCap
+	if cap <= 0 {
+		cap = DefaultRequeueBackoffCap
+	}
+	b := base
+	for i := 1; i < losses && b < cap; i++ {
+		b *= 2
+	}
+	if b > cap {
+		b = cap
+	}
+	return b
+}
+
+// validate rejects protocol configurations that cannot work.
+func (c CoordinatorConfig) validate() error {
+	if c.LeaseTTL < 0 || c.Heartbeat < 0 || c.RequeueBackoff < 0 || c.RequeueBackoffCap < 0 {
+		return fmt.Errorf("fleet: negative duration in coordinator config")
+	}
+	if c.MaxLeaseLosses < 0 {
+		return fmt.Errorf("fleet: MaxLeaseLosses must be >= 0")
+	}
+	if c.heartbeat() >= c.leaseTTL() {
+		return fmt.Errorf("fleet: heartbeat %v must be below lease TTL %v", c.heartbeat(), c.leaseTTL())
+	}
+	return nil
+}
+
+// taskResult is what Evaluate unblocks on.
+type taskResult struct {
+	out core.EvalOutcome
+	err error
+}
+
+// task is the coordinator-side state of one claim.
+type task struct {
+	id     string
+	job    string
+	spec   Spec
+	phase  string
+	sample int
+	cvs    [][]int
+	// epoch is the lease generation, incremented on every grant.
+	epoch int
+	// losses counts expired leases of this task (drives the requeue
+	// backoff). notBefore delays re-claiming after a loss.
+	losses    int
+	notBefore time.Time
+	// leasedAt, while leased, is the grant time (drives the lost-lease
+	// cost accounting when the lease expires).
+	leasedAt time.Time
+	done     chan taskResult // buffered 1; exactly one accepted report
+}
+
+// lease is one live claim grant.
+type lease struct {
+	t        *task
+	worker   string
+	deadline time.Time
+}
+
+// workerState tracks one worker's lease-loss record.
+type workerState struct {
+	losses      int // consecutive; reset by an accepted report
+	quarantined bool
+}
+
+// Coordinator owns the task queue, the lease table and the worker
+// quarantine for one funcytunerd process. It is transport-agnostic:
+// Handler (http.go) exposes it over HTTP, and the tests drive it
+// directly.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu      sync.Mutex
+	queue   []*task           // FIFO; entries may be backoff-delayed
+	leases  map[string]*lease // task ID → live lease
+	tasks   map[string]*task  // task ID → any non-finished task
+	workers map[string]*workerState
+	waitCh  chan struct{} // closed and replaced whenever work may appear
+	closed  bool
+	seq     int64
+
+	reaperStop chan struct{}
+	reaperWG   sync.WaitGroup
+
+	mTasks, mClaims, mOK, mStale      *metrics.Counter
+	mExpired, mRequeues, mQuarantined *metrics.Counter
+	mLostMillis                       *metrics.Counter
+	gLeases, gQueue, gWorkers         *metrics.Gauge
+}
+
+// NewCoordinator builds a coordinator and starts its lease reaper.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:        cfg,
+		leases:     make(map[string]*lease),
+		tasks:      make(map[string]*task),
+		workers:    make(map[string]*workerState),
+		waitCh:     make(chan struct{}),
+		reaperStop: make(chan struct{}),
+	}
+	if reg := cfg.Registry; reg != nil {
+		c.mTasks = reg.Counter(MetricTasksEnqueued)
+		c.mClaims = reg.Counter(MetricClaims)
+		c.mOK = reg.Counter(MetricReportsOK)
+		c.mStale = reg.Counter(MetricReportsStale)
+		c.mExpired = reg.Counter(MetricLeasesExpired)
+		c.mRequeues = reg.Counter(MetricRequeues)
+		c.mQuarantined = reg.Counter(MetricWorkersQuarantined)
+		c.mLostMillis = reg.Counter(MetricLostLeaseMillis)
+		c.gLeases = reg.Gauge(MetricActiveLeases)
+		c.gQueue = reg.Gauge(MetricQueueDepth)
+		c.gWorkers = reg.Gauge(MetricKnownWorkers)
+	}
+	c.reaperWG.Add(1)
+	go c.reap()
+	return c, nil
+}
+
+// Close shuts the coordinator down: pending Evaluate calls fail, claims
+// answer ErrClosed, and the reaper stops. Idempotent.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	for _, t := range c.tasks {
+		select {
+		case t.done <- taskResult{err: ErrClosed}:
+		default:
+		}
+	}
+	c.queue = nil
+	c.leases = map[string]*lease{}
+	c.tasks = map[string]*task{}
+	c.updateGauges()
+	c.broadcastLocked()
+	close(c.reaperStop)
+	c.mu.Unlock()
+	c.reaperWG.Wait()
+}
+
+// Registry returns the registry receiving the fleet counters and
+// gauges, nil when metrics are disabled.
+func (c *Coordinator) Registry() *metrics.Registry { return c.cfg.Registry }
+
+// ActiveLeases returns the number of live leases (healthz feed).
+func (c *Coordinator) ActiveLeases() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.leases)
+}
+
+// QueueDepth returns the number of claimable or backoff-pending tasks.
+func (c *Coordinator) QueueDepth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// Workers returns (known, quarantined) worker counts.
+func (c *Coordinator) Workers() (known, quarantined int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		known++
+		if w.quarantined {
+			quarantined++
+		}
+	}
+	return known, quarantined
+}
+
+// broadcastLocked wakes every long-polling claim. Callers hold c.mu.
+func (c *Coordinator) broadcastLocked() {
+	close(c.waitCh)
+	c.waitCh = make(chan struct{})
+}
+
+// updateGauges refreshes the queue/lease/worker gauges. Callers hold c.mu.
+func (c *Coordinator) updateGauges() {
+	c.gQueue.Set(float64(len(c.queue)))
+	c.gLeases.Set(float64(len(c.leases)))
+	c.gWorkers.Set(float64(len(c.workers)))
+}
+
+// Evaluator returns the per-job core.RemoteEvaluator that feeds this
+// coordinator: each Evaluate call enqueues one claim and blocks until a
+// worker's accepted report (or ctx cancellation) resolves it. Plugged
+// into funcytuner.Options.Evaluator, it turns an ordinary tuning run
+// into the fleet's search loop.
+func (c *Coordinator) Evaluator(job string, spec Spec) (core.RemoteEvaluator, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	return &jobEvaluator{c: c, job: job, spec: spec}, nil
+}
+
+type jobEvaluator struct {
+	c    *Coordinator
+	job  string
+	spec Spec
+}
+
+// Evaluate implements core.RemoteEvaluator: one claim, one accepted
+// report. Lease losses along the way are invisible here — the task is
+// simply re-dispatched until some worker's report lands.
+func (e *jobEvaluator) Evaluate(ctx context.Context, req core.EvalRequest) (core.EvalOutcome, error) {
+	t, err := e.c.enqueue(e.job, e.spec, req)
+	if err != nil {
+		return core.EvalOutcome{}, err
+	}
+	select {
+	case res := <-t.done:
+		if res.err != nil {
+			return core.EvalOutcome{}, res.err
+		}
+		return res.out, nil
+	case <-ctx.Done():
+		e.c.abandon(t)
+		return core.EvalOutcome{}, ctx.Err()
+	}
+}
+
+// enqueue registers one claim and wakes the pollers.
+func (c *Coordinator) enqueue(job string, spec Spec, req core.EvalRequest) (*task, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	c.seq++
+	t := &task{
+		id:     fmt.Sprintf("%s/%s/%d#%d", job, req.Phase, req.Sample, c.seq),
+		job:    job,
+		spec:   spec,
+		phase:  req.Phase,
+		sample: req.Sample,
+		cvs:    encodeCVs(req.CVs),
+		done:   make(chan taskResult, 1),
+	}
+	c.tasks[t.id] = t
+	c.queue = append(c.queue, t)
+	c.mTasks.Inc()
+	c.updateGauges()
+	c.broadcastLocked()
+	return t, nil
+}
+
+// abandon withdraws a task whose Evaluate context was cancelled: it
+// leaves the queue and the lease table, and any late report for it is
+// rejected as stale.
+func (c *Coordinator) abandon(t *task) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.tasks, t.id)
+	delete(c.leases, t.id)
+	for i, q := range c.queue {
+		if q == t {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			break
+		}
+	}
+	c.updateGauges()
+}
+
+// Claim leases the oldest claimable task to worker, long-polling up to
+// maxWait for one to appear. Returns (nil, nil) when nothing became
+// claimable in time (the HTTP layer's 204).
+func (c *Coordinator) Claim(ctx context.Context, worker string, maxWait time.Duration) (*Task, error) {
+	if worker == "" {
+		return nil, fmt.Errorf("fleet: claim with empty worker ID")
+	}
+	deadline := time.Now().Add(maxWait)
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClosed
+		}
+		ws := c.workers[worker]
+		if ws == nil {
+			// First contact — mid-run rejoin is this cheap: claiming is
+			// registration.
+			ws = &workerState{}
+			c.workers[worker] = ws
+		}
+		if ws.quarantined {
+			c.mu.Unlock()
+			return nil, ErrQuarantined
+		}
+		now := time.Now()
+		var grant *task
+		nextReady := time.Time{}
+		for i, t := range c.queue {
+			if !t.notBefore.After(now) {
+				grant = t
+				c.queue = append(c.queue[:i], c.queue[i+1:]...)
+				break
+			}
+			if nextReady.IsZero() || t.notBefore.Before(nextReady) {
+				nextReady = t.notBefore
+			}
+		}
+		if grant != nil {
+			grant.epoch++
+			grant.leasedAt = now
+			c.leases[grant.id] = &lease{t: grant, worker: worker, deadline: now.Add(c.cfg.leaseTTL())}
+			c.mClaims.Inc()
+			c.updateGauges()
+			wire := &Task{
+				ID:              grant.id,
+				Job:             grant.job,
+				Spec:            grant.spec,
+				Phase:           grant.phase,
+				Sample:          grant.sample,
+				CVs:             grant.cvs,
+				Epoch:           grant.epoch,
+				LeaseMillis:     c.cfg.leaseTTL().Milliseconds(),
+				HeartbeatMillis: c.cfg.heartbeat().Milliseconds(),
+			}
+			c.mu.Unlock()
+			return wire, nil
+		}
+		wait := c.waitCh
+		c.mu.Unlock()
+
+		sleep := time.Until(deadline)
+		if !nextReady.IsZero() {
+			if d := time.Until(nextReady); d < sleep {
+				sleep = d
+			}
+		}
+		if sleep <= 0 {
+			return nil, nil
+		}
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+			if time.Now().After(deadline) {
+				return nil, nil
+			}
+		case <-wait:
+			timer.Stop()
+		}
+	}
+}
+
+// Heartbeat extends a live lease. It reports false when the lease is
+// gone or the epoch is stale — the worker's cue to abandon the
+// evaluation (self-fencing).
+func (c *Coordinator) Heartbeat(worker, taskID string, epoch int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l := c.leases[taskID]
+	if l == nil || l.worker != worker || l.t.epoch != epoch {
+		return false
+	}
+	l.deadline = time.Now().Add(c.cfg.leaseTTL())
+	return true
+}
+
+// Report resolves a claim. Exactly one report per task is accepted — the
+// one carrying the live lease's worker and epoch; everything else
+// (expired lease, burned epoch, duplicate send, abandoned task) reports
+// false and is cost-accounted nowhere, which is what keeps the merged
+// run byte-identical to a clean one.
+func (c *Coordinator) Report(worker, taskID string, epoch int, out *Outcome, evalErr string) (accepted bool, err error) {
+	c.mu.Lock()
+	l := c.leases[taskID]
+	if l == nil || l.worker != worker || l.t.epoch != epoch {
+		c.mStale.Inc()
+		c.mu.Unlock()
+		return false, nil
+	}
+	t := l.t
+	delete(c.leases, taskID)
+	delete(c.tasks, taskID)
+	if ws := c.workers[worker]; ws != nil {
+		ws.losses = 0
+	}
+	c.mOK.Inc()
+	c.updateGauges()
+	c.mu.Unlock()
+
+	var res taskResult
+	switch {
+	case evalErr != "":
+		res.err = fmt.Errorf("fleet: worker %s failed task %s: %s", worker, taskID, evalErr)
+	case out == nil:
+		res.err = fmt.Errorf("fleet: worker %s reported task %s with no outcome", worker, taskID)
+	default:
+		res.out, res.err = out.decode()
+	}
+	select {
+	case t.done <- res:
+	default:
+	}
+	return true, nil
+}
+
+// reap expires overdue leases. An expired lease is a worker fault: the
+// task goes back in the queue behind an exponential backoff (retrying a
+// claim is the claim-level analogue of the evaluation retry path), the
+// worker's consecutive-loss count rises, and a worker that keeps losing
+// leases is quarantined so the fleet stops feeding it.
+func (c *Coordinator) reap() {
+	defer c.reaperWG.Done()
+	tick := c.cfg.leaseTTL() / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.reaperStop:
+			return
+		case <-ticker.C:
+			c.expireLeases()
+		}
+	}
+}
+
+// expireLeases requeues every overdue lease's task.
+func (c *Coordinator) expireLeases() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	now := time.Now()
+	requeued := false
+	for id, l := range c.leases {
+		if now.Before(l.deadline) {
+			continue
+		}
+		t := l.t
+		delete(c.leases, id)
+		c.mExpired.Inc()
+		c.mLostMillis.Add(now.Sub(t.leasedAt).Milliseconds())
+		t.losses++
+		t.notBefore = now.Add(c.cfg.backoff(t.losses))
+		c.queue = append(c.queue, t)
+		c.mRequeues.Inc()
+		requeued = true
+		if ws := c.workers[l.worker]; ws != nil && !ws.quarantined {
+			ws.losses++
+			if ws.losses >= c.cfg.maxLeaseLosses() {
+				ws.quarantined = true
+				c.mQuarantined.Inc()
+			}
+		}
+	}
+	if requeued {
+		c.updateGauges()
+		c.broadcastLocked()
+	}
+}

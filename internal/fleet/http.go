@@ -1,0 +1,203 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// HTTP status mapping of the protocol:
+//
+//	POST /fleet/claim      200 Task | 204 nothing claimable | 403 worker
+//	                       quarantined | 503 coordinator closed
+//	POST /fleet/heartbeat  200 lease extended | 409 lease gone/stale epoch
+//	POST /fleet/report     200 accepted | 409 stale (rejected, counted) |
+//	                       400 malformed
+//
+// 409 is deliberately not an error for the worker: a stale heartbeat or
+// report is the normal aftermath of a lease the coordinator already
+// re-dispatched. The worker's only correct reaction is to drop the
+// evaluation and claim fresh work.
+
+// maxBodyBytes bounds request bodies; an outcome carries at most one
+// evaluation's trace span.
+const maxBodyBytes = 8 << 20
+
+// Handler exposes the coordinator over HTTP under /fleet/.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /fleet/claim", c.handleClaim)
+	mux.HandleFunc("POST /fleet/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /fleet/report", c.handleReport)
+	return mux
+}
+
+func decodeBody[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
+	var v T
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return v, false
+	}
+	return v, true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) handleClaim(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeBody[claimRequest](w, r)
+	if !ok {
+		return
+	}
+	wait := time.Duration(req.WaitMillis) * time.Millisecond
+	if wait < 0 {
+		wait = 0
+	}
+	if max := 30 * time.Second; wait > max {
+		wait = max
+	}
+	t, err := c.Claim(r.Context(), req.Worker, wait)
+	switch {
+	case err == ErrClosed:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	case err == ErrQuarantined:
+		writeJSON(w, http.StatusForbidden, map[string]string{"error": err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	case t == nil:
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeJSON(w, http.StatusOK, t)
+	}
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeBody[heartbeatRequest](w, r)
+	if !ok {
+		return
+	}
+	if c.Heartbeat(req.Worker, req.Task, req.Epoch) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return
+	}
+	writeJSON(w, http.StatusConflict, map[string]string{"error": "lease gone or epoch stale"})
+}
+
+func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeBody[reportRequest](w, r)
+	if !ok {
+		return
+	}
+	accepted, err := c.Report(req.Worker, req.Task, req.Epoch, req.Outcome, req.Error)
+	switch {
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	case !accepted:
+		writeJSON(w, http.StatusConflict, map[string]string{"error": "report stale: lease gone or epoch burned"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}
+}
+
+// client is the worker's view of the coordinator's HTTP surface.
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+func newClient(base string, hc *http.Client) *client {
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &client{base: base, hc: hc}
+}
+
+// post sends one JSON request and decodes the response body (when out is
+// non-nil and the status has a body). It returns the status code.
+func (cl *client) post(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cl.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := cl.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("fleet: decoding %s response: %w", path, err)
+		}
+		return resp.StatusCode, nil
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, maxBodyBytes))
+	return resp.StatusCode, nil
+}
+
+// claim long-polls for one task. (nil, nil) means nothing claimable.
+func (cl *client) claim(ctx context.Context, worker string, wait time.Duration) (*Task, error) {
+	var t Task
+	code, err := cl.post(ctx, "/fleet/claim", claimRequest{Worker: worker, WaitMillis: wait.Milliseconds()}, &t)
+	if err != nil {
+		return nil, err
+	}
+	switch code {
+	case http.StatusOK:
+		return &t, nil
+	case http.StatusNoContent:
+		return nil, nil
+	case http.StatusForbidden:
+		return nil, ErrQuarantined
+	case http.StatusServiceUnavailable:
+		return nil, ErrClosed
+	default:
+		return nil, fmt.Errorf("fleet: claim: unexpected status %d", code)
+	}
+}
+
+// heartbeat extends a lease; ok=false means the lease is gone (fence).
+func (cl *client) heartbeat(ctx context.Context, worker, taskID string, epoch int) (ok bool, err error) {
+	code, err := cl.post(ctx, "/fleet/heartbeat", heartbeatRequest{Worker: worker, Task: taskID, Epoch: epoch}, nil)
+	if err != nil {
+		return false, err
+	}
+	switch code {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusConflict:
+		return false, nil
+	default:
+		return false, fmt.Errorf("fleet: heartbeat: unexpected status %d", code)
+	}
+}
+
+// report delivers an outcome; accepted=false means the report was stale.
+func (cl *client) report(ctx context.Context, worker, taskID string, epoch int, out *Outcome, evalErr string) (accepted bool, err error) {
+	code, err := cl.post(ctx, "/fleet/report",
+		reportRequest{Worker: worker, Task: taskID, Epoch: epoch, Outcome: out, Error: evalErr}, nil)
+	if err != nil {
+		return false, err
+	}
+	switch code {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusConflict:
+		return false, nil
+	default:
+		return false, fmt.Errorf("fleet: report: unexpected status %d", code)
+	}
+}

@@ -1,0 +1,357 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"funcytuner"
+	"funcytuner/internal/faults"
+	"funcytuner/internal/xrand"
+)
+
+// WorkerConfig parameterizes one evaluation worker process.
+type WorkerConfig struct {
+	// ID is the worker's stable identity (lease attribution, quarantine,
+	// fault-stream seeding). Required.
+	ID string
+	// Coordinator is the coordinator's base URL. Required.
+	Coordinator string
+	// Concurrency bounds simultaneous claims (default 1).
+	Concurrency int
+	// Poll is the claim long-poll bound (default 2s).
+	Poll time.Duration
+	// Faults injects worker-level chaos (die-mid-eval, stall,
+	// report-then-die, stale re-report). Zero value = a healthy worker.
+	Faults faults.WorkerRates
+	// HTTPClient overrides the transport (tests); nil uses a default.
+	HTTPClient *http.Client
+	// Logf, when non-nil, receives one line per notable event.
+	Logf func(format string, args ...any)
+}
+
+func (c WorkerConfig) validate() error {
+	if c.ID == "" {
+		return fmt.Errorf("fleet: worker ID is required")
+	}
+	if c.Coordinator == "" {
+		return fmt.Errorf("fleet: coordinator URL is required")
+	}
+	if c.Concurrency < 0 {
+		return fmt.Errorf("fleet: concurrency must be >= 0, got %d", c.Concurrency)
+	}
+	if c.Poll < 0 {
+		return fmt.Errorf("fleet: poll interval must be >= 0, got %v", c.Poll)
+	}
+	return c.Faults.Validate()
+}
+
+func (c WorkerConfig) concurrency() int {
+	if c.Concurrency > 0 {
+		return c.Concurrency
+	}
+	return 1
+}
+
+func (c WorkerConfig) poll() time.Duration {
+	if c.Poll > 0 {
+		return c.Poll
+	}
+	return 2 * time.Second
+}
+
+// jobService caches one job's claim executor. Built on first claim, so
+// a worker that joins mid-run needs no handshake beyond claiming.
+type jobService struct {
+	spec Spec
+	svc  *funcytuner.EvalService
+	err  error
+}
+
+// Worker claims, evaluates and reports until its context is cancelled,
+// the coordinator closes, or the coordinator quarantines it. All tuning
+// state lives in its per-job EvalServices, which are pure functions of
+// the Spec — restarting a worker loses nothing.
+type Worker struct {
+	cfg WorkerConfig
+	cl  *client
+
+	mu       sync.Mutex
+	services map[string]*jobService
+	models   map[string]*faults.WorkerModel
+}
+
+// NewWorker builds a worker for cfg.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Worker{
+		cfg:      cfg,
+		cl:       newClient(cfg.Coordinator, cfg.HTTPClient),
+		services: make(map[string]*jobService),
+		models:   make(map[string]*faults.WorkerModel),
+	}, nil
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// Run executes the claim loop until ctx is cancelled or the coordinator
+// closes (both return nil) or quarantines this worker (returns
+// ErrQuarantined).
+func (w *Worker) Run(ctx context.Context) error {
+	n := w.cfg.concurrency()
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- w.loop(ctx)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *Worker) loop(ctx context.Context) error {
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		t, err := w.cl.claim(ctx, w.cfg.ID, w.cfg.poll())
+		switch {
+		case errors.Is(err, ErrClosed):
+			return nil
+		case errors.Is(err, ErrQuarantined):
+			w.logf("fleet worker %s: quarantined by coordinator, stopping", w.cfg.ID)
+			return ErrQuarantined
+		case errors.Is(err, context.Canceled) || ctx.Err() != nil:
+			return nil
+		case err != nil:
+			// Transport trouble (coordinator restarting, partition):
+			// back off and keep trying — rejoining is just claiming.
+			w.logf("fleet worker %s: claim failed: %v", w.cfg.ID, err)
+			sleepCtx(ctx, w.cfg.poll()/4+10*time.Millisecond)
+			continue
+		case t == nil:
+			continue // long-poll expired, nothing claimable
+		}
+		if err := w.execute(ctx, t); err != nil {
+			w.logf("fleet worker %s: task %s: %v", w.cfg.ID, t.ID, err)
+		}
+	}
+}
+
+// classify draws the injected worker fault mode for one lease. The draw
+// folds the lease epoch into the key, so a re-dispatched claim draws
+// fresh — a worker that died on a task is not doomed to die on it again.
+func (w *Worker) classify(t *Task) faults.WorkerClass {
+	if !w.cfg.Faults.Enabled() {
+		return faults.WorkerOK
+	}
+	w.mu.Lock()
+	m, ok := w.models[t.Spec.Seed]
+	if !ok {
+		m = faults.NewWorkerModel(t.Spec.Seed, w.cfg.ID, w.cfg.Faults)
+		w.models[t.Spec.Seed] = m
+	}
+	w.mu.Unlock()
+	return m.Classify(xrand.Combine(xrand.HashString(t.ID), uint64(t.Epoch)))
+}
+
+// service returns the claim executor for the task's job, building it on
+// first contact.
+func (w *Worker) service(t *Task) (*funcytuner.EvalService, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if s, ok := w.services[t.Job]; ok {
+		if s.spec != t.Spec {
+			return nil, fmt.Errorf("fleet: job %s spec changed mid-run", t.Job)
+		}
+		return s.svc, s.err
+	}
+	s := &jobService{spec: t.Spec}
+	s.svc, s.err = buildService(t.Spec)
+	w.services[t.Job] = s
+	return s.svc, s.err
+}
+
+// buildService rebuilds the coordinator's session from the Spec — same
+// deterministic inputs, so every claim outcome is bit-identical to a
+// local evaluation on the coordinator.
+func buildService(spec Spec) (*funcytuner.EvalService, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	prog, err := funcytuner.Benchmark(spec.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	machine, err := funcytuner.MachineByName(spec.Machine)
+	if err != nil {
+		return nil, err
+	}
+	in := funcytuner.TuningInput(spec.Benchmark, machine)
+	tuner := funcytuner.NewTuner(funcytuner.Options{
+		Machine: machine,
+		Samples: spec.Samples,
+		TopX:    spec.TopX,
+		Seed:    spec.Seed,
+		Faults:  funcytuner.DefaultFaultRates().Scale(spec.FaultRate),
+	})
+	return tuner.EvalService(prog, in)
+}
+
+// execute runs one leased claim end to end, applying the injected fault
+// mode. Lease hygiene: heartbeat while evaluating, self-fence (abandon
+// the evaluation) the moment a heartbeat says the lease is gone or the
+// coordinator has been unreachable for a full TTL, and never report a
+// claim whose lease we know we lost.
+func (w *Worker) execute(ctx context.Context, t *Task) error {
+	leaseTTL := time.Duration(t.LeaseMillis) * time.Millisecond
+	hb := time.Duration(t.HeartbeatMillis) * time.Millisecond
+	mode := w.classify(t)
+	if mode != faults.WorkerOK {
+		w.logf("fleet worker %s: injecting %v on task %s epoch %d", w.cfg.ID, mode, t.ID, t.Epoch)
+	}
+	if mode == faults.WorkerDieMidEval {
+		// Go dark mid-evaluation: no heartbeat, no report. Sitting out
+		// the lease models the death; looping again models the rejoin.
+		sleepCtx(ctx, leaseTTL+hb)
+		return nil
+	}
+
+	svc, err := w.service(t)
+	if err != nil {
+		_, rerr := w.cl.report(ctx, w.cfg.ID, t.ID, t.Epoch, nil, err.Error())
+		return rerr
+	}
+	cvs, err := decodeCVs(svc.Space(), t.CVs)
+	if err != nil {
+		_, rerr := w.cl.report(ctx, w.cfg.ID, t.ID, t.Epoch, nil, err.Error())
+		return rerr
+	}
+	req := funcytuner.EvalRequest{Phase: t.Phase, Sample: t.Sample, CVs: cvs}
+
+	evalCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	if mode == faults.WorkerStall {
+		// Injected hang: blow past the lease deadline without a single
+		// heartbeat, then wake up and report anyway — the late report
+		// must bounce off the burned epoch.
+		sleepCtx(ctx, leaseTTL+hb)
+	} else {
+		hbWG.Add(1)
+		go func() {
+			defer hbWG.Done()
+			w.heartbeatLoop(evalCtx, cancel, hbStop, t, leaseTTL, hb)
+		}()
+	}
+
+	out, evalErr := svc.Evaluate(evalCtx, req)
+	close(hbStop)
+	hbWG.Wait()
+
+	if ctx.Err() != nil {
+		return nil // shutting down; the lease will expire on its own
+	}
+	if evalCtx.Err() != nil {
+		// Self-fenced: the lease is gone, nobody will accept a report.
+		w.logf("fleet worker %s: fenced off task %s epoch %d", w.cfg.ID, t.ID, t.Epoch)
+		return nil
+	}
+
+	var wireOut *Outcome
+	var errStr string
+	if evalErr != nil {
+		errStr = evalErr.Error()
+	} else {
+		wireOut = encodeOutcome(out)
+	}
+	accepted, rerr := w.cl.report(ctx, w.cfg.ID, t.ID, t.Epoch, wireOut, errStr)
+	if rerr != nil {
+		return rerr // lease expires on its own; the claim is re-dispatched
+	}
+	if !accepted {
+		w.logf("fleet worker %s: report for task %s epoch %d rejected as stale", w.cfg.ID, t.ID, t.Epoch)
+	}
+	switch mode {
+	case faults.WorkerStaleReport:
+		// Replay the report, modeling a rejoining worker flushing its
+		// send buffer: the duplicate must be rejected and change nothing.
+		w.cl.report(ctx, w.cfg.ID, t.ID, t.Epoch, wireOut, errStr)
+	case faults.WorkerReportThenDie:
+		// The report landed; now the worker goes dark before its next
+		// claim, so peers must carry the run until it rejoins.
+		sleepCtx(ctx, leaseTTL)
+	}
+	return nil
+}
+
+// heartbeatLoop keeps one lease alive while the evaluation runs. It
+// fences (cancels the evaluation) when the coordinator says the lease is
+// gone, or when no heartbeat has succeeded for a whole lease TTL — the
+// partitioned worker must assume its lease expired rather than report
+// into a burned epoch.
+func (w *Worker) heartbeatLoop(ctx context.Context, fence context.CancelFunc, stop <-chan struct{}, t *Task, leaseTTL, hb time.Duration) {
+	if hb <= 0 {
+		hb = leaseTTL / 4
+	}
+	if hb <= 0 {
+		hb = time.Second
+	}
+	ticker := time.NewTicker(hb)
+	defer ticker.Stop()
+	lastOK := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			ok, err := w.cl.heartbeat(ctx, w.cfg.ID, t.ID, t.Epoch)
+			switch {
+			case err == nil && ok:
+				lastOK = time.Now()
+			case err == nil && !ok:
+				fence()
+				return
+			default:
+				if time.Since(lastOK) > leaseTTL {
+					fence()
+					return
+				}
+			}
+		}
+	}
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+	case <-timer.C:
+	}
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"funcytuner/internal/fleet"
+)
+
+// startFleetWorkers runs n fleet workers against the server's mounted
+// /fleet/ routes until the test ends.
+func startFleetWorkers(t *testing.T, baseURL string, n int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w, err := fleet.NewWorker(fleet.WorkerConfig{
+			ID:          "w-" + string(rune('a'+i)),
+			Coordinator: baseURL,
+			Concurrency: 2,
+			Poll:        200 * time.Millisecond,
+			Logf:        t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx) //nolint:errcheck // cancelled at cleanup
+		}()
+	}
+	t.Cleanup(func() {
+		cancel()
+		wg.Wait()
+	})
+}
+
+// TestDistributedJobMatchesLocalFingerprint submits the same seeded spec
+// twice — once in-process, once dispatched to fleet workers over the
+// server's own /fleet/ routes — and demands identical fingerprints.
+func TestDistributedJobMatchesLocalFingerprint(t *testing.T) {
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		LeaseTTL:  2 * time.Second,
+		Heartbeat: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	mgr := newTestManager(t, Config{Fleet: coord})
+	ts := httptest.NewServer(NewServer(mgr))
+	defer ts.Close()
+	startFleetWorkers(t, ts.URL, 2)
+
+	spec := JobSpec{Benchmark: "CL", Machine: "broadwell", Samples: 20, TopX: 5, Seed: "fleet-vs-local", Workers: 4, FaultRate: 1}
+	run := func(distributed bool) Result {
+		s := spec
+		s.Distributed = distributed
+		resp := postJSON(t, ts.URL+"/jobs", s)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit (distributed=%v): got %d, want 202", distributed, resp.StatusCode)
+		}
+		st := decode[Status](t, resp)
+		j, ok := mgr.Get(st.ID)
+		if !ok {
+			t.Fatalf("job %s not in manager", st.ID)
+		}
+		waitJob(t, j)
+		resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("result (distributed=%v): got %d; status %+v", distributed, resp.StatusCode, j.Status())
+		}
+		return decode[Result](t, resp)
+	}
+	local := run(false)
+	remote := run(true)
+	if local.Fingerprint != remote.Fingerprint {
+		t.Errorf("distributed fingerprint %s != local %s", remote.Fingerprint, local.Fingerprint)
+	}
+}
+
+// TestDistributedJobRequiresFleet rejects distributed submissions when
+// no coordinator is configured.
+func TestDistributedJobRequiresFleet(t *testing.T) {
+	mgr := newTestManager(t, Config{})
+	ts := httptest.NewServer(NewServer(mgr))
+	defer ts.Close()
+	resp := postJSON(t, ts.URL+"/jobs", JobSpec{Benchmark: "CL", Machine: "broadwell", Distributed: true})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("got %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHealthzReportsState covers the probe payload: job counts, the
+// fleet section when a coordinator is mounted, and 503 once draining.
+func TestHealthzReportsState(t *testing.T) {
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	mgr := newTestManager(t, Config{Fleet: coord})
+	ts := httptest.NewServer(NewServer(mgr))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: got %d, want 200", resp.StatusCode)
+	}
+	h := decode[healthView](t, resp)
+	if h.Status != "ok" || h.Draining || h.Jobs != 0 || h.Running != 0 {
+		t.Fatalf("healthz = %+v", h)
+	}
+	if h.Fleet == nil {
+		t.Fatal("healthz missing fleet section with a coordinator configured")
+	}
+	if h.Fleet.ActiveLeases != 0 || h.Fleet.Workers != 0 {
+		t.Fatalf("fleet health = %+v", h.Fleet)
+	}
+
+	// A worker's first claim registers it; the probe sees the fleet grow.
+	if _, err := coord.Claim(context.Background(), "probe-worker", 0); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h = decode[healthView](t, resp)
+	if h.Fleet.Workers != 1 {
+		t.Fatalf("fleet workers = %d, want 1", h.Fleet.Workers)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), testTimeout)
+	defer cancel()
+	if err := mgr.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz: got %d, want 503", resp.StatusCode)
+	}
+	h = decode[healthView](t, resp)
+	if h.Status != "draining" || !h.Draining {
+		t.Fatalf("draining healthz = %+v", h)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"funcytuner"
+	"funcytuner/internal/fleet"
 	"funcytuner/internal/metrics"
 )
 
@@ -60,6 +61,10 @@ type JobSpec struct {
 	Workers int `json:"workers,omitempty"`
 	// FaultRate scales the default injected fault mix (0 = clean).
 	FaultRate float64 `json:"fault_rate,omitempty"`
+	// Distributed dispatches the job's evaluations to the fleet instead
+	// of running them in-process. Requires the manager to be configured
+	// with a fleet coordinator.
+	Distributed bool `json:"distributed,omitempty"`
 	// Adaptive selects early-stopped CFR; Compare the full §4.1 protocol.
 	Adaptive bool `json:"adaptive,omitempty"`
 	Compare  bool `json:"compare,omitempty"`
@@ -167,6 +172,10 @@ type Config struct {
 	// Gate bounds in-flight evaluations across all jobs. Nil leaves
 	// jobs bounded only by their own Workers settings.
 	Gate funcytuner.WorkerGate
+	// Fleet, when non-nil, lets jobs with Distributed set dispatch their
+	// evaluations to remote workers through this coordinator. The server
+	// mounts its claim/heartbeat/report routes under /fleet/.
+	Fleet *fleet.Coordinator
 }
 
 // Manager owns the job table and the shared worker gate.
@@ -206,6 +215,9 @@ func (m *Manager) Metrics() *metrics.Registry { return m.reg }
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
+	}
+	if spec.Distributed && m.cfg.Fleet == nil {
+		return nil, fmt.Errorf("server: distributed job needs a fleet coordinator (run with -mode=coordinator)")
 	}
 	m.mu.Lock()
 	if m.draining {
@@ -269,6 +281,25 @@ func (m *Manager) run(ctx context.Context, j *Job, resumeFrom string) {
 	if seed == "" {
 		seed = j.ID
 	}
+	gate := m.cfg.Gate
+	var evaluator funcytuner.Evaluator
+	if j.Spec.Distributed {
+		evaluator, err = m.cfg.Fleet.Evaluator(j.ID, fleet.Spec{
+			Benchmark: j.Spec.Benchmark,
+			Machine:   j.Spec.Machine,
+			Samples:   j.Spec.Samples,
+			TopX:      j.Spec.TopX,
+			Seed:      seed,
+			FaultRate: j.Spec.FaultRate,
+		})
+		if err != nil {
+			m.finish(j, nil, err)
+			return
+		}
+		// Evaluations run on the workers' CPUs; holding local gate slots
+		// while blocked on the network would only throttle the fleet.
+		gate = nil
+	}
 	tuner := funcytuner.NewTuner(funcytuner.Options{
 		Machine:         machine,
 		Samples:         j.Spec.Samples,
@@ -279,7 +310,8 @@ func (m *Manager) run(ctx context.Context, j *Job, resumeFrom string) {
 		Checkpoint:      j.ckptPath,
 		Resume:          resumeFrom,
 		CheckpointEvery: j.Spec.CheckpointEvery,
-		Gate:            m.cfg.Gate,
+		Gate:            gate,
+		Evaluator:       evaluator,
 		Trace:           j.trace,
 		Progress:        j.progress,
 		ProgressEvery:   time.Second,
@@ -319,6 +351,20 @@ func (m *Manager) finish(j *Job, rep *funcytuner.Report, err error) {
 	m.running--
 	m.reg.Gauge(MetricJobsRunning).Set(float64(m.running))
 	m.mu.Unlock()
+}
+
+// Draining reports whether the manager has stopped accepting jobs.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Counts returns the job-table size and the number of running jobs.
+func (m *Manager) Counts() (jobs, running int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.jobs), m.running
 }
 
 // Get returns a job by ID.

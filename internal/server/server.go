@@ -18,7 +18,9 @@ import (
 //	GET  /jobs/{id}/progress  stream progress lines (tail -f; plain text)
 //	GET  /jobs/{id}/trace     structured trace snapshot (JSONL)
 //	GET  /metrics             server + gate metrics snapshot (JSON)
-//	GET  /healthz             liveness probe
+//	GET  /healthz             liveness/readiness probe (503 when draining)
+//	POST /fleet/*             coordinator claim/heartbeat/report (when a
+//	                          fleet coordinator is configured)
 type Server struct {
 	mgr *Manager
 	mux *http.ServeMux
@@ -35,10 +37,50 @@ func NewServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}/progress", s.progress)
 	s.mux.HandleFunc("GET /jobs/{id}/trace", s.trace)
 	s.mux.HandleFunc("GET /metrics", s.metrics)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s.mux.HandleFunc("GET /healthz", s.healthz)
+	if mgr.cfg.Fleet != nil {
+		s.mux.Handle("/fleet/", mgr.cfg.Fleet.Handler())
+	}
 	return s
+}
+
+// healthView is the /healthz payload: enough for a probe to distinguish
+// "alive", "alive but draining" (503) and, on a coordinator, whether the
+// fleet is actually holding leases.
+type healthView struct {
+	Status   string       `json:"status"` // ok | draining
+	Draining bool         `json:"draining"`
+	Jobs     int          `json:"jobs"`
+	Running  int          `json:"running"`
+	Fleet    *fleetHealth `json:"fleet,omitempty"`
+}
+
+type fleetHealth struct {
+	ActiveLeases int `json:"active_leases"`
+	QueueDepth   int `json:"queue_depth"`
+	Workers      int `json:"workers"`
+	Quarantined  int `json:"quarantined"`
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	jobs, running := s.mgr.Counts()
+	v := healthView{Status: "ok", Jobs: jobs, Running: running}
+	code := http.StatusOK
+	if s.mgr.Draining() {
+		v.Status = "draining"
+		v.Draining = true
+		code = http.StatusServiceUnavailable
+	}
+	if c := s.mgr.cfg.Fleet; c != nil {
+		known, quarantined := c.Workers()
+		v.Fleet = &fleetHealth{
+			ActiveLeases: c.ActiveLeases(),
+			QueueDepth:   c.QueueDepth(),
+			Workers:      known,
+			Quarantined:  quarantined,
+		}
+	}
+	writeJSON(w, code, v)
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -145,11 +187,13 @@ func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
 	_ = j.trace.Snapshot().WriteJSONL(w)
 }
 
-// metricsView is the /metrics payload: the server's own registry plus
-// the shared gate's live occupancy.
+// metricsView is the /metrics payload: the server's own registry, the
+// shared gate's live occupancy, and the fleet coordinator's counters
+// when one is mounted.
 type metricsView struct {
-	Server metrics.Snapshot `json:"server"`
-	Gate   *gateView        `json:"gate,omitempty"`
+	Server metrics.Snapshot  `json:"server"`
+	Gate   *gateView         `json:"gate,omitempty"`
+	Fleet  *metrics.Snapshot `json:"fleet,omitempty"`
 }
 
 type gateView struct {
@@ -162,6 +206,10 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	v := metricsView{Server: s.mgr.Metrics().Snapshot()}
 	if g, ok := s.mgr.cfg.Gate.(*Gate); ok && g != nil {
 		v.Gate = &gateView{Slots: g.Slots(), Busy: g.Busy(), HighWater: g.HighWater()}
+	}
+	if c := s.mgr.cfg.Fleet; c != nil && c.Registry() != nil {
+		snap := c.Registry().Snapshot()
+		v.Fleet = &snap
 	}
 	writeJSON(w, http.StatusOK, v)
 }

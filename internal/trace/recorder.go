@@ -106,6 +106,49 @@ func (r *Recorder) Batch(phase string, sample int) *Batch {
 	return &Batch{r: r, pseq: r.pseq, phase: phase, sample: sample}
 }
 
+// NewSpanBatch opens an evaluation span bound to no recorder: events
+// accumulate in the batch (phase ordinal 0, no wall clock) and stay
+// available through Events after Commit, which is a no-op for a detached
+// batch. Fleet workers use detached batches to capture one evaluation's
+// span and ship it to the coordinator, whose recorder re-stamps it via
+// CommitSpan.
+func NewSpanBatch(phase string, sample int) *Batch {
+	return &Batch{phase: phase, sample: sample}
+}
+
+// Events returns a copy of the span's buffered events. Only meaningful
+// for detached batches (recorder-bound batches surrender their events on
+// Commit). Nil-safe.
+func (b *Batch) Events() []Event {
+	if b == nil {
+		return nil
+	}
+	return append([]Event(nil), b.events...)
+}
+
+// CommitSpan appends a remotely captured evaluation span in one locked
+// append, re-stamping every event with the recorder's current phase
+// ordinal and wall clock. The events' Phase/Sample/Step identity is
+// preserved — it was assigned deterministically by the worker's detached
+// batch — so the canonical trace is indistinguishable from one recorded
+// by a local evaluation. Like Batch, the pseq read is ordered by the
+// parallel-region barriers around each phase. Nil-safe.
+func (r *Recorder) CommitSpan(events []Event) {
+	if r == nil || len(events) == 0 {
+		return
+	}
+	now := r.now()
+	stamped := make([]Event, len(events))
+	for i, e := range events {
+		e.PhaseSeq = r.pseq
+		e.Wall = now
+		stamped[i] = e
+	}
+	r.mu.Lock()
+	r.events = append(r.events, stamped...)
+	r.mu.Unlock()
+}
+
 // Batch buffers the events of one evaluation span. Not safe for
 // concurrent use; each worker owns its batches.
 type Batch struct {
@@ -133,9 +176,10 @@ func (b *Batch) Add(e Event) {
 }
 
 // Commit flushes the buffered events to the recorder in one locked
-// append. Nil-safe; committing an empty batch is a no-op.
+// append. Nil-safe; committing an empty or detached batch is a no-op (a
+// detached batch keeps its events for Events).
 func (b *Batch) Commit() {
-	if b == nil || len(b.events) == 0 {
+	if b == nil || b.r == nil || len(b.events) == 0 {
 		return
 	}
 	b.r.mu.Lock()
