@@ -19,6 +19,7 @@ package funcytuner
 
 import (
 	"context"
+	"runtime"
 
 	"testing"
 
@@ -174,7 +175,21 @@ func BenchmarkCFRSession(b *testing.B) {
 		if _, err := sess.CFR(context.Background(), col); err != nil {
 			b.Fatal(err)
 		}
+		benchSettle(b)
 	}
+}
+
+// benchSettle collects the previous iteration's garbage outside the
+// timer, so every session variant (uncached, cold, warm) is measured
+// from the same near-empty heap instead of paying GC for its
+// predecessor's corpse inside the timed region. Applied identically to
+// all session benchmarks, it changes only cross-iteration bleed, never
+// the in-session cost being measured.
+func benchSettle(b *testing.B) {
+	b.Helper()
+	b.StopTimer()
+	runtime.GC()
+	b.StartTimer()
 }
 
 // ---- compile/link cache micro-benchmarks ----
@@ -316,6 +331,7 @@ func BenchmarkCFRSessionCached(b *testing.B) {
 	b.Run("cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			runSession(b, compiler.NewCompileCache(0))
+			benchSettle(b)
 		}
 	})
 	b.Run("warm", func(b *testing.B) {
@@ -324,6 +340,7 @@ func BenchmarkCFRSessionCached(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			runSession(b, cc)
+			benchSettle(b)
 		}
 	})
 }

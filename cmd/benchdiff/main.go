@@ -1,0 +1,144 @@
+// Command benchdiff compares two entries of the BENCH_eval.json
+// trajectory and prints per-benchmark before/after ratios — the
+// one-command check a perf PR runs to see what it actually changed.
+//
+//	go run ./cmd/benchdiff                    # last two entries
+//	go run ./cmd/benchdiff -from 2026-08-06   # named baseline vs latest
+//	go run ./cmd/benchdiff -from "PR 2" -to "PR 6"
+//
+// -from/-to select entries by substring match on the date or PR label.
+// Ratios are before/after, so > 1.00 means the later entry is faster
+// (ns) or leaner (bytes, allocs).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+type trajectory struct {
+	Description string  `json:"description"`
+	Trajectory  []entry `json:"trajectory"`
+}
+
+type entry struct {
+	Date       string               `json:"date"`
+	PR         string               `json:"pr"`
+	Benchmarks map[string]benchline `json:"benchmarks"`
+}
+
+type benchline struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	var (
+		path = flag.String("bench", "BENCH_eval.json", "trajectory file")
+		from = flag.String("from", "", "baseline entry: substring of its date or PR label (default: second-to-last)")
+		to   = flag.String("to", "", "candidate entry: substring of its date or PR label (default: last)")
+	)
+	flag.Parse()
+	if err := run(*path, *from, *to); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, from, to string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tr trajectory
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if len(tr.Trajectory) < 2 {
+		return fmt.Errorf("%s has %d entries; need at least 2 to diff", path, len(tr.Trajectory))
+	}
+	a, err := pick(tr.Trajectory, from, len(tr.Trajectory)-2)
+	if err != nil {
+		return err
+	}
+	b, err := pick(tr.Trajectory, to, len(tr.Trajectory)-1)
+	if err != nil {
+		return err
+	}
+	if a == b {
+		return fmt.Errorf("-from and -to select the same entry (%s)", a.Date)
+	}
+
+	fmt.Printf("before: %s  %s\n", a.Date, a.PR)
+	fmt.Printf("after:  %s  %s\n\n", b.Date, b.PR)
+	names := make([]string, 0, len(a.Benchmarks))
+	for name := range a.Benchmarks {
+		if _, ok := b.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tns/op\tratio\tB/op\tratio\tallocs/op\tratio")
+	for _, name := range names {
+		av, bv := a.Benchmarks[name], b.Benchmarks[name]
+		fmt.Fprintf(w, "%s\t%.0f → %.0f\t%s\t%.0f → %.0f\t%s\t%.0f → %.0f\t%s\n",
+			name,
+			av.NsPerOp, bv.NsPerOp, ratio(av.NsPerOp, bv.NsPerOp),
+			av.BytesPerOp, bv.BytesPerOp, ratio(av.BytesPerOp, bv.BytesPerOp),
+			av.AllocsPerOp, bv.AllocsPerOp, ratio(av.AllocsPerOp, bv.AllocsPerOp))
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	for _, name := range names {
+		delete(a.Benchmarks, name)
+		delete(b.Benchmarks, name)
+	}
+	for name := range a.Benchmarks {
+		fmt.Printf("only in %s: %s\n", a.Date, name)
+	}
+	for name := range b.Benchmarks {
+		fmt.Printf("only in %s: %s\n", b.Date, name)
+	}
+	return nil
+}
+
+// pick resolves a -from/-to selector against the trajectory: empty means
+// the positional default, otherwise a case-insensitive substring of the
+// entry's date or PR label that must match exactly one entry.
+func pick(entries []entry, sel string, def int) (*entry, error) {
+	if sel == "" {
+		return &entries[def], nil
+	}
+	var found *entry
+	for i := range entries {
+		e := &entries[i]
+		if strings.Contains(strings.ToLower(e.Date), strings.ToLower(sel)) ||
+			strings.Contains(strings.ToLower(e.PR), strings.ToLower(sel)) {
+			if found != nil {
+				return nil, fmt.Errorf("selector %q matches both %q and %q", sel, found.Date, e.Date)
+			}
+			found = e
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("selector %q matches no entry", sel)
+	}
+	return found, nil
+}
+
+// ratio renders before/after as a speedup-style factor: > 1.00x means
+// the after entry improved (smaller ns, bytes or allocs).
+func ratio(before, after float64) string {
+	if after == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", before/after)
+}

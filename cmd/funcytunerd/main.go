@@ -73,6 +73,7 @@ type config struct {
 	coordinator string
 	workerID    string
 	concurrency int
+	claimBatch  int
 	poll        time.Duration
 	faultRate   float64
 }
@@ -99,6 +100,8 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 	fs.StringVar(&cfg.coordinator, "coordinator", "", "coordinator base URL, e.g. http://host:7461 (worker)")
 	fs.StringVar(&cfg.workerID, "worker-id", "", "stable worker identity; default hostname-pid (worker)")
 	fs.IntVar(&cfg.concurrency, "concurrency", runtime.GOMAXPROCS(0), "simultaneous claims (worker)")
+	fs.IntVar(&cfg.claimBatch, "claim-batch", 1,
+		"tasks leased per claim round-trip; >1 batches claims and reports (worker)")
 	fs.DurationVar(&cfg.poll, "poll", 2*time.Second, "claim long-poll bound (worker)")
 	fs.Float64Var(&cfg.faultRate, "worker-fault-rate", 0,
 		"scale of the injected worker fault mix, for chaos testing (worker)")
@@ -123,6 +126,9 @@ func (cfg config) validate() error {
 		}
 		if cfg.concurrency < 1 {
 			return fmt.Errorf("-concurrency must be >= 1, got %d", cfg.concurrency)
+		}
+		if cfg.claimBatch < 1 {
+			return fmt.Errorf("-claim-batch must be >= 1, got %d", cfg.claimBatch)
 		}
 		if cfg.poll <= 0 {
 			return fmt.Errorf("-poll must be positive, got %v", cfg.poll)
@@ -180,6 +186,7 @@ func runWorker(ctx context.Context, cfg config) error {
 		ID:          id,
 		Coordinator: cfg.coordinator,
 		Concurrency: cfg.concurrency,
+		ClaimBatch:  cfg.claimBatch,
 		Poll:        cfg.poll,
 		Faults:      faults.DefaultWorkerRates().Scale(cfg.faultRate),
 		Logf: func(format string, args ...any) {

@@ -191,6 +191,20 @@ type Options struct {
 	// — the cache only removes redundant work (Report.Cache reports how
 	// much).
 	CacheSize int
+	// SharedCache, when non-nil, attaches an existing compile/link cache
+	// instead of building a private one (CacheSize is then ignored).
+	// Cache keys include the program seed and name, machine identity and
+	// flag-space flavor, so one cache can safely back many tuners — a
+	// fleet worker shares one across every job it evaluates, and warm
+	// jobs skip the compile work a previous job already did. Purity is
+	// unchanged: results are bit-identical with or without sharing.
+	SharedCache *CompileCache
+	// Unpooled disables every allocation-reuse fast path (scratch pools,
+	// trace batch reuse, run-profile memoization) and makes each
+	// evaluation allocate from scratch. Results are bit-identical either
+	// way — this is the reference path the pooled-determinism tests
+	// compare against, not a tuning choice.
+	Unpooled bool
 
 	// Faults enables deterministic fault injection on the evaluation path
 	// (see FaultRates). Zero value = off; the clean path is bit-identical
@@ -320,7 +334,10 @@ func NewTuner(opts Options) *Tuner {
 		opts.HotThreshold = outline.HotThreshold
 	}
 	tc := compiler.NewToolchain(opts.Space)
-	if opts.CacheSize >= 0 {
+	switch {
+	case opts.SharedCache != nil:
+		tc.AttachCache(opts.SharedCache)
+	case opts.CacheSize >= 0:
 		tc.AttachCache(compiler.NewCompileCache(opts.CacheSize))
 	}
 	return &Tuner{opts: opts, tc: tc, err: opts.validate()}
@@ -372,6 +389,16 @@ type CacheStats = compiler.CacheStats
 
 // DefaultCacheSize is the default entry bound of the compile/link cache.
 const DefaultCacheSize = compiler.DefaultCacheSize
+
+// CompileCache is the content-addressed compile/link cache (re-exported
+// so callers can share one across tuners via Options.SharedCache).
+type CompileCache = compiler.CompileCache
+
+// NewCompileCache builds a cache holding up to the given number of
+// entries (0 selects DefaultCacheSize).
+func NewCompileCache(entries int) *CompileCache {
+	return compiler.NewCompileCache(entries)
+}
 
 // FaultTally summarizes resilience activity over a tuning run.
 type FaultTally struct {
@@ -458,6 +485,7 @@ func (t *Tuner) session(prog *Program, in Input) (*core.Session, outline.Result,
 		KillAfterEvals:    t.opts.KillAfterEvals,
 		Gate:              t.opts.Gate,
 		Remote:            t.opts.Evaluator,
+		Unpooled:          t.opts.Unpooled,
 	})
 	if err != nil {
 		return nil, outline.Result{}, err
@@ -731,11 +759,19 @@ func (t *Tuner) report(sess *core.Session, out outline.Result, all map[string]*R
 // checkpoint kill/resume; the robustness tests and the CI benchmark
 // smoke job enforce exactly that.
 func (r *Report) Fingerprint() uint64 {
-	var h []uint64
-	add := func(vs ...uint64) { h = append(h, vs...) }
+	// Streamed through xrand.Hasher, which is Combine by construction:
+	// the digest is bit-identical to hashing a materialized value slice,
+	// without allocating one (a paper-scale report folds tens of
+	// thousands of values).
+	var h xrand.Hasher
+	add := func(vs ...uint64) {
+		for _, v := range vs {
+			h.Add(v)
+		}
+	}
 	addF := func(fs ...float64) {
 		for _, f := range fs {
-			add(math.Float64bits(f))
+			h.Add(math.Float64bits(f))
 		}
 	}
 	names := make([]string, 0, len(r.All))
@@ -771,7 +807,7 @@ func (r *Report) Fingerprint() uint64 {
 		uint64(ft.Flakes), uint64(ft.Retries), uint64(ft.WastedCompiles),
 		uint64(ft.Quarantined), uint64(ft.DegradedModules))
 	addF(ft.LostHours)
-	return xrand.Combine(h...)
+	return h.Sum()
 }
 
 // ProfileBaseline profiles prog's O3 baseline on m with in, using runs

@@ -125,23 +125,60 @@ func Collect(exe *compiler.Executable, m *arch.Machine, in ir.Input, runs int, r
 // same (program, machine, input) and the profile hoists the run-invariant
 // cost-model work out of each one.
 func CollectWith(rp *exec.RunProfile, exe *compiler.Executable, runs int, rng *xrand.Rand) Profile {
+	return CollectInto(rp, exe, runs, rng, nil)
+}
+
+// CollectInto is CollectWith with the profile's PerLoop backed by buf
+// (when cap(buf) suffices; nil or too small allocates as CollectWith
+// does). The returned profile aliases buf, so it is only valid until the
+// caller reuses the scratch — the shape of the session's evaluation loop,
+// which consumes each profile before the next evaluation begins.
+func CollectInto(rp *exec.RunProfile, exe *compiler.Executable, runs int, rng *xrand.Rand, buf []float64) Profile {
 	if runs < 1 {
 		runs = 1
+	}
+	nLoops := len(exe.Prog.Loops)
+	perLoop := buf
+	if cap(perLoop) >= nLoops {
+		perLoop = perLoop[:nLoops]
+		for i := range perLoop {
+			perLoop[i] = 0
+		}
+	} else {
+		perLoop = make([]float64, nLoops)
 	}
 	p := Profile{
 		Program: exe.Prog,
 		Machine: rp.Machine(),
 		Input:   rp.Input(),
 		Runs:    runs,
-		PerLoop: make([]float64, len(exe.Prog.Loops)),
+		PerLoop: perLoop,
 	}
-	totals := make([]float64, 0, runs)
+	// One-run collections (the session's per-sample shape) run straight
+	// into the profile's PerLoop buffer and attribute in place; multi-run
+	// collections keep a separate scratch so per-run times can fold into
+	// the accumulating means.
+	var totalsBuf [1]float64
+	totals := totalsBuf[:0]
+	scratch := p.PerLoop
+	if runs > 1 {
+		totals = make([]float64, 0, runs)
+		scratch = make([]float64, len(exe.Prog.Loops))
+	}
+	var noiseStream xrand.Stream
+	var noiseScratch xrand.Rand
+	if rng != nil {
+		noiseStream = rng.Stream("caliper-run")
+	}
 	for r := 0; r < runs; r++ {
 		var noise *xrand.Rand
 		if rng != nil {
-			noise = rng.Split("caliper-run", r)
+			// Reseeding one scratch generator per run is bit-identical to
+			// rng.Split("caliper-run", r).
+			noiseStream.Into(&noiseScratch, r)
+			noise = &noiseScratch
 		}
-		res := rp.Run(exe, exec.Options{Instrumented: true, Noise: noise})
+		res := rp.RunInto(exe, exec.Options{Instrumented: true, Noise: noise}, scratch)
 		// Attribute per-region times the way the annotation layer does:
 		// each region's inclusive time is the clock at End minus the
 		// clock at Begin, with the clock advancing by the loop's time
@@ -150,10 +187,20 @@ func CollectWith(rp *exec.RunProfile, exe *compiler.Executable, runs int, rng *x
 		// equivalence against a real Annotator replay) without paying an
 		// annotator's region maps on every one of a session's K samples.
 		now := 0.0
-		for li := range exe.Prog.Loops {
-			start := now
-			now += res.PerLoop[li]
-			p.PerLoop[li] += now - start
+		if runs == 1 {
+			// res.PerLoop aliases p.PerLoop here; each index is read
+			// before it is overwritten with its attribution.
+			for li := range exe.Prog.Loops {
+				start := now
+				now += res.PerLoop[li]
+				p.PerLoop[li] = now - start
+			}
+		} else {
+			for li := range exe.Prog.Loops {
+				start := now
+				now += res.PerLoop[li]
+				p.PerLoop[li] += now - start
+			}
 		}
 		totals = append(totals, res.Total)
 	}

@@ -2,6 +2,7 @@ package compiler
 
 import (
 	"fmt"
+	"sync"
 	"unsafe"
 
 	"funcytuner/internal/arch"
@@ -170,15 +171,30 @@ func (tc *Toolchain) AttachCache(cc *CompileCache) { tc.cache = cc }
 // modules and FuncyTuner revisits pool CVs constantly, so the same knob
 // sets recur far more often than they change. The tier's counters are
 // internal (its entries elide front-end work, not loop compiles).
-func (tc *Toolchain) knobsFor(cv flagspec.CV) flagspec.Knobs {
+func (tc *Toolchain) knobsFor(cv flagspec.CV) *flagspec.Knobs {
 	if tc.cache == nil {
-		return cv.Knobs()
+		// No cache tier, but the shapes that dominate uncached compiles —
+		// uniform assemblies, CFR's mostly-baseline variants — still hand
+		// the same CV to module after module. A single-entry last-knobs
+		// memo catches those without a full tier; entries are immutable
+		// once published, so racing stores only waste a materialization.
+		key := cv.Key()
+		if e := tc.lastKnobs.Load(); e != nil && e.key == key {
+			return &e.k
+		}
+		e := &knobsEntry{key: key, k: cv.Knobs()}
+		tc.lastKnobs.Store(e)
+		return &e.k
+	}
+	// Lookup first: the hit path then costs no closure allocation.
+	if v, ok := tc.cache.knobs.Lookup(cv.Key()); ok {
+		return v.(*flagspec.Knobs)
 	}
 	k := tc.cache.knobs.Get(cv.Key(), func() (any, int64) {
 		k := cv.Knobs()
 		return &k, 0
 	})
-	return *k.(*flagspec.Knobs)
+	return k.(*flagspec.Knobs)
 }
 
 // Cache returns the attached cache (nil when uncached).
@@ -271,6 +287,28 @@ type Prepared struct {
 	m         *arch.Machine
 	modStatic []xrand.Hasher
 	asmStatic xrand.Hasher
+
+	// scratch recycles per-compile working buffers (module keys, uniform
+	// CV expansion) across the thousands of compiles a session issues
+	// through one Prepared. The buffers are fully overwritten before each
+	// use and nothing downstream retains them: keys feed the cache tiers
+	// by value, and link copies CVs out of the objects, never the slice.
+	scratch sync.Pool
+}
+
+// prepScratch is one compile's worth of reusable working buffers, both
+// sized to the partition's module count.
+type prepScratch struct {
+	keys []uint64
+	cvs  []flagspec.CV
+}
+
+func (pp *Prepared) getScratch() *prepScratch {
+	if v := pp.scratch.Get(); v != nil {
+		return v.(*prepScratch)
+	}
+	n := len(pp.part.Modules)
+	return &prepScratch{keys: make([]uint64, n), cvs: make([]flagspec.CV, n)}
 }
 
 // Prepare validates the partition and snapshots the static key prefixes.
@@ -301,7 +339,8 @@ func (pp *Prepared) Compile(cvs []flagspec.CV) (*Executable, error) {
 	if tc.cache == nil {
 		return tc.compile(pp.prog, pp.part, cvs, pp.m, nil)
 	}
-	moduleKeys := make([]uint64, len(cvs))
+	sc := pp.getScratch()
+	moduleKeys := sc.keys
 	h := pp.asmStatic
 	for i := range cvs {
 		mh := pp.modStatic[i]
@@ -309,20 +348,33 @@ func (pp *Prepared) Compile(cvs []flagspec.CV) (*Executable, error) {
 		moduleKeys[i] = mh.Sum()
 		h.Add(moduleKeys[i])
 	}
-	res := tc.cache.links.Get(h.Sum(), func() (any, int64) {
+	akey := h.Sum()
+	// Lookup first: a warm session's compiles are almost all link-tier
+	// hits, and the hit path then costs no closure or key-slice
+	// allocation at all.
+	if v, ok := tc.cache.links.Lookup(akey); ok {
+		pp.scratch.Put(sc)
+		res := v.(compiled)
+		return res.exe, res.err
+	}
+	res := tc.cache.links.Get(akey, func() (any, int64) {
 		exe, err := tc.compile(pp.prog, pp.part, cvs, pp.m, moduleKeys)
 		return compiled{exe: exe, err: err}, int64(len(pp.prog.Loops)) + 1
 	}).(compiled)
+	pp.scratch.Put(sc)
 	return res.exe, res.err
 }
 
 // CompileUniform is Toolchain.CompileUniform over the prepared partition.
 func (pp *Prepared) CompileUniform(cv flagspec.CV) (*Executable, error) {
-	cvs := make([]flagspec.CV, len(pp.part.Modules))
+	sc := pp.getScratch()
+	cvs := sc.cvs
 	for i := range cvs {
 		cvs[i] = cv
 	}
-	return pp.Compile(cvs)
+	exe, err := pp.Compile(cvs)
+	pp.scratch.Put(sc)
+	return exe, err
 }
 
 func boolKey(b bool) uint64 {

@@ -23,6 +23,7 @@ package compiler
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"funcytuner/internal/arch"
 	"funcytuner/internal/flagspec"
@@ -68,13 +69,40 @@ type LoopCode struct {
 	GoodIS bool
 	GoodIO bool
 
-	// Knobs retains the knob set the loop was finally compiled under
-	// (post-IPO perturbation, if any).
-	Knobs flagspec.Knobs
+	// Knobs is the run-relevant slice of the knob set the loop was
+	// compiled under, carried by value: a session caches thousands of
+	// executables whose PerLoop slices would otherwise be GC-scanned for
+	// this one pointer. The full knob set lives on the ObjectModule.
+	Knobs LoopKnobs
 
 	// IPOPerturbed marks decisions overridden by cross-module IPO at link
 	// time (see link.go).
 	IPOPerturbed bool
+}
+
+// LoopKnobs is the subset of flagspec.Knobs the execution model reads
+// per loop (everything else acts at compile time and is already folded
+// into the other LoopCode fields). Pointer-free by construction.
+type LoopKnobs struct {
+	// MemLayout is the memory-layout transformation level (0..3).
+	MemLayout int
+	// DynamicAlign, SafePadding, Pad and Matmul mirror the same-named
+	// flagspec.Knobs fields.
+	DynamicAlign bool
+	SafePadding  bool
+	Pad          bool
+	Matmul       bool
+}
+
+// LoopKnobsOf extracts the run-relevant knob subset.
+func LoopKnobsOf(k *flagspec.Knobs) LoopKnobs {
+	return LoopKnobs{
+		MemLayout:    k.MemLayout,
+		DynamicAlign: k.DynamicAlign,
+		SafePadding:  k.SafePadding,
+		Pad:          k.Pad,
+		Matmul:       k.Matmul,
+	}
 }
 
 // NonLoopCode is the compiled form of the non-loop remainder.
@@ -83,11 +111,15 @@ type NonLoopCode struct {
 	TimeFactor float64
 }
 
-// ObjectModule is one compiled compilation unit.
+// ObjectModule is one compiled compilation unit. Like Executable, it
+// does not record the CV it was compiled with: the cache retains
+// thousands of object modules, and a retained CV would pin every
+// sampled flag vector (and its key memo) for the cache's lifetime.
 type ObjectModule struct {
 	Module ir.Module
-	CV     flagspec.CV
-	Knobs  flagspec.Knobs
+	// Knobs points at the module's shared immutable knob set (the cache's
+	// knob tier hands one *Knobs to every module compiled under a CV).
+	Knobs *flagspec.Knobs
 	// Loops holds LoopCode for each entry of Module.LoopIdx, same order.
 	Loops []LoopCode
 	// NonLoop is set for the base module.
@@ -99,12 +131,14 @@ type ObjectModule struct {
 	CrashProne bool
 }
 
-// Executable is a fully linked program image.
+// Executable is a fully linked program image. It deliberately does NOT
+// record the CVs its modules were compiled with: assignments live in
+// core's Result, and a session's compile cache retains thousands of
+// executables — every pointer they carry is GC mark work on the hot
+// path (see newExecutable).
 type Executable struct {
 	Prog *ir.Program
 	Part ir.Partition
-	// ModuleCVs records the CV each module was compiled with.
-	ModuleCVs []flagspec.CV
 	// PerLoop is indexed by loop index (not module order), post-link.
 	PerLoop []LoopCode
 	// NonLoop is the compiled non-loop code, post-link.
@@ -118,7 +152,25 @@ type Executable struct {
 	// (Crashes() used to re-derive every module's knob set per call —
 	// once per evaluation — for a value fixed at link time).
 	crashes bool
+
+	// runMemo is an opaque slot for run-invariant state derived from this
+	// executable by internal/exec (noise-free per-loop base times, keyed
+	// there by machine and input). Published atomically so concurrent
+	// evaluation workers running the same cached executable share one
+	// derivation; because executables are immutable after link, the memo
+	// is valid for the executable's lifetime. The compiler stays agnostic
+	// to its contents.
+	runMemo atomic.Value
 }
+
+// RunMemo returns the opaque run-derived state stored by SetRunMemo, or
+// nil. Safe for concurrent use.
+func (e *Executable) RunMemo() any { return e.runMemo.Load() }
+
+// SetRunMemo publishes run-derived state for this executable. All callers
+// must store the same concrete type; racing stores of equivalent values
+// are benign.
+func (e *Executable) SetRunMemo(v any) { e.runMemo.Store(v) }
 
 // NonLoopInterference returns the base-module interference multiplier.
 func (e *Executable) NonLoopInterference() float64 {
@@ -140,6 +192,16 @@ type Toolchain struct {
 	// executables (see cached.go). Compilation is pure, so the cache is
 	// behaviour-invisible: only the amount of physical work changes.
 	cache *CompileCache
+
+	// lastKnobs is the uncached path's single-entry knob memo (see
+	// knobsFor).
+	lastKnobs atomic.Pointer[knobsEntry]
+}
+
+// knobsEntry is one immutable materialized knob set keyed by its CV.
+type knobsEntry struct {
+	key uint64
+	k   flagspec.Knobs
 }
 
 // NewToolchain returns a toolchain over the given flag space.
@@ -165,24 +227,67 @@ func (tc *Toolchain) CompileModule(prog *ir.Program, mod ir.Module, cv flagspec.
 // object is the cache-resident one — shared, and never mutated by any
 // consumer (link copies loop codes out before perturbing them).
 func (tc *Toolchain) compileModuleKeyed(key uint64, prog *ir.Program, mod ir.Module, cv flagspec.CV, m *arch.Machine) *ObjectModule {
+	// Lookup first: the hit path (the overwhelming majority at paper
+	// scale) then costs no closure allocation.
+	if v, ok := tc.cache.objects.Lookup(key); ok {
+		return v.(*ObjectModule)
+	}
 	obj := tc.cache.objects.Get(key, func() (any, int64) {
-		o := tc.compileModule(prog, mod, cv, m)
-		return &o, moduleWork(mod)
+		o := newObjectModule(len(mod.LoopIdx))
+		tc.compileModuleInto(o, prog, mod, cv, m)
+		return o, moduleWork(mod)
 	})
 	return obj.(*ObjectModule)
 }
 
+// objInline sizes newObjectModule's fused fast path. Per-loop
+// partitions — the workload FuncyTuner exists for — put exactly one
+// loop in every non-base module, so inline capacity 1 fuses the Loops
+// slice into the header allocation for the entire cache-resident
+// population without padding the (rarer) multi-loop modules.
+const objInline = 1
+
+type objSmall struct {
+	obj   ObjectModule
+	loops [objInline]LoopCode
+}
+
+// newObjectModule allocates a module whose Loops slice (capacity
+// nLoops, length 0) shares the header's allocation when possible.
+func newObjectModule(nLoops int) *ObjectModule {
+	switch {
+	case nLoops == 0:
+		return &ObjectModule{}
+	case nLoops <= objInline:
+		s := &objSmall{}
+		s.obj.Loops = s.loops[:0:nLoops]
+		return &s.obj
+	}
+	return &ObjectModule{Loops: make([]LoopCode, 0, nLoops)}
+}
+
 // compileModule is the uncached pass pipeline over one module.
 func (tc *Toolchain) compileModule(prog *ir.Program, mod ir.Module, cv flagspec.CV, m *arch.Machine) ObjectModule {
+	var obj ObjectModule
+	if n := len(mod.LoopIdx); n > 0 {
+		obj.Loops = make([]LoopCode, 0, n)
+	}
+	tc.compileModuleInto(&obj, prog, mod, cv, m)
+	return obj
+}
+
+// compileModuleInto runs the pass pipeline into an ObjectModule whose
+// Loops slice already has the needed capacity.
+func (tc *Toolchain) compileModuleInto(obj *ObjectModule, prog *ir.Program, mod ir.Module, cv flagspec.CV, m *arch.Machine) {
 	k := tc.knobsFor(cv)
-	obj := ObjectModule{Module: mod, CV: cv, Knobs: k, CrashProne: crashDraw(prog.Seed, k, m.ID)}
+	obj.Module, obj.Knobs = mod, k
+	obj.CrashProne = crashDraw(prog.Seed, k, m.ID)
 	for _, li := range mod.LoopIdx {
 		obj.Loops = append(obj.Loops, compileLoop(&prog.Loops[li], li, k, m, tc.Space.Flavor))
 	}
 	if mod.IsBase {
 		obj.NonLoop = compileNonLoop(prog, k)
 	}
-	return obj
 }
 
 // Compile compiles every module of the partition with its assigned CV and
@@ -195,11 +300,18 @@ func (tc *Toolchain) Compile(prog *ir.Program, part ir.Partition, cvs []flagspec
 	if len(cvs) != len(part.Modules) {
 		return nil, fmt.Errorf("compiler: %d CVs for %d modules", len(cvs), len(part.Modules))
 	}
+	if err := part.Validate(); err != nil {
+		return nil, err
+	}
 	if tc.cache == nil {
 		return tc.compile(prog, part, cvs, m, nil)
 	}
 	moduleKeys := make([]uint64, len(part.Modules))
 	akey := tc.assemblyKey(prog, part, cvs, m, moduleKeys)
+	if v, ok := tc.cache.links.Lookup(akey); ok {
+		res := v.(compiled)
+		return res.exe, res.err
+	}
 	res := tc.cache.links.Get(akey, func() (any, int64) {
 		exe, err := tc.compile(prog, part, cvs, m, moduleKeys)
 		return compiled{exe: exe, err: err}, int64(len(prog.Loops)) + 1

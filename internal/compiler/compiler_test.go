@@ -383,12 +383,15 @@ func TestNonLoopCompilation(t *testing.T) {
 	p := fixture()
 	p.NonLoopCode.CallHeavy = true
 	b := flagspec.ICC().Baseline()
-	o1 := compileNonLoop(p, b.With(flagspec.IccOptLevel, 0).Knobs())
-	o3 := compileNonLoop(p, b.Knobs())
+	k1 := b.With(flagspec.IccOptLevel, 0).Knobs()
+	k3 := b.Knobs()
+	o1 := compileNonLoop(p, &k1)
+	o3 := compileNonLoop(p, &k3)
 	if o1.TimeFactor <= o3.TimeFactor {
 		t.Error("O1 non-loop code should be slower than O3")
 	}
-	noinline := compileNonLoop(p, b.With(flagspec.IccInlineLevel, 0).Knobs())
+	kni := b.With(flagspec.IccInlineLevel, 0).Knobs()
+	noinline := compileNonLoop(p, &kni)
 	if noinline.TimeFactor <= o3.TimeFactor {
 		t.Error("inline-level=0 should slow call-heavy non-loop code")
 	}

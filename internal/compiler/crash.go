@@ -19,7 +19,7 @@ import (
 // conservative configurations can never crash.
 
 // riskyKnobs reports whether a knob set belongs to the crash-prone region.
-func riskyKnobs(k flagspec.Knobs) bool {
+func riskyKnobs(k *flagspec.Knobs) bool {
 	if !k.OverrideLimits || !k.UnrollAggressive {
 		return false
 	}
@@ -27,7 +27,7 @@ func riskyKnobs(k flagspec.Knobs) bool {
 }
 
 // crashDraw is the deterministic per-(program, knobs, machine) gate.
-func crashDraw(progSeed uint64, k flagspec.Knobs, machineID uint64) bool {
+func crashDraw(progSeed uint64, k *flagspec.Knobs, machineID uint64) bool {
 	if !riskyKnobs(k) {
 		return false
 	}
@@ -48,7 +48,8 @@ func CrashProbe(space *flagspec.Space, progSeed, machineID uint64, budget int) f
 	r := xrand.New(xrand.Combine(progSeed, machineID, 0x5eed))
 	for i := 0; i < budget; i++ {
 		cv := space.Random(r)
-		if crashDraw(progSeed, cv.Knobs(), machineID) {
+		k := cv.Knobs()
+		if crashDraw(progSeed, &k, machineID) {
 			return cv
 		}
 	}

@@ -29,7 +29,8 @@ func TestConservativeKnobsNeverRisky(t *testing.T) {
 	r := xrand.NewFromString("crash-conservative")
 	for i := 0; i < 2000; i++ {
 		cv := flagspec.ICC().Random(r).With(flagspec.IccOverrideLimits, 0)
-		if riskyKnobs(cv.Knobs()) {
+		k := cv.Knobs()
+		if riskyKnobs(&k) {
 			t.Fatal("knobs risky without override-limits")
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"funcytuner/internal/flagspec"
 	"funcytuner/internal/ir"
 	"funcytuner/internal/xrand"
+	"sync"
 )
 
 // Link combines compiled modules into an executable, modeling the
@@ -30,6 +31,9 @@ import (
 // interference-free per-loop times, and why summing their minima
 // (G.Independent) overstates what greedy linking (G.realized) delivers.
 func (tc *Toolchain) Link(prog *ir.Program, part ir.Partition, objs []ObjectModule, m *arch.Machine) (*Executable, error) {
+	if err := part.Validate(); err != nil {
+		return nil, err
+	}
 	ptrs := make([]*ObjectModule, len(objs))
 	for i := range objs {
 		ptrs[i] = &objs[i]
@@ -40,41 +44,42 @@ func (tc *Toolchain) Link(prog *ir.Program, part ir.Partition, objs []ObjectModu
 // link is Link over object pointers — the internal form, letting the
 // compile cache link its resident objects without copying them (each
 // ObjectModule embeds a full knob set per loop, so the copies are what
-// dominated cached-compile cost). link never writes through objs.
+// dominated cached-compile cost). link never writes through objs. The
+// partition must already be validated (every entry point — Link,
+// Compile, Prepare — does so once, instead of per-link: a session links
+// thousands of assemblies of one partition).
 func (tc *Toolchain) link(prog *ir.Program, part ir.Partition, objs []*ObjectModule, m *arch.Machine) (*Executable, error) {
-	if err := part.Validate(); err != nil {
-		return nil, err
-	}
 	nLoops := len(prog.Loops)
-	exe := &Executable{
-		Prog:         prog,
-		Part:         part,
-		ModuleCVs:    make([]flagspec.CV, len(objs)),
-		PerLoop:      make([]LoopCode, nLoops),
-		Interference: make([]float64, nLoops+1),
-		machineID:    m.ID,
-	}
+	exe := newExecutable(nLoops)
+	exe.Prog, exe.Part, exe.machineID = prog, part, m.ID
 	for i := range exe.Interference {
 		exe.Interference[i] = 1
 	}
 
 	// Gather per-loop codes and per-coupling-unit link keys. Index nLoops
-	// is the non-loop base module.
-	linkKeys := make([]uint64, nLoops+1)
-	moduleOf := make([]int, nLoops+1)
+	// is the non-loop base module. moduleOf only ever feeds equality
+	// comparisons, so it shares one uint64 allocation with linkKeys; the
+	// buffer is pooled across links (every slot is overwritten below —
+	// the partition covers all loops — so recycling is invisible).
+	lb := getLinkBuf(2 * (nLoops + 1))
+	defer putLinkBuf(lb)
+	linkKeys, moduleOf := lb.buf[:nLoops+1], lb.buf[nLoops+1:]
+	// The loop slots are all overwritten (the partition covers every
+	// loop), but the non-loop slot is only written when a base module
+	// exists — reset it so a recycled buffer matches a fresh one.
+	linkKeys[nLoops], moduleOf[nLoops] = 0, 0
 	for mi, obj := range objs {
-		exe.ModuleCVs[mi] = obj.CV
 		exe.crashes = exe.crashes || obj.CrashProne
 		lk := obj.Knobs.LinkKey()
 		for j, li := range obj.Module.LoopIdx {
 			exe.PerLoop[li] = obj.Loops[j]
 			linkKeys[li] = lk
-			moduleOf[li] = mi
+			moduleOf[li] = uint64(mi)
 		}
 		if obj.Module.IsBase {
 			exe.NonLoop = obj.NonLoop
 			linkKeys[nLoops] = lk
-			moduleOf[nLoops] = mi
+			moduleOf[nLoops] = uint64(mi)
 		}
 	}
 
@@ -105,7 +110,8 @@ func (tc *Toolchain) link(prog *ir.Program, part ir.Partition, objs []*ObjectMod
 			// Severe interference on a strongly coupled pair can override
 			// the victim's codegen outright.
 			if severe && i < nLoops && c > 0.4 {
-				exe.PerLoop[i] = ipoOverride(prog, &prog.Loops[i], exe.PerLoop[i], m,
+				exe.PerLoop[i] = ipoOverride(&prog.Loops[i], exe.PerLoop[i],
+					objs[moduleOf[i]].Knobs, m,
 					xrand.Combine(prog.Seed, uint64(i), uint64(j), linkKeys[j]))
 			}
 		}
@@ -137,8 +143,9 @@ func severity(u, c float64) (sev float64, severe bool) {
 }
 
 // ipoOverride models link-time IPO re-driving the victim loop's codegen
-// with context imported from the other module.
-func ipoOverride(prog *ir.Program, l *ir.Loop, code LoopCode, m *arch.Machine, seed uint64) LoopCode {
+// with context imported from the other module. k is the victim module's
+// full knob set (LoopCode carries only the run-relevant subset).
+func ipoOverride(l *ir.Loop, code LoopCode, k *flagspec.Knobs, m *arch.Machine, seed uint64) LoopCode {
 	u := hashUnit(seed, 0x1d)
 	out := code
 	out.IPOPerturbed = true
@@ -159,7 +166,7 @@ func ipoOverride(prog *ir.Program, l *ir.Loop, code LoopCode, m *arch.Machine, s
 		out.Unroll = 1
 	}
 	// Scheduling redone in the merged context.
-	isq, goodIS, goodIO := codegenDraw(l, out.Knobs, m, out.VecBits > 0)
+	isq, goodIS, goodIO := codegenDraw(l, k, m, out.VecBits > 0)
 	out.ISQ = 1 + (isq-1)*1.2
 	out.GoodIS, out.GoodIO = goodIS, goodIO
 	return out
@@ -170,4 +177,72 @@ func minf(a, b float64) float64 {
 		return a
 	}
 	return b
+}
+
+// exeInlineSmall/exeInlineMid bound the fused-allocation fast paths of
+// newExecutable: one allocation covers header, per-loop code and
+// interference vector for every real link (the paper-scale applications
+// top out at 20 loops — AMG). Two size classes because a session caches
+// thousands of executables and a single generous class would retain
+// ~2× the bytes for the common ≤12-loop programs, buying extra GC
+// growth cycles for nothing. Both inline slices are pointer-free, which
+// keeps retained executables nearly invisible to the GC mark phase.
+const (
+	exeInlineSmall = 12
+	exeInlineMid   = 24
+)
+
+type exeSmall struct {
+	exe          Executable
+	perLoop      [exeInlineSmall]LoopCode
+	interference [exeInlineSmall + 1]float64
+}
+
+type exeMid struct {
+	exe          Executable
+	perLoop      [exeInlineMid]LoopCode
+	interference [exeInlineMid + 1]float64
+}
+
+// newExecutable allocates an executable whose PerLoop and Interference
+// slices share the header's allocation when the loop count permits.
+func newExecutable(nLoops int) *Executable {
+	switch {
+	case nLoops <= exeInlineSmall:
+		s := &exeSmall{}
+		s.exe.PerLoop = s.perLoop[:nLoops:nLoops]
+		s.exe.Interference = s.interference[: nLoops+1 : nLoops+1]
+		return &s.exe
+	case nLoops <= exeInlineMid:
+		s := &exeMid{}
+		s.exe.PerLoop = s.perLoop[:nLoops:nLoops]
+		s.exe.Interference = s.interference[: nLoops+1 : nLoops+1]
+		return &s.exe
+	}
+	return &Executable{
+		PerLoop:      make([]LoopCode, nLoops),
+		Interference: make([]float64, nLoops+1),
+	}
+}
+
+// linkBufPool recycles the per-link key/module scratch through a holder
+// struct, so Get/Put move no slice headers to the heap once warm.
+var linkBufPool = sync.Pool{New: func() any { return new(linkBuf) }}
+
+type linkBuf struct {
+	buf []uint64
+}
+
+func getLinkBuf(n int) *linkBuf {
+	lb := linkBufPool.Get().(*linkBuf)
+	if cap(lb.buf) >= n {
+		lb.buf = lb.buf[:n]
+	} else {
+		lb.buf = make([]uint64, n)
+	}
+	return lb
+}
+
+func putLinkBuf(lb *linkBuf) {
+	linkBufPool.Put(lb)
 }

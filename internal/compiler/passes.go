@@ -14,7 +14,7 @@ func hashUnit(vs ...uint64) float64 {
 
 // inlineBudget converts -inline-factor into a call-density budget: a loop
 // whose CallDensity exceeds the budget keeps its calls out-of-line.
-func inlineBudget(k flagspec.Knobs) float64 {
+func inlineBudget(k *flagspec.Knobs) float64 {
 	if k.InlineLevel == 0 {
 		return 0
 	}
@@ -32,7 +32,7 @@ func inlineBudget(k flagspec.Knobs) float64 {
 // runtime-check) enough independence to vectorize a loop with the given
 // alias ambiguity. Multi-versioning "proves" it at runtime for a small
 // overhead, returned as the second value.
-func aliasProven(l *ir.Loop, k flagspec.Knobs) (ok bool, mvOverhead float64) {
+func aliasProven(l *ir.Loop, k *flagspec.Knobs) (ok bool, mvOverhead float64) {
 	if l.AliasAmbiguity <= 0.25 {
 		return true, 0
 	}
@@ -66,7 +66,7 @@ func autoWidth(l *ir.Loop, m *arch.Machine) int {
 }
 
 // vectorize decides whether and how wide to vectorize.
-func vectorize(l *ir.Loop, k flagspec.Knobs, m *arch.Machine, inlined bool) (widthBits int, multiVersioned bool) {
+func vectorize(l *ir.Loop, k *flagspec.Knobs, m *arch.Machine, inlined bool) (widthBits int, multiVersioned bool) {
 	if !k.VecEnabled || k.OptLevel < 2 {
 		return 0, false
 	}
@@ -99,7 +99,7 @@ func vectorize(l *ir.Loop, k flagspec.Knobs, m *arch.Machine, inlined bool) (wid
 }
 
 // unrollFactor decides the unroll factor.
-func unrollFactor(l *ir.Loop, k flagspec.Knobs) int {
+func unrollFactor(l *ir.Loop, k *flagspec.Knobs) int {
 	f := 1
 	switch k.UnrollMode {
 	case flagspec.UnrollAuto:
@@ -131,7 +131,7 @@ func unrollFactor(l *ir.Loop, k flagspec.Knobs) int {
 }
 
 // registerPressure estimates spill intensity in [0,1].
-func registerPressure(l *ir.Loop, effBody float64, k flagspec.Knobs, m *arch.Machine, widthBits, unroll int) float64 {
+func registerPressure(l *ir.Loop, effBody float64, k *flagspec.Knobs, m *arch.Machine, widthBits, unroll int) float64 {
 	lanes := float64(widthBits) / 64.0
 	if widthBits == 0 {
 		lanes = 1
@@ -169,7 +169,7 @@ func isqAmplitude(vectorized bool, divergence float64) float64 {
 
 // codegenDraw produces the deterministic idiosyncratic codegen quality for
 // (loop, codegen-relevant flags, machine).
-func codegenDraw(l *ir.Loop, k flagspec.Knobs, m *arch.Machine, vectorized bool) (isq float64, goodIS, goodIO bool) {
+func codegenDraw(l *ir.Loop, k *flagspec.Knobs, m *arch.Machine, vectorized bool) (isq float64, goodIS, goodIO bool) {
 	u := hashUnit(l.ID, k.SchedKey(), m.ID, 0x15)
 	amp := isqAmplitude(vectorized, l.Divergence)
 	isq = 1 + amp*(u-0.55) // slight downward skew: most draws mildly good
@@ -179,7 +179,7 @@ func codegenDraw(l *ir.Loop, k flagspec.Knobs, m *arch.Machine, vectorized bool)
 }
 
 // compileLoop runs the per-loop pass pipeline.
-func compileLoop(l *ir.Loop, li int, k flagspec.Knobs, m *arch.Machine, flavor flagspec.Flavor) LoopCode {
+func compileLoop(l *ir.Loop, li int, k *flagspec.Knobs, m *arch.Machine, flavor flagspec.Flavor) LoopCode {
 	inlined := l.CallDensity <= inlineBudget(k)
 	effBody := l.BodySize
 	if inlined {
@@ -230,13 +230,13 @@ func compileLoop(l *ir.Loop, li int, k flagspec.Knobs, m *arch.Machine, flavor f
 		ISQ:            isq,
 		GoodIS:         goodIS,
 		GoodIO:         goodIO,
-		Knobs:          k,
+		Knobs:          LoopKnobsOf(k),
 	}
 }
 
 // compileNonLoop models CV impact on the non-loop remainder: optimization
 // level, inlining of cold call chains, and code-layout idiosyncrasies.
-func compileNonLoop(prog *ir.Program, k flagspec.Knobs) NonLoopCode {
+func compileNonLoop(prog *ir.Program, k *flagspec.Knobs) NonLoopCode {
 	nl := prog.NonLoopCode
 	factor := 1.0
 	switch k.OptLevel {

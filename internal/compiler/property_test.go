@@ -34,7 +34,7 @@ func TestPropertyCompileLoopInvariants(t *testing.T) {
 		m := arch.All()[int(mIdx)%3]
 		cv := flagspec.ICC().Random(xrand.New(cvSeed))
 		k := cv.Knobs()
-		code := compileLoop(&l, 0, k, m, flagspec.FlavorICC)
+		code := compileLoop(&l, 0, &k, m, flagspec.FlavorICC)
 		// Width is 0 or a machine-supported SIMD width.
 		if code.VecBits != 0 && code.VecBits != 128 && code.VecBits != 256 {
 			return false
@@ -83,8 +83,9 @@ func TestPropertyCompileDeterministic(t *testing.T) {
 		l := propLoop(seed)
 		m := arch.Broadwell()
 		cv := flagspec.ICC().Random(xrand.New(cvSeed))
-		a := compileLoop(&l, 0, cv.Knobs(), m, flagspec.FlavorICC)
-		b := compileLoop(&l, 0, cv.Knobs(), m, flagspec.FlavorICC)
+		k := cv.Knobs()
+		a := compileLoop(&l, 0, &k, m, flagspec.FlavorICC)
+		b := compileLoop(&l, 0, &k, m, flagspec.FlavorICC)
 		return a == b
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {

@@ -116,8 +116,20 @@ func (s *Session) Random(ctx context.Context) (*Result, error) {
 	cvs := s.PreSample()
 	times := make([]float64, len(cvs))
 	errs := make([]error, len(cvs))
+	// The per-evaluation uniform expansion is pooled on the local path
+	// only: a remote evaluation's request may outlive this closure, so it
+	// keeps a fresh slice.
+	usePool := s.Config.Remote == nil && !s.Config.Unpooled
 	s.parFor(ctx, len(cvs), func(k int) {
-		uniform := make([]flagspec.CV, len(s.Part.Modules))
+		var uniform []flagspec.CV
+		var sc *evalScratch
+		if usePool {
+			sc = s.getScratch()
+			defer s.putScratch(sc)
+			uniform = sc.uniform
+		} else {
+			uniform = make([]flagspec.CV, len(s.Part.Modules))
+		}
 		for i := range uniform {
 			uniform[i] = cvs[k]
 		}

@@ -166,6 +166,9 @@ func (s *Session) AttachTrace(r *trace.Recorder) {
 	if r == nil {
 		return
 	}
+	if s.Config.Unpooled {
+		r.SetBatchPooling(false)
+	}
 	s.tr = r
 	s.wireCacheObserver()
 	r.Session(s.Prog.Name + "/" + s.Machine.Name + "/" + s.Config.Seed)

@@ -240,6 +240,11 @@ func (s *Session) measureEval(ctx context.Context, cvs []flagspec.CV, phase stri
 	if err := s.checkCancelled(ctx); err != nil {
 		return 0, ec, err
 	}
+	var sc *evalScratch
+	if !s.Config.Unpooled {
+		sc = s.getScratch()
+		defer s.putScratch(sc)
+	}
 	tb := s.batchFor(phase, k)
 	if s.icePass(cvs, &ec, tb) {
 		s.finishEval(ec)
@@ -262,7 +267,7 @@ func (s *Session) measureEval(ctx context.Context, cvs []flagspec.CV, phase stri
 	}
 	akey, exempt := s.assemblyKey(cvs)
 	opt := exec.Options{
-		Noise:           s.noise(phase, k),
+		Noise:           s.noiseFor(sc, phase, k),
 		DeadlineSeconds: s.Config.TimeoutBudget,
 	}
 	if tb != nil {
@@ -276,7 +281,12 @@ func (s *Session) measureEval(ctx context.Context, cvs []flagspec.CV, phase stri
 		}
 	}
 	t, err := s.faultedRun(ctx, &ec, akey, exempt, nil, tb, func() (float64, bool) {
-		res := s.runProf.Run(exe, opt)
+		var res exec.Result
+		if sc != nil {
+			res = s.runProf.RunInto(exe, opt, sc.perLoop)
+		} else {
+			res = s.runProf.Run(exe, opt)
+		}
 		return res.Total, res.Killed
 	})
 	if err != nil {
@@ -322,7 +332,15 @@ func (s *Session) measureUniformEval(ctx context.Context, cv flagspec.CV, phase 
 	if err := s.checkCancelled(ctx); err != nil {
 		return nil, 0, ec, err
 	}
-	uniform := make([]flagspec.CV, len(s.Part.Modules))
+	var sc *evalScratch
+	var uniform []flagspec.CV
+	if s.Config.Unpooled {
+		uniform = make([]flagspec.CV, len(s.Part.Modules))
+	} else {
+		sc = s.getScratch()
+		defer s.putScratch(sc)
+		uniform = sc.uniform
+	}
 	for i := range uniform {
 		uniform[i] = cv
 	}
@@ -353,7 +371,7 @@ func (s *Session) measureUniformEval(ctx context.Context, cv flagspec.CV, phase 
 		// The caliper path doesn't go through exec.Options, so the
 		// harness deadline is emulated here with the same semantics (and
 		// the run event is stamped here, where the profile is in hand).
-		prof = s.caliperProfile(exe, phase, k)
+		prof = s.caliperProfile(exe, sc, phase, k)
 		if dl := s.Config.TimeoutBudget; dl > 0 && prof.Total > dl {
 			tb.Add(trace.Event{Kind: trace.KindRun, Name: "killed", Seconds: dl, Sim: ec.simSeconds()})
 			return dl, true

@@ -122,6 +122,17 @@ type Config struct {
 	// each evaluation is a pure function of its claim, the merged results
 	// are bit-identical to a local run's.
 	Remote RemoteEvaluator
+
+	// Unpooled disables every allocation-reuse fast path on the session's
+	// evaluation spine — the per-evaluation scratch pool, the hoisted
+	// noise streams, the per-executable run memo, the memoized baseline
+	// executable, and trace batch recycling — so each evaluation allocates
+	// exactly as the original, unpooled implementation did. All those fast
+	// paths are bit-identical by construction; this knob exists so the
+	// determinism tests can *prove* it, comparing a pooled session's
+	// Report fingerprint and canonical trace byte-for-byte against an
+	// unpooled one's. Production sessions leave it false.
+	Unpooled bool
 }
 
 // DefaultConfig returns the paper's settings: 1000 samples, top-50
@@ -401,6 +412,52 @@ type Session struct {
 	// prep snapshots the cache-key prefixes for (Prog, Part, Machine), so
 	// every evaluation's compile hashes only the varying CV keys.
 	prep *compiler.Prepared
+
+	// scratch pools per-evaluation working buffers (uniform CV expansion,
+	// the measurement-noise generator, the caliper per-loop buffer) across
+	// the worker pool. Buffers are fully (re)initialized before each use
+	// and never escape the evaluation, so which physical buffer an
+	// evaluation gets cannot affect its result. Config.Unpooled bypasses
+	// the pool entirely.
+	scratch sync.Pool
+
+	// noiseStreams caches one xrand.Stream per evaluation phase, hoisting
+	// the "noise/"+phase key hash out of every evaluation. Stream(key) is
+	// a pure read of the session rng's (immutable) state, so a cached
+	// stream's Rand(k) is bit-identical to rng.Split("noise/"+phase, k).
+	noiseMu      sync.Mutex
+	noiseStreams map[string]xrand.Stream
+
+	// Baseline-compile memo: the O3 whole-program executable is a session
+	// constant (compilation is pure), but finish() needs it once per
+	// algorithm; memoizing it keeps repeated BaselineTime calls from
+	// re-walking the compile path.
+	baseOnce sync.Once
+	baseExe  *compiler.Executable
+	baseErr  error
+}
+
+// evalScratch is one evaluation's worth of reusable working buffers.
+type evalScratch struct {
+	uniform []flagspec.CV // len J: uniform-assignment expansion
+	perLoop []float64     // len nLoops: caliper profile backing
+	noise   xrand.Rand    // reseeded per evaluation from the phase stream
+}
+
+func (s *Session) getScratch() *evalScratch {
+	if v := s.scratch.Get(); v != nil {
+		return v.(*evalScratch)
+	}
+	return &evalScratch{
+		uniform: make([]flagspec.CV, len(s.Part.Modules)),
+		perLoop: make([]float64, len(s.Prog.Loops)),
+	}
+}
+
+func (s *Session) putScratch(sc *evalScratch) {
+	if sc != nil {
+		s.scratch.Put(sc)
+	}
 }
 
 // NewSession builds a session. The partition normally comes from
@@ -420,20 +477,29 @@ func NewSession(tc *compiler.Toolchain, prog *ir.Program, part ir.Partition, m *
 	if err != nil {
 		return nil, err
 	}
+	runProf := exec.NewRunProfile(prog, m, in)
+	if cfg.Unpooled || tc.Cache() == nil {
+		// The per-executable run memo only pays when executables are
+		// shared — which requires the compile cache. Without one, every
+		// compile yields a fresh Executable, so a memo would never hit and
+		// its derivation would be pure per-evaluation overhead.
+		runProf.DisableMemo()
+	}
 	return &Session{
-		Toolchain:   tc,
-		Prog:        prog,
-		Part:        part,
-		Machine:     m,
-		Input:       in,
-		Config:      cfg,
-		rng:         xrand.NewFromString("core/" + cfg.Seed + "/" + prog.Name + "/" + m.Name),
-		faults:      faults.New(cfg.Seed, m.ID, baselineKey, cfg.Faults),
-		baselineKey: baselineKey,
-		quarantine:  make(map[uint64]bool),
-		captures:    make(map[capKey]*trace.Batch),
-		runProf:     exec.NewRunProfile(prog, m, in),
-		prep:        prep,
+		Toolchain:    tc,
+		Prog:         prog,
+		Part:         part,
+		Machine:      m,
+		Input:        in,
+		Config:       cfg,
+		rng:          xrand.NewFromString("core/" + cfg.Seed + "/" + prog.Name + "/" + m.Name),
+		faults:       faults.New(cfg.Seed, m.ID, baselineKey, cfg.Faults),
+		baselineKey:  baselineKey,
+		quarantine:   make(map[uint64]bool),
+		captures:     make(map[capKey]*trace.Batch),
+		runProf:      runProf,
+		prep:         prep,
+		noiseStreams: make(map[string]xrand.Stream),
 	}, nil
 }
 
@@ -462,6 +528,36 @@ func (s *Session) noise(phase string, k int) *xrand.Rand {
 	return s.rng.Split("noise/"+phase, k)
 }
 
+// noiseFor is noise writing into the evaluation's scratch generator:
+// Stream(key).Into(dst, k) reseeds dst with exactly the state
+// Split("noise/"+phase, k) would construct, without the key hash or the
+// generator allocation. A nil scratch (Config.Unpooled) falls back to
+// the allocating path.
+func (s *Session) noiseFor(sc *evalScratch, phase string, k int) *xrand.Rand {
+	if !s.Config.Noisy {
+		return nil
+	}
+	if sc == nil {
+		return s.rng.Split("noise/"+phase, k)
+	}
+	s.noiseStream(phase).Into(&sc.noise, k)
+	return &sc.noise
+}
+
+// noiseStream returns the cached per-phase noise stream, deriving it on
+// first use. Sound because Stream reads only the session rng's seed
+// state, which is fixed at construction.
+func (s *Session) noiseStream(phase string) xrand.Stream {
+	s.noiseMu.Lock()
+	st, ok := s.noiseStreams[phase]
+	if !ok {
+		st = s.rng.Stream("noise/" + phase)
+		s.noiseStreams[phase] = st
+	}
+	s.noiseMu.Unlock()
+	return st
+}
+
 // measure compiles the partition with per-module CVs and runs it once,
 // returning the end-to-end measured time. Crashing code variants (§3.2:
 // some flag settings "prevent a program from running successfully")
@@ -472,10 +568,24 @@ func (s *Session) measure(ctx context.Context, cvs []flagspec.CV, phase string, 
 	return t, err
 }
 
+// baselineExe returns the O3 whole-program executable, memoized for the
+// session's lifetime (compilation is pure, so every call would rebuild
+// the identical image). Unpooled sessions recompile per call, preserving
+// the original allocation profile for the determinism comparisons.
+func (s *Session) baselineExe() (*compiler.Executable, error) {
+	if s.Config.Unpooled {
+		return s.Toolchain.CompileUniform(s.Prog, ir.WholeProgram(s.Prog), s.Toolchain.Space.Baseline(), s.Machine)
+	}
+	s.baseOnce.Do(func() {
+		s.baseExe, s.baseErr = s.Toolchain.CompileUniform(s.Prog, ir.WholeProgram(s.Prog), s.Toolchain.Space.Baseline(), s.Machine)
+	})
+	return s.baseExe, s.baseErr
+}
+
 // BaselineTime returns the noise-free O3 end-to-end time of the original
 // (whole-program) compilation — the paper's TO3 denominator (§3.3).
 func (s *Session) BaselineTime() (float64, error) {
-	exe, err := s.Toolchain.CompileUniform(s.Prog, ir.WholeProgram(s.Prog), s.Toolchain.Space.Baseline(), s.Machine)
+	exe, err := s.baselineExe()
 	if err != nil {
 		return 0, err
 	}
@@ -508,7 +618,7 @@ func (s *Session) TrueTimeOn(cvs []flagspec.CV, in ir.Input) (float64, error) {
 
 // BaselineTimeOn returns the noise-free O3 time on a specific input.
 func (s *Session) BaselineTimeOn(in ir.Input) (float64, error) {
-	exe, err := s.Toolchain.CompileUniform(s.Prog, ir.WholeProgram(s.Prog), s.Toolchain.Space.Baseline(), s.Machine)
+	exe, err := s.baselineExe()
 	if err != nil {
 		return 0, err
 	}
@@ -614,7 +724,12 @@ func (s *Session) parFor(ctx context.Context, n int, fn func(i int)) {
 }
 
 // caliperProfile is the instrumented run for measureUniform, factored out
-// so the resilient wrapper can re-run it per attempt bookkeeping.
-func (s *Session) caliperProfile(exe *compiler.Executable, phase string, k int) caliper.Profile {
-	return caliper.CollectWith(s.runProf, exe, 1, s.noise(phase, k))
+// so the resilient wrapper can re-run it per attempt bookkeeping. With a
+// scratch attached, the profile's per-loop buffer and noise generator are
+// the evaluation's pooled ones.
+func (s *Session) caliperProfile(exe *compiler.Executable, sc *evalScratch, phase string, k int) caliper.Profile {
+	if sc == nil {
+		return caliper.CollectWith(s.runProf, exe, 1, s.noise(phase, k))
+	}
+	return caliper.CollectInto(s.runProf, exe, 1, s.noiseFor(sc, phase, k), sc.perLoop)
 }

@@ -158,7 +158,8 @@ func TestPropertyTrueVecCostPositive(t *testing.T) {
 	f := func(seed uint64, wIdx uint8) bool {
 		l := randomLoop(seed)
 		width := []int{128, 256}[int(wIdx)%2]
-		code := compiler.LoopCode{VecBits: width, Knobs: flagspec.ICC().Baseline().Knobs()}
+		bk := flagspec.ICC().Baseline().Knobs()
+		code := compiler.LoopCode{VecBits: width, Knobs: compiler.LoopKnobsOf(&bk)}
 		for _, m := range arch.All() {
 			if width > m.VecBits {
 				continue
@@ -181,7 +182,8 @@ func TestPropertyLoopInvocationScalesWithWork(t *testing.T) {
 	team := omp.NewTeam(arch.Broadwell())
 	f := func(seed uint64) bool {
 		l := randomLoop(seed)
-		code := compiler.LoopCode{Unroll: 1, ISQ: 1, EffBody: l.BodySize, Knobs: flagspec.ICC().Baseline().Knobs()}
+		bk := flagspec.ICC().Baseline().Knobs()
+		code := compiler.LoopCode{Unroll: 1, ISQ: 1, EffBody: l.BodySize, Knobs: compiler.LoopKnobsOf(&bk)}
 		t1 := LoopInvocationSeconds(&l, code, arch.Broadwell(), team, 1)
 		l2 := l
 		l2.WorkPerIter *= 2

@@ -18,6 +18,7 @@ package flagspec
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"funcytuner/internal/xrand"
@@ -63,6 +64,58 @@ type Space struct {
 	Flavor Flavor
 	Flags  []Flag
 	base   Knobs // knob values before any flag is applied
+
+	// tblOnce guards tbl, the lazily built derived tables. They are built
+	// on first use rather than in ICC()/GCC() so Space literals in tests
+	// keep working; after that, every hot-path call (Random, Encode,
+	// Decode, Baseline) reads the tables instead of re-deriving per-flag
+	// cardinalities and encodings per call.
+	tblOnce sync.Once
+	tbl     *spaceTables
+}
+
+// spaceTables holds the per-Space precomputed encodings: flag
+// cardinalities, cardinalities as float64, the CV↔vector encode table, and
+// the shared immutable baseline CV. Everything here is a pure function of
+// the (immutable) flag list, computed with exactly the arithmetic the
+// per-call implementations used, so table-driven results are bit-identical
+// (fuzz-pinned by FuzzTablesMatchReference).
+type spaceTables struct {
+	// card[i] = len(Flags[i].Values).
+	card []int
+	// fcard[i] = float64(card[i]).
+	fcard []float64
+	// encode[i][v] = (float64(v) + 0.5) / float64(card[i]).
+	encode [][]float64
+	// baseline is the shared -O3 CV; its vals are never mutated (CVs are
+	// immutable by convention and every mutation point Clones first).
+	baseline CV
+}
+
+// tables returns the lazily built derived tables.
+func (s *Space) tables() *spaceTables {
+	s.tblOnce.Do(func() {
+		t := &spaceTables{
+			card:   make([]int, len(s.Flags)),
+			fcard:  make([]float64, len(s.Flags)),
+			encode: make([][]float64, len(s.Flags)),
+		}
+		vals := make([]uint8, len(s.Flags))
+		for i, f := range s.Flags {
+			n := len(f.Values)
+			t.card[i] = n
+			t.fcard[i] = float64(n)
+			enc := make([]float64, n)
+			for v := 0; v < n; v++ {
+				enc[v] = (float64(v) + 0.5) / float64(n)
+			}
+			t.encode[i] = enc
+			vals[i] = uint8(f.Default)
+		}
+		t.baseline = CV{space: s, vals: vals, memo: new(cvMemo)}
+		s.tbl = t
+	})
+	return s.tbl
 }
 
 // NumFlags returns the number of flags (N in §2.1).
@@ -138,13 +191,12 @@ func (cv CV) ValueLabel(i int) string { return cv.space.Flags[i].Values[cv.vals[
 func (cv CV) IsZero() bool { return cv.space == nil }
 
 // Baseline returns the CV corresponding to the plain -O3 compilation the
-// paper uses as its performance baseline (§3.3).
+// paper uses as its performance baseline (§3.3). The returned CV is the
+// per-Space shared instance (CVs are immutable by convention; every
+// mutation point Clones first), so repeated Baseline() calls on a hot path
+// allocate nothing and share one key memo.
 func (s *Space) Baseline() CV {
-	vals := make([]uint8, len(s.Flags))
-	for i, f := range s.Flags {
-		vals[i] = uint8(f.Default)
-	}
-	return CV{space: s, vals: vals, memo: new(cvMemo)}
+	return s.tables().baseline
 }
 
 // Make constructs a CV from explicit value indices (len must match the
@@ -166,9 +218,10 @@ func (s *Space) Make(vals []int) (CV, error) {
 // Random samples a CV uniformly from the space (each flag value with equal
 // probability, as §3.2 specifies).
 func (s *Space) Random(r *xrand.Rand) CV {
-	vals := make([]uint8, len(s.Flags))
-	for i, f := range s.Flags {
-		vals[i] = uint8(r.Intn(len(f.Values)))
+	card := s.tables().card
+	vals := make([]uint8, len(card))
+	for i, n := range card {
+		vals[i] = uint8(r.Intn(n))
 	}
 	return CV{space: s, vals: vals, memo: new(cvMemo)}
 }
@@ -309,12 +362,13 @@ func (cv CV) Distance(other CV) int {
 }
 
 // Encode maps the CV to a float vector in [0,1)^N (value index scaled by
-// cardinality) for continuous search techniques (Nelder–Mead).
+// cardinality) for continuous search techniques (Nelder–Mead). The
+// per-coordinate encodings come from the Space's precomputed table.
 func (cv CV) Encode() []float64 {
+	enc := cv.space.tables().encode
 	out := make([]float64, len(cv.vals))
 	for i, v := range cv.vals {
-		n := len(cv.space.Flags[i].Values)
-		out[i] = (float64(v) + 0.5) / float64(n)
+		out[i] = enc[i][v]
 	}
 	return out
 }
@@ -325,16 +379,17 @@ func (s *Space) Decode(x []float64) CV {
 	if len(x) != len(s.Flags) {
 		panic("flagspec: Decode length mismatch")
 	}
+	t := s.tables()
 	vals := make([]uint8, len(x))
 	for i, v := range x {
-		n := len(s.Flags[i].Values)
+		n := t.card[i]
 		if v < 0 {
 			v = 0
 		}
 		if v >= 1 {
 			v = 0.999999
 		}
-		idx := int(v * float64(n))
+		idx := int(v * t.fcard[i])
 		if idx >= n {
 			idx = n - 1
 		}

@@ -1,0 +1,92 @@
+package flagspec
+
+import (
+	"testing"
+
+	"funcytuner/internal/xrand"
+)
+
+// FuzzTablesMatchReference pins the precomputed spaceTables to the
+// per-call arithmetic they replaced: every Encode coordinate, every
+// Decode rounding decision and the shared Baseline must be bit-identical
+// to results derived flag-by-flag from the Flags slice alone. The tables
+// are a pure cache — any divergence is a determinism bug, not a tuning
+// choice.
+func FuzzTablesMatchReference(f *testing.F) {
+	f.Add(uint64(1), []byte{0x00, 0x80, 0xff})
+	f.Add(uint64(0xdeadbeef), []byte{0x3f, 0x40, 0x41, 0xfe, 0x01})
+	f.Add(uint64(42), []byte{})
+	f.Fuzz(func(t *testing.T, seed uint64, raw []byte) {
+		for _, s := range []*Space{ICC(), GCC()} {
+			r := xrand.New(xrand.Combine(seed, uint64(s.Flavor)))
+			cv := s.Random(r)
+
+			// Encode: table entry vs (v + 0.5) / n recomputed per call.
+			enc := cv.Encode()
+			if len(enc) != s.NumFlags() {
+				t.Fatalf("%v: Encode len %d, want %d", s.Flavor, len(enc), s.NumFlags())
+			}
+			for i, got := range enc {
+				n := len(s.Flags[i].Values)
+				want := (float64(cv.Value(i)) + 0.5) / float64(n)
+				if got != want {
+					t.Fatalf("%v: Encode[%d] = %v, reference %v", s.Flavor, i, got, want)
+				}
+			}
+
+			// Decode: drive an arbitrary vector (clamping included) through
+			// the table path and the re-derived reference.
+			x := make([]float64, s.NumFlags())
+			for i := range x {
+				if len(raw) > 0 {
+					// Spread fuzz bytes across [-0.5, 1.5) to exercise both
+					// clamps and every rounding bucket.
+					x[i] = float64(raw[i%len(raw)])/128.0 - 0.5
+				}
+			}
+			dec := s.Decode(x)
+			for i, v := range x {
+				n := len(s.Flags[i].Values)
+				if v < 0 {
+					v = 0
+				}
+				if v >= 1 {
+					v = 0.999999
+				}
+				idx := int(v * float64(n))
+				if idx >= n {
+					idx = n - 1
+				}
+				if dec.Value(i) != idx {
+					t.Fatalf("%v: Decode[%d] = %d, reference %d (x=%v)", s.Flavor, i, dec.Value(i), idx, x[i])
+				}
+			}
+
+			// Decode∘Encode must be the identity (each encoding sits at the
+			// center of its rounding bucket).
+			rt := s.Decode(enc)
+			if !rt.Equal(cv) {
+				t.Fatalf("%v: Decode(Encode(cv)) != cv: %s vs %s", s.Flavor, rt, cv)
+			}
+
+			// Baseline: the shared table CV vs one built from defaults.
+			base := s.Baseline()
+			for i, fl := range s.Flags {
+				if base.Value(i) != fl.Default {
+					t.Fatalf("%v: Baseline()[%d] = %d, want default %d", s.Flavor, i, base.Value(i), fl.Default)
+				}
+			}
+			defaults := make([]int, s.NumFlags())
+			for i, fl := range s.Flags {
+				defaults[i] = fl.Default
+			}
+			made, err := s.Make(defaults)
+			if err != nil {
+				t.Fatalf("%v: Make(defaults): %v", s.Flavor, err)
+			}
+			if made.Key() != base.Key() {
+				t.Fatalf("%v: Baseline key %x != Make(defaults) key %x", s.Flavor, base.Key(), made.Key())
+			}
+		}
+	})
+}

@@ -378,8 +378,30 @@ func (c *Coordinator) abandon(t *task) {
 // maxWait for one to appear. Returns (nil, nil) when nothing became
 // claimable in time (the HTTP layer's 204).
 func (c *Coordinator) Claim(ctx context.Context, worker string, maxWait time.Duration) (*Task, error) {
+	ts, err := c.ClaimBatch(ctx, worker, maxWait, 1)
+	if err != nil || len(ts) == 0 {
+		return nil, err
+	}
+	return ts[0], nil
+}
+
+// ClaimBatch leases up to max claimable tasks to worker in FIFO order,
+// long-polling up to maxWait for at least one to appear. It grants
+// whatever is claimable the moment anything is — it never holds a
+// partial batch hoping to fill it, so a batch-1 claim and a batch-N
+// claim have identical latency. Returns (nil, nil) when nothing became
+// claimable in time (the HTTP layer's 204).
+//
+// Each granted task gets its own lease and epoch, exactly as if it had
+// been claimed alone: heartbeats, expiry, requeue backoff and report
+// fencing are all per-task. Batching changes the transport economics
+// only, never the lease protocol.
+func (c *Coordinator) ClaimBatch(ctx context.Context, worker string, maxWait time.Duration, max int) ([]*Task, error) {
 	if worker == "" {
 		return nil, fmt.Errorf("fleet: claim with empty worker ID")
+	}
+	if max < 1 {
+		return nil, fmt.Errorf("fleet: claim batch size %d < 1", max)
 	}
 	deadline := time.Now().Add(maxWait)
 	for {
@@ -400,37 +422,45 @@ func (c *Coordinator) Claim(ctx context.Context, worker string, maxWait time.Dur
 			return nil, ErrQuarantined
 		}
 		now := time.Now()
-		var grant *task
+		var grants []*Task
 		nextReady := time.Time{}
-		for i, t := range c.queue {
-			if !t.notBefore.After(now) {
-				grant = t
-				c.queue = append(c.queue[:i], c.queue[i+1:]...)
-				break
+		if len(c.queue) > 0 {
+			rest := c.queue[:0]
+			for _, t := range c.queue {
+				if len(grants) < max && !t.notBefore.After(now) {
+					t.epoch++
+					t.leasedAt = now
+					c.leases[t.id] = &lease{t: t, worker: worker, deadline: now.Add(c.cfg.leaseTTL())}
+					c.mClaims.Inc()
+					grants = append(grants, &Task{
+						ID:              t.id,
+						Job:             t.job,
+						Spec:            t.spec,
+						Phase:           t.phase,
+						Sample:          t.sample,
+						CVs:             t.cvs,
+						Epoch:           t.epoch,
+						LeaseMillis:     c.cfg.leaseTTL().Milliseconds(),
+						HeartbeatMillis: c.cfg.heartbeat().Milliseconds(),
+					})
+					continue
+				}
+				if t.notBefore.After(now) && (nextReady.IsZero() || t.notBefore.Before(nextReady)) {
+					nextReady = t.notBefore
+				}
+				rest = append(rest, t)
 			}
-			if nextReady.IsZero() || t.notBefore.Before(nextReady) {
-				nextReady = t.notBefore
+			// Clear the vacated tail so the backing array does not pin
+			// granted tasks past their leases.
+			for i := len(rest); i < len(c.queue); i++ {
+				c.queue[i] = nil
 			}
+			c.queue = rest
 		}
-		if grant != nil {
-			grant.epoch++
-			grant.leasedAt = now
-			c.leases[grant.id] = &lease{t: grant, worker: worker, deadline: now.Add(c.cfg.leaseTTL())}
-			c.mClaims.Inc()
+		if len(grants) > 0 {
 			c.updateGauges()
-			wire := &Task{
-				ID:              grant.id,
-				Job:             grant.job,
-				Spec:            grant.spec,
-				Phase:           grant.phase,
-				Sample:          grant.sample,
-				CVs:             grant.cvs,
-				Epoch:           grant.epoch,
-				LeaseMillis:     c.cfg.leaseTTL().Milliseconds(),
-				HeartbeatMillis: c.cfg.heartbeat().Milliseconds(),
-			}
 			c.mu.Unlock()
-			return wire, nil
+			return grants, nil
 		}
 		wait := c.waitCh
 		c.mu.Unlock()
@@ -510,6 +540,23 @@ func (c *Coordinator) Report(worker, taskID string, epoch int, out *Outcome, eva
 	default:
 	}
 	return true, nil
+}
+
+// ReportBatch delivers several outcomes in one call. Each report is
+// judged independently against its own lease — a stale entry does not
+// poison its batchmates — and the verdicts come back in request order.
+// Batching is a transport optimization only: the accept/reject rules
+// are byte-for-byte those of Report.
+func (c *Coordinator) ReportBatch(worker string, reports []TaskReport) ([]bool, error) {
+	accepted := make([]bool, len(reports))
+	for i, r := range reports {
+		ok, err := c.Report(worker, r.Task, r.Epoch, r.Outcome, r.Error)
+		if err != nil {
+			return nil, err
+		}
+		accepted[i] = ok
+	}
+	return accepted, nil
 }
 
 // reap expires overdue leases. An expired lease is a worker fault: the

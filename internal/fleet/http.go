@@ -12,27 +12,39 @@ import (
 
 // HTTP status mapping of the protocol:
 //
-//	POST /fleet/claim      200 Task | 204 nothing claimable | 403 worker
-//	                       quarantined | 503 coordinator closed
-//	POST /fleet/heartbeat  200 lease extended | 409 lease gone/stale epoch
-//	POST /fleet/report     200 accepted | 409 stale (rejected, counted) |
-//	                       400 malformed
+//	POST /fleet/claim        200 Task | 204 nothing claimable | 403 worker
+//	                         quarantined | 503 coordinator closed
+//	POST /fleet/claimbatch   200 {tasks} | 204/403/503 as claim
+//	POST /fleet/heartbeat    200 lease extended | 409 lease gone/stale epoch
+//	POST /fleet/report       200 accepted | 409 stale (rejected, counted) |
+//	                         400 malformed
+//	POST /fleet/reportbatch  200 {accepted[]} (per-entry verdicts; a stale
+//	                         entry is accepted[i]=false, never a 409) |
+//	                         400 malformed
 //
 // 409 is deliberately not an error for the worker: a stale heartbeat or
 // report is the normal aftermath of a lease the coordinator already
 // re-dispatched. The worker's only correct reaction is to drop the
 // evaluation and claim fresh work.
 
-// maxBodyBytes bounds request bodies; an outcome carries at most one
-// evaluation's trace span.
+// maxBodyBytes bounds request bodies; a batched report carries at most
+// maxClaimBatch evaluations' outcomes.
 const maxBodyBytes = 8 << 20
+
+// maxClaimBatch caps the per-round-trip lease count a worker may ask
+// for. 256 tasks at the default lease TTL already amortizes the HTTP
+// overhead below noise; anything larger mostly increases the blast
+// radius of a worker death.
+const maxClaimBatch = 256
 
 // Handler exposes the coordinator over HTTP under /fleet/.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /fleet/claim", c.handleClaim)
+	mux.HandleFunc("POST /fleet/claimbatch", c.handleClaimBatch)
 	mux.HandleFunc("POST /fleet/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("POST /fleet/report", c.handleReport)
+	mux.HandleFunc("POST /fleet/reportbatch", c.handleReportBatch)
 	return mux
 }
 
@@ -80,6 +92,40 @@ func (c *Coordinator) handleClaim(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func (c *Coordinator) handleClaimBatch(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeBody[claimBatchRequest](w, r)
+	if !ok {
+		return
+	}
+	wait := time.Duration(req.WaitMillis) * time.Millisecond
+	if wait < 0 {
+		wait = 0
+	}
+	if max := 30 * time.Second; wait > max {
+		wait = max
+	}
+	n := req.Max
+	if n < 1 {
+		n = 1
+	}
+	if n > maxClaimBatch {
+		n = maxClaimBatch
+	}
+	ts, err := c.ClaimBatch(r.Context(), req.Worker, wait, n)
+	switch {
+	case err == ErrClosed:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	case err == ErrQuarantined:
+		writeJSON(w, http.StatusForbidden, map[string]string{"error": err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	case len(ts) == 0:
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeJSON(w, http.StatusOK, claimBatchResponse{Tasks: ts})
+	}
+}
+
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	req, ok := decodeBody[heartbeatRequest](w, r)
 	if !ok {
@@ -106,6 +152,19 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}
+}
+
+func (c *Coordinator) handleReportBatch(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeBody[reportBatchRequest](w, r)
+	if !ok {
+		return
+	}
+	accepted, err := c.ReportBatch(req.Worker, req.Reports)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, reportBatchResponse{Accepted: accepted})
 }
 
 // client is the worker's view of the coordinator's HTTP surface.
@@ -169,6 +228,29 @@ func (cl *client) claim(ctx context.Context, worker string, wait time.Duration) 
 	}
 }
 
+// claimBatch long-polls for up to max tasks. (nil, nil) means nothing
+// claimable.
+func (cl *client) claimBatch(ctx context.Context, worker string, wait time.Duration, max int) ([]*Task, error) {
+	var resp claimBatchResponse
+	code, err := cl.post(ctx, "/fleet/claimbatch",
+		claimBatchRequest{Worker: worker, WaitMillis: wait.Milliseconds(), Max: max}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	switch code {
+	case http.StatusOK:
+		return resp.Tasks, nil
+	case http.StatusNoContent:
+		return nil, nil
+	case http.StatusForbidden:
+		return nil, ErrQuarantined
+	case http.StatusServiceUnavailable:
+		return nil, ErrClosed
+	default:
+		return nil, fmt.Errorf("fleet: claimbatch: unexpected status %d", code)
+	}
+}
+
 // heartbeat extends a lease; ok=false means the lease is gone (fence).
 func (cl *client) heartbeat(ctx context.Context, worker, taskID string, epoch int) (ok bool, err error) {
 	code, err := cl.post(ctx, "/fleet/heartbeat", heartbeatRequest{Worker: worker, Task: taskID, Epoch: epoch}, nil)
@@ -200,4 +282,21 @@ func (cl *client) report(ctx context.Context, worker, taskID string, epoch int, 
 	default:
 		return false, fmt.Errorf("fleet: report: unexpected status %d", code)
 	}
+}
+
+// reportBatch delivers several outcomes; accepted[i]=false means report
+// i was stale. The verdict slice always matches len(reports).
+func (cl *client) reportBatch(ctx context.Context, worker string, reports []TaskReport) ([]bool, error) {
+	var resp reportBatchResponse
+	code, err := cl.post(ctx, "/fleet/reportbatch", reportBatchRequest{Worker: worker, Reports: reports}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("fleet: reportbatch: unexpected status %d", code)
+	}
+	if len(resp.Accepted) != len(reports) {
+		return nil, fmt.Errorf("fleet: reportbatch: %d verdicts for %d reports", len(resp.Accepted), len(reports))
+	}
+	return resp.Accepted, nil
 }

@@ -218,3 +218,43 @@ type reportRequest struct {
 	Outcome *Outcome `json:"outcome,omitempty"`
 	Error   string   `json:"error,omitempty"`
 }
+
+// claimBatchRequest asks for up to Max tasks in one round-trip. The
+// long-poll semantics match claimRequest: the coordinator grants
+// whatever is claimable the moment anything is (it never waits to fill
+// the batch — latency beats batch occupancy).
+type claimBatchRequest struct {
+	Worker     string `json:"worker"`
+	WaitMillis int64  `json:"wait_millis,omitempty"`
+	Max        int    `json:"max"`
+}
+
+// claimBatchResponse carries the granted leases, in FIFO grant order.
+type claimBatchResponse struct {
+	Tasks []*Task `json:"tasks"`
+}
+
+// TaskReport is one claim's outcome inside a batched report. The epoch
+// rules are identical to a single report: each entry is accepted or
+// rejected independently against its own lease.
+type TaskReport struct {
+	Task    string   `json:"task"`
+	Epoch   int      `json:"epoch"`
+	Outcome *Outcome `json:"outcome,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// reportBatchRequest delivers several claims' outcomes in one
+// round-trip.
+type reportBatchRequest struct {
+	Worker  string       `json:"worker"`
+	Reports []TaskReport `json:"reports"`
+}
+
+// reportBatchResponse echoes one accept/reject verdict per report, in
+// request order. A false entry is the batched form of 409: the lease
+// moved on, and the worker treats it exactly like a single-report
+// rejection (self-fence, no retry).
+type reportBatchResponse struct {
+	Accepted []bool `json:"accepted"`
+}

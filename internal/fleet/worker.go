@@ -22,6 +22,12 @@ type WorkerConfig struct {
 	Coordinator string
 	// Concurrency bounds simultaneous claims (default 1).
 	Concurrency int
+	// ClaimBatch is the number of tasks each claim round-trip may lease
+	// (default 1 = the unbatched protocol). Batching amortizes claim and
+	// report HTTP overhead across N evaluations; every lease in a batch
+	// still lives and dies individually (own epoch, own heartbeat
+	// verdict, own report acceptance).
+	ClaimBatch int
 	// Poll is the claim long-poll bound (default 2s).
 	Poll time.Duration
 	// Faults injects worker-level chaos (die-mid-eval, stall,
@@ -43,6 +49,9 @@ func (c WorkerConfig) validate() error {
 	if c.Concurrency < 0 {
 		return fmt.Errorf("fleet: concurrency must be >= 0, got %d", c.Concurrency)
 	}
+	if c.ClaimBatch < 0 {
+		return fmt.Errorf("fleet: claim batch must be >= 0, got %d", c.ClaimBatch)
+	}
 	if c.Poll < 0 {
 		return fmt.Errorf("fleet: poll interval must be >= 0, got %v", c.Poll)
 	}
@@ -52,6 +61,13 @@ func (c WorkerConfig) validate() error {
 func (c WorkerConfig) concurrency() int {
 	if c.Concurrency > 0 {
 		return c.Concurrency
+	}
+	return 1
+}
+
+func (c WorkerConfig) claimBatch() int {
+	if c.ClaimBatch > 0 {
+		return c.ClaimBatch
 	}
 	return 1
 }
@@ -78,6 +94,13 @@ type jobService struct {
 type Worker struct {
 	cfg WorkerConfig
 	cl  *client
+	// cache is the process-wide compile/link cache shared by every job
+	// service this worker builds. Cache keys carry program, machine and
+	// flag-space identity, so cross-job sharing is behaviour-invisible;
+	// what it buys is warmth — a worker that has evaluated a job's
+	// assemblies once keeps that work across lease churn, rejoins and
+	// new jobs over the same benchmark.
+	cache *funcytuner.CompileCache
 
 	mu       sync.Mutex
 	services map[string]*jobService
@@ -92,6 +115,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	return &Worker{
 		cfg:      cfg,
 		cl:       newClient(cfg.Coordinator, cfg.HTTPClient),
+		cache:    funcytuner.NewCompileCache(0),
 		services: make(map[string]*jobService),
 		models:   make(map[string]*faults.WorkerModel),
 	}, nil
@@ -128,11 +152,22 @@ func (w *Worker) Run(ctx context.Context) error {
 }
 
 func (w *Worker) loop(ctx context.Context) error {
+	batch := w.cfg.claimBatch()
 	for {
 		if ctx.Err() != nil {
 			return nil
 		}
-		t, err := w.cl.claim(ctx, w.cfg.ID, w.cfg.poll())
+		var ts []*Task
+		var err error
+		if batch > 1 {
+			ts, err = w.cl.claimBatch(ctx, w.cfg.ID, w.cfg.poll(), batch)
+		} else {
+			var t *Task
+			t, err = w.cl.claim(ctx, w.cfg.ID, w.cfg.poll())
+			if t != nil {
+				ts = []*Task{t}
+			}
+		}
 		switch {
 		case errors.Is(err, ErrClosed):
 			return nil
@@ -147,11 +182,38 @@ func (w *Worker) loop(ctx context.Context) error {
 			w.logf("fleet worker %s: claim failed: %v", w.cfg.ID, err)
 			sleepCtx(ctx, w.cfg.poll()/4+10*time.Millisecond)
 			continue
-		case t == nil:
+		case len(ts) == 0:
 			continue // long-poll expired, nothing claimable
 		}
-		if err := w.execute(ctx, t); err != nil {
-			w.logf("fleet worker %s: task %s: %v", w.cfg.ID, t.ID, err)
+		w.executeBatch(ctx, ts)
+	}
+}
+
+// executeBatch dispatches one claim round-trip's leases. Fault-injected
+// tasks peel off to the single-task path (which knows how to die, stall
+// and replay); the healthy remainder shares one heartbeat loop and one
+// batched report. classify is a pure draw over (task ID, epoch), so
+// peeling here and re-classifying inside execute see the same verdict.
+func (w *Worker) executeBatch(ctx context.Context, ts []*Task) {
+	var healthy []*Task
+	for _, t := range ts {
+		if w.classify(t) != faults.WorkerOK {
+			if err := w.execute(ctx, t); err != nil {
+				w.logf("fleet worker %s: task %s: %v", w.cfg.ID, t.ID, err)
+			}
+			continue
+		}
+		healthy = append(healthy, t)
+	}
+	switch len(healthy) {
+	case 0:
+	case 1:
+		if err := w.execute(ctx, healthy[0]); err != nil {
+			w.logf("fleet worker %s: task %s: %v", w.cfg.ID, healthy[0].ID, err)
+		}
+	default:
+		if err := w.executeHealthyBatch(ctx, healthy); err != nil {
+			w.logf("fleet worker %s: batch of %d: %v", w.cfg.ID, len(healthy), err)
 		}
 	}
 }
@@ -185,15 +247,16 @@ func (w *Worker) service(t *Task) (*funcytuner.EvalService, error) {
 		return s.svc, s.err
 	}
 	s := &jobService{spec: t.Spec}
-	s.svc, s.err = buildService(t.Spec)
+	s.svc, s.err = buildService(t.Spec, w.cache)
 	w.services[t.Job] = s
 	return s.svc, s.err
 }
 
 // buildService rebuilds the coordinator's session from the Spec — same
 // deterministic inputs, so every claim outcome is bit-identical to a
-// local evaluation on the coordinator.
-func buildService(spec Spec) (*funcytuner.EvalService, error) {
+// local evaluation on the coordinator. cache, when non-nil, is shared
+// with every other service in the process (see Worker.cache).
+func buildService(spec Spec, cache *funcytuner.CompileCache) (*funcytuner.EvalService, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
@@ -207,11 +270,12 @@ func buildService(spec Spec) (*funcytuner.EvalService, error) {
 	}
 	in := funcytuner.TuningInput(spec.Benchmark, machine)
 	tuner := funcytuner.NewTuner(funcytuner.Options{
-		Machine: machine,
-		Samples: spec.Samples,
-		TopX:    spec.TopX,
-		Seed:    spec.Seed,
-		Faults:  funcytuner.DefaultFaultRates().Scale(spec.FaultRate),
+		Machine:     machine,
+		Samples:     spec.Samples,
+		TopX:        spec.TopX,
+		Seed:        spec.Seed,
+		Faults:      funcytuner.DefaultFaultRates().Scale(spec.FaultRate),
+		SharedCache: cache,
 	})
 	return tuner.EvalService(prog, in)
 }
@@ -302,6 +366,154 @@ func (w *Worker) execute(ctx context.Context, t *Task) error {
 		sleepCtx(ctx, leaseTTL)
 	}
 	return nil
+}
+
+// executeHealthyBatch evaluates N leased claims sequentially under one
+// shared heartbeat loop, then delivers every surviving outcome in a
+// single batched report. Lease hygiene is per task, exactly as in
+// execute: a task whose heartbeat bounces is fenced (its evaluation is
+// skipped or abandoned and it is excluded from the report) without
+// disturbing its batchmates.
+func (w *Worker) executeHealthyBatch(ctx context.Context, ts []*Task) error {
+	leaseTTL := time.Duration(ts[0].LeaseMillis) * time.Millisecond
+	hb := time.Duration(ts[0].HeartbeatMillis) * time.Millisecond
+
+	evalCtxs := make([]context.Context, len(ts))
+	cancels := make([]context.CancelFunc, len(ts))
+	for i := range ts {
+		evalCtxs[i], cancels[i] = context.WithCancel(ctx)
+		defer cancels[i]()
+	}
+
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		w.batchHeartbeatLoop(ctx, ts, cancels, hbStop, leaseTTL, hb)
+	}()
+
+	outs := make([]*Outcome, len(ts))
+	errStrs := make([]string, len(ts))
+	for i, t := range ts {
+		if ctx.Err() != nil || evalCtxs[i].Err() != nil {
+			continue // shutting down or fenced before this slot's turn
+		}
+		svc, err := w.service(t)
+		if err != nil {
+			errStrs[i] = err.Error()
+			continue
+		}
+		cvs, err := decodeCVs(svc.Space(), t.CVs)
+		if err != nil {
+			errStrs[i] = err.Error()
+			continue
+		}
+		out, evalErr := svc.Evaluate(evalCtxs[i], funcytuner.EvalRequest{Phase: t.Phase, Sample: t.Sample, CVs: cvs})
+		if evalErr != nil {
+			errStrs[i] = evalErr.Error()
+			continue
+		}
+		outs[i] = encodeOutcome(out)
+	}
+	close(hbStop)
+	hbWG.Wait()
+
+	if ctx.Err() != nil {
+		return nil // shutting down; the leases expire on their own
+	}
+	// Report only claims whose lease we still believe in. A fenced task
+	// is dropped (self-fencing): the coordinator already re-dispatched
+	// it, and its slot in the batch must not turn into a stale report.
+	reports := make([]TaskReport, 0, len(ts))
+	reported := make([]*Task, 0, len(ts))
+	for i, t := range ts {
+		if evalCtxs[i].Err() != nil {
+			w.logf("fleet worker %s: fenced off task %s epoch %d", w.cfg.ID, t.ID, t.Epoch)
+			continue
+		}
+		if outs[i] == nil && errStrs[i] == "" {
+			continue // never evaluated (shutdown mid-batch)
+		}
+		reports = append(reports, TaskReport{Task: t.ID, Epoch: t.Epoch, Outcome: outs[i], Error: errStrs[i]})
+		reported = append(reported, t)
+	}
+	if len(reports) == 0 {
+		return nil
+	}
+	accepted, rerr := w.cl.reportBatch(ctx, w.cfg.ID, reports)
+	if rerr != nil {
+		return rerr // leases expire on their own; the claims are re-dispatched
+	}
+	for i, ok := range accepted {
+		if !ok {
+			w.logf("fleet worker %s: report for task %s epoch %d rejected as stale",
+				w.cfg.ID, reported[i].ID, reported[i].Epoch)
+		}
+	}
+	return nil
+}
+
+// batchHeartbeatLoop keeps a batch's leases alive while the evaluations
+// run. Verdicts are per task: a bounced heartbeat fences only that
+// task. Transport silence for a full lease TTL fences the whole batch —
+// a partitioned worker must assume every lease expired.
+func (w *Worker) batchHeartbeatLoop(ctx context.Context, ts []*Task, cancels []context.CancelFunc, stop <-chan struct{}, leaseTTL, hb time.Duration) {
+	if hb <= 0 {
+		hb = leaseTTL / 4
+	}
+	if hb <= 0 {
+		hb = time.Second
+	}
+	ticker := time.NewTicker(hb)
+	defer ticker.Stop()
+	live := make([]bool, len(ts))
+	for i := range live {
+		live[i] = true
+	}
+	lastOK := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			anyLive, anyOK, anyErr := false, false, false
+			for i, t := range ts {
+				if !live[i] {
+					continue
+				}
+				ok, err := w.cl.heartbeat(ctx, w.cfg.ID, t.ID, t.Epoch)
+				switch {
+				case err == nil && ok:
+					anyOK = true
+					anyLive = true
+				case err == nil && !ok:
+					live[i] = false
+					cancels[i]()
+				default:
+					anyErr = true
+					anyLive = true
+				}
+			}
+			if anyOK {
+				lastOK = time.Now()
+			}
+			if anyErr && time.Since(lastOK) > leaseTTL {
+				for i := range ts {
+					if live[i] {
+						live[i] = false
+						cancels[i]()
+					}
+				}
+				return
+			}
+			if !anyLive {
+				return
+			}
+		}
+	}
 }
 
 // heartbeatLoop keeps one lease alive while the evaluation runs. It

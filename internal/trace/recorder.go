@@ -21,6 +21,25 @@ type Recorder struct {
 	pseq int
 	// wall, when set, stamps events with a wall-clock nanosecond time.
 	wall func() int64
+	// pool recycles committed Batches (and their event buffers) across
+	// evaluations. Safe because a batch's contents are fully reset by
+	// Batch() and every event is copied out under the lock before the
+	// batch is recycled; which physical batch an evaluation gets is
+	// scheduling-dependent, but batches carry no identity, so the
+	// recorded events are unchanged. noPool opts out (the pooled-vs-
+	// unpooled determinism tests pin that equivalence).
+	pool   sync.Pool
+	noPool bool
+}
+
+// SetBatchPooling toggles recycling of committed batches (on by default).
+// Call before recording begins; the off position exists so determinism
+// tests can compare pooled against unpooled runs.
+func (r *Recorder) SetBatchPooling(on bool) {
+	if r == nil {
+		return
+	}
+	r.noPool = !on
 }
 
 // NewRecorder returns an empty recorder with no wall clock.
@@ -103,6 +122,14 @@ func (r *Recorder) Batch(phase string, sample int) *Batch {
 	if r == nil {
 		return nil
 	}
+	if !r.noPool {
+		if v := r.pool.Get(); v != nil {
+			b := v.(*Batch)
+			b.r, b.pseq, b.phase, b.sample, b.step = r, r.pseq, phase, sample, 0
+			b.events = b.events[:0]
+			return b
+		}
+	}
 	return &Batch{r: r, pseq: r.pseq, phase: phase, sample: sample}
 }
 
@@ -176,14 +203,25 @@ func (b *Batch) Add(e Event) {
 }
 
 // Commit flushes the buffered events to the recorder in one locked
-// append. Nil-safe; committing an empty or detached batch is a no-op (a
-// detached batch keeps its events for Events).
+// append. Nil-safe; committing a detached batch is a no-op (a detached
+// batch keeps its events for Events). A recorder-bound batch is dead
+// after Commit — its buffer may be recycled for a later evaluation — so
+// no Add or second Commit may follow.
 func (b *Batch) Commit() {
-	if b == nil || b.r == nil || len(b.events) == 0 {
+	if b == nil || b.r == nil {
 		return
 	}
-	b.r.mu.Lock()
-	b.r.events = append(b.r.events, b.events...)
-	b.r.mu.Unlock()
-	b.events = nil
+	r := b.r
+	if len(b.events) > 0 {
+		r.mu.Lock()
+		r.events = append(r.events, b.events...)
+		r.mu.Unlock()
+	}
+	if r.noPool {
+		b.events = nil
+		return
+	}
+	b.r = nil
+	b.events = b.events[:0]
+	r.pool.Put(b)
 }

@@ -269,7 +269,12 @@ func (t *Trace) WriteJSONL(w io.Writer) error {
 // the offending line; it never panics.
 func ReadJSONL(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	// No eager buffer: the scanner starts small and grows geometrically on
+	// demand (JSONL trace lines are short), but may still grow to 4 MiB
+	// before a long line becomes an error. Passing a preallocated 64 KiB
+	// buffer here cost one large allocation on every load, even for tiny
+	// traces.
+	sc.Buffer(nil, 4*1024*1024)
 	t := &Trace{}
 	line := 0
 	for sc.Scan() {

@@ -114,6 +114,21 @@ func New(seed uint64) *Rand {
 // NewFromString returns a generator seeded from a descriptive key.
 func NewFromString(key string) *Rand { return New(HashString(key)) }
 
+// Reseed re-initializes r in place from seed — the allocation-free
+// counterpart of New for callers that reuse a scratch generator. After
+// Reseed(s), r is bit-identical to New(s): the Box–Muller pair cache is
+// cleared along with the xoshiro state.
+func (r *Rand) Reseed(seed uint64) {
+	st := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&st)
+	}
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	r.gauss, r.hasGauss = 0, false
+}
+
 // Split derives an independent child generator identified by key and index.
 // The parent's state is not consumed: splitting is a pure function of the
 // parent's seed material, so the order in which children are created does
@@ -121,6 +136,38 @@ func NewFromString(key string) *Rand { return New(HashString(key)) }
 func (r *Rand) Split(key string, index int) *Rand {
 	return New(Combine(r.s[0], r.s[2], HashString(key), uint64(index)))
 }
+
+// Stream snapshots the parent's split material together with a hashed key,
+// so per-index child streams can be derived without re-hashing the key
+// string on every call. For any parent r that has not been advanced in
+// between, r.Stream(key).Rand(i) is bit-identical to r.Split(key, i).
+type Stream struct {
+	s0, s2, key uint64
+}
+
+// Stream returns the derivation stream for key rooted at r's current seed
+// material.
+func (r *Rand) Stream(key string) Stream {
+	return Stream{s0: r.s[0], s2: r.s[2], key: HashString(key)}
+}
+
+// Seed returns the child seed for index — exactly the seed Split would
+// construct, with no allocation.
+func (st Stream) Seed(index int) uint64 {
+	var h Hasher
+	h.Add(st.s0)
+	h.Add(st.s2)
+	h.Add(st.key)
+	h.Add(uint64(index))
+	return h.Sum()
+}
+
+// Rand returns the child generator for index (equivalent to Split).
+func (st Stream) Rand(index int) *Rand { return New(st.Seed(index)) }
+
+// Into reseeds dst in place as the child generator for index, avoiding the
+// allocation of Rand. dst afterwards is bit-identical to Rand(index).
+func (st Stream) Into(dst *Rand, index int) { dst.Reseed(st.Seed(index)) }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 

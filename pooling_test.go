@@ -1,0 +1,167 @@
+package funcytuner
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"funcytuner/internal/trace"
+)
+
+// tuneTraced runs Tune with a recorder attached and returns both the
+// Report and the canonical trace JSONL bytes, so one run feeds both the
+// fingerprint and the byte-equality comparisons.
+func tuneTraced(t *testing.T, opts Options, prog *Program, in Input) (*Report, []byte, *trace.Trace) {
+	t.Helper()
+	rec := NewTraceRecorder()
+	opts.Trace = rec
+	rep, err := NewTuner(opts).Tune(prog, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := rec.Snapshot().Canonical()
+	var buf bytes.Buffer
+	if err := canon.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return rep, buf.Bytes(), canon
+}
+
+// Every allocation-reuse fast path (scratch pools, trace batch reuse,
+// run-profile memoization, fused link/executable allocation) must be
+// invisible: a pooled, cached, parallel run's Report fingerprint AND its
+// canonical trace bytes must equal those of an Unpooled, cache-off,
+// single-worker run of the same seed — with and without fault
+// injection. This is the reference test the allocation diet answers to;
+// it runs under -race in CI so pool reuse across workers is also probed
+// for data races.
+func TestUnpooledBitIdenticalAcrossWorkersAndFaults(t *testing.T) {
+	m, _ := MachineByName("broadwell")
+	prog, err := Benchmark(CloverLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := TuningInput(CloverLeaf, m)
+	for _, rates := range []FaultRates{{}, DefaultFaultRates()} {
+		faulty := rates != (FaultRates{})
+		ref := Options{
+			Machine: m, Samples: 30, TopX: 6, Seed: "pooling-identity",
+			Faults: rates, Workers: 1, Unpooled: true, CacheSize: -1,
+		}
+		want, wantBytes, wantTrace := tuneTraced(t, ref, prog, in)
+		if len(wantBytes) == 0 {
+			t.Fatal("reference run produced an empty canonical trace")
+		}
+		wantFP := want.Fingerprint()
+
+		variants := []struct {
+			name string
+			mut  func(*Options)
+		}{
+			{"pooled-workers-1", func(o *Options) { o.Workers = 1 }},
+			{"pooled-workers-4", func(o *Options) { o.Workers = 4 }},
+			{"pooled-workers-gomaxprocs", func(o *Options) { o.Workers = 0 }},
+			{"pooled-shared-cache", func(o *Options) {
+				o.Workers = 4
+				o.SharedCache = NewCompileCache(0)
+			}},
+		}
+		for _, v := range variants {
+			opts := ref
+			opts.Unpooled = false
+			opts.CacheSize = 0 // default-size cache
+			v.mut(&opts)
+			got, gotBytes, gotTrace := tuneTraced(t, opts, prog, in)
+			if got.Fingerprint() != wantFP {
+				t.Errorf("faults=%v %s: fingerprint differs from unpooled reference", faulty, v.name)
+			}
+			if !bytes.Equal(gotBytes, wantBytes) {
+				t.Errorf("faults=%v %s: canonical trace diverged: %s",
+					faulty, v.name, trace.Diff(wantTrace, gotTrace))
+			}
+			if got.Compiles != want.Compiles || got.Runs != want.Runs {
+				t.Errorf("faults=%v %s: simulated cost (%d, %d) != reference (%d, %d)",
+					faulty, v.name, got.Compiles, got.Runs, want.Compiles, want.Runs)
+			}
+			if got.Faults != want.Faults {
+				t.Errorf("faults=%v %s: fault tally %+v != reference %+v",
+					faulty, v.name, got.Faults, want.Faults)
+			}
+		}
+	}
+}
+
+// Pooling must also compose with the interruption machinery: a pooled,
+// cached run cancelled mid-flight (or killed by the simulated node
+// failure) and resumed from its checkpoint reports a fingerprint
+// bit-identical to an Unpooled, cache-off, uninterrupted run. Scratch
+// reuse cannot leak state across the checkpoint boundary.
+func TestUnpooledCancelKillResumeEquality(t *testing.T) {
+	m, _ := MachineByName("sandybridge")
+	prog, err := Benchmark(Swim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := TuningInput(Swim, m)
+	ref := Options{
+		Machine: m, Samples: 40, TopX: 8, Seed: "pooling-resume",
+		Faults: DefaultFaultRates(), Workers: 1, CheckpointEvery: 1,
+		Unpooled: true, CacheSize: -1,
+	}
+	want, err := NewTuner(ref).Tune(prog, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFP := want.Fingerprint()
+
+	pooled := ref
+	pooled.Unpooled = false
+	pooled.CacheSize = 0
+
+	// Kill at a deterministic evaluation index, resume, compare.
+	killPath := filepath.Join(t.TempDir(), "kill.ckpt")
+	kOpts := pooled
+	kOpts.Checkpoint = killPath
+	kOpts.KillAfterEvals = 25
+	if _, err := NewTuner(kOpts).Tune(prog, in); !errors.Is(err, ErrKilled) {
+		t.Fatalf("expected ErrKilled, got %v", err)
+	}
+	rOpts := pooled
+	rOpts.Resume = killPath
+	got, err := NewTuner(rOpts).Tune(prog, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != wantFP {
+		t.Fatal("pooled kill+resume fingerprint differs from unpooled uninterrupted run")
+	}
+	if got.Faults != want.Faults {
+		t.Fatalf("pooled kill+resume fault tally %+v != unpooled %+v", got.Faults, want.Faults)
+	}
+
+	// Cancel via a gate at deterministic boundaries, resume, compare.
+	for _, after := range []int32{3, 47} {
+		path := filepath.Join(t.TempDir(), fmt.Sprintf("cancel-%d.ckpt", after))
+		ctx, cancel := context.WithCancel(context.Background())
+		cOpts := pooled
+		cOpts.Checkpoint = path
+		cOpts.Gate = &cancelAfterGate{cancel: cancel, after: after}
+		_, err := NewTuner(cOpts).TuneContext(ctx, prog, in)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("after=%d: error %v does not unwrap to context.Canceled", after, err)
+		}
+		resume := pooled
+		resume.Resume = path
+		got, err := NewTuner(resume).Tune(prog, in)
+		if err != nil {
+			t.Fatalf("after=%d: resume failed: %v", after, err)
+		}
+		if got.Fingerprint() != wantFP {
+			t.Fatalf("after=%d: pooled cancel+resume fingerprint differs from unpooled run", after)
+		}
+	}
+}
