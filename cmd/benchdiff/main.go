@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -45,13 +46,13 @@ func main() {
 		to   = flag.String("to", "", "candidate entry: substring of its date or PR label (default: last)")
 	)
 	flag.Parse()
-	if err := run(*path, *from, *to); err != nil {
+	if err := run(os.Stdout, *path, *from, *to); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, from, to string) error {
+func run(out io.Writer, path, from, to string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -75,39 +76,43 @@ func run(path, from, to string) error {
 		return fmt.Errorf("-from and -to select the same entry (%s)", a.Date)
 	}
 
-	fmt.Printf("before: %s  %s\n", a.Date, a.PR)
-	fmt.Printf("after:  %s  %s\n\n", b.Date, b.PR)
-	names := make([]string, 0, len(a.Benchmarks))
+	fmt.Fprintf(out, "before: %s  %s\n", a.Date, a.PR)
+	fmt.Fprintf(out, "after:  %s  %s\n\n", b.Date, b.PR)
+	seen := make(map[string]bool, len(a.Benchmarks)+len(b.Benchmarks))
+	names := make([]string, 0, len(a.Benchmarks)+len(b.Benchmarks))
 	for name := range a.Benchmarks {
-		if _, ok := b.Benchmarks[name]; ok {
+		seen[name] = true
+		names = append(names, name)
+	}
+	for name := range b.Benchmarks {
+		if !seen[name] {
 			names = append(names, name)
 		}
 	}
 	sort.Strings(names)
-	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	w := tabwriter.NewWriter(out, 2, 0, 2, ' ', 0)
 	fmt.Fprintln(w, "benchmark\tns/op\tratio\tB/op\tratio\tallocs/op\tratio")
 	for _, name := range names {
-		av, bv := a.Benchmarks[name], b.Benchmarks[name]
-		fmt.Fprintf(w, "%s\t%.0f → %.0f\t%s\t%.0f → %.0f\t%s\t%.0f → %.0f\t%s\n",
-			name,
-			av.NsPerOp, bv.NsPerOp, ratio(av.NsPerOp, bv.NsPerOp),
-			av.BytesPerOp, bv.BytesPerOp, ratio(av.BytesPerOp, bv.BytesPerOp),
-			av.AllocsPerOp, bv.AllocsPerOp, ratio(av.AllocsPerOp, bv.AllocsPerOp))
+		av, inA := a.Benchmarks[name]
+		bv, inB := b.Benchmarks[name]
+		switch {
+		case inA && inB:
+			fmt.Fprintf(w, "%s\t%.0f → %.0f\t%s\t%.0f → %.0f\t%s\t%.0f → %.0f\t%s\n",
+				name,
+				av.NsPerOp, bv.NsPerOp, ratio(av.NsPerOp, bv.NsPerOp),
+				av.BytesPerOp, bv.BytesPerOp, ratio(av.BytesPerOp, bv.BytesPerOp),
+				av.AllocsPerOp, bv.AllocsPerOp, ratio(av.AllocsPerOp, bv.AllocsPerOp))
+		case inB:
+			// A name the trajectory just gained: still a first-class row,
+			// so a perf PR adding a benchmark sees its numbers in context.
+			fmt.Fprintf(w, "%s\t→ %.0f\tno baseline entry\t→ %.0f\t\t→ %.0f\t\n",
+				name, bv.NsPerOp, bv.BytesPerOp, bv.AllocsPerOp)
+		default:
+			fmt.Fprintf(w, "%s\t%.0f →\tno candidate entry\t%.0f →\t\t%.0f →\t\n",
+				name, av.NsPerOp, av.BytesPerOp, av.AllocsPerOp)
+		}
 	}
-	if err := w.Flush(); err != nil {
-		return err
-	}
-	for _, name := range names {
-		delete(a.Benchmarks, name)
-		delete(b.Benchmarks, name)
-	}
-	for name := range a.Benchmarks {
-		fmt.Printf("only in %s: %s\n", a.Date, name)
-	}
-	for name := range b.Benchmarks {
-		fmt.Printf("only in %s: %s\n", b.Date, name)
-	}
-	return nil
+	return w.Flush()
 }
 
 // pick resolves a -from/-to selector against the trajectory: empty means

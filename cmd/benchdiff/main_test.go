@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTrajectory drops a two-entry BENCH_eval.json where the second
+// entry gains a benchmark (BenchmarkNew) and loses one (BenchmarkGone).
+func writeTrajectory(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_eval.json")
+	doc := `{
+  "description": "test trajectory",
+  "trajectory": [
+    {
+      "date": "2026-08-01", "pr": "PR 1",
+      "benchmarks": {
+        "BenchmarkShared": {"ns_per_op": 200, "bytes_per_op": 64, "allocs_per_op": 2},
+        "BenchmarkGone":   {"ns_per_op": 900, "bytes_per_op": 32, "allocs_per_op": 1}
+      }
+    },
+    {
+      "date": "2026-08-02", "pr": "PR 2",
+      "benchmarks": {
+        "BenchmarkShared": {"ns_per_op": 100, "bytes_per_op": 64, "allocs_per_op": 2},
+        "BenchmarkNew":    {"ns_per_op": 500, "bytes_per_op": 16, "allocs_per_op": 1}
+      }
+    }
+  ]
+}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDiffSurvivesNewBenchmark checks that a name present in only one
+// entry becomes a first-class "no baseline entry" / "no candidate entry"
+// row instead of an error or a footnote.
+func TestDiffSurvivesNewBenchmark(t *testing.T) {
+	path := writeTrajectory(t)
+	var buf strings.Builder
+	if err := run(&buf, path, "", ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"BenchmarkShared", "2.00x",
+		"BenchmarkNew", "no baseline entry",
+		"BenchmarkGone", "no candidate entry",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The new benchmark's numbers appear on its row, not just its name.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "BenchmarkNew") && !strings.Contains(line, "500") {
+			t.Errorf("new-benchmark row lacks its measurement: %q", line)
+		}
+	}
+}
+
+// TestDiffSelectors pins the -from/-to substring selection and its
+// error cases alongside the new union-of-names table.
+func TestDiffSelectors(t *testing.T) {
+	path := writeTrajectory(t)
+	var buf strings.Builder
+	if err := run(&buf, path, "PR 1", "PR 2"); err != nil {
+		t.Fatalf("run with selectors: %v", err)
+	}
+	if err := run(&buf, path, "PR 1", "PR 1"); err == nil {
+		t.Fatal("selecting the same entry twice should fail")
+	}
+	if err := run(&buf, path, "no-such", ""); err == nil {
+		t.Fatal("unmatched selector should fail")
+	}
+}

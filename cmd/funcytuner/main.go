@@ -5,7 +5,8 @@
 //
 //	funcytuner [-bench CL] [-machine broadwell] [-samples 1000] [-topx 50]
 //	           [-compare] [-seed funcytuner] [-flags] [-workers N]
-//	           [-cache] [-cache-size N]
+//	           [-cache] [-cache-size N] [-cache-spill dir]
+//	           [-repo dir] [-skip-exist]
 //	           [-fault-rate 1] [-max-retries 2] [-checkpoint f] [-resume f]
 //	           [-trace out.jsonl] [-progress] [-report run.md]
 //
@@ -66,6 +67,9 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel evaluation workers (0 = GOMAXPROCS)")
 	cache := flag.Bool("cache", true, "memoize compile/link work (bit-identical results, less work)")
 	cacheSize := flag.Int("cache-size", 0, "compile cache bound in entries (0 = default size)")
+	cacheSpill := flag.String("cache-spill", "", "directory the compile cache spills evicted objects to and reloads them from")
+	repoPath := flag.String("repo", "", "results repository directory: the finished run is stored there, content-addressed")
+	skipExist := flag.Bool("skip-exist", false, "serve an identical already-completed run from -repo instead of re-tuning")
 	compare := flag.Bool("compare", false, "run Random/FR/G/CFR side by side (§4.1 protocol)")
 	showFlags := flag.Bool("flags", false, "print the winning per-module compilation vectors")
 	adaptive := flag.Bool("adaptive", false, "early-stopped CFR (convergence-trend budget policy)")
@@ -144,6 +148,9 @@ func main() {
 		Machine: m, Samples: *samples, TopX: *topx, Seed: *seed,
 		Workers:        *workers,
 		CacheSize:      cacheBound,
+		CacheSpill:     *cacheSpill,
+		RepoPath:       *repoPath,
+		SkipExist:      *skipExist,
 		Faults:         funcytuner.DefaultFaultRates().Scale(*faultRate),
 		MaxRetries:     *maxRetries,
 		TimeoutBudget:  *timeout,
@@ -190,6 +197,10 @@ func main() {
 	}
 	if rec != nil {
 		fmt.Printf("wrote %d trace events to %s\n", rec.Len(), *tracePath)
+	}
+
+	if rep.Served {
+		fmt.Printf("served from the results repository at %s (identical run already completed; re-run without -skip-exist to recompute)\n", *repoPath)
 	}
 
 	fmt.Printf("\nO3 baseline profile (%d modules after outlining):\n%s\n", rep.Modules, rep.Profile)

@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"funcytuner"
 	"funcytuner/internal/faults"
 	"funcytuner/internal/fleet"
 	"funcytuner/internal/metrics"
@@ -64,6 +65,12 @@ type config struct {
 	globalWorkers int
 	drainTimeout  time.Duration
 
+	// Results repository and shared compile cache (local, coordinator).
+	repo        string
+	skipExist   bool
+	sharedCache int
+	cacheSpill  string
+
 	// Coordinator-mode lease protocol knobs.
 	leaseTTL       time.Duration
 	heartbeat      time.Duration
@@ -91,6 +98,14 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 		"total in-flight evaluations across all jobs (local, coordinator)")
 	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second,
 		"how long shutdown waits for jobs to drain to their checkpoints")
+	fs.StringVar(&cfg.repo, "repo", "",
+		"results repository directory: completed jobs are stored there and survive restarts (local, coordinator)")
+	fs.BoolVar(&cfg.skipExist, "skip-exist", false,
+		"serve identical resubmissions from -repo in one lookup instead of re-running them")
+	fs.IntVar(&cfg.sharedCache, "shared-cache", 0,
+		"entries in a process-wide compile cache shared by all jobs; 0 = per-job private caches (local, coordinator)")
+	fs.StringVar(&cfg.cacheSpill, "cache-spill", "",
+		"directory the shared compile cache spills evicted objects to and reloads them from; requires -shared-cache")
 	fs.DurationVar(&cfg.leaseTTL, "lease-ttl", fleet.DefaultLeaseTTL,
 		"evaluation lease TTL; a worker silent for this long loses its claim (coordinator)")
 	fs.DurationVar(&cfg.heartbeat, "heartbeat", 0,
@@ -140,6 +155,15 @@ func (cfg config) validate() error {
 	}
 	if cfg.globalWorkers < 1 {
 		return fmt.Errorf("-global-workers must be >= 1, got %d", cfg.globalWorkers)
+	}
+	if cfg.skipExist && cfg.repo == "" {
+		return fmt.Errorf("-skip-exist requires -repo")
+	}
+	if cfg.sharedCache < 0 {
+		return fmt.Errorf("-shared-cache must be >= 0, got %d", cfg.sharedCache)
+	}
+	if cfg.cacheSpill != "" && cfg.sharedCache == 0 {
+		return fmt.Errorf("-cache-spill requires -shared-cache")
 	}
 	if cfg.drainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout must be positive, got %v", cfg.drainTimeout)
@@ -210,6 +234,24 @@ func runServer(ctx context.Context, stop context.CancelFunc, cfg config) error {
 		Dir:  cfg.data,
 		Gate: server.NewGate(cfg.globalWorkers),
 	}
+	if cfg.repo != "" {
+		repo, err := funcytuner.OpenResultRepo(cfg.repo)
+		if err != nil {
+			return err
+		}
+		mcfg.Repo = repo
+		mcfg.SkipExist = cfg.skipExist
+	}
+	var cache *funcytuner.CompileCache
+	if cfg.sharedCache > 0 {
+		cache = funcytuner.NewCompileCache(cfg.sharedCache)
+		if cfg.cacheSpill != "" {
+			if err := cache.AttachSpill(cfg.cacheSpill); err != nil {
+				return err
+			}
+		}
+		mcfg.Cache = cache
+	}
 	if cfg.mode == "coordinator" {
 		coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
 			LeaseTTL:       cfg.leaseTTL,
@@ -239,6 +281,10 @@ func runServer(ctx context.Context, stop context.CancelFunc, cfg config) error {
 	}()
 	fmt.Printf("funcytunerd: %s mode, listening on http://%s (data %s, %d worker slots)\n",
 		cfg.mode, cfg.addr, cfg.data, cfg.globalWorkers)
+	if cfg.repo != "" {
+		fmt.Printf("funcytunerd: results repository at %s (skip-exist %v, %d entries)\n",
+			cfg.repo, cfg.skipExist, mcfg.Repo.Len())
+	}
 
 	select {
 	case err := <-errc:
@@ -258,6 +304,11 @@ func runServer(ctx context.Context, stop context.CancelFunc, cfg config) error {
 	}
 	if err := mgr.Drain(dctx); err != nil {
 		return err
+	}
+	if cache != nil && cfg.cacheSpill != "" {
+		// Flush the still-resident cache entries to the spill directory so
+		// a restarted daemon starts warm instead of recompiling.
+		cache.SpillAll()
 	}
 	fmt.Println("funcytunerd: all jobs drained")
 	return <-errc

@@ -56,6 +56,27 @@ func TestParseFlags(t *testing.T) {
 				}
 			},
 		},
+		{
+			name: "repo-and-skip-exist",
+			args: []string{"-repo=/tmp/ft-repo", "-skip-exist"},
+			check: func(t *testing.T, cfg config) {
+				if cfg.repo != "/tmp/ft-repo" || !cfg.skipExist {
+					t.Errorf("cfg = %+v", cfg)
+				}
+			},
+		},
+		{
+			name: "shared-cache-with-spill",
+			args: []string{"-shared-cache=512", "-cache-spill=/tmp/ft-spill"},
+			check: func(t *testing.T, cfg config) {
+				if cfg.sharedCache != 512 || cfg.cacheSpill != "/tmp/ft-spill" {
+					t.Errorf("cfg = %+v", cfg)
+				}
+			},
+		},
+		{name: "skip-exist-without-repo", args: []string{"-skip-exist"}, wantErr: "-skip-exist requires -repo"},
+		{name: "spill-without-shared-cache", args: []string{"-cache-spill=/tmp/x"}, wantErr: "-cache-spill requires -shared-cache"},
+		{name: "negative-shared-cache", args: []string{"-shared-cache=-1"}, wantErr: "-shared-cache must be >= 0"},
 		{name: "unknown-mode", args: []string{"-mode=cluster"}, wantErr: "-mode must be"},
 		{name: "zero-global-workers", args: []string{"-global-workers=0"}, wantErr: "-global-workers must be >= 1"},
 		{name: "negative-global-workers", args: []string{"-global-workers=-4"}, wantErr: "-global-workers must be >= 1"},

@@ -37,6 +37,7 @@ package funcytuner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -199,6 +200,33 @@ type Options struct {
 	// jobs skip the compile work a previous job already did. Purity is
 	// unchanged: results are bit-identical with or without sharing.
 	SharedCache *CompileCache
+	// RepoPath, when non-empty, opens (creating if needed) a persistent
+	// results repository at this directory and stores every completed
+	// Report there, content-addressed by everything that determines the
+	// outcome (program fingerprint × machine × flag space × search
+	// config). See also SkipExist.
+	RepoPath string
+	// Repo, when non-nil, attaches an existing repository handle instead
+	// of opening RepoPath (which is then ignored) — the funcytunerd job
+	// service shares one handle across every job it runs, the way
+	// SharedCache shares compile work.
+	Repo *ResultRepo
+	// SkipExist serves a stored result when the repository already holds
+	// an entry for the exact submission: the Tune call returns in one
+	// lookup — no outlining, no session, no evaluations — with
+	// Report.Served set. The served Report is bit-identical to the
+	// recompute it replaces (its Fingerprint is re-verified against the
+	// stored one on every serve; a mismatch invalidates the entry and
+	// falls through to a real run). Requires RepoPath or Repo.
+	SkipExist bool
+	// CacheSpill, when non-empty, attaches an on-disk spill tier rooted
+	// at this directory to the tuner's private compile cache: entries
+	// evicted from memory are written behind and misses read through, so
+	// warm-cache compile savings survive a process restart. Results are
+	// bit-identical spill-on vs spill-off. Only valid with a private,
+	// enabled cache — combine SharedCache with CompileCache.AttachSpill
+	// instead.
+	CacheSpill string
 	// Unpooled disables every allocation-reuse fast path (scratch pools,
 	// trace batch reuse, run-profile memoization) and makes each
 	// evaluation allocate from scratch. Results are bit-identical either
@@ -297,6 +325,17 @@ func (o Options) validate() error {
 	if o.ProgressEvery < 0 {
 		return fmt.Errorf("funcytuner: ProgressEvery must be >= 0, got %v", o.ProgressEvery)
 	}
+	if o.SkipExist && o.RepoPath == "" && o.Repo == nil {
+		return fmt.Errorf("funcytuner: SkipExist requires RepoPath or Repo")
+	}
+	if o.CacheSpill != "" {
+		if o.SharedCache != nil {
+			return fmt.Errorf("funcytuner: CacheSpill requires a private cache; attach a spill tier to the shared cache with AttachSpill instead")
+		}
+		if o.CacheSize < 0 {
+			return fmt.Errorf("funcytuner: CacheSpill requires caching (CacheSize >= 0)")
+		}
+	}
 	return o.Faults.Validate()
 }
 
@@ -304,6 +343,7 @@ func (o Options) validate() error {
 type Tuner struct {
 	opts Options
 	tc   *compiler.Toolchain
+	repo *ResultRepo
 	err  error // deferred option-validation error, surfaced by Tune et al.
 }
 
@@ -334,13 +374,27 @@ func NewTuner(opts Options) *Tuner {
 		opts.HotThreshold = outline.HotThreshold
 	}
 	tc := compiler.NewToolchain(opts.Space)
+	err := opts.validate()
 	switch {
 	case opts.SharedCache != nil:
 		tc.AttachCache(opts.SharedCache)
 	case opts.CacheSize >= 0:
-		tc.AttachCache(compiler.NewCompileCache(opts.CacheSize))
+		cc := compiler.NewCompileCache(opts.CacheSize)
+		if opts.CacheSpill != "" && err == nil {
+			err = cc.AttachSpill(opts.CacheSpill)
+		}
+		tc.AttachCache(cc)
 	}
-	return &Tuner{opts: opts, tc: tc, err: opts.validate()}
+	t := &Tuner{opts: opts, tc: tc, err: err}
+	if t.err == nil {
+		switch {
+		case opts.Repo != nil:
+			t.repo = opts.Repo
+		case opts.RepoPath != "":
+			t.repo, t.err = OpenResultRepo(opts.RepoPath)
+		}
+	}
+	return t
 }
 
 // Result is one algorithm's outcome (re-exported from the core engine).
@@ -379,9 +433,21 @@ type Report struct {
 	// Like Cache it is observability, excluded from Fingerprint (the
 	// cache counters inside it are scheduling-dependent).
 	Metrics MetricsSnapshot
+	// Served reports that this result came from the results repository
+	// (Options.SkipExist) rather than a fresh run. A served Report is
+	// bit-identical to the recompute it replaces — its Fingerprint is
+	// verified against the stored one on every serve — but it carries no
+	// live session, so Evaluate and EvaluateBaseline return ErrServed,
+	// and Cache/Metrics are zero (no work ran).
+	Served bool
 
-	sess *core.Session
+	sess   *core.Session
+	served *servedMeta
 }
+
+// ErrServed reports an operation that needs the live tuning session on
+// a Report served from the results repository (see Report.Served).
+var ErrServed = errors.New("funcytuner: report was served from the results repository and has no live session; re-tune without SkipExist to evaluate")
 
 // CacheStats is the compile/link cache activity snapshot (re-exported
 // from the compiler layer).
@@ -436,6 +502,9 @@ type Evaluation struct {
 // Report.Best.ModuleCVs, or any modification of them) and measures it
 // noise-free on an arbitrary input — the §4.3 generalization protocol.
 func (r *Report) Evaluate(cvs []CV, in Input) (*Evaluation, error) {
+	if r.sess == nil {
+		return nil, ErrServed
+	}
 	exe, err := r.sess.Toolchain.Compile(r.sess.Prog, r.sess.Part, cvs, r.sess.Machine)
 	if err != nil {
 		return nil, err
@@ -450,6 +519,9 @@ func (r *Report) Evaluate(cvs []CV, in Input) (*Evaluation, error) {
 
 // EvaluateBaseline measures the O3 baseline on an arbitrary input.
 func (r *Report) EvaluateBaseline(in Input) (*Evaluation, error) {
+	if r.sess == nil {
+		return nil, ErrServed
+	}
 	return r.Evaluate(uniform(r.sess.Part, r.sess.Toolchain.Space.Baseline()), in)
 }
 
@@ -636,6 +708,9 @@ func (t *Tuner) Tune(prog *Program, in Input) (*Report, error) {
 // same evaluation index — resuming the checkpoint yields a Report
 // bit-identical to an uninterrupted run.
 func (t *Tuner) TuneContext(ctx context.Context, prog *Program, in Input) (*Report, error) {
+	if rep, ok := t.serveFromRepo(modeTune, prog, in, StopRule{}); ok {
+		return rep, nil
+	}
 	sess, out, err := t.session(prog, in)
 	if err != nil {
 		return nil, err
@@ -650,7 +725,9 @@ func (t *Tuner) TuneContext(ctx context.Context, prog *Program, in Input) (*Repo
 	if err != nil {
 		return nil, err
 	}
-	return t.report(sess, out, map[string]*Result{"CFR": cfr}), nil
+	rep := t.report(sess, out, map[string]*Result{"CFR": cfr})
+	t.storeInRepo(modeTune, prog, in, StopRule{}, rep)
+	return rep, nil
 }
 
 // StopRule configures early stopping for TuneAdaptive.
@@ -672,6 +749,9 @@ func (t *Tuner) TuneAdaptive(prog *Program, in Input, rule StopRule) (*Report, e
 // TuneAdaptiveContext is TuneAdaptive under a context, with the same
 // cancellation semantics as TuneContext.
 func (t *Tuner) TuneAdaptiveContext(ctx context.Context, prog *Program, in Input, rule StopRule) (*Report, error) {
+	if rep, ok := t.serveFromRepo(modeAdaptive, prog, in, rule); ok {
+		return rep, nil
+	}
 	sess, out, err := t.session(prog, in)
 	if err != nil {
 		return nil, err
@@ -692,6 +772,7 @@ func (t *Tuner) TuneAdaptiveContext(ctx context.Context, prog *Program, in Input
 	}
 	rep := t.report(sess, out, map[string]*Result{"CFR": cfr})
 	rep.Best = cfr
+	t.storeInRepo(modeAdaptive, prog, in, rule, rep)
 	return rep, nil
 }
 
@@ -704,6 +785,9 @@ func (t *Tuner) Compare(prog *Program, in Input) (*Report, error) {
 // CompareContext is Compare under a context, with the same cancellation
 // semantics as TuneContext.
 func (t *Tuner) CompareContext(ctx context.Context, prog *Program, in Input) (*Report, error) {
+	if rep, ok := t.serveFromRepo(modeCompare, prog, in, StopRule{}); ok {
+		return rep, nil
+	}
 	sess, out, err := t.session(prog, in)
 	if err != nil {
 		return nil, err
@@ -715,7 +799,9 @@ func (t *Tuner) CompareContext(ctx context.Context, prog *Program, in Input) (*R
 	if err != nil {
 		return nil, err
 	}
-	return t.report(sess, out, all), nil
+	rep := t.report(sess, out, all)
+	t.storeInRepo(modeCompare, prog, in, StopRule{}, rep)
+	return rep, nil
 }
 
 func (t *Tuner) report(sess *core.Session, out outline.Result, all map[string]*Result) *Report {

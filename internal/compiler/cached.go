@@ -67,6 +67,12 @@ type CacheStats struct {
 	// (LoopCompilesSaved × the per-loop code footprint) — the ccache-style
 	// "object bytes you did not rebuild" figure.
 	BytesSaved int64
+	// SpillHits counts object compiles served from the on-disk spill
+	// tier (memory miss, disk hit); SpillWrites counts objects committed
+	// to it. SpillCorrupt counts damaged spill files that degraded to
+	// plain misses; SpillErrors counts failed spill commits. All zero
+	// without AttachSpill.
+	SpillHits, SpillWrites, SpillCorrupt, SpillErrors int64
 }
 
 // Hits returns total cache hits across both tiers.
@@ -122,6 +128,10 @@ func (cc *CompileCache) Stats() CacheStats {
 		Evictions:         obj.Evictions + lnk.Evictions,
 		LoopCompilesSaved: saved,
 		BytesSaved:        saved * loopCodeBytes,
+		SpillHits:         obj.SpillHits,
+		SpillWrites:       obj.SpillWrites,
+		SpillCorrupt:      obj.SpillCorrupt,
+		SpillErrors:       obj.SpillErrors,
 	}
 }
 

@@ -1,0 +1,123 @@
+package compiler
+
+import (
+	"reflect"
+	"testing"
+
+	"funcytuner/internal/arch"
+	"funcytuner/internal/flagspec"
+)
+
+// The codec's round-trip contract: a decoded ObjectModule is
+// functionally identical to the encoded one — every field link.go and
+// the execution model read, floats bit-for-bit.
+func TestSpillCodecRoundTrip(t *testing.T) {
+	prog := fixture()
+	m := arch.Broadwell()
+	space := flagspec.ICC()
+	tc := NewToolchain(space)
+	part := perLoopPartition(prog)
+
+	cvs := []flagspec.CV{
+		space.Baseline(),
+		space.Baseline().With(flagspec.IccPrefetch, 2),
+		space.Baseline().With(flagspec.IccUnroll, 1),
+	}
+	codec := objectCodec{}
+	for _, cv := range cvs {
+		for _, mod := range part.Modules {
+			orig := tc.CompileModule(prog, mod, cv, m)
+			data, ok := codec.Encode(1, &orig)
+			if !ok {
+				t.Fatalf("codec declined module %q", mod.Name)
+			}
+			v, ok := codec.Decode(1, data)
+			if !ok {
+				t.Fatalf("codec failed to decode module %q", mod.Name)
+			}
+			got := v.(*ObjectModule)
+			if !reflect.DeepEqual(got.Module, orig.Module) {
+				t.Fatalf("module identity changed: %+v vs %+v", got.Module, orig.Module)
+			}
+			if *got.Knobs != *orig.Knobs {
+				t.Fatalf("knob set changed:\n got %+v\nwant %+v", *got.Knobs, *orig.Knobs)
+			}
+			if !reflect.DeepEqual(got.Loops, orig.Loops) {
+				t.Fatalf("loop codes changed:\n got %+v\nwant %+v", got.Loops, orig.Loops)
+			}
+			if got.NonLoop != orig.NonLoop || got.CrashProne != orig.CrashProne {
+				t.Fatalf("nonloop/crash changed: %+v/%v vs %+v/%v",
+					got.NonLoop, got.CrashProne, orig.NonLoop, orig.CrashProne)
+			}
+		}
+	}
+}
+
+// Spill-on must be bit-identical to spill-off, and a fresh cache over a
+// spilled directory must serve object compiles from disk (re-linking,
+// not re-compiling) with executables bit-identical to a plain build —
+// the restart-warmth contract.
+func TestSpilledCompileBitIdenticalAcrossRestart(t *testing.T) {
+	prog := fixture()
+	m := arch.Broadwell()
+	space := flagspec.ICC()
+	part := perLoopPartition(prog)
+	dir := t.TempDir()
+
+	plain := NewToolchain(space)
+	warm := NewToolchain(space)
+	cc := NewCompileCache(1 << 12)
+	if err := cc.AttachSpill(dir); err != nil {
+		t.Fatal(err)
+	}
+	warm.AttachCache(cc)
+
+	cvs := []flagspec.CV{
+		space.Baseline(),
+		space.Baseline().With(flagspec.IccPrefetch, 2),
+		space.Baseline().With(flagspec.IccUnroll, 1),
+		space.Baseline().With(flagspec.IccVec, 0),
+	}
+	check := func(tcGot *Toolchain, label string) {
+		t.Helper()
+		for _, cv := range cvs {
+			want, err := plain.CompileUniform(prog, part, cv, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tcGot.CompileUniform(prog, part, cv, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want.PerLoop, got.PerLoop) ||
+				!reflect.DeepEqual(want.Interference, got.Interference) ||
+				want.NonLoop != got.NonLoop {
+				t.Fatalf("%s executable differs from plain build (cv %s)", label, cv)
+			}
+		}
+	}
+	check(warm, "spill-on")
+	cc.SpillAll()
+	if st := cc.Stats(); st.SpillWrites == 0 {
+		t.Fatalf("SpillAll wrote nothing: %+v", st)
+	}
+
+	// "Restart": a brand-new cache over the same spill directory.
+	restarted := NewToolchain(space)
+	cc2 := NewCompileCache(1 << 12)
+	if err := cc2.AttachSpill(dir); err != nil {
+		t.Fatal(err)
+	}
+	restarted.AttachCache(cc2)
+	check(restarted, "restarted")
+	st := cc2.Stats()
+	if st.SpillHits == 0 {
+		t.Fatalf("restarted cache never read through the spill tier: %+v", st)
+	}
+	if st.ObjectMisses != 0 {
+		t.Fatalf("restarted cache recompiled %d objects despite the spill tier (%+v)", st.ObjectMisses, st)
+	}
+	if st.SpillCorrupt != 0 || st.SpillErrors != 0 {
+		t.Fatalf("spill errors on clean round-trip: %+v", st)
+	}
+}

@@ -6,10 +6,11 @@ import (
 	"io"
 	"math"
 	"os"
-	"path/filepath"
 	"sort"
 	"strconv"
 	"sync"
+
+	"funcytuner/internal/fsx"
 )
 
 // Checkpoint/resume for long tuning runs. The paper's real campaigns run
@@ -350,46 +351,8 @@ func (c *Checkpointer) flushLocked() error {
 }
 
 // atomicWriteFile commits data to path with full crash durability:
-// write-temp, fsync the temp file, rename over the destination, then
-// fsync the parent directory so the rename itself survives a power
-// loss. Rename alone is not enough — without the fsyncs a crash can
-// leave a committed name pointing at an empty or torn file. On any
-// failure the previously committed file is left untouched.
+// write-temp, fsync, rename, fsync the parent directory. Shared with
+// the results repository via internal/fsx.
 func atomicWriteFile(path string, data []byte, perm os.FileMode) error {
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	serr := d.Sync()
-	if cerr := d.Close(); serr == nil {
-		serr = cerr
-	}
-	return serr
+	return fsx.WriteFileAtomic(path, data, perm)
 }

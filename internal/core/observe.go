@@ -52,9 +52,11 @@ const (
 	MetricCacheObjectHits      = "cache_object_hits"
 	MetricCacheObjectMisses    = "cache_object_misses"
 	MetricCacheObjectCoalesced = "cache_object_coalesced"
+	MetricCacheObjectSpillHits = "cache_object_spill_hits"
 	MetricCacheLinkHits        = "cache_link_hits"
 	MetricCacheLinkMisses      = "cache_link_misses"
 	MetricCacheLinkCoalesced   = "cache_link_coalesced"
+	MetricCacheLinkSpillHits   = "cache_link_spill_hits"
 
 	// Gauges.
 	MetricWorkers     = "workers"
@@ -87,7 +89,7 @@ type sessionMetrics struct {
 	retries, flakes, timeouts *metrics.Counter
 	compileFails, runCrashes  *metrics.Counter
 	wastedCompiles            *metrics.Counter
-	cacheObj, cacheLink       [3]*metrics.Counter // indexed by objcache.Outcome
+	cacheObj, cacheLink       [4]*metrics.Counter // indexed by objcache.Outcome
 	quarantined               *metrics.Gauge
 	evalSim, evalRetries      *metrics.Histogram
 }
@@ -106,15 +108,17 @@ func newSessionMetrics(reg *metrics.Registry) sessionMetrics {
 		compileFails:   reg.Counter(MetricCompileFailures),
 		runCrashes:     reg.Counter(MetricRunCrashes),
 		wastedCompiles: reg.Counter(MetricWastedCompiles),
-		cacheObj: [3]*metrics.Counter{
+		cacheObj: [4]*metrics.Counter{
 			objcache.OutcomeHit:       reg.Counter(MetricCacheObjectHits),
 			objcache.OutcomeMiss:      reg.Counter(MetricCacheObjectMisses),
 			objcache.OutcomeCoalesced: reg.Counter(MetricCacheObjectCoalesced),
+			objcache.OutcomeSpillHit:  reg.Counter(MetricCacheObjectSpillHits),
 		},
-		cacheLink: [3]*metrics.Counter{
+		cacheLink: [4]*metrics.Counter{
 			objcache.OutcomeHit:       reg.Counter(MetricCacheLinkHits),
 			objcache.OutcomeMiss:      reg.Counter(MetricCacheLinkMisses),
 			objcache.OutcomeCoalesced: reg.Counter(MetricCacheLinkCoalesced),
+			objcache.OutcomeSpillHit:  reg.Counter(MetricCacheLinkSpillHits),
 		},
 		quarantined: reg.Gauge(MetricQuarantined),
 		evalSim:     reg.Histogram(MetricEvalSimSeconds, evalSimBuckets),

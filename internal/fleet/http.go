@@ -108,8 +108,10 @@ func (c *Coordinator) handleClaimBatch(w http.ResponseWriter, r *http.Request) {
 	if n < 1 {
 		n = 1
 	}
+	clamped := 0
 	if n > maxClaimBatch {
 		n = maxClaimBatch
+		clamped = n
 	}
 	ts, err := c.ClaimBatch(r.Context(), req.Worker, wait, n)
 	switch {
@@ -122,7 +124,7 @@ func (c *Coordinator) handleClaimBatch(w http.ResponseWriter, r *http.Request) {
 	case len(ts) == 0:
 		w.WriteHeader(http.StatusNoContent)
 	default:
-		writeJSON(w, http.StatusOK, claimBatchResponse{Tasks: ts})
+		writeJSON(w, http.StatusOK, claimBatchResponse{Tasks: ts, Granted: clamped})
 	}
 }
 
@@ -228,26 +230,27 @@ func (cl *client) claim(ctx context.Context, worker string, wait time.Duration) 
 	}
 }
 
-// claimBatch long-polls for up to max tasks. (nil, nil) means nothing
-// claimable.
-func (cl *client) claimBatch(ctx context.Context, worker string, wait time.Duration, max int) ([]*Task, error) {
+// claimBatch long-polls for up to max tasks. (nil, 0, nil) means nothing
+// claimable. granted is non-zero when the coordinator clamped max to its
+// own per-round-trip cap — callers should shrink later requests to it.
+func (cl *client) claimBatch(ctx context.Context, worker string, wait time.Duration, max int) (ts []*Task, granted int, err error) {
 	var resp claimBatchResponse
 	code, err := cl.post(ctx, "/fleet/claimbatch",
 		claimBatchRequest{Worker: worker, WaitMillis: wait.Milliseconds(), Max: max}, &resp)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	switch code {
 	case http.StatusOK:
-		return resp.Tasks, nil
+		return resp.Tasks, resp.Granted, nil
 	case http.StatusNoContent:
-		return nil, nil
+		return nil, 0, nil
 	case http.StatusForbidden:
-		return nil, ErrQuarantined
+		return nil, 0, ErrQuarantined
 	case http.StatusServiceUnavailable:
-		return nil, ErrClosed
+		return nil, 0, ErrClosed
 	default:
-		return nil, fmt.Errorf("fleet: claimbatch: unexpected status %d", code)
+		return nil, 0, fmt.Errorf("fleet: claimbatch: unexpected status %d", code)
 	}
 }
 

@@ -230,8 +230,14 @@ type claimBatchRequest struct {
 }
 
 // claimBatchResponse carries the granted leases, in FIFO grant order.
+// Granted, when non-zero, reports the coordinator's per-round-trip lease
+// cap: the request asked for more than the coordinator will ever grant
+// at once and was clamped, so the worker should shrink its subsequent
+// requests (and its -claim-batch setting) to this value instead of
+// silently over-asking forever.
 type claimBatchResponse struct {
-	Tasks []*Task `json:"tasks"`
+	Tasks   []*Task `json:"tasks"`
+	Granted int     `json:"granted,omitempty"`
 }
 
 // TaskReport is one claim's outcome inside a batched report. The epoch

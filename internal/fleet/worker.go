@@ -102,6 +102,10 @@ type Worker struct {
 	// new jobs over the same benchmark.
 	cache *funcytuner.CompileCache
 
+	// clampOnce gates the one-time log line when the coordinator clamps
+	// this worker's claim batches below its configured -claim-batch.
+	clampOnce sync.Once
+
 	mu       sync.Mutex
 	services map[string]*jobService
 	models   map[string]*faults.WorkerModel
@@ -158,15 +162,24 @@ func (w *Worker) loop(ctx context.Context) error {
 			return nil
 		}
 		var ts []*Task
+		var granted int
 		var err error
 		if batch > 1 {
-			ts, err = w.cl.claimBatch(ctx, w.cfg.ID, w.cfg.poll(), batch)
+			ts, granted, err = w.cl.claimBatch(ctx, w.cfg.ID, w.cfg.poll(), batch)
 		} else {
 			var t *Task
 			t, err = w.cl.claim(ctx, w.cfg.ID, w.cfg.poll())
 			if t != nil {
 				ts = []*Task{t}
 			}
+		}
+		if granted > 0 && granted < batch {
+			asked := batch
+			w.clampOnce.Do(func() {
+				w.logf("fleet worker %s: coordinator grants at most %d leases per claim (asked %d); adapting — set -claim-batch to %d or less",
+					w.cfg.ID, granted, asked, granted)
+			})
+			batch = granted
 		}
 		switch {
 		case errors.Is(err, ErrClosed):

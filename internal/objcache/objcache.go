@@ -39,8 +39,9 @@ import "sync"
 // shard maps before doing any work).
 const shardCount = 16
 
-// Stats is a point-in-time snapshot of cache activity. Hits, Misses and
-// Coalesced partition completed Gets; how a given Get classifies can
+// Stats is a point-in-time snapshot of cache activity. Hits, Misses,
+// Coalesced and SpillHits partition completed Gets; how a given Get
+// classifies can
 // depend on goroutine scheduling (a racing worker may turn a would-be
 // miss into a coalesced wait), so stats are observability, never part of
 // any deterministic output.
@@ -55,9 +56,16 @@ type Stats struct {
 	// Evictions counts entries dropped by the LRU bound.
 	Evictions int64
 	// WorkSaved accumulates the caller-declared work units (the second
-	// return of the compute function) of every hit and coalesced Get —
-	// the work that would have run without the cache.
+	// return of the compute function) of every hit, coalesced and
+	// spill-served Get — the work that would have run without the cache.
 	WorkSaved int64
+
+	// SpillHits counts Gets served from the on-disk spill tier;
+	// SpillWrites counts entries committed to it (write-behind on
+	// eviction plus SpillAll). SpillCorrupt counts damaged spill files
+	// that degraded to misses; SpillErrors counts failed spill commits.
+	// All zero without an attached spill tier.
+	SpillHits, SpillWrites, SpillCorrupt, SpillErrors int64
 }
 
 // Outcome classifies one completed Get for observers: served resident
@@ -72,6 +80,9 @@ const (
 	OutcomeMiss
 	// OutcomeCoalesced is a Get that waited on an in-flight compute.
 	OutcomeCoalesced
+	// OutcomeSpillHit is a Get served from the on-disk spill tier
+	// (memory miss, disk hit — no compute ran).
+	OutcomeSpillHit
 )
 
 // String returns the outcome's wire name.
@@ -83,6 +94,8 @@ func (o Outcome) String() string {
 		return "miss"
 	case OutcomeCoalesced:
 		return "coalesced"
+	case OutcomeSpillHit:
+		return "spill_hit"
 	default:
 		return "unknown"
 	}
@@ -97,6 +110,9 @@ type Cache struct {
 	// scheduling, so observers feed observability only — never
 	// deterministic outputs.
 	obs func(Outcome)
+	// spill, when set via AttachSpill, is the on-disk third tier (see
+	// spill.go).
+	spill *spillState
 }
 
 type shard struct {
@@ -118,7 +134,7 @@ type shard struct {
 	// waiter still reads it after the computing goroutine moves on.
 	freeF *flightCall
 
-	hits, misses, coalesced, evictions, workSaved int64
+	hits, misses, coalesced, evictions, workSaved, spillHits int64
 }
 
 // entrySlab is the block size for entry allocation.
@@ -277,8 +293,17 @@ func (c *Cache) Get(key uint64, compute func() (any, int64)) any {
 	}
 	fc := sh.newFlight()
 	sh.flight[key] = fc
-	sh.misses++
 	sh.mu.Unlock()
+
+	// Memory miss: probe the spill tier before running compute. The
+	// probe sits after singleflight registration, so concurrent Gets of
+	// one key do a single disk read (the rest coalesce as usual).
+	if val, work, ok := c.spillLoad(key); ok {
+		fc.val, fc.work = val, work
+		c.commit(sh, key, fc, val, work, true)
+		c.observe(OutcomeSpillHit)
+		return val
+	}
 
 	completed := false
 	defer func() {
@@ -301,8 +326,25 @@ func (c *Cache) Get(key uint64, compute func() (any, int64)) any {
 	completed = true
 
 	fc.val, fc.work = val, work
+	c.commit(sh, key, fc, val, work, false)
+	c.observe(OutcomeMiss)
+	return val
+}
+
+// commit finishes a Get that produced a value (computed or
+// spill-loaded): it installs the entry, applies the LRU bound, unparks
+// waiters, and write-behind-spills whatever the bound evicted. Called
+// without the shard lock held.
+func (c *Cache) commit(sh *shard, key uint64, fc *flightCall, val any, work int64, fromSpill bool) {
+	var evicted []spillItem
 	sh.mu.Lock()
 	delete(sh.flight, key)
+	if fromSpill {
+		sh.spillHits++
+		sh.workSaved += work
+	} else {
+		sh.misses++
+	}
 	if _, ok := sh.items[key]; !ok {
 		e := sh.newEntry(key, val, work)
 		sh.pushFront(e)
@@ -311,6 +353,11 @@ func (c *Cache) Get(key uint64, compute func() (any, int64)) any {
 			old := sh.tail
 			sh.unlink(old)
 			delete(sh.items, old.key)
+			if c.spill != nil {
+				// Capture before freeEntry releases the value; the
+				// write happens after unlock.
+				evicted = append(evicted, spillItem{key: old.key, val: old.val, work: old.work})
+			}
 			sh.freeEntry(old)
 			sh.evictions++
 		}
@@ -328,8 +375,7 @@ func (c *Cache) Get(key uint64, compute func() (any, int64)) any {
 	if done != nil {
 		close(done)
 	}
-	c.observe(OutcomeMiss)
-	return val
+	c.writeBehind(evicted)
 }
 
 // Lookup returns the value for key if it is resident, behaving exactly
@@ -394,7 +440,13 @@ func (c *Cache) Stats() Stats {
 		s.Coalesced += sh.coalesced
 		s.Evictions += sh.evictions
 		s.WorkSaved += sh.workSaved
+		s.SpillHits += sh.spillHits
 		sh.mu.Unlock()
+	}
+	if sp := c.spill; sp != nil {
+		s.SpillWrites = sp.writes.Load()
+		s.SpillCorrupt = sp.corrupt.Load()
+		s.SpillErrors = sp.errs.Load()
 	}
 	return s
 }

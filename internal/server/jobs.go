@@ -42,6 +42,11 @@ const (
 	MetricJobsFailed    = "jobs_failed"
 	MetricJobsRunning   = "jobs_running"
 	MetricWorkerSlots   = "worker_slots"
+	// MetricJobsDeduped counts submissions that attached to an identical
+	// in-flight job; MetricJobsServedRepo counts jobs answered from the
+	// results repository without running.
+	MetricJobsDeduped    = "jobs_deduped"
+	MetricJobsServedRepo = "jobs_served_repo"
 )
 
 // JobSpec is a tuning-job request. Zero fields take the funcytuner
@@ -122,11 +127,17 @@ type Job struct {
 	progress *lineLog
 	trace    *funcytuner.TraceRecorder
 	done     chan struct{}
+	// dedupKey is the submission's identity for singleflight (leader
+	// jobs only; "" when the spec is not dedupable or the job attached
+	// to another); deduped marks a follower that mirrors a leader.
+	dedupKey string
+	deduped  bool
 
 	mu        sync.Mutex
 	state     string
 	err       string
 	report    *funcytuner.Report
+	served    bool
 	submitted time.Time
 	ended     time.Time
 }
@@ -140,10 +151,16 @@ type Status struct {
 	// Checkpoint is the job's checkpoint file; Resumable reports whether
 	// it exists on disk (a cancelled or killed job can be continued by
 	// submitting a new job with "resume" set to this job's ID).
-	Checkpoint string    `json:"checkpoint,omitempty"`
-	Resumable  bool      `json:"resumable"`
-	Submitted  time.Time `json:"submitted"`
-	Ended      time.Time `json:"ended,omitzero"`
+	Checkpoint string `json:"checkpoint,omitempty"`
+	Resumable  bool   `json:"resumable"`
+	// Deduped marks a job that attached to an identical in-flight run
+	// instead of computing: it mirrors that run's outcome. ServedFromRepo
+	// marks a completed job whose result came from the results repository
+	// in one lookup rather than a tuning run.
+	Deduped        bool      `json:"deduped,omitempty"`
+	ServedFromRepo bool      `json:"served_from_repo,omitempty"`
+	Submitted      time.Time `json:"submitted"`
+	Ended          time.Time `json:"ended,omitzero"`
 }
 
 // Result is the JSON view of a completed job's Report.
@@ -176,6 +193,20 @@ type Config struct {
 	// evaluations to remote workers through this coordinator. The server
 	// mounts its claim/heartbeat/report routes under /fleet/.
 	Fleet *fleet.Coordinator
+	// Repo, when non-nil, is the shared results repository: every
+	// completed job's Report is stored there, content-addressed by the
+	// submission's outcome-determining configuration, and survives
+	// restarts.
+	Repo *funcytuner.ResultRepo
+	// SkipExist serves identical resubmissions from Repo (the job
+	// completes in one lookup, Status.ServedFromRepo set) instead of
+	// re-running them. Ignored without Repo.
+	SkipExist bool
+	// Cache, when non-nil, is a process-wide compile cache shared by
+	// every job (cache keys include full program/machine/flavor identity,
+	// so sharing is safe and bit-identical). Nil gives each job a private
+	// cache.
+	Cache *funcytuner.CompileCache
 }
 
 // Manager owns the job table and the shared worker gate.
@@ -186,6 +217,7 @@ type Manager struct {
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string
+	inflight map[string]*Job // dedup key → leader job, singleflight
 	seq      int
 	draining bool
 	running  int
@@ -200,7 +232,12 @@ func NewManager(cfg Config) (*Manager, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	m := &Manager{cfg: cfg, reg: metrics.NewRegistry(), jobs: make(map[string]*Job)}
+	m := &Manager{
+		cfg:      cfg,
+		reg:      metrics.NewRegistry(),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+	}
 	if g, ok := cfg.Gate.(*Gate); ok && g != nil {
 		m.reg.Gauge(MetricWorkerSlots).Set(float64(g.Slots()))
 	}
@@ -210,8 +247,32 @@ func NewManager(cfg Config) (*Manager, error) {
 // Metrics returns the manager's registry (jobs_* counters, gauges).
 func (m *Manager) Metrics() *metrics.Registry { return m.reg }
 
+// dedupKey is the submission's singleflight identity: the spec fields
+// that determine the tuning outcome. Scheduling-only fields (workers,
+// checkpoint cadence, distribution) are deliberately absent — two specs
+// differing only there produce bit-identical Reports. A spec with no
+// explicit seed is not dedupable (its seed defaults to the job ID, so
+// every submission is a distinct run), and neither is a resume.
+func dedupKey(spec JobSpec) (string, bool) {
+	if spec.Seed == "" || spec.Resume != "" {
+		return "", false
+	}
+	mode := "tune"
+	switch {
+	case spec.Adaptive:
+		mode = "adaptive"
+	case spec.Compare:
+		mode = "compare"
+	}
+	return fmt.Sprintf("%s|%s|%s|%d|%d|%s|%g",
+		mode, spec.Benchmark, spec.Machine, spec.Samples, spec.TopX, spec.Seed, spec.FaultRate), true
+}
+
 // Submit validates spec, registers a job and starts it immediately; the
-// shared gate, not admission control, bounds actual compute.
+// shared gate, not admission control, bounds actual compute. Identical
+// concurrent submissions singleflight: the first becomes the leader and
+// runs, later ones attach to it in one map lookup and mirror its
+// outcome (Status.Deduped set).
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
@@ -233,6 +294,11 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		}
 		resumeFrom = prior.ckptPath
 	}
+	key, dedupable := dedupKey(spec)
+	var leader *Job
+	if dedupable {
+		leader = m.inflight[key]
+	}
 	m.seq++
 	id := fmt.Sprintf("job-%04d", m.seq)
 	ctx, cancel := context.WithCancel(context.Background())
@@ -247,7 +313,19 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		state:     StateRunning,
 		submitted: time.Now(),
 	}
-	j.trace.WallClock(func() int64 { return time.Now().UnixNano() })
+	switch {
+	case leader != nil:
+		// Follower: mirror the in-flight identical run; share its trace
+		// (the outcome is the same run's).
+		j.deduped = true
+		j.trace = leader.trace
+	case dedupable:
+		j.dedupKey = key
+		m.inflight[key] = j
+	}
+	if !j.deduped {
+		j.trace.WallClock(func() int64 { return time.Now().UnixNano() })
+	}
 	m.jobs[id] = j
 	m.order = append(m.order, id)
 	m.running++
@@ -256,8 +334,42 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	m.mu.Unlock()
 
 	m.reg.Counter(MetricJobsSubmitted).Inc()
-	go m.run(ctx, j, resumeFrom)
+	if leader != nil {
+		m.reg.Counter(MetricJobsDeduped).Inc()
+		go m.attach(ctx, j, leader)
+	} else {
+		go m.run(ctx, j, resumeFrom)
+	}
 	return j, nil
+}
+
+// attach runs a deduped follower: it waits for its leader and mirrors
+// the leader's terminal state, or cancels independently (cancelling a
+// follower never cancels the leader).
+func (m *Manager) attach(ctx context.Context, j, leader *Job) {
+	defer m.wg.Done()
+	defer close(j.done)
+	defer j.progress.Close()
+	fmt.Fprintf(j.progress, "funcytuner: deduplicated against in-flight job %s\n", leader.ID)
+	select {
+	case <-leader.done:
+		leader.mu.Lock()
+		rep, errStr, state := leader.report, leader.err, leader.state
+		leader.mu.Unlock()
+		switch state {
+		case StateDone:
+			m.finish(j, rep, nil)
+		case StateCancelled:
+			m.finish(j, nil, context.Canceled)
+		default:
+			if errStr == "" {
+				errStr = "leader job failed"
+			}
+			m.finish(j, nil, errors.New(errStr))
+		}
+	case <-ctx.Done():
+		m.finish(j, nil, ctx.Err())
+	}
 }
 
 // run executes one job to completion, cancellation or failure.
@@ -312,6 +424,9 @@ func (m *Manager) run(ctx context.Context, j *Job, resumeFrom string) {
 		CheckpointEvery: j.Spec.CheckpointEvery,
 		Gate:            gate,
 		Evaluator:       evaluator,
+		SharedCache:     m.cfg.Cache,
+		Repo:            m.cfg.Repo,
+		SkipExist:       m.cfg.SkipExist && m.cfg.Repo != nil,
 		Trace:           j.trace,
 		Progress:        j.progress,
 		ProgressEvery:   time.Second,
@@ -336,6 +451,10 @@ func (m *Manager) finish(j *Job, rep *funcytuner.Report, err error) {
 	case err == nil:
 		j.state = StateDone
 		j.report = rep
+		if rep != nil && rep.Served && !j.deduped {
+			j.served = true
+			m.reg.Counter(MetricJobsServedRepo).Inc()
+		}
 		m.reg.Counter(MetricJobsDone).Inc()
 	case errors.Is(err, context.Canceled):
 		j.state = StateCancelled
@@ -349,6 +468,9 @@ func (m *Manager) finish(j *Job, rep *funcytuner.Report, err error) {
 	j.mu.Unlock()
 	m.mu.Lock()
 	m.running--
+	if j.dedupKey != "" && m.inflight[j.dedupKey] == j {
+		delete(m.inflight, j.dedupKey)
+	}
 	m.reg.Gauge(MetricJobsRunning).Set(float64(m.running))
 	m.mu.Unlock()
 }
@@ -437,14 +559,16 @@ func (j *Job) Status() Status {
 	defer j.mu.Unlock()
 	_, statErr := os.Stat(j.ckptPath)
 	return Status{
-		ID:         j.ID,
-		State:      j.state,
-		Spec:       j.Spec,
-		Error:      j.err,
-		Checkpoint: j.ckptPath,
-		Resumable:  statErr == nil,
-		Submitted:  j.submitted,
-		Ended:      j.ended,
+		ID:             j.ID,
+		State:          j.state,
+		Spec:           j.Spec,
+		Error:          j.err,
+		Checkpoint:     j.ckptPath,
+		Resumable:      statErr == nil,
+		Deduped:        j.deduped,
+		ServedFromRepo: j.served,
+		Submitted:      j.submitted,
+		Ended:          j.ended,
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"funcytuner"
 	"funcytuner/internal/metrics"
 )
 
@@ -188,12 +189,15 @@ func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
 }
 
 // metricsView is the /metrics payload: the server's own registry, the
-// shared gate's live occupancy, and the fleet coordinator's counters
-// when one is mounted.
+// shared gate's live occupancy, the results repository's and shared
+// compile cache's counters, and the fleet coordinator's counters, each
+// when configured.
 type metricsView struct {
-	Server metrics.Snapshot  `json:"server"`
-	Gate   *gateView         `json:"gate,omitempty"`
-	Fleet  *metrics.Snapshot `json:"fleet,omitempty"`
+	Server metrics.Snapshot       `json:"server"`
+	Gate   *gateView              `json:"gate,omitempty"`
+	Repo   *funcytuner.RepoStats  `json:"repo,omitempty"`
+	Cache  *funcytuner.CacheStats `json:"cache,omitempty"`
+	Fleet  *metrics.Snapshot      `json:"fleet,omitempty"`
 }
 
 type gateView struct {
@@ -206,6 +210,14 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	v := metricsView{Server: s.mgr.Metrics().Snapshot()}
 	if g, ok := s.mgr.cfg.Gate.(*Gate); ok && g != nil {
 		v.Gate = &gateView{Slots: g.Slots(), Busy: g.Busy(), HighWater: g.HighWater()}
+	}
+	if r := s.mgr.cfg.Repo; r != nil {
+		st := r.Stats()
+		v.Repo = &st
+	}
+	if c := s.mgr.cfg.Cache; c != nil {
+		st := c.Stats()
+		v.Cache = &st
 	}
 	if c := s.mgr.cfg.Fleet; c != nil && c.Registry() != nil {
 		snap := c.Registry().Snapshot()

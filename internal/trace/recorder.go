@@ -176,6 +176,20 @@ func (r *Recorder) CommitSpan(events []Event) {
 	r.mu.Unlock()
 }
 
+// Replay appends a previously captured trace's events verbatim —
+// PhaseSeq, Sample, Step and Wall all preserved, nothing re-stamped.
+// The results repository uses it to hand a served run its original
+// canonical trace: replaying a Canonical() trace and snapshotting it
+// canonically again is byte-identical to the stored one. Nil-safe.
+func (r *Recorder) Replay(t *Trace) {
+	if r == nil || t == nil || len(t.Events) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, t.Events...)
+	r.mu.Unlock()
+}
+
 // Batch buffers the events of one evaluation span. Not safe for
 // concurrent use; each worker owns its batches.
 type Batch struct {

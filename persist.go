@@ -35,20 +35,38 @@ type SavedModule struct {
 	Flags string `json:"flags"`
 }
 
-// Save serializes the report's best (CFR) configuration as JSON.
+// Save serializes the report's best (CFR) configuration as JSON. Works
+// on repo-served reports too: the repository entry carries the module
+// names and provenance a SavedTuning needs, so skip-exist workflows can
+// still export build configurations.
 func (r *Report) Save(w io.Writer) error {
 	st := SavedTuning{
-		Program:   r.sess.Prog.Name,
-		Machine:   r.sess.Machine.Name,
-		Input:     r.sess.Input,
 		Algorithm: r.Best.Algorithm,
-		Flavor:    r.sess.Toolchain.Space.Flavor.String(),
 		Speedup:   r.Best.Speedup,
 		Baseline:  r.Best.Baseline,
 	}
+	moduleName := func(mi int) string { return r.sess.Part.Modules[mi].Name }
+	switch {
+	case r.sess != nil:
+		st.Program = r.sess.Prog.Name
+		st.Machine = r.sess.Machine.Name
+		st.Input = r.sess.Input
+		st.Flavor = r.sess.Toolchain.Space.Flavor.String()
+	case r.served != nil:
+		st.Program = r.served.program
+		st.Machine = r.served.machine
+		st.Input = r.served.input
+		st.Flavor = r.served.flavor
+		if len(r.served.modules) < len(r.Best.ModuleCVs) {
+			return fmt.Errorf("funcytuner: served report names %d modules for %d CVs", len(r.served.modules), len(r.Best.ModuleCVs))
+		}
+		moduleName = func(mi int) string { return r.served.modules[mi] }
+	default:
+		return fmt.Errorf("funcytuner: report has no session or provenance to save")
+	}
 	for mi, cv := range r.Best.ModuleCVs {
 		st.Modules = append(st.Modules, SavedModule{
-			Name:  r.sess.Part.Modules[mi].Name,
+			Name:  moduleName(mi),
 			Flags: cv.String(),
 		})
 	}
