@@ -75,6 +75,7 @@ type config struct {
 	leaseTTL       time.Duration
 	heartbeat      time.Duration
 	maxLeaseLosses int
+	fleetJournal   string
 
 	// Worker-mode knobs.
 	coordinator string
@@ -112,6 +113,8 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 		"heartbeat cadence workers are told to keep; 0 = lease-ttl/4 (coordinator)")
 	fs.IntVar(&cfg.maxLeaseLosses, "max-lease-losses", fleet.DefaultMaxLeaseLosses,
 		"consecutive lease losses before a worker is quarantined (coordinator)")
+	fs.StringVar(&cfg.fleetJournal, "fleet-journal", "",
+		"write-ahead journal for the fleet queue/lease state; a killed coordinator restarted with the same path re-adopts in-flight work (coordinator)")
 	fs.StringVar(&cfg.coordinator, "coordinator", "", "coordinator base URL, e.g. http://host:7461 (worker)")
 	fs.StringVar(&cfg.workerID, "worker-id", "", "stable worker identity; default hostname-pid (worker)")
 	fs.IntVar(&cfg.concurrency, "concurrency", runtime.GOMAXPROCS(0), "simultaneous claims (worker)")
@@ -134,6 +137,9 @@ func (cfg config) validate() error {
 	case "local", "coordinator", "worker":
 	default:
 		return fmt.Errorf("-mode must be local, coordinator or worker, got %q", cfg.mode)
+	}
+	if cfg.mode != "coordinator" && cfg.fleetJournal != "" {
+		return fmt.Errorf("-fleet-journal requires -mode=coordinator")
 	}
 	if cfg.mode == "worker" {
 		if cfg.coordinator == "" {
@@ -258,16 +264,29 @@ func runServer(ctx context.Context, stop context.CancelFunc, cfg config) error {
 			Heartbeat:      cfg.heartbeat,
 			MaxLeaseLosses: cfg.maxLeaseLosses,
 			Registry:       metrics.NewRegistry(),
+			JournalPath:    cfg.fleetJournal,
 		})
 		if err != nil {
 			return err
 		}
+		// Close compacts the journal on a clean drain: truncated to empty
+		// when nothing is outstanding, snapshotted otherwise.
 		defer coord.Close()
 		mcfg.Fleet = coord
 	}
 	mgr, err := server.NewManager(mcfg)
 	if err != nil {
 		return err
+	}
+	if cfg.fleetJournal != "" {
+		reattached, err := mgr.ReattachFleetJobs()
+		if err != nil {
+			return err
+		}
+		if n := mcfg.Fleet.RecoveredTasks(); n > 0 || len(reattached) > 0 {
+			fmt.Printf("funcytunerd: fleet journal %s: re-adopted %d in-flight tasks, re-attached %d jobs\n",
+				cfg.fleetJournal, n, len(reattached))
+		}
 	}
 	srv := &http.Server{Addr: cfg.addr, Handler: server.NewServer(mgr)}
 

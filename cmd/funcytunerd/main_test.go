@@ -74,6 +74,17 @@ func TestParseFlags(t *testing.T) {
 				}
 			},
 		},
+		{
+			name: "coordinator-with-journal",
+			args: []string{"-mode=coordinator", "-fleet-journal=/tmp/ft-journal"},
+			check: func(t *testing.T, cfg config) {
+				if cfg.fleetJournal != "/tmp/ft-journal" {
+					t.Errorf("fleetJournal = %q", cfg.fleetJournal)
+				}
+			},
+		},
+		{name: "journal-in-local-mode", args: []string{"-fleet-journal=/tmp/x"}, wantErr: "-fleet-journal requires -mode=coordinator"},
+		{name: "journal-in-worker-mode", args: []string{"-mode=worker", "-coordinator=http://x", "-fleet-journal=/tmp/x"}, wantErr: "-fleet-journal requires -mode=coordinator"},
 		{name: "skip-exist-without-repo", args: []string{"-skip-exist"}, wantErr: "-skip-exist requires -repo"},
 		{name: "spill-without-shared-cache", args: []string{"-cache-spill=/tmp/x"}, wantErr: "-cache-spill requires -shared-cache"},
 		{name: "negative-shared-cache", args: []string{"-shared-cache=-1"}, wantErr: "-shared-cache must be >= 0"},

@@ -1,0 +1,165 @@
+package faults
+
+import (
+	"fmt"
+
+	"funcytuner/internal/xrand"
+)
+
+// Coordinator-level fault modes for the durable fleet coordinator. Where
+// the worker classes model the lease *holder* dying, these model the
+// lease *issuer* dying at the worst moments of its write-ahead journal
+// discipline: before the record reaches the disk, after the record is
+// durable but before the caller hears back, or mid-write so the journal
+// ends in a torn tail. The restart-recovery tests inject these modes and
+// assert that a coordinator rebuilt from the journal still produces a
+// merged Report byte-identical to a clean single-node run.
+//
+// As with every other injection in this package, a draw is a pure
+// function of (fleet seed, journal position), so a chaos-restart run is
+// reproducible end to end: the same seed kills the same appends.
+
+// CoordClass classifies one journal append on the coordinator.
+type CoordClass int
+
+const (
+	// CoordOK means the append lands and the coordinator keeps running.
+	CoordOK CoordClass = iota
+	// CoordDieBeforeSync means the coordinator dies before the record is
+	// synced: the transition is lost, and after restart the protocol
+	// state is exactly what the previous record left it.
+	CoordDieBeforeSync
+	// CoordDieAfterJournal means the coordinator dies after the record
+	// is durable but before replying: the caller sees a dead peer, yet
+	// the restarted coordinator already knows the transition happened.
+	CoordDieAfterJournal
+	// CoordTornTail means the coordinator dies mid-write, leaving a
+	// partial record at the journal tail that recovery must ignore.
+	CoordTornTail
+)
+
+// String names the class for logs and reports.
+func (c CoordClass) String() string {
+	switch c {
+	case CoordOK:
+		return "ok"
+	case CoordDieBeforeSync:
+		return "die-before-journal-sync"
+	case CoordDieAfterJournal:
+		return "die-after-journal-before-reply"
+	case CoordTornTail:
+		return "torn-journal-tail"
+	default:
+		return fmt.Sprintf("faults.CoordClass(%d)", int(c))
+	}
+}
+
+// CoordRates configures per-append probabilities of the coordinator
+// fault modes. The zero value disables injection (the clean path).
+type CoordRates struct {
+	// DieBeforeSync is the per-append probability the coordinator dies
+	// before the record is synced (the transition never happened).
+	DieBeforeSync float64 `json:"die_before_sync"`
+	// DieAfterJournal is the per-append probability the coordinator dies
+	// after the record is durable but before replying.
+	DieAfterJournal float64 `json:"die_after_journal"`
+	// TornTail is the per-append probability the coordinator dies
+	// mid-write, leaving a partial record recovery must discard.
+	TornTail float64 `json:"torn_tail"`
+}
+
+// DefaultCoordRates returns a restart-chaos mix for the recovery tests:
+// 1% deaths before the sync, 1% after the record, 0.5% torn tails.
+func DefaultCoordRates() CoordRates {
+	return CoordRates{DieBeforeSync: 0.01, DieAfterJournal: 0.01, TornTail: 0.005}
+}
+
+// Scale multiplies every mode rate by f, clamping each to [0, 0.95].
+func (r CoordRates) Scale(f float64) CoordRates {
+	clamp := func(x float64) float64 {
+		x *= f
+		if x < 0 {
+			return 0
+		}
+		if x > 0.95 {
+			return 0.95
+		}
+		return x
+	}
+	return CoordRates{
+		DieBeforeSync:   clamp(r.DieBeforeSync),
+		DieAfterJournal: clamp(r.DieAfterJournal),
+		TornTail:        clamp(r.TornTail),
+	}
+}
+
+// Enabled reports whether any mode has a nonzero rate.
+func (r CoordRates) Enabled() bool {
+	return r.DieBeforeSync > 0 || r.DieAfterJournal > 0 || r.TornTail > 0
+}
+
+// Validate rejects rates outside [0, 1), NaN included: a rate of exactly
+// 1 kills the coordinator on its first append, which tests no recovery
+// at all — it just never starts.
+func (r CoordRates) Validate() error {
+	check := func(name string, v float64) error {
+		if v != v { // NaN
+			return fmt.Errorf("faults: coordinator %s rate is NaN", name)
+		}
+		if v < 0 || v >= 1 {
+			return fmt.Errorf("faults: coordinator %s rate %v outside [0, 1)", name, v)
+		}
+		return nil
+	}
+	if err := check("DieBeforeSync", r.DieBeforeSync); err != nil {
+		return err
+	}
+	if err := check("DieAfterJournal", r.DieAfterJournal); err != nil {
+		return err
+	}
+	return check("TornTail", r.TornTail)
+}
+
+// saltCoord domain-separates the coordinator-mode draws from every other
+// stream; the modes share one per-append uniform split into disjoint
+// probability bands, so at most one mode fires per append.
+const saltCoord = 0xc0de4a11
+
+// CoordModel draws deterministic coordinator fault modes for one fleet
+// run. A nil *CoordModel is valid and injects nothing.
+type CoordModel struct {
+	rates CoordRates
+	seed  uint64
+}
+
+// NewCoordModel builds a model keyed by the run's chaos seed. The same
+// seed re-draws identically after a restart, so the position-keyed draws
+// below resume exactly where the dead coordinator left off.
+func NewCoordModel(seed string, r CoordRates) *CoordModel {
+	if !r.Enabled() {
+		return nil
+	}
+	return &CoordModel{rates: r, seed: xrand.HashString("faults/coordinator/" + seed)}
+}
+
+// Classify draws the fault mode for one journal append, identified by
+// its position key (the would-be record sequence number mixed with the
+// op). Pure per (seed, position): replaying a journal past the same
+// position after a restart does not re-kill, because recovery replays
+// records instead of re-appending them.
+func (m *CoordModel) Classify(posKey uint64) CoordClass {
+	if m == nil {
+		return CoordOK
+	}
+	u := float64(xrand.Combine(m.seed, posKey, saltCoord)>>11) / (1 << 53)
+	switch {
+	case u < m.rates.DieBeforeSync:
+		return CoordDieBeforeSync
+	case u < m.rates.DieBeforeSync+m.rates.DieAfterJournal:
+		return CoordDieAfterJournal
+	case u < m.rates.DieBeforeSync+m.rates.DieAfterJournal+m.rates.TornTail:
+		return CoordTornTail
+	default:
+		return CoordOK
+	}
+}

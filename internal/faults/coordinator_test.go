@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCoordModelDeterministic(t *testing.T) {
+	m1 := NewCoordModel("seed", DefaultCoordRates())
+	m2 := NewCoordModel("seed", DefaultCoordRates())
+	for k := uint64(0); k < 5000; k++ {
+		if a, b := m1.Classify(k), m2.Classify(k); a != b {
+			t.Fatalf("position %d: same seed drew %v vs %v", k, a, b)
+		}
+	}
+}
+
+func TestCoordModelIndependentStreams(t *testing.T) {
+	base := NewCoordModel("seed", DefaultCoordRates())
+	other := NewCoordModel("other-seed", DefaultCoordRates())
+	same := 0
+	const n = 5000
+	for k := uint64(0); k < n; k++ {
+		if base.Classify(k) == other.Classify(k) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatalf("distinct seeds drew identical streams")
+	}
+}
+
+func TestCoordModelRates(t *testing.T) {
+	rates := CoordRates{DieBeforeSync: 0.1, DieAfterJournal: 0.1, TornTail: 0.1}
+	m := NewCoordModel("rates", rates)
+	counts := map[CoordClass]int{}
+	const n = 20000
+	for k := uint64(0); k < n; k++ {
+		counts[m.Classify(k)]++
+	}
+	for _, c := range []CoordClass{CoordDieBeforeSync, CoordDieAfterJournal, CoordTornTail} {
+		got := float64(counts[c]) / n
+		if math.Abs(got-0.1) > 0.02 {
+			t.Errorf("%v rate %.3f, want ~0.1", c, got)
+		}
+	}
+	if got := float64(counts[CoordOK]) / n; math.Abs(got-0.7) > 0.03 {
+		t.Errorf("ok rate %.3f, want ~0.7", got)
+	}
+}
+
+func TestCoordModelDisabled(t *testing.T) {
+	if m := NewCoordModel("seed", CoordRates{}); m != nil {
+		t.Fatalf("zero rates should yield a nil model")
+	}
+	var m *CoordModel
+	if c := m.Classify(42); c != CoordOK {
+		t.Fatalf("nil model classified %v, want ok", c)
+	}
+}
+
+func TestCoordRatesValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		r    CoordRates
+		ok   bool
+	}{
+		{"zero", CoordRates{}, true},
+		{"default", DefaultCoordRates(), true},
+		{"high", CoordRates{DieBeforeSync: 0.9}, true},
+		{"negative", CoordRates{DieAfterJournal: -0.1}, false},
+		{"one", CoordRates{TornTail: 1}, false},
+		{"nan before-sync", CoordRates{DieBeforeSync: math.NaN()}, false},
+		{"nan after-journal", CoordRates{DieAfterJournal: math.NaN()}, false},
+		{"nan torn-tail", CoordRates{TornTail: math.NaN()}, false},
+	}
+	for _, tc := range cases {
+		err := tc.r.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestCoordRatesScale(t *testing.T) {
+	r := DefaultCoordRates().Scale(1000)
+	for name, v := range map[string]float64{
+		"DieBeforeSync": r.DieBeforeSync, "DieAfterJournal": r.DieAfterJournal, "TornTail": r.TornTail,
+	} {
+		if v > 0.95 {
+			t.Errorf("%s not clamped: %v", name, v)
+		}
+	}
+	if r := DefaultCoordRates().Scale(0); r.Enabled() {
+		t.Errorf("scaling to zero should disable every mode")
+	}
+	if r := DefaultCoordRates().Scale(-1); r.Enabled() {
+		t.Errorf("negative scale should clamp every mode to zero")
+	}
+}
+
+func TestCoordClassString(t *testing.T) {
+	want := map[CoordClass]string{
+		CoordOK:              "ok",
+		CoordDieBeforeSync:   "die-before-journal-sync",
+		CoordDieAfterJournal: "die-after-journal-before-reply",
+		CoordTornTail:        "torn-journal-tail",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if got := CoordClass(99).String(); got != "faults.CoordClass(99)" {
+		t.Errorf("unknown class string %q", got)
+	}
+}

@@ -4,11 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"funcytuner/internal/core"
+	"funcytuner/internal/faults"
 	"funcytuner/internal/metrics"
+	"funcytuner/internal/xrand"
 )
 
 // Coordinator defaults.
@@ -46,6 +50,13 @@ const (
 	MetricActiveLeases    = "fleet_active_leases"
 	MetricQueueDepth      = "fleet_queue_depth"
 	MetricKnownWorkers    = "fleet_workers"
+	// MetricTasksRecovered counts in-flight tasks re-adopted from the
+	// journal at startup; MetricJournalServed counts Evaluate calls
+	// answered from pre-crash journaled outcomes without re-execution;
+	// MetricJournalRecords gauges the journal's current record count.
+	MetricTasksRecovered = "fleet_tasks_recovered"
+	MetricJournalServed  = "fleet_journal_served"
+	MetricJournalRecords = "fleet_journal_records"
 )
 
 // Sentinel errors surfaced through the HTTP layer.
@@ -55,6 +66,24 @@ var (
 	// ErrQuarantined means the claiming worker lost too many leases in a
 	// row and is barred (claims answer 403).
 	ErrQuarantined = errors.New("fleet: worker quarantined")
+	// ErrUnavailable means the coordinator process died mid-flight
+	// (claims answer 502). Unlike ErrClosed — a clean shutdown workers
+	// obey by exiting — a dead coordinator looks like a partition:
+	// workers back off and retry, riding out the restart.
+	ErrUnavailable = errors.New("fleet: coordinator unavailable")
+)
+
+// Kill points for the restart chaos matrix: each names the moment right
+// after a transition's journal record is durable but before the
+// transition is applied or acknowledged — the worst instant to die,
+// because the journal and the (about-to-vanish) memory disagree.
+const (
+	killMidEnqueue        = "mid-enqueue"
+	killLeaseGranted      = "lease-granted"
+	killHeartbeatRenewed  = "heartbeat-renewed"
+	killReportAccepted    = "report-accepted"
+	killRequeuePending    = "requeue-pending"
+	killWorkerQuarantined = "worker-quarantined"
 )
 
 // CoordinatorConfig parameterizes the lease protocol. Zero fields take
@@ -74,6 +103,20 @@ type CoordinatorConfig struct {
 	RequeueBackoffCap time.Duration
 	// Registry receives the fleet counters and gauges; nil disables them.
 	Registry *metrics.Registry
+	// JournalPath, when non-empty, makes the coordinator durable: every
+	// queue/lease transition is appended to this write-ahead journal
+	// before it becomes visible (journal.go), and NewCoordinator replays
+	// the journal so a restarted coordinator re-adopts in-flight work —
+	// live leases stay live, expired ones are re-issued with bumped
+	// epochs, accepted outcomes are served back without re-execution.
+	// Empty disables journaling (the exact pre-durability behaviour).
+	JournalPath string
+	// Faults injects coordinator-side crash modes at journal appends
+	// (die-before-sync, die-after-journal-before-reply, torn tail) for
+	// the restart chaos tests. Requires JournalPath.
+	Faults faults.CoordRates
+	// FaultSeed keys the injected crash draws (default "coordinator").
+	FaultSeed string
 }
 
 func (c CoordinatorConfig) leaseTTL() time.Duration {
@@ -95,6 +138,13 @@ func (c CoordinatorConfig) maxLeaseLosses() int {
 		return c.MaxLeaseLosses
 	}
 	return DefaultMaxLeaseLosses
+}
+
+func (c CoordinatorConfig) faultSeed() string {
+	if c.FaultSeed != "" {
+		return c.FaultSeed
+	}
+	return "coordinator"
 }
 
 func (c CoordinatorConfig) backoff(losses int) time.Duration {
@@ -127,6 +177,12 @@ func (c CoordinatorConfig) validate() error {
 	if c.heartbeat() >= c.leaseTTL() {
 		return fmt.Errorf("fleet: heartbeat %v must be below lease TTL %v", c.heartbeat(), c.leaseTTL())
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if c.Faults.Enabled() && c.JournalPath == "" {
+		return fmt.Errorf("fleet: coordinator fault injection requires JournalPath")
+	}
 	return nil
 }
 
@@ -144,6 +200,12 @@ type task struct {
 	phase  string
 	sample int
 	cvs    [][]int
+	// key is the job-agnostic adoption identity (journal.go); 0 when
+	// journaling is off.
+	key uint64
+	// orphan marks a recovered task no Evaluate call is waiting on yet;
+	// its accepted report lands in the outcome buffer instead.
+	orphan bool
 	// epoch is the lease generation, incremented on every grant.
 	epoch int
 	// losses counts expired leases of this task (drives the requeue
@@ -169,10 +231,20 @@ type workerState struct {
 	quarantined bool
 }
 
+// JournalState is the health view of the coordinator's journal.
+type JournalState struct {
+	Path           string `json:"path"`
+	Records        int    `json:"records"`
+	RecoveredTasks int    `json:"recovered_tasks"`
+	Served         int64  `json:"served"`
+}
+
 // Coordinator owns the task queue, the lease table and the worker
 // quarantine for one funcytunerd process. It is transport-agnostic:
 // Handler (http.go) exposes it over HTTP, and the tests drive it
-// directly.
+// directly. With a JournalPath it is also durable: every transition is
+// journaled before it is visible, and a restarted coordinator re-adopts
+// the dead one's work (journal.go).
 type Coordinator struct {
 	cfg CoordinatorConfig
 
@@ -183,18 +255,44 @@ type Coordinator struct {
 	workers map[string]*workerState
 	waitCh  chan struct{} // closed and replaced whenever work may appear
 	closed  bool
+	// killed simulates SIGKILL for the restart tests: the process is
+	// gone, nothing is compacted, every caller sees ErrUnavailable.
+	killed  bool
+	stopped bool // reaperStop already closed
 	seq     int64
+
+	journal *journal
+	cfaults *faults.CoordModel
+	// killHook, when set (restart chaos tests), is consulted at each
+	// named kill point; returning true kills the coordinator right
+	// there — after the journal record, before the reply.
+	killHook func(point string) bool
+	// orphans indexes recovered tasks by adoption key until a re-run's
+	// Evaluate adopts them; buffer holds accepted outcomes by adoption
+	// key (populated from replay and, while journaling, from every
+	// accepted report) so re-runs never re-execute finished work.
+	orphans   map[uint64][]*task
+	buffer    map[uint64]replayOutcome
+	recovered []RecoveredJob
+	nRecov    int
+	served    int64
 
 	reaperStop chan struct{}
 	reaperWG   sync.WaitGroup
 
 	mTasks, mClaims, mOK, mStale      *metrics.Counter
 	mExpired, mRequeues, mQuarantined *metrics.Counter
-	mLostMillis                       *metrics.Counter
+	mLostMillis, mRecovered, mServed  *metrics.Counter
 	gLeases, gQueue, gWorkers         *metrics.Gauge
+	gJournal                          *metrics.Gauge
 }
 
-// NewCoordinator builds a coordinator and starts its lease reaper.
+// NewCoordinator builds a coordinator and starts its lease reaper. With
+// cfg.JournalPath set it first replays the journal: completed outcomes
+// go to the serve buffer, live leases whose deadline has not passed
+// stay live (their workers heartbeat and report across the restart),
+// and expired leases are re-issued with bumped epochs so any stale
+// pre-crash report stays fenced.
 func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -204,6 +302,8 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		leases:     make(map[string]*lease),
 		tasks:      make(map[string]*task),
 		workers:    make(map[string]*workerState),
+		orphans:    make(map[uint64][]*task),
+		buffer:     make(map[uint64]replayOutcome),
 		waitCh:     make(chan struct{}),
 		reaperStop: make(chan struct{}),
 	}
@@ -216,24 +316,190 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		c.mRequeues = reg.Counter(MetricRequeues)
 		c.mQuarantined = reg.Counter(MetricWorkersQuarantined)
 		c.mLostMillis = reg.Counter(MetricLostLeaseMillis)
+		c.mRecovered = reg.Counter(MetricTasksRecovered)
+		c.mServed = reg.Counter(MetricJournalServed)
 		c.gLeases = reg.Gauge(MetricActiveLeases)
 		c.gQueue = reg.Gauge(MetricQueueDepth)
 		c.gWorkers = reg.Gauge(MetricKnownWorkers)
+		c.gJournal = reg.Gauge(MetricJournalRecords)
+	}
+	if cfg.JournalPath != "" {
+		j, st, err := openJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		c.journal = j
+		c.cfaults = faults.NewCoordModel(cfg.faultSeed(), cfg.Faults)
+		if err := c.adopt(st); err != nil {
+			j.close()
+			return nil, err
+		}
 	}
 	c.reaperWG.Add(1)
 	go c.reap()
 	return c, nil
 }
 
-// Close shuts the coordinator down: pending Evaluate calls fail, claims
-// answer ErrClosed, and the reaper stops. Idempotent.
+// adopt rebuilds coordinator state from a replayed journal. Runs before
+// the reaper starts, so no lock is contended yet (taken anyway for the
+// race detector's benefit).
+func (c *Coordinator) adopt(st *replayState) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq = st.seq
+	now := time.Now()
+	var bumps []journalBody
+	for _, id := range st.order {
+		rt := st.tasks[id]
+		t := &task{
+			id: rt.id, job: rt.job, spec: rt.spec,
+			phase: rt.phase, sample: rt.sample, cvs: rt.cvs,
+			key:    adoptionKey(rt.spec, rt.phase, rt.sample, rt.cvs),
+			orphan: true,
+			epoch:  rt.epoch, losses: rt.losses,
+			done: make(chan taskResult, 1),
+		}
+		if rt.notBefore > 0 {
+			t.notBefore = time.Unix(0, rt.notBefore)
+		}
+		switch {
+		case rt.leased && time.Unix(0, rt.deadline).After(now):
+			// The lease outlives the crash: its worker can keep
+			// heartbeating and report into the same epoch.
+			t.leasedAt = now
+			c.leases[t.id] = &lease{t: t, worker: rt.worker, deadline: time.Unix(0, rt.deadline)}
+		case rt.leased:
+			// Expired while the coordinator was down: burn the epoch so
+			// the dead lease's late report stays fenced, requeue without
+			// backoff (the loss was ours, not the task's), and journal
+			// the bump so a second crash replays identically.
+			t.epoch++
+			t.notBefore = time.Time{}
+			c.queue = append(c.queue, t)
+			bumps = append(bumps, journalBody{Op: opRequeue, Task: t.id, Epoch: t.epoch, Losses: t.losses})
+		default:
+			c.queue = append(c.queue, t)
+		}
+		c.tasks[t.id] = t
+		c.orphans[t.key] = append(c.orphans[t.key], t)
+	}
+	for w, rw := range st.workers {
+		c.workers[w] = &workerState{losses: rw.losses, quarantined: rw.quarantined}
+	}
+	for k, ro := range st.completed {
+		c.buffer[k] = ro
+	}
+	c.recovered = st.jobs
+	c.nRecov = len(st.tasks)
+	c.mRecovered.Add(int64(len(st.tasks)))
+	if len(bumps) > 0 {
+		if err := c.journal.append(bumps...); err != nil {
+			return err
+		}
+	}
+	c.gJournal.Set(float64(c.journal.records))
+	c.updateGauges()
+	return nil
+}
+
+// journalAppend durably records the bodies (one sync for the lot),
+// applying any injected crash mode. A non-nil error means the
+// coordinator died: the caller must unwind without touching state.
+// Callers hold c.mu.
+func (c *Coordinator) journalAppend(bodies ...journalBody) error {
+	if c.journal == nil {
+		return nil
+	}
+	class := c.cfaults.Classify(xrand.Combine(uint64(c.journal.seq)+1, xrand.HashString(bodies[0].Op)))
+	switch class {
+	case faults.CoordDieBeforeSync:
+		// Died with the record still in the page cache: the transition
+		// never happened as far as the journal is concerned.
+		c.killLocked()
+		return ErrUnavailable
+	case faults.CoordTornTail:
+		c.journal.appendTorn(bodies...)
+		c.killLocked()
+		return ErrUnavailable
+	}
+	if err := c.journal.append(bodies...); err != nil {
+		// A journal that cannot take writes can no longer witness
+		// transitions; dying is safer than silently diverging from disk.
+		c.killLocked()
+		return ErrUnavailable
+	}
+	c.gJournal.Set(float64(c.journal.records))
+	if class == faults.CoordDieAfterJournal {
+		c.killLocked()
+		return ErrUnavailable
+	}
+	return nil
+}
+
+// killAt fires the chaos-matrix kill hook; true means the coordinator
+// just died at this point and the caller must return ErrUnavailable
+// without applying its transition. Callers hold c.mu.
+func (c *Coordinator) killAt(point string) bool {
+	if c.killHook == nil || !c.killHook(point) {
+		return false
+	}
+	c.killLocked()
+	return true
+}
+
+// killLocked is the in-process SIGKILL: pending Evaluates fail with
+// ErrUnavailable, every later call answers the same, the journal is
+// left exactly as the last append left it (no compaction), and the
+// reaper stops. Callers hold c.mu.
+func (c *Coordinator) killLocked() {
+	if c.killed || c.closed {
+		return
+	}
+	c.killed = true
+	for _, t := range c.tasks {
+		select {
+		case t.done <- taskResult{err: ErrUnavailable}:
+		default:
+		}
+	}
+	c.broadcastLocked()
+	if !c.stopped {
+		close(c.reaperStop)
+		c.stopped = true
+	}
+	if c.journal != nil {
+		c.journal.close()
+	}
+}
+
+// Kill simulates a SIGKILL for the restart tests: the coordinator dies
+// mid-flight, journal uncompacted. A new coordinator pointed at the
+// same JournalPath re-adopts everything this one held.
+func (c *Coordinator) Kill() {
+	c.mu.Lock()
+	c.killLocked()
+	c.mu.Unlock()
+	c.reaperWG.Wait()
+}
+
+// Close shuts the coordinator down cleanly: pending Evaluate calls
+// fail, claims answer ErrClosed, the reaper stops, and the journal is
+// compacted — truncated to empty when nothing is outstanding (the clean
+// drain), or rewritten as a minimal snapshot (live tasks with their
+// accumulated epoch/backoff state, worker records, completed outcomes)
+// when work remains. Idempotent; a no-op after Kill.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
-	if c.closed {
+	if c.closed || c.killed {
 		c.mu.Unlock()
+		c.reaperWG.Wait()
 		return
 	}
 	c.closed = true
+	var compacted []journalBody
+	if c.journal != nil {
+		compacted = c.compactionLocked()
+	}
 	for _, t := range c.tasks {
 		select {
 		case t.done <- taskResult{err: ErrClosed}:
@@ -245,9 +511,79 @@ func (c *Coordinator) Close() {
 	c.tasks = map[string]*task{}
 	c.updateGauges()
 	c.broadcastLocked()
-	close(c.reaperStop)
+	if !c.stopped {
+		close(c.reaperStop)
+		c.stopped = true
+	}
+	j := c.journal
 	c.mu.Unlock()
 	c.reaperWG.Wait()
+	if j != nil {
+		j.close()
+		j.rewrite(compacted) // best-effort; the old journal still replays
+	}
+}
+
+// compactionLocked snapshots the minimal state a restart needs. With
+// nothing outstanding it returns nil — the journal truncates to empty
+// and a restarted daemon has nothing to re-attach (a drained job
+// resumes from its checkpoint instead). Callers hold c.mu.
+func (c *Coordinator) compactionLocked() []journalBody {
+	if len(c.tasks) == 0 {
+		return nil
+	}
+	var bodies []journalBody
+	emit := func(t *task, leased bool) {
+		spec := t.spec
+		epoch := t.epoch
+		if leased {
+			// The lease dies with this process; burn its epoch so the
+			// holder's late report bounces after the restart.
+			epoch++
+		}
+		var nb int64
+		if !t.notBefore.IsZero() {
+			nb = t.notBefore.UnixNano()
+		}
+		bodies = append(bodies, journalBody{
+			Op: opTask, Task: t.id, Job: t.job, Spec: &spec,
+			Phase: t.phase, Sample: t.sample, CVs: t.cvs,
+			Epoch: epoch, Losses: t.losses, NotBefore: nb,
+		})
+	}
+	for _, t := range c.queue {
+		emit(t, false)
+	}
+	leased := make([]string, 0, len(c.leases))
+	for id := range c.leases {
+		leased = append(leased, id)
+	}
+	sort.Strings(leased)
+	for _, id := range leased {
+		emit(c.leases[id].t, true)
+	}
+	workers := make([]string, 0, len(c.workers))
+	for w := range c.workers {
+		workers = append(workers, w)
+	}
+	sort.Strings(workers)
+	for _, w := range workers {
+		ws := c.workers[w]
+		if ws.losses == 0 && !ws.quarantined {
+			continue
+		}
+		bodies = append(bodies, journalBody{Op: opWorker, Worker: w, Losses: ws.losses, Quarantined: ws.quarantined})
+	}
+	keys := make([]uint64, 0, len(c.buffer))
+	for k := range c.buffer {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		ro := c.buffer[k]
+		bodies = append(bodies, journalBody{Op: opOutcome, Key: strconv.FormatUint(k, 16), Outcome: ro.out, Error: ro.evalErr})
+	}
+	return bodies
 }
 
 // Registry returns the registry receiving the fleet counters and
@@ -279,6 +615,42 @@ func (c *Coordinator) Workers() (known, quarantined int) {
 		}
 	}
 	return known, quarantined
+}
+
+// RecoveredTasks returns how many in-flight tasks this coordinator
+// re-adopted from its journal at startup.
+func (c *Coordinator) RecoveredTasks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nRecov
+}
+
+// RecoveredJobs lists the jobs the replayed journal mentioned, in
+// first-seen order. The server resubmits these after a daemon restart;
+// re-running them from scratch is cheap because every already-accepted
+// evaluation is served straight from the journal's outcome buffer.
+func (c *Coordinator) RecoveredJobs() []RecoveredJob {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]RecoveredJob, len(c.recovered))
+	copy(out, c.recovered)
+	return out
+}
+
+// JournalState reports the journal's health view; nil when journaling
+// is disabled.
+func (c *Coordinator) JournalState() *JournalState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal == nil {
+		return nil
+	}
+	return &JournalState{
+		Path:           c.journal.path,
+		Records:        c.journal.records,
+		RecoveredTasks: c.nRecov,
+		Served:         c.served,
+	}
 }
 
 // broadcastLocked wakes every long-polling claim. Callers hold c.mu.
@@ -332,12 +704,41 @@ func (e *jobEvaluator) Evaluate(ctx context.Context, req core.EvalRequest) (core
 	}
 }
 
-// enqueue registers one claim and wakes the pollers.
+// enqueue registers one claim and wakes the pollers. With a journal it
+// first consults the recovery state: an outcome already accepted before
+// the crash is served back byte-identically without re-execution, and a
+// recovered in-flight task with the same adoption identity is adopted
+// instead of duplicated.
 func (c *Coordinator) enqueue(job string, spec Spec, req core.EvalRequest) (*task, error) {
+	cvs := encodeCVs(req.CVs)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return nil, ErrClosed
+	}
+	if c.killed {
+		return nil, ErrUnavailable
+	}
+	var key uint64
+	if c.journal != nil {
+		key = adoptionKey(spec, req.Phase, req.Sample, cvs)
+		if ro, ok := c.buffer[key]; ok {
+			t := &task{done: make(chan taskResult, 1)}
+			t.done <- ro.result(req.Phase, req.Sample)
+			c.served++
+			c.mServed.Inc()
+			return t, nil
+		}
+		if ts := c.orphans[key]; len(ts) > 0 {
+			t := ts[0]
+			if len(ts) == 1 {
+				delete(c.orphans, key)
+			} else {
+				c.orphans[key] = ts[1:]
+			}
+			t.orphan = false
+			return t, nil
+		}
 	}
 	c.seq++
 	t := &task{
@@ -346,8 +747,18 @@ func (c *Coordinator) enqueue(job string, spec Spec, req core.EvalRequest) (*tas
 		spec:   spec,
 		phase:  req.Phase,
 		sample: req.Sample,
-		cvs:    encodeCVs(req.CVs),
+		cvs:    cvs,
+		key:    key,
 		done:   make(chan taskResult, 1),
+	}
+	if err := c.journalAppend(journalBody{
+		Op: opEnqueue, Task: t.id, Job: job, Spec: &spec,
+		Phase: t.phase, Sample: t.sample, CVs: t.cvs,
+	}); err != nil {
+		return nil, err
+	}
+	if c.killAt(killMidEnqueue) {
+		return nil, ErrUnavailable
 	}
 	c.tasks[t.id] = t
 	c.queue = append(c.queue, t)
@@ -357,12 +768,38 @@ func (c *Coordinator) enqueue(job string, spec Spec, req core.EvalRequest) (*tas
 	return t, nil
 }
 
+// result converts a journaled outcome into the taskResult an Evaluate
+// call unblocks on — the same decode path an accepted report takes.
+func (ro replayOutcome) result(phase string, sample int) taskResult {
+	var res taskResult
+	switch {
+	case ro.evalErr != "":
+		res.err = fmt.Errorf("fleet: recovered report for %s/%d failed: %s", phase, sample, ro.evalErr)
+	case ro.out == nil:
+		res.err = fmt.Errorf("fleet: recovered report for %s/%d has no outcome", phase, sample)
+	default:
+		res.out, res.err = ro.out.decode()
+	}
+	return res
+}
+
 // abandon withdraws a task whose Evaluate context was cancelled: it
 // leaves the queue and the lease table, and any late report for it is
 // rejected as stale.
 func (c *Coordinator) abandon(t *task) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.killed || c.closed {
+		return
+	}
+	if _, live := c.tasks[t.id]; live {
+		// Journal the withdrawal so a restart does not resurrect a task
+		// nobody is waiting for. A failed append means we just died;
+		// the cancelled Evaluate no longer cares either way.
+		if err := c.journalAppend(journalBody{Op: opAbandon, Task: t.id}); err != nil {
+			return
+		}
+	}
 	delete(c.tasks, t.id)
 	delete(c.leases, t.id)
 	for i, q := range c.queue {
@@ -395,7 +832,8 @@ func (c *Coordinator) Claim(ctx context.Context, worker string, maxWait time.Dur
 // Each granted task gets its own lease and epoch, exactly as if it had
 // been claimed alone: heartbeats, expiry, requeue backoff and report
 // fencing are all per-task. Batching changes the transport economics
-// only, never the lease protocol.
+// only, never the lease protocol. The whole batch's grant records cost
+// one journal sync, taken before the worker hears about any lease.
 func (c *Coordinator) ClaimBatch(ctx context.Context, worker string, maxWait time.Duration, max int) ([]*Task, error) {
 	if worker == "" {
 		return nil, fmt.Errorf("fleet: claim with empty worker ID")
@@ -410,6 +848,10 @@ func (c *Coordinator) ClaimBatch(ctx context.Context, worker string, maxWait tim
 			c.mu.Unlock()
 			return nil, ErrClosed
 		}
+		if c.killed {
+			c.mu.Unlock()
+			return nil, ErrUnavailable
+		}
 		ws := c.workers[worker]
 		if ws == nil {
 			// First contact — mid-run rejoin is this cheap: claiming is
@@ -422,42 +864,65 @@ func (c *Coordinator) ClaimBatch(ctx context.Context, worker string, maxWait tim
 			return nil, ErrQuarantined
 		}
 		now := time.Now()
-		var grants []*Task
+		var picked []*task
 		nextReady := time.Time{}
-		if len(c.queue) > 0 {
+		for _, t := range c.queue {
+			if len(picked) < max && !t.notBefore.After(now) {
+				picked = append(picked, t)
+				continue
+			}
+			if t.notBefore.After(now) && (nextReady.IsZero() || t.notBefore.Before(nextReady)) {
+				nextReady = t.notBefore
+			}
+		}
+		if len(picked) > 0 {
+			leaseEnd := now.Add(c.cfg.leaseTTL())
+			bodies := make([]journalBody, len(picked))
+			for i, t := range picked {
+				bodies[i] = journalBody{Op: opClaim, Task: t.id, Worker: worker, Epoch: t.epoch + 1, Deadline: leaseEnd.UnixNano()}
+			}
+			if err := c.journalAppend(bodies...); err != nil {
+				c.mu.Unlock()
+				return nil, err
+			}
+			if c.killAt(killLeaseGranted) {
+				c.mu.Unlock()
+				return nil, ErrUnavailable
+			}
+			// picked is a subsequence of the queue: drop it in one pass,
+			// clearing the vacated tail so the backing array does not pin
+			// granted tasks past their leases.
+			pi := 0
 			rest := c.queue[:0]
 			for _, t := range c.queue {
-				if len(grants) < max && !t.notBefore.After(now) {
-					t.epoch++
-					t.leasedAt = now
-					c.leases[t.id] = &lease{t: t, worker: worker, deadline: now.Add(c.cfg.leaseTTL())}
-					c.mClaims.Inc()
-					grants = append(grants, &Task{
-						ID:              t.id,
-						Job:             t.job,
-						Spec:            t.spec,
-						Phase:           t.phase,
-						Sample:          t.sample,
-						CVs:             t.cvs,
-						Epoch:           t.epoch,
-						LeaseMillis:     c.cfg.leaseTTL().Milliseconds(),
-						HeartbeatMillis: c.cfg.heartbeat().Milliseconds(),
-					})
+				if pi < len(picked) && picked[pi] == t {
+					pi++
 					continue
-				}
-				if t.notBefore.After(now) && (nextReady.IsZero() || t.notBefore.Before(nextReady)) {
-					nextReady = t.notBefore
 				}
 				rest = append(rest, t)
 			}
-			// Clear the vacated tail so the backing array does not pin
-			// granted tasks past their leases.
 			for i := len(rest); i < len(c.queue); i++ {
 				c.queue[i] = nil
 			}
 			c.queue = rest
-		}
-		if len(grants) > 0 {
+			grants := make([]*Task, len(picked))
+			for i, t := range picked {
+				t.epoch++
+				t.leasedAt = now
+				c.leases[t.id] = &lease{t: t, worker: worker, deadline: leaseEnd}
+				c.mClaims.Inc()
+				grants[i] = &Task{
+					ID:              t.id,
+					Job:             t.job,
+					Spec:            t.spec,
+					Phase:           t.phase,
+					Sample:          t.sample,
+					CVs:             t.cvs,
+					Epoch:           t.epoch,
+					LeaseMillis:     c.cfg.leaseTTL().Milliseconds(),
+					HeartbeatMillis: c.cfg.heartbeat().Milliseconds(),
+				}
+			}
 			c.updateGauges()
 			c.mu.Unlock()
 			return grants, nil
@@ -491,25 +956,43 @@ func (c *Coordinator) ClaimBatch(ctx context.Context, worker string, maxWait tim
 
 // Heartbeat extends a live lease. It reports false when the lease is
 // gone or the epoch is stale — the worker's cue to abandon the
-// evaluation (self-fencing).
-func (c *Coordinator) Heartbeat(worker, taskID string, epoch int) bool {
+// evaluation (self-fencing) — and ErrUnavailable when the coordinator
+// is dead. The extension is journaled before it is granted, so a
+// recovered lease's deadline is never older than the worker believes.
+func (c *Coordinator) Heartbeat(worker, taskID string, epoch int) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.killed {
+		return false, ErrUnavailable
+	}
 	l := c.leases[taskID]
 	if l == nil || l.worker != worker || l.t.epoch != epoch {
-		return false
+		return false, nil
 	}
-	l.deadline = time.Now().Add(c.cfg.leaseTTL())
-	return true
+	deadline := time.Now().Add(c.cfg.leaseTTL())
+	if err := c.journalAppend(journalBody{Op: opHB, Task: taskID, Worker: worker, Epoch: epoch, Deadline: deadline.UnixNano()}); err != nil {
+		return false, err
+	}
+	if c.killAt(killHeartbeatRenewed) {
+		return false, ErrUnavailable
+	}
+	l.deadline = deadline
+	return true, nil
 }
 
 // Report resolves a claim. Exactly one report per task is accepted — the
 // one carrying the live lease's worker and epoch; everything else
 // (expired lease, burned epoch, duplicate send, abandoned task) reports
 // false and is cost-accounted nowhere, which is what keeps the merged
-// run byte-identical to a clean one.
+// run byte-identical to a clean one. An accepted report is journaled —
+// full wire outcome, trace events included — before the task resolves,
+// so a crash one instant later still has the evaluation.
 func (c *Coordinator) Report(worker, taskID string, epoch int, out *Outcome, evalErr string) (accepted bool, err error) {
 	c.mu.Lock()
+	if c.killed {
+		c.mu.Unlock()
+		return false, ErrUnavailable
+	}
 	l := c.leases[taskID]
 	if l == nil || l.worker != worker || l.t.epoch != epoch {
 		c.mStale.Inc()
@@ -517,8 +1000,24 @@ func (c *Coordinator) Report(worker, taskID string, epoch int, out *Outcome, eva
 		return false, nil
 	}
 	t := l.t
+	if err := c.journalAppend(journalBody{Op: opReport, Task: taskID, Worker: worker, Epoch: epoch, Outcome: out, Error: evalErr}); err != nil {
+		c.mu.Unlock()
+		return false, err
+	}
+	if c.killAt(killReportAccepted) {
+		c.mu.Unlock()
+		return false, ErrUnavailable
+	}
 	delete(c.leases, taskID)
 	delete(c.tasks, taskID)
+	if c.journal != nil {
+		// Mirror the journal's completed set in memory: compaction and
+		// orphaned-report adoption both read from here.
+		c.buffer[t.key] = replayOutcome{out: out, evalErr: evalErr}
+		if t.orphan {
+			c.dropOrphanLocked(t)
+		}
+	}
 	if ws := c.workers[worker]; ws != nil {
 		ws.losses = 0
 	}
@@ -540,6 +1039,24 @@ func (c *Coordinator) Report(worker, taskID string, epoch int, out *Outcome, eva
 	default:
 	}
 	return true, nil
+}
+
+// dropOrphanLocked removes a completed orphan from the adoption index:
+// its outcome now lives in the buffer, where the re-run's Evaluate will
+// find it. Callers hold c.mu.
+func (c *Coordinator) dropOrphanLocked(t *task) {
+	ts := c.orphans[t.key]
+	for i, o := range ts {
+		if o == t {
+			ts = append(ts[:i], ts[i+1:]...)
+			break
+		}
+	}
+	if len(ts) == 0 {
+		delete(c.orphans, t.key)
+	} else {
+		c.orphans[t.key] = ts
+	}
 }
 
 // ReportBatch delivers several outcomes in one call. Each report is
@@ -582,28 +1099,68 @@ func (c *Coordinator) reap() {
 	}
 }
 
-// expireLeases requeues every overdue lease's task.
+// expireLeases requeues every overdue lease's task. The sweep's requeue
+// and quarantine records are journaled as one batch (one sync) before
+// any of it is applied.
 func (c *Coordinator) expireLeases() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.closed {
+	if c.closed || c.killed {
 		return
 	}
 	now := time.Now()
-	requeued := false
-	for id, l := range c.leases {
-		if now.Before(l.deadline) {
+	var expired []*lease
+	for _, l := range c.leases {
+		if !now.Before(l.deadline) {
+			expired = append(expired, l)
+		}
+	}
+	if len(expired) == 0 {
+		return
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i].t.id < expired[j].t.id })
+
+	notBefore := make([]time.Time, len(expired))
+	bodies := make([]journalBody, 0, len(expired))
+	for i, l := range expired {
+		t := l.t
+		notBefore[i] = now.Add(c.cfg.backoff(t.losses + 1))
+		bodies = append(bodies, journalBody{Op: opRequeue, Task: t.id, Worker: l.worker, Losses: t.losses + 1, NotBefore: notBefore[i].UnixNano()})
+	}
+	// Predict the quarantines this sweep will cause so their records
+	// ride the same journal batch as the losses that caused them.
+	quarantines := 0
+	lossDelta := make(map[string]int)
+	for _, l := range expired {
+		ws := c.workers[l.worker]
+		if ws == nil || ws.quarantined {
 			continue
 		}
+		lossDelta[l.worker]++
+		if ws.losses+lossDelta[l.worker] == c.cfg.maxLeaseLosses() {
+			bodies = append(bodies, journalBody{Op: opWorker, Worker: l.worker, Losses: ws.losses + lossDelta[l.worker], Quarantined: true})
+			quarantines++
+		}
+	}
+	if err := c.journalAppend(bodies...); err != nil {
+		return
+	}
+	if c.killAt(killRequeuePending) {
+		return
+	}
+	if quarantines > 0 && c.killAt(killWorkerQuarantined) {
+		return
+	}
+
+	for i, l := range expired {
 		t := l.t
-		delete(c.leases, id)
+		delete(c.leases, t.id)
 		c.mExpired.Inc()
 		c.mLostMillis.Add(now.Sub(t.leasedAt).Milliseconds())
 		t.losses++
-		t.notBefore = now.Add(c.cfg.backoff(t.losses))
+		t.notBefore = notBefore[i]
 		c.queue = append(c.queue, t)
 		c.mRequeues.Inc()
-		requeued = true
 		if ws := c.workers[l.worker]; ws != nil && !ws.quarantined {
 			ws.losses++
 			if ws.losses >= c.cfg.maxLeaseLosses() {
@@ -612,8 +1169,6 @@ func (c *Coordinator) expireLeases() {
 			}
 		}
 	}
-	if requeued {
-		c.updateGauges()
-		c.broadcastLocked()
-	}
+	c.updateGauges()
+	c.broadcastLocked()
 }

@@ -380,7 +380,7 @@ func TestStaleReportRejectedOnce(t *testing.T) {
 	}
 
 	// The dead worker wakes up: late heartbeat and report both bounce.
-	if coord.Heartbeat("w1", t1.ID, t1.Epoch) {
+	if ok, _ := coord.Heartbeat("w1", t1.ID, t1.Epoch); ok {
 		t.Errorf("stale heartbeat accepted")
 	}
 	if acc, _ := coord.Report("w1", t1.ID, t1.Epoch, fabricatedOutcome(1.5), ""); acc {
@@ -501,8 +501,8 @@ func TestHeartbeatKeepsLeaseAlive(t *testing.T) {
 		t.Fatalf("claim: task %v err %v", task, err)
 	}
 	for end := time.Now().Add(250 * time.Millisecond); time.Now().Before(end); {
-		if !coord.Heartbeat("w1", task.ID, task.Epoch) {
-			t.Fatalf("heartbeat rejected while lease should be live")
+		if ok, err := coord.Heartbeat("w1", task.ID, task.Epoch); err != nil || !ok {
+			t.Fatalf("heartbeat rejected while lease should be live (ok=%v err=%v)", ok, err)
 		}
 		time.Sleep(15 * time.Millisecond)
 	}

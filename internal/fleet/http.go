@@ -13,19 +13,27 @@ import (
 // HTTP status mapping of the protocol:
 //
 //	POST /fleet/claim        200 Task | 204 nothing claimable | 403 worker
-//	                         quarantined | 503 coordinator closed
-//	POST /fleet/claimbatch   200 {tasks} | 204/403/503 as claim
-//	POST /fleet/heartbeat    200 lease extended | 409 lease gone/stale epoch
+//	                         quarantined | 502 coordinator dead (killed
+//	                         mid-flight) | 503 coordinator closed
+//	POST /fleet/claimbatch   200 {tasks} | 204/403/502/503 as claim
+//	POST /fleet/heartbeat    200 lease extended | 409 lease gone/stale
+//	                         epoch | 502 coordinator dead
 //	POST /fleet/report       200 accepted | 409 stale (rejected, counted) |
-//	                         400 malformed
+//	                         502 coordinator dead | 400 malformed
 //	POST /fleet/reportbatch  200 {accepted[]} (per-entry verdicts; a stale
 //	                         entry is accepted[i]=false, never a 409) |
-//	                         400 malformed
+//	                         502 coordinator dead | 400 malformed
 //
 // 409 is deliberately not an error for the worker: a stale heartbeat or
 // report is the normal aftermath of a lease the coordinator already
 // re-dispatched. The worker's only correct reaction is to drop the
 // evaluation and claim fresh work.
+//
+// 502 vs 503 is the durability distinction: 503 (ErrClosed) is a clean
+// shutdown workers obey by exiting, while 502 (ErrUnavailable) means the
+// coordinator died mid-flight and a journal-recovered replacement is
+// expected — workers treat it like any other transport failure and keep
+// retrying with backoff.
 
 // maxBodyBytes bounds request bodies; a batched report carries at most
 // maxClaimBatch evaluations' outcomes.
@@ -81,6 +89,8 @@ func (c *Coordinator) handleClaim(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == ErrClosed:
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	case err == ErrUnavailable:
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
 	case err == ErrQuarantined:
 		writeJSON(w, http.StatusForbidden, map[string]string{"error": err.Error()})
 	case err != nil:
@@ -117,6 +127,8 @@ func (c *Coordinator) handleClaimBatch(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == ErrClosed:
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	case err == ErrUnavailable:
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
 	case err == ErrQuarantined:
 		writeJSON(w, http.StatusForbidden, map[string]string{"error": err.Error()})
 	case err != nil:
@@ -133,11 +145,17 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if c.Heartbeat(req.Worker, req.Task, req.Epoch) {
+	ok, err := c.Heartbeat(req.Worker, req.Task, req.Epoch)
+	switch {
+	case err == ErrUnavailable:
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	case ok:
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-		return
+	default:
+		writeJSON(w, http.StatusConflict, map[string]string{"error": "lease gone or epoch stale"})
 	}
-	writeJSON(w, http.StatusConflict, map[string]string{"error": "lease gone or epoch stale"})
 }
 
 func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -147,6 +165,8 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	accepted, err := c.Report(req.Worker, req.Task, req.Epoch, req.Outcome, req.Error)
 	switch {
+	case err == ErrUnavailable:
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
 	case err != nil:
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 	case !accepted:
@@ -162,6 +182,10 @@ func (c *Coordinator) handleReportBatch(w http.ResponseWriter, r *http.Request) 
 		return
 	}
 	accepted, err := c.ReportBatch(req.Worker, req.Reports)
+	if err == ErrUnavailable {
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
+		return
+	}
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
@@ -225,6 +249,8 @@ func (cl *client) claim(ctx context.Context, worker string, wait time.Duration) 
 		return nil, ErrQuarantined
 	case http.StatusServiceUnavailable:
 		return nil, ErrClosed
+	case http.StatusBadGateway:
+		return nil, ErrUnavailable
 	default:
 		return nil, fmt.Errorf("fleet: claim: unexpected status %d", code)
 	}
@@ -249,6 +275,8 @@ func (cl *client) claimBatch(ctx context.Context, worker string, wait time.Durat
 		return nil, 0, ErrQuarantined
 	case http.StatusServiceUnavailable:
 		return nil, 0, ErrClosed
+	case http.StatusBadGateway:
+		return nil, 0, ErrUnavailable
 	default:
 		return nil, 0, fmt.Errorf("fleet: claimbatch: unexpected status %d", code)
 	}
@@ -265,6 +293,8 @@ func (cl *client) heartbeat(ctx context.Context, worker, taskID string, epoch in
 		return true, nil
 	case http.StatusConflict:
 		return false, nil
+	case http.StatusBadGateway:
+		return false, ErrUnavailable
 	default:
 		return false, fmt.Errorf("fleet: heartbeat: unexpected status %d", code)
 	}
@@ -282,6 +312,8 @@ func (cl *client) report(ctx context.Context, worker, taskID string, epoch int, 
 		return true, nil
 	case http.StatusConflict:
 		return false, nil
+	case http.StatusBadGateway:
+		return false, ErrUnavailable
 	default:
 		return false, fmt.Errorf("fleet: report: unexpected status %d", code)
 	}
@@ -294,6 +326,9 @@ func (cl *client) reportBatch(ctx context.Context, worker string, reports []Task
 	code, err := cl.post(ctx, "/fleet/reportbatch", reportBatchRequest{Worker: worker, Reports: reports}, &resp)
 	if err != nil {
 		return nil, err
+	}
+	if code == http.StatusBadGateway {
+		return nil, ErrUnavailable
 	}
 	if code != http.StatusOK {
 		return nil, fmt.Errorf("fleet: reportbatch: unexpected status %d", code)

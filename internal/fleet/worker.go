@@ -30,6 +30,13 @@ type WorkerConfig struct {
 	ClaimBatch int
 	// Poll is the claim long-poll bound (default 2s).
 	Poll time.Duration
+	// ReconnectAttempts bounds consecutive failed claim round-trips
+	// (connection refused, coordinator killed mid-restart) before the
+	// worker gives up (default DefaultReconnectAttempts). The retry
+	// delay starts at Poll/8 (min 10ms) and doubles up to Poll, so a
+	// worker rides out a coordinator restart instead of erroring, yet a
+	// permanently-gone coordinator does not pin the process forever.
+	ReconnectAttempts int
 	// Faults injects worker-level chaos (die-mid-eval, stall,
 	// report-then-die, stale re-report). Zero value = a healthy worker.
 	Faults faults.WorkerRates
@@ -55,6 +62,9 @@ func (c WorkerConfig) validate() error {
 	if c.Poll < 0 {
 		return fmt.Errorf("fleet: poll interval must be >= 0, got %v", c.Poll)
 	}
+	if c.ReconnectAttempts < 0 {
+		return fmt.Errorf("fleet: reconnect attempts must be >= 0, got %d", c.ReconnectAttempts)
+	}
 	return c.Faults.Validate()
 }
 
@@ -77,6 +87,36 @@ func (c WorkerConfig) poll() time.Duration {
 		return c.Poll
 	}
 	return 2 * time.Second
+}
+
+// DefaultReconnectAttempts is the consecutive-claim-failure budget
+// before a worker gives up on its coordinator. With the delay capped at
+// the poll bound, the default budget tolerates outages of roughly a
+// minute's worth of polls — generous for a journal-recovery restart,
+// finite for a coordinator that is simply gone.
+const DefaultReconnectAttempts = 60
+
+func (c WorkerConfig) reconnectAttempts() int {
+	if c.ReconnectAttempts > 0 {
+		return c.ReconnectAttempts
+	}
+	return DefaultReconnectAttempts
+}
+
+// reconnectDelay shapes the claim retry backoff: poll/8 (min 10ms)
+// doubling per consecutive failure, capped at the poll bound.
+func reconnectDelay(poll time.Duration, failures int) time.Duration {
+	d := poll / 8
+	if d < 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	for i := 1; i < failures && d < poll; i++ {
+		d *= 2
+	}
+	if d > poll {
+		d = poll
+	}
+	return d
 }
 
 // jobService caches one job's claim executor. Built on first claim, so
@@ -157,6 +197,7 @@ func (w *Worker) Run(ctx context.Context) error {
 
 func (w *Worker) loop(ctx context.Context) error {
 	batch := w.cfg.claimBatch()
+	failures := 0
 	for {
 		if ctx.Err() != nil {
 			return nil
@@ -190,13 +231,29 @@ func (w *Worker) loop(ctx context.Context) error {
 		case errors.Is(err, context.Canceled) || ctx.Err() != nil:
 			return nil
 		case err != nil:
-			// Transport trouble (coordinator restarting, partition):
-			// back off and keep trying — rejoining is just claiming.
-			w.logf("fleet worker %s: claim failed: %v", w.cfg.ID, err)
-			sleepCtx(ctx, w.cfg.poll()/4+10*time.Millisecond)
+			// Transport trouble (coordinator restarting, partition,
+			// ErrUnavailable from a killed coordinator): back off and
+			// keep trying — rejoining is just claiming. One log line per
+			// outage, not per attempt, and a capped retry budget so a
+			// permanently-gone coordinator fails loudly instead of
+			// pinning the worker forever.
+			failures++
+			if failures == 1 {
+				w.logf("fleet worker %s: coordinator unavailable, retrying: %v", w.cfg.ID, err)
+			}
+			if failures > w.cfg.reconnectAttempts() {
+				return fmt.Errorf("fleet: worker %s: coordinator unreachable after %d attempts: %w",
+					w.cfg.ID, failures-1, err)
+			}
+			sleepCtx(ctx, reconnectDelay(w.cfg.poll(), failures))
 			continue
 		case len(ts) == 0:
+			failures = 0
 			continue // long-poll expired, nothing claimable
+		}
+		if failures > 0 {
+			w.logf("fleet worker %s: coordinator back after %d failed claims", w.cfg.ID, failures)
+			failures = 0
 		}
 		w.executeBatch(ctx, ts)
 	}

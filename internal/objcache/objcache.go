@@ -30,7 +30,10 @@
 // pays for the entry, and nothing else.
 package objcache
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // shardCount is the number of independently locked shards. Power of two
 // so shard selection is a mask of the (already well-mixed) key. 16 is
@@ -106,10 +109,11 @@ type Cache struct {
 	shards   [shardCount]shard
 	perShard int
 	// obs, when set, is called once per completed Get with its outcome,
-	// outside any shard lock. Like Stats, outcomes depend on goroutine
-	// scheduling, so observers feed observability only — never
-	// deterministic outputs.
-	obs func(Outcome)
+	// outside any shard lock. Atomic because observers are swapped while
+	// concurrent Gets are in flight (every new session sharing the cache
+	// re-wires it). Like Stats, outcomes depend on goroutine scheduling,
+	// so observers feed observability only — never deterministic outputs.
+	obs atomic.Pointer[func(Outcome)]
 	// spill, when set via AttachSpill, is the on-disk third tier (see
 	// spill.go).
 	spill *spillState
@@ -213,17 +217,23 @@ func New(capacity int) *Cache {
 	return c
 }
 
-// SetObserver registers fn to observe each completed Get. Set it before
-// the cache sees concurrent traffic (it is a plain field, not atomic);
-// pass nil to detach. A panicking compute is not observed — the Get
-// never completed.
-func (c *Cache) SetObserver(fn func(Outcome)) { c.obs = fn }
+// SetObserver registers fn to observe each completed Get; pass nil to
+// detach. Safe to swap while Gets are in flight: in-flight requests
+// observe to whichever function they load. A panicking compute is not
+// observed — the Get never completed.
+func (c *Cache) SetObserver(fn func(Outcome)) {
+	if fn == nil {
+		c.obs.Store(nil)
+		return
+	}
+	c.obs.Store(&fn)
+}
 
 // observe reports one completed Get. Must be called without shard locks
 // held: observers may do their own locking (trace recorders do).
 func (c *Cache) observe(o Outcome) {
-	if c.obs != nil {
-		c.obs(o)
+	if fn := c.obs.Load(); fn != nil {
+		(*fn)(o)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -158,5 +159,113 @@ func TestHealthzReportsState(t *testing.T) {
 	h = decode[healthView](t, resp)
 	if h.Status != "draining" || !h.Draining {
 		t.Fatalf("draining healthz = %+v", h)
+	}
+}
+
+// TestReattachRecoveredFleetJob is the daemon-level restart story: a
+// distributed job is mid-flight when the coordinator process dies; a new
+// manager built over a coordinator recovered from the same journal
+// re-attaches the job automatically, the re-run completes against the
+// journal-buffered evaluations, and its fingerprint matches a local run
+// of the same spec. The probe endpoint reports the recovery.
+func TestReattachRecoveredFleetJob(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "journal")
+	spec := JobSpec{Benchmark: "CL", Machine: "broadwell", Samples: 20, TopX: 5, Seed: "reattach", Workers: 4, FaultRate: 1, Distributed: true}
+	ccfg := fleet.CoordinatorConfig{
+		LeaseTTL:    2 * time.Second,
+		Heartbeat:   200 * time.Millisecond,
+		JournalPath: journal,
+	}
+
+	// Daemon incarnation 1: run distributed, die mid-flight.
+	coord1, err := fleet.NewCoordinator(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr1 := newTestManager(t, Config{Fleet: coord1})
+	ts1 := httptest.NewServer(NewServer(mgr1))
+	defer ts1.Close()
+	startFleetWorkers(t, ts1.URL, 2)
+	resp := postJSON(t, ts1.URL+"/jobs", spec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: got %d, want 202", resp.StatusCode)
+	}
+	st := decode[Status](t, resp)
+	j1, ok := mgr1.Get(st.ID)
+	if !ok {
+		t.Fatalf("job %s not in manager", st.ID)
+	}
+	deadline := time.Now().Add(testTimeout)
+	for {
+		js := coord1.JournalState()
+		if js != nil && js.Records >= 15 && (coord1.ActiveLeases() > 0 || coord1.QueueDepth() > 0) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("journal never accumulated in-flight work to crash on")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	coord1.Kill()
+	waitJob(t, j1)
+	if got := j1.Status().State; got != StateFailed {
+		t.Fatalf("job state after coordinator death = %q, want %q", got, StateFailed)
+	}
+
+	// Daemon incarnation 2: recover from the journal, re-attach, finish.
+	coord2, err := fleet.NewCoordinator(ccfg)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer coord2.Close()
+	mgr2 := newTestManager(t, Config{Fleet: coord2})
+	reattached, err := mgr2.ReattachFleetJobs()
+	if err != nil {
+		t.Fatalf("re-attach: %v", err)
+	}
+	if len(reattached) != 1 {
+		t.Fatalf("re-attached %d jobs, want 1", len(reattached))
+	}
+	ts2 := httptest.NewServer(NewServer(mgr2))
+	defer ts2.Close()
+	startFleetWorkers(t, ts2.URL, 2)
+	waitJob(t, reattached[0])
+	res, err := reattached[0].Result()
+	if err != nil {
+		t.Fatalf("re-attached job result: %v (status %+v)", err, reattached[0].Status())
+	}
+
+	// The probe shows what recovery did.
+	hresp, err := http.Get(ts2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := decode[healthView](t, hresp)
+	if h.Fleet == nil || h.Fleet.Journal == nil {
+		t.Fatalf("healthz missing journal section: %+v", h.Fleet)
+	}
+	if h.Fleet.RecoveredTasks < 1 {
+		t.Errorf("healthz recovered_tasks = %d, want >= 1", h.Fleet.RecoveredTasks)
+	}
+	if h.Fleet.Journal.Path != journal || h.Fleet.Journal.Records < 15 {
+		t.Errorf("healthz journal = %+v", h.Fleet.Journal)
+	}
+
+	// Byte-identical to a local run of the same spec.
+	local := spec
+	local.Distributed = false
+	lresp := postJSON(t, ts2.URL+"/jobs", local)
+	if lresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("local submit: got %d, want 202", lresp.StatusCode)
+	}
+	lst := decode[Status](t, lresp)
+	lj, _ := mgr2.Get(lst.ID)
+	waitJob(t, lj)
+	lres, err := lj.Result()
+	if err != nil {
+		t.Fatalf("local result: %v", err)
+	}
+	if res.Fingerprint != lres.Fingerprint {
+		t.Errorf("re-attached fingerprint %s != local %s", res.Fingerprint, lres.Fingerprint)
 	}
 }

@@ -343,6 +343,39 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 	return j, nil
 }
 
+// ReattachFleetJobs resubmits the distributed jobs a journal-recovered
+// fleet coordinator was carrying when the previous daemon died. Each
+// comes back as a fresh job (new ID, same outcome-determining spec,
+// Distributed set) that re-runs the search from the top — cheaply,
+// because the coordinator serves every evaluation it accepted before
+// the crash straight from its journal, and re-adopts the in-flight
+// tasks workers are still heartbeating. Call once, after NewManager and
+// before serving traffic. No coordinator or no journal = no-op.
+func (m *Manager) ReattachFleetJobs() ([]*Job, error) {
+	if m.cfg.Fleet == nil {
+		return nil, nil
+	}
+	var jobs []*Job
+	for _, rj := range m.cfg.Fleet.RecoveredJobs() {
+		spec := JobSpec{
+			Benchmark:   rj.Spec.Benchmark,
+			Machine:     rj.Spec.Machine,
+			Samples:     rj.Spec.Samples,
+			TopX:        rj.Spec.TopX,
+			Seed:        rj.Spec.Seed,
+			FaultRate:   rj.Spec.FaultRate,
+			Distributed: true,
+		}
+		j, err := m.Submit(spec)
+		if err != nil {
+			return jobs, fmt.Errorf("server: re-attaching recovered fleet job %s: %w", rj.Job, err)
+		}
+		fmt.Fprintf(j.progress, "funcytuner: re-attached from fleet journal (was %s)\n", rj.Job)
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}
+
 // attach runs a deduped follower: it waits for its leader and mirrors
 // the leader's terminal state, or cancels independently (cancelling a
 // follower never cancels the leader).

@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"funcytuner"
+	"funcytuner/internal/fleet"
 	"funcytuner/internal/metrics"
 )
 
@@ -61,6 +62,11 @@ type fleetHealth struct {
 	QueueDepth   int `json:"queue_depth"`
 	Workers      int `json:"workers"`
 	Quarantined  int `json:"quarantined"`
+	// RecoveredTasks counts in-flight tasks the coordinator re-adopted
+	// from its journal at startup; Journal is the journal's health view
+	// (absent when the coordinator runs without -fleet-journal).
+	RecoveredTasks int                 `json:"recovered_tasks,omitempty"`
+	Journal        *fleet.JournalState `json:"journal,omitempty"`
 }
 
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
@@ -75,10 +81,12 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 	if c := s.mgr.cfg.Fleet; c != nil {
 		known, quarantined := c.Workers()
 		v.Fleet = &fleetHealth{
-			ActiveLeases: c.ActiveLeases(),
-			QueueDepth:   c.QueueDepth(),
-			Workers:      known,
-			Quarantined:  quarantined,
+			ActiveLeases:   c.ActiveLeases(),
+			QueueDepth:     c.QueueDepth(),
+			Workers:        known,
+			Quarantined:    quarantined,
+			RecoveredTasks: c.RecoveredTasks(),
+			Journal:        c.JournalState(),
 		}
 	}
 	writeJSON(w, code, v)
