@@ -4,6 +4,7 @@
 // Usage:
 //
 //	funcytuner [-bench CL] [-machine broadwell] [-samples 1000] [-topx 50]
+//	           [-technique cfr|bo|ga] [-warm-start]
 //	           [-compare] [-seed funcytuner] [-flags] [-workers N]
 //	           [-cache] [-cache-size N] [-cache-spill dir]
 //	           [-repo dir] [-skip-exist]
@@ -11,9 +12,14 @@
 //	           [-trace out.jsonl] [-progress] [-report run.md]
 //
 // With -compare, all four §2.2 algorithms run and their speedups are
-// reported side by side; otherwise only the collection + CFR pipeline
-// runs. With -flags, the winning per-module CVs are printed in full.
-// -workers bounds evaluation parallelism (0 = GOMAXPROCS).
+// reported side by side; otherwise only the collection + search pipeline
+// runs. -technique selects the search algorithm that spends the
+// post-collection budget: cfr (default; Algorithm 1), bo (an
+// analytical-surrogate Bayesian optimizer) or ga (a generational genetic
+// algorithm) — all deterministic per seed. -warm-start seeds bo/ga from
+// the best related prior runs in -repo. With -flags, the winning
+// per-module CVs are printed in full. -workers bounds evaluation
+// parallelism (0 = GOMAXPROCS).
 //
 // The content-addressed compile/link cache is on by default (-cache=false
 // disables it; -cache-size bounds it in entries). Compilation is pure, so
@@ -53,52 +59,132 @@ import (
 	"funcytuner/internal/report"
 )
 
+// cliConfig is the parsed, validated command line.
+type cliConfig struct {
+	bench       string
+	programFile string
+	size        float64
+	steps       int
+	machine     string
+	samples     int
+	topx        int
+	technique   string
+	warmStart   bool
+	seed        string
+	workers     int
+	cache       bool
+	cacheSize   int
+	cacheSpill  string
+	repoPath    string
+	skipExist   bool
+	compare     bool
+	showFlags   bool
+	adaptive    bool
+	save        string
+	faultRate   float64
+	maxRetries  int
+	timeout     float64
+	checkpoint  string
+	resume      string
+	killAfter   int
+	tracePath   string
+	progress    bool
+	reportPath  string
+}
+
+// parseFlags parses and validates args. It is pure apart from writing
+// usage to errOut, so tests can drive it table-style.
+func parseFlags(args []string, errOut io.Writer) (cliConfig, error) {
+	var cfg cliConfig
+	fs := flag.NewFlagSet("funcytuner", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	fs.StringVar(&cfg.bench, "bench", funcytuner.CloverLeaf, "benchmark name (LULESH, CL, AMG, Optewe, bwaves, fma3d, swim)")
+	fs.StringVar(&cfg.programFile, "program", "", "tune a user-defined JSON program model instead of a built-in benchmark")
+	fs.Float64Var(&cfg.size, "size", 0, "input size for -program (defaults to the model's BaseSize)")
+	fs.IntVar(&cfg.steps, "steps", 0, "input steps for -program (defaults to the model's BaseSteps)")
+	fs.StringVar(&cfg.machine, "machine", "broadwell", "machine (opteron, sandybridge, broadwell)")
+	fs.IntVar(&cfg.samples, "samples", 1000, "evaluation budget K")
+	fs.IntVar(&cfg.topx, "topx", 50, "CFR pruning width X")
+	fs.StringVar(&cfg.technique, "technique", "",
+		"search technique: cfr (default), bo (Bayesian optimization) or ga (genetic algorithm)")
+	fs.BoolVar(&cfg.warmStart, "warm-start", false,
+		"seed the technique from related prior runs in -repo; requires -technique bo or ga")
+	fs.StringVar(&cfg.seed, "seed", "funcytuner", "tuning seed (equal seeds reproduce exactly)")
+	fs.IntVar(&cfg.workers, "workers", 0, "parallel evaluation workers (0 = GOMAXPROCS)")
+	fs.BoolVar(&cfg.cache, "cache", true, "memoize compile/link work (bit-identical results, less work)")
+	fs.IntVar(&cfg.cacheSize, "cache-size", 0, "compile cache bound in entries (0 = default size)")
+	fs.StringVar(&cfg.cacheSpill, "cache-spill", "", "directory the compile cache spills evicted objects to and reloads them from")
+	fs.StringVar(&cfg.repoPath, "repo", "", "results repository directory: the finished run is stored there, content-addressed")
+	fs.BoolVar(&cfg.skipExist, "skip-exist", false, "serve an identical already-completed run from -repo instead of re-tuning")
+	fs.BoolVar(&cfg.compare, "compare", false, "run Random/FR/G/CFR side by side (§4.1 protocol)")
+	fs.BoolVar(&cfg.showFlags, "flags", false, "print the winning per-module compilation vectors")
+	fs.BoolVar(&cfg.adaptive, "adaptive", false, "early-stopped CFR (convergence-trend budget policy)")
+	fs.StringVar(&cfg.save, "save", "", "write the winning configuration as JSON to this file")
+	fs.Float64Var(&cfg.faultRate, "fault-rate", 0, "scale the default injected fault mix (0 = off, 1 = default rates)")
+	fs.IntVar(&cfg.maxRetries, "max-retries", 0, "retry budget for transient failures (0 = default 2)")
+	fs.Float64Var(&cfg.timeout, "timeout", 0, "per-evaluation deadline in simulated seconds (0 = off)")
+	fs.StringVar(&cfg.checkpoint, "checkpoint", "", "persist tuning progress to this file")
+	fs.StringVar(&cfg.resume, "resume", "", "resume from this checkpoint file (missing file starts fresh)")
+	fs.IntVar(&cfg.killAfter, "kill-after", 0, "simulate a node failure after N evaluations (crash-testing)")
+	fs.StringVar(&cfg.tracePath, "trace", "", "write the structured event trace as JSONL to this file")
+	fs.BoolVar(&cfg.progress, "progress", false, "print periodic progress lines with ETA to stderr")
+	fs.StringVar(&cfg.reportPath, "report", "", "write a markdown run report (results + metrics) to this file")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if fs.NArg() > 0 {
+		return cfg, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return cfg, cfg.validate()
+}
+
+func (cfg cliConfig) validate() error {
+	if cfg.size < 0 {
+		return fmt.Errorf("-size must be >= 0, got %v", cfg.size)
+	}
+	if cfg.steps < 0 {
+		return fmt.Errorf("-steps must be >= 0, got %d", cfg.steps)
+	}
+	if !funcytuner.ValidTechnique(cfg.technique) {
+		return fmt.Errorf("-technique must be cfr, bo or ga, got %q", cfg.technique)
+	}
+	nonCFR := cfg.technique != "" && cfg.technique != "cfr"
+	if nonCFR && (cfg.adaptive || cfg.compare) {
+		return fmt.Errorf("-technique %s is incompatible with -adaptive/-compare (they are defined in terms of CFR)", cfg.technique)
+	}
+	if cfg.warmStart {
+		if cfg.repoPath == "" {
+			return fmt.Errorf("-warm-start requires -repo")
+		}
+		if !nonCFR {
+			return fmt.Errorf("-warm-start requires -technique bo or ga (CFR has no initial design to seed)")
+		}
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("funcytuner: ")
-	bench := flag.String("bench", funcytuner.CloverLeaf, "benchmark name (LULESH, CL, AMG, Optewe, bwaves, fma3d, swim)")
-	programFile := flag.String("program", "", "tune a user-defined JSON program model instead of a built-in benchmark")
-	size := flag.Float64("size", 0, "input size for -program (defaults to the model's BaseSize)")
-	steps := flag.Int("steps", 0, "input steps for -program (defaults to the model's BaseSteps)")
-	machine := flag.String("machine", "broadwell", "machine (opteron, sandybridge, broadwell)")
-	samples := flag.Int("samples", 1000, "evaluation budget K")
-	topx := flag.Int("topx", 50, "CFR pruning width X")
-	seed := flag.String("seed", "funcytuner", "tuning seed (equal seeds reproduce exactly)")
-	workers := flag.Int("workers", 0, "parallel evaluation workers (0 = GOMAXPROCS)")
-	cache := flag.Bool("cache", true, "memoize compile/link work (bit-identical results, less work)")
-	cacheSize := flag.Int("cache-size", 0, "compile cache bound in entries (0 = default size)")
-	cacheSpill := flag.String("cache-spill", "", "directory the compile cache spills evicted objects to and reloads them from")
-	repoPath := flag.String("repo", "", "results repository directory: the finished run is stored there, content-addressed")
-	skipExist := flag.Bool("skip-exist", false, "serve an identical already-completed run from -repo instead of re-tuning")
-	compare := flag.Bool("compare", false, "run Random/FR/G/CFR side by side (§4.1 protocol)")
-	showFlags := flag.Bool("flags", false, "print the winning per-module compilation vectors")
-	adaptive := flag.Bool("adaptive", false, "early-stopped CFR (convergence-trend budget policy)")
-	save := flag.String("save", "", "write the winning configuration as JSON to this file")
-	faultRate := flag.Float64("fault-rate", 0, "scale the default injected fault mix (0 = off, 1 = default rates)")
-	maxRetries := flag.Int("max-retries", 0, "retry budget for transient failures (0 = default 2)")
-	timeout := flag.Float64("timeout", 0, "per-evaluation deadline in simulated seconds (0 = off)")
-	checkpoint := flag.String("checkpoint", "", "persist tuning progress to this file")
-	resume := flag.String("resume", "", "resume from this checkpoint file (missing file starts fresh)")
-	killAfter := flag.Int("kill-after", 0, "simulate a node failure after N evaluations (crash-testing)")
-	tracePath := flag.String("trace", "", "write the structured event trace as JSONL to this file")
-	progress := flag.Bool("progress", false, "print periodic progress lines with ETA to stderr")
-	reportPath := flag.String("report", "", "write a markdown run report (results + metrics) to this file")
-	flag.Parse()
+	cfg, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		log.Fatal(err)
+	}
+	run(cfg)
+}
 
-	if *size < 0 {
-		log.Fatalf("-size must be >= 0, got %v", *size)
-	}
-	if *steps < 0 {
-		log.Fatalf("-steps must be >= 0, got %d", *steps)
-	}
-	m, err := funcytuner.MachineByName(*machine)
+func run(cfg cliConfig) {
+	m, err := funcytuner.MachineByName(cfg.machine)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var prog *funcytuner.Program
 	var in funcytuner.Input
-	if *programFile != "" {
-		f, err := os.Open(*programFile)
+	if cfg.programFile != "" {
+		f, err := os.Open(cfg.programFile)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -108,32 +194,32 @@ func main() {
 			log.Fatal(err)
 		}
 		in = funcytuner.Input{Name: "user", Size: prog.BaseSize, Steps: prog.BaseSteps}
-		if *size > 0 {
-			in.Size = *size
+		if cfg.size > 0 {
+			in.Size = cfg.size
 		}
-		if *steps > 0 {
-			in.Steps = *steps
+		if cfg.steps > 0 {
+			in.Steps = cfg.steps
 		}
 		if in.Steps == 0 {
 			in.Steps = 10
 		}
 	} else {
-		prog, err = funcytuner.Benchmark(*bench)
+		prog, err = funcytuner.Benchmark(cfg.bench)
 		if err != nil {
 			log.Fatal(err)
 		}
-		in = funcytuner.TuningInput(*bench, m)
+		in = funcytuner.TuningInput(cfg.bench, m)
 	}
-	cacheBound := *cacheSize
-	if !*cache {
+	cacheBound := cfg.cacheSize
+	if !cfg.cache {
 		cacheBound = -1
 	}
 	var rec *funcytuner.TraceRecorder
 	var traceFile *os.File
-	if *tracePath != "" {
+	if cfg.tracePath != "" {
 		// Open the destination before tuning so an unwritable path fails
 		// fast instead of after a long campaign.
-		traceFile, err = os.Create(*tracePath)
+		traceFile, err = os.Create(cfg.tracePath)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -141,22 +227,24 @@ func main() {
 		rec.WallClock(func() int64 { return time.Now().UnixNano() })
 	}
 	var progressTo io.Writer
-	if *progress {
+	if cfg.progress {
 		progressTo = os.Stderr
 	}
 	tuner := funcytuner.NewTuner(funcytuner.Options{
-		Machine: m, Samples: *samples, TopX: *topx, Seed: *seed,
-		Workers:        *workers,
+		Machine: m, Samples: cfg.samples, TopX: cfg.topx, Seed: cfg.seed,
+		Technique:      cfg.technique,
+		WarmStart:      cfg.warmStart,
+		Workers:        cfg.workers,
 		CacheSize:      cacheBound,
-		CacheSpill:     *cacheSpill,
-		RepoPath:       *repoPath,
-		SkipExist:      *skipExist,
-		Faults:         funcytuner.DefaultFaultRates().Scale(*faultRate),
-		MaxRetries:     *maxRetries,
-		TimeoutBudget:  *timeout,
-		Checkpoint:     *checkpoint,
-		Resume:         *resume,
-		KillAfterEvals: *killAfter,
+		CacheSpill:     cfg.cacheSpill,
+		RepoPath:       cfg.repoPath,
+		SkipExist:      cfg.skipExist,
+		Faults:         funcytuner.DefaultFaultRates().Scale(cfg.faultRate),
+		MaxRetries:     cfg.maxRetries,
+		TimeoutBudget:  cfg.timeout,
+		Checkpoint:     cfg.checkpoint,
+		Resume:         cfg.resume,
+		KillAfterEvals: cfg.killAfter,
 		Trace:          rec,
 		Progress:       progressTo,
 	})
@@ -170,9 +258,9 @@ func main() {
 	fmt.Printf("tuning %s on %s with input %s\n", prog.Name, m, in)
 	var rep *funcytuner.Report
 	switch {
-	case *compare:
+	case cfg.compare:
 		rep, err = tuner.CompareContext(ctx, prog, in)
-	case *adaptive:
+	case cfg.adaptive:
 		rep, err = tuner.TuneAdaptiveContext(ctx, prog, in, funcytuner.DefaultStopRule())
 	default:
 		rep, err = tuner.TuneContext(ctx, prog, in)
@@ -190,17 +278,17 @@ func main() {
 		}
 	}
 	if err != nil {
-		if (errors.Is(err, funcytuner.ErrKilled) || errors.Is(err, context.Canceled)) && *checkpoint != "" {
-			log.Fatalf("%v\nresume with: -resume %s", err, *checkpoint)
+		if (errors.Is(err, funcytuner.ErrKilled) || errors.Is(err, context.Canceled)) && cfg.checkpoint != "" {
+			log.Fatalf("%v\nresume with: -resume %s", err, cfg.checkpoint)
 		}
 		log.Fatal(err)
 	}
 	if rec != nil {
-		fmt.Printf("wrote %d trace events to %s\n", rec.Len(), *tracePath)
+		fmt.Printf("wrote %d trace events to %s\n", rec.Len(), cfg.tracePath)
 	}
 
 	if rep.Served {
-		fmt.Printf("served from the results repository at %s (identical run already completed; re-run without -skip-exist to recompute)\n", *repoPath)
+		fmt.Printf("served from the results repository at %s (identical run already completed; re-run without -skip-exist to recompute)\n", cfg.repoPath)
 	}
 
 	fmt.Printf("\nO3 baseline profile (%d modules after outlining):\n%s\n", rep.Modules, rep.Profile)
@@ -229,18 +317,18 @@ func main() {
 		fmt.Printf("quarantined %d poison CVs; %d modules degraded to baseline\n",
 			ft.Quarantined, ft.DegradedModules)
 	}
-	fmt.Printf("CFR converged within 5%% of its final best after %d evaluations\n",
-		rep.Best.ConvergedAt(0.05))
+	fmt.Printf("%s converged within 5%% of its final best after %d evaluations\n",
+		rep.Best.Algorithm, rep.Best.ConvergedAt(0.05))
 
-	if *showFlags {
-		fmt.Println("\nwinning per-module compilation vectors (CFR):")
+	if cfg.showFlags {
+		fmt.Printf("\nwinning per-module compilation vectors (%s):\n", rep.Best.Algorithm)
 		for mi, cv := range rep.Best.ModuleCVs {
 			fmt.Printf("  module %2d: %s\n", mi, cv)
 		}
 	}
 
-	if *save != "" {
-		f, err := os.Create(*save)
+	if cfg.save != "" {
+		f, err := os.Create(cfg.save)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -254,14 +342,14 @@ func main() {
 		if werr != nil {
 			log.Fatal(werr)
 		}
-		fmt.Printf("\nsaved the winning configuration to %s\n", *save)
+		fmt.Printf("\nsaved the winning configuration to %s\n", cfg.save)
 	}
 
-	if *reportPath != "" {
-		if err := os.WriteFile(*reportPath, []byte(markdownReport(prog.Name, names, rep)), 0o644); err != nil {
+	if cfg.reportPath != "" {
+		if err := os.WriteFile(cfg.reportPath, []byte(markdownReport(prog.Name, names, rep)), 0o644); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\nwrote the run report to %s\n", *reportPath)
+		fmt.Printf("\nwrote the run report to %s\n", cfg.reportPath)
 	}
 }
 

@@ -65,11 +65,18 @@ type config struct {
 	globalWorkers int
 	drainTimeout  time.Duration
 
-	// Results repository and shared compile cache (local, coordinator).
+	// Results repository (local, coordinator) and shared compile cache
+	// (all modes — a worker shares one cache across every job it
+	// evaluates, and spills/reloads it like a server does).
 	repo        string
 	skipExist   bool
 	sharedCache int
 	cacheSpill  string
+
+	// Job defaults (local, coordinator): applied to submitted specs that
+	// leave the matching field unset.
+	technique string
+	warmStart bool
 
 	// Coordinator-mode lease protocol knobs.
 	leaseTTL       time.Duration
@@ -104,9 +111,13 @@ func parseFlags(args []string, errOut io.Writer) (config, error) {
 	fs.BoolVar(&cfg.skipExist, "skip-exist", false,
 		"serve identical resubmissions from -repo in one lookup instead of re-running them")
 	fs.IntVar(&cfg.sharedCache, "shared-cache", 0,
-		"entries in a process-wide compile cache shared by all jobs; 0 = per-job private caches (local, coordinator)")
+		"entries in a process-wide compile cache shared by all jobs; 0 = per-job private caches (server) / default size (worker)")
 	fs.StringVar(&cfg.cacheSpill, "cache-spill", "",
-		"directory the shared compile cache spills evicted objects to and reloads them from; requires -shared-cache")
+		"directory the shared compile cache spills evicted objects to and reloads them from; requires -shared-cache (server), any cache (worker)")
+	fs.StringVar(&cfg.technique, "technique", "",
+		"default search technique for jobs that do not set one: cfr, bo or ga (local, coordinator)")
+	fs.BoolVar(&cfg.warmStart, "warm-start", false,
+		"warm-start jobs from -repo by default; requires -repo and -technique bo or ga (local, coordinator)")
 	fs.DurationVar(&cfg.leaseTTL, "lease-ttl", fleet.DefaultLeaseTTL,
 		"evaluation lease TTL; a worker silent for this long loses its claim (coordinator)")
 	fs.DurationVar(&cfg.heartbeat, "heartbeat", 0,
@@ -141,6 +152,11 @@ func (cfg config) validate() error {
 	if cfg.mode != "coordinator" && cfg.fleetJournal != "" {
 		return fmt.Errorf("-fleet-journal requires -mode=coordinator")
 	}
+	// The cache flags apply to every mode: servers share one cache across
+	// jobs, workers share one across the jobs they evaluate.
+	if cfg.sharedCache < 0 {
+		return fmt.Errorf("-shared-cache must be >= 0, got %d", cfg.sharedCache)
+	}
 	if cfg.mode == "worker" {
 		if cfg.coordinator == "" {
 			return fmt.Errorf("-mode=worker requires -coordinator URL")
@@ -157,6 +173,12 @@ func (cfg config) validate() error {
 		if cfg.faultRate < 0 {
 			return fmt.Errorf("-worker-fault-rate must be >= 0, got %v", cfg.faultRate)
 		}
+		if cfg.technique != "" {
+			return fmt.Errorf("-technique is a job default, not a worker setting (workers replay whatever claims the coordinator issues)")
+		}
+		if cfg.warmStart {
+			return fmt.Errorf("-warm-start is a job default, not a worker setting")
+		}
 		return nil
 	}
 	if cfg.globalWorkers < 1 {
@@ -165,11 +187,19 @@ func (cfg config) validate() error {
 	if cfg.skipExist && cfg.repo == "" {
 		return fmt.Errorf("-skip-exist requires -repo")
 	}
-	if cfg.sharedCache < 0 {
-		return fmt.Errorf("-shared-cache must be >= 0, got %d", cfg.sharedCache)
-	}
 	if cfg.cacheSpill != "" && cfg.sharedCache == 0 {
 		return fmt.Errorf("-cache-spill requires -shared-cache")
+	}
+	if !funcytuner.ValidTechnique(cfg.technique) {
+		return fmt.Errorf("-technique must be cfr, bo or ga, got %q", cfg.technique)
+	}
+	if cfg.warmStart {
+		if cfg.repo == "" {
+			return fmt.Errorf("-warm-start requires -repo")
+		}
+		if cfg.technique != "bo" && cfg.technique != "ga" {
+			return fmt.Errorf("-warm-start requires -technique bo or ga")
+		}
 	}
 	if cfg.drainTimeout <= 0 {
 		return fmt.Errorf("-drain-timeout must be positive, got %v", cfg.drainTimeout)
@@ -218,6 +248,8 @@ func runWorker(ctx context.Context, cfg config) error {
 		Concurrency: cfg.concurrency,
 		ClaimBatch:  cfg.claimBatch,
 		Poll:        cfg.poll,
+		CacheSize:   cfg.sharedCache,
+		CacheSpill:  cfg.cacheSpill,
 		Faults:      faults.DefaultWorkerRates().Scale(cfg.faultRate),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -237,8 +269,10 @@ func runWorker(ctx context.Context, cfg config) error {
 // runServer serves the job API in local or coordinator mode.
 func runServer(ctx context.Context, stop context.CancelFunc, cfg config) error {
 	mcfg := server.Config{
-		Dir:  cfg.data,
-		Gate: server.NewGate(cfg.globalWorkers),
+		Dir:              cfg.data,
+		Gate:             server.NewGate(cfg.globalWorkers),
+		DefaultTechnique: cfg.technique,
+		DefaultWarmStart: cfg.warmStart,
 	}
 	if cfg.repo != "" {
 		repo, err := funcytuner.OpenResultRepo(cfg.repo)

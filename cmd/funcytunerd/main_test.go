@@ -101,6 +101,51 @@ func TestParseFlags(t *testing.T) {
 		{name: "worker-zero-concurrency", args: []string{"-mode=worker", "-coordinator=http://x", "-concurrency=0"}, wantErr: "-concurrency must be >= 1"},
 		{name: "worker-zero-poll", args: []string{"-mode=worker", "-coordinator=http://x", "-poll=0s"}, wantErr: "-poll must be positive"},
 		{name: "worker-negative-fault-rate", args: []string{"-mode=worker", "-coordinator=http://x", "-worker-fault-rate=-1"}, wantErr: "-worker-fault-rate must be >= 0"},
+		{
+			name: "default-technique-bo",
+			args: []string{"-technique=bo"},
+			check: func(t *testing.T, cfg config) {
+				if cfg.technique != "bo" {
+					t.Errorf("technique = %q", cfg.technique)
+				}
+			},
+		},
+		{
+			name: "warm-start-with-repo-and-ga",
+			args: []string{"-technique=ga", "-warm-start", "-repo=/tmp/ft-repo"},
+			check: func(t *testing.T, cfg config) {
+				if !cfg.warmStart {
+					t.Errorf("warmStart = false")
+				}
+			},
+		},
+		{
+			name: "worker-cache-spill-without-shared-cache",
+			args: []string{"-mode=worker", "-coordinator=http://x", "-cache-spill=/tmp/ft-spill"},
+			check: func(t *testing.T, cfg config) {
+				// In worker mode the evaluator always has a compile cache,
+				// so spill does not require -shared-cache (that pairing is
+				// a server-mode rule).
+				if cfg.cacheSpill != "/tmp/ft-spill" {
+					t.Errorf("cacheSpill = %q", cfg.cacheSpill)
+				}
+			},
+		},
+		{
+			name: "worker-shared-cache-sets-size",
+			args: []string{"-mode=worker", "-coordinator=http://x", "-shared-cache=64", "-cache-spill=/tmp/s"},
+			check: func(t *testing.T, cfg config) {
+				if cfg.sharedCache != 64 {
+					t.Errorf("sharedCache = %d", cfg.sharedCache)
+				}
+			},
+		},
+		{name: "unknown-technique", args: []string{"-technique=tabu"}, wantErr: "-technique must be cfr, bo or ga"},
+		{name: "warm-start-without-repo", args: []string{"-technique=bo", "-warm-start"}, wantErr: "-warm-start requires -repo"},
+		{name: "warm-start-with-cfr", args: []string{"-warm-start", "-repo=/tmp/r"}, wantErr: "-warm-start requires -technique bo or ga"},
+		{name: "worker-technique", args: []string{"-mode=worker", "-coordinator=http://x", "-technique=bo"}, wantErr: "-technique is a job default, not a worker setting"},
+		{name: "worker-warm-start", args: []string{"-mode=worker", "-coordinator=http://x", "-warm-start"}, wantErr: "-warm-start is a job default, not a worker setting"},
+		{name: "worker-negative-shared-cache", args: []string{"-mode=worker", "-coordinator=http://x", "-shared-cache=-2"}, wantErr: "-shared-cache must be >= 0"},
 		{name: "stray-args", args: []string{"serve"}, wantErr: "unexpected arguments"},
 		{name: "unknown-flag", args: []string{"-bogus"}, wantErr: "flag provided but not defined"},
 	}

@@ -1,0 +1,64 @@
+package funcytuner
+
+import "testing"
+
+// TestEvalQualitySmoke is the evaluations-to-quality acceptance test
+// for the pluggable techniques: on the seeded bench corpus at paper
+// scale (K=1000, top-50), at least one of BO/GA must reach CFR's final
+// best runtime using no more than half the evaluations. Everything is
+// fixed-seed, so this is a deterministic ratchet, not a statistical
+// claim — if a technique change regresses search quality, this fails
+// reproducibly. The measured best-at-K numbers are recorded in
+// BENCH_eval.json (compare entries with cmd/benchdiff).
+func TestEvalQualitySmoke(t *testing.T) {
+	t.Parallel()
+	if testing.Short() {
+		t.Skip("paper-scale runs skipped in -short mode")
+	}
+	corpus := []struct{ prog, mach string }{
+		{CloverLeaf, "broadwell"},
+		{Swim, "sandybridge"},
+		{"LULESH", "opteron"},
+	}
+	for _, bench := range corpus {
+		bench := bench
+		t.Run(bench.prog+"/"+bench.mach, func(t *testing.T) {
+			t.Parallel()
+			m, err := MachineByName(bench.mach)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := Benchmark(bench.prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := TuningInput(bench.prog, m)
+			best := map[string]*Result{}
+			for _, tech := range []string{"cfr", "bo", "ga"} {
+				rep, err := NewTuner(Options{
+					Machine: m, Samples: 1000, TopX: 50,
+					Seed: "eval-quality", Technique: tech,
+				}).Tune(prog, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				best[tech] = rep.Best
+			}
+			cfrTrace := best["cfr"].Trace
+			target := cfrTrace[len(cfrTrace)-1]
+			hit := 0
+			for _, tech := range []string{"bo", "ga"} {
+				tr := best[tech].Trace
+				atHalf := tr[len(tr)/2-1]
+				t.Logf("%s: best at K/2 = %.4f, at K = %.4f (cfr final = %.4f)",
+					tech, atHalf, tr[len(tr)-1], target)
+				if atHalf <= target {
+					hit++
+				}
+			}
+			if hit == 0 {
+				t.Errorf("neither bo nor ga reached cfr's final best %.4f within half the budget", target)
+			}
+		})
+	}
+}

@@ -161,6 +161,14 @@ func MachineByName(name string) (*Machine, error) { return arch.ByName(name) }
 // TuningInput returns Table 2's tuning input for (benchmark, machine).
 func TuningInput(app string, m *Machine) Input { return apps.TuningInput(app, m) }
 
+// Techniques returns the selectable Options.Technique names in display
+// order ("cfr", "bo", "ga").
+func Techniques() []string { return core.Techniques() }
+
+// ValidTechnique reports whether name is a selectable Options.Technique
+// (the empty string selects the default, CFR).
+func ValidTechnique(name string) bool { return core.ValidTechnique(name) }
+
 // ICCSpace returns the 33-flag Intel-compiler-like optimization space.
 func ICCSpace() *Space { return flagspec.ICC() }
 
@@ -177,6 +185,25 @@ type Options struct {
 	Samples int
 	// TopX is CFR's per-module pruning width (default 50).
 	TopX int
+	// Technique selects the search algorithm that spends the
+	// post-collection evaluation budget: "cfr" (the default; Algorithm
+	// 1's Caliper-guided random search), "bo" (an analytical-surrogate
+	// Bayesian optimizer), or "ga" (a generational genetic algorithm).
+	// All three draw assemblies from the same Caliper-pruned per-module
+	// pools and run behind the same suggest/observe driver, so the full
+	// determinism contract holds regardless of technique: equal seeds
+	// reproduce exactly, kill/resume is bit-equal, and caches, fleets
+	// and worker counts cannot change the Report. Only valid with Tune;
+	// TuneAdaptive and Compare are defined in terms of CFR.
+	Technique string
+	// WarmStart seeds the technique's initial design/population with
+	// the best assemblies of related prior runs found in the results
+	// repository (same flag flavor, nearest by machine then program).
+	// Requires RepoPath or Repo, and Technique "bo" or "ga" — CFR has
+	// no initial design to seed. The chosen seed set is fingerprinted
+	// into the repository key, so runs warmed from different repository
+	// states are keyed (and reproduce) separately.
+	WarmStart bool
 	// Seed names the tuning run; equal seeds reproduce exactly.
 	Seed string
 	// Noisy applies measurement noise (default true, like real runs).
@@ -328,6 +355,17 @@ func (o Options) validate() error {
 	if o.SkipExist && o.RepoPath == "" && o.Repo == nil {
 		return fmt.Errorf("funcytuner: SkipExist requires RepoPath or Repo")
 	}
+	if !core.ValidTechnique(o.Technique) {
+		return fmt.Errorf("funcytuner: unknown Technique %q (want cfr, bo, or ga)", o.Technique)
+	}
+	if o.WarmStart {
+		if o.RepoPath == "" && o.Repo == nil {
+			return fmt.Errorf("funcytuner: WarmStart requires RepoPath or Repo")
+		}
+		if tag := core.TechniqueTag(o.Technique); tag != core.TechniqueBO && tag != core.TechniqueGA {
+			return fmt.Errorf("funcytuner: WarmStart requires Technique \"bo\" or \"ga\" (CFR has no initial design to seed)")
+		}
+	}
 	if o.CacheSpill != "" {
 		if o.SharedCache != nil {
 			return fmt.Errorf("funcytuner: CacheSpill requires a private cache; attach a spill tier to the shared cache with AttachSpill instead")
@@ -402,10 +440,12 @@ type Result = core.Result
 
 // Report is the outcome of a full tuning run.
 type Report struct {
-	// Best is the CFR result — FuncyTuner's answer.
+	// Best is the search technique's result (CFR by default; BO or GA
+	// when Options.Technique selects them) — FuncyTuner's answer.
 	Best *Result
 	// All holds every algorithm's result keyed by name (Random, FR,
-	// G.realized, G.Independent, CFR).
+	// G.realized, G.Independent, CFR — or BO/GA for non-default
+	// techniques).
 	All map[string]*Result
 	// Profile is the O3 baseline profile used for outlining.
 	Profile Profile
@@ -534,8 +574,9 @@ func uniform(part ir.Partition, cv CV) []CV {
 }
 
 // session builds the outlined core session for prog on in, wiring the
-// resilience policy and (when configured) the checkpointer.
-func (t *Tuner) session(prog *Program, in Input) (*core.Session, outline.Result, error) {
+// resilience policy and (when configured) the checkpointer. warm is the
+// warm-start seed set (nil except for warm-started Tune runs).
+func (t *Tuner) session(prog *Program, in Input, warm [][]CV) (*core.Session, outline.Result, error) {
 	if t.err != nil {
 		return nil, outline.Result{}, t.err
 	}
@@ -546,6 +587,8 @@ func (t *Tuner) session(prog *Program, in Input) (*core.Session, outline.Result,
 	sess, err := core.NewSession(t.tc, prog, res.Partition, t.opts.Machine, in, core.Config{
 		Samples:           t.opts.Samples,
 		TopX:              t.opts.TopX,
+		Technique:         t.opts.Technique,
+		WarmSeeds:         warm,
 		Seed:              t.opts.Seed,
 		Workers:           t.opts.Workers,
 		Noisy:             *t.opts.Noisy,
@@ -673,7 +716,7 @@ func (t *Tuner) EvalService(prog *Program, in Input) (*EvalService, error) {
 	if t.opts.Evaluator != nil {
 		return nil, fmt.Errorf("funcytuner: EvalService requires a local tuner (Options.Evaluator is set)")
 	}
-	sess, _, err := t.session(prog, in)
+	sess, _, err := t.session(prog, in, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -708,10 +751,14 @@ func (t *Tuner) Tune(prog *Program, in Input) (*Report, error) {
 // same evaluation index — resuming the checkpoint yields a Report
 // bit-identical to an uninterrupted run.
 func (t *Tuner) TuneContext(ctx context.Context, prog *Program, in Input) (*Report, error) {
-	if rep, ok := t.serveFromRepo(modeTune, prog, in, StopRule{}); ok {
+	warm, digest, err := t.warmSeeds(prog)
+	if err != nil {
+		return nil, err
+	}
+	if rep, ok := t.serveFromRepo(modeTune, prog, in, StopRule{}, digest); ok {
 		return rep, nil
 	}
-	sess, out, err := t.session(prog, in)
+	sess, out, err := t.session(prog, in, warm)
 	if err != nil {
 		return nil, err
 	}
@@ -721,12 +768,12 @@ func (t *Tuner) TuneContext(ctx context.Context, prog *Program, in Input) (*Repo
 	if err != nil {
 		return nil, err
 	}
-	cfr, err := sess.CFR(ctx, col)
+	res, err := sess.Search(ctx, col)
 	if err != nil {
 		return nil, err
 	}
-	rep := t.report(sess, out, map[string]*Result{"CFR": cfr})
-	t.storeInRepo(modeTune, prog, in, StopRule{}, rep)
+	rep := t.report(sess, out, map[string]*Result{res.Algorithm: res})
+	t.storeInRepo(modeTune, prog, in, StopRule{}, rep, digest)
 	return rep, nil
 }
 
@@ -749,10 +796,13 @@ func (t *Tuner) TuneAdaptive(prog *Program, in Input, rule StopRule) (*Report, e
 // TuneAdaptiveContext is TuneAdaptive under a context, with the same
 // cancellation semantics as TuneContext.
 func (t *Tuner) TuneAdaptiveContext(ctx context.Context, prog *Program, in Input, rule StopRule) (*Report, error) {
-	if rep, ok := t.serveFromRepo(modeAdaptive, prog, in, rule); ok {
+	if err := t.requireCFR("TuneAdaptive"); err != nil {
+		return nil, err
+	}
+	if rep, ok := t.serveFromRepo(modeAdaptive, prog, in, rule, 0); ok {
 		return rep, nil
 	}
-	sess, out, err := t.session(prog, in)
+	sess, out, err := t.session(prog, in, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -772,7 +822,7 @@ func (t *Tuner) TuneAdaptiveContext(ctx context.Context, prog *Program, in Input
 	}
 	rep := t.report(sess, out, map[string]*Result{"CFR": cfr})
 	rep.Best = cfr
-	t.storeInRepo(modeAdaptive, prog, in, rule, rep)
+	t.storeInRepo(modeAdaptive, prog, in, rule, rep, 0)
 	return rep, nil
 }
 
@@ -785,10 +835,13 @@ func (t *Tuner) Compare(prog *Program, in Input) (*Report, error) {
 // CompareContext is Compare under a context, with the same cancellation
 // semantics as TuneContext.
 func (t *Tuner) CompareContext(ctx context.Context, prog *Program, in Input) (*Report, error) {
-	if rep, ok := t.serveFromRepo(modeCompare, prog, in, StopRule{}); ok {
+	if err := t.requireCFR("Compare"); err != nil {
+		return nil, err
+	}
+	if rep, ok := t.serveFromRepo(modeCompare, prog, in, StopRule{}, 0); ok {
 		return rep, nil
 	}
-	sess, out, err := t.session(prog, in)
+	sess, out, err := t.session(prog, in, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -800,17 +853,38 @@ func (t *Tuner) CompareContext(ctx context.Context, prog *Program, in Input) (*R
 		return nil, err
 	}
 	rep := t.report(sess, out, all)
-	t.storeInRepo(modeCompare, prog, in, StopRule{}, rep)
+	t.storeInRepo(modeCompare, prog, in, StopRule{}, rep, 0)
 	return rep, nil
+}
+
+// requireCFR rejects protocols that are defined in terms of CFR when a
+// different search technique is selected.
+func (t *Tuner) requireCFR(protocol string) error {
+	if tag := core.TechniqueTag(t.opts.Technique); tag != "" {
+		return fmt.Errorf("funcytuner: %s supports only the default CFR technique, got %q", protocol, t.opts.Technique)
+	}
+	return nil
+}
+
+// bestResult picks the search result out of an algorithm map: the
+// technique that spent the post-collection budget, whichever ran.
+func bestResult(all map[string]*Result) *Result {
+	for _, name := range []string{"CFR", "BO", "GA"} {
+		if r := all[name]; r != nil {
+			return r
+		}
+	}
+	return nil
 }
 
 func (t *Tuner) report(sess *core.Session, out outline.Result, all map[string]*Result) *Report {
 	degraded := 0
-	if cfr := all["CFR"]; cfr != nil {
-		degraded = len(cfr.DegradedModules)
+	best := bestResult(all)
+	if best != nil {
+		degraded = len(best.DegradedModules)
 	}
 	return &Report{
-		Best:           all["CFR"],
+		Best:           best,
 		All:            all,
 		Profile:        out.Profile,
 		HotLoops:       out.Hot,

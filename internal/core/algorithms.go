@@ -225,68 +225,16 @@ func (s *Session) Greedy(ctx context.Context, col *Collection) (realized, indepe
 
 // CFR is Caliper-guided random search — Algorithm 1. Per module, the K
 // pre-sampled CVs are pruned to the TopX with the smallest measured
-// per-module times; K assemblies are then drawn by sampling each module's
-// CV uniformly from its pruned pool, and each assembly is measured
-// end-to-end. The minimum wins.
+// per-module times (lines 10–11); K assemblies are then drawn by
+// sampling each module's CV uniformly from its pruned pool (lines
+// 12–18), and each assembly is measured end-to-end — the minimum wins
+// (lines 22–25). Since the search interface refactor it runs as the CFR
+// technique behind the generic suggest/observe driver (see search.go),
+// which reproduces the original loop step-for-step: the same
+// "cfr-assign" stream drawn in the same order, so CFR Reports and
+// canonical traces are byte-identical to the pre-interface code.
 func (s *Session) CFR(ctx context.Context, col *Collection) (*Result, error) {
-	if err := s.checkCollection(col); err != nil {
-		return nil, err
-	}
-	s.tr.Phase("cfr")
-	// Line 10–11: prune the pre-sampled space per module (quarantined CVs
-	// excluded; failing modules degrade to baseline — see prunedPools).
-	pruned, degraded := s.prunedPools(col)
-	// Lines 12–18: re-sample per-module CVs in the pruned space.
-	assignments := make([][]flagspec.CV, s.Config.Samples)
-	draw := s.rng.Split("cfr-assign", 0)
-	for k := range assignments {
-		a := make([]flagspec.CV, len(s.Part.Modules))
-		for mi := range a {
-			a[mi] = pruned[mi][draw.Intn(len(pruned[mi]))]
-		}
-		assignments[k] = a
-	}
-	times := make([]float64, len(assignments))
-	done := make([]bool, len(assignments))
-	if s.ckpt != nil {
-		s.ckpt.restoreCFR(times, done)
-	}
-	errs := make([]error, len(assignments))
-	s.parFor(ctx, len(assignments), func(k int) {
-		if done[k] {
-			return
-		}
-		t, ec, err := s.measureEval(ctx, assignments[k], "cfr", k)
-		if err != nil {
-			errs[k] = err
-			return
-		}
-		times[k] = t
-		if s.ckpt != nil {
-			s.ckpt.markCFR(s, k, t, ec)
-		}
-	})
-	if s.ckpt != nil {
-		if err := s.ckpt.Flush(); err != nil {
-			return nil, err
-		}
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	if err := s.checkCancelled(ctx); err != nil {
-		return nil, err
-	}
-	// Lines 22–25.
-	_, bestK := stats.Min(times)
-	res, err := s.finish("CFR", assignments[bestK], times[bestK], times)
-	if err != nil {
-		return nil, err
-	}
-	res.DegradedModules = degraded
-	return res, nil
+	return s.searchWith(ctx, col, "")
 }
 
 // RunAll executes the full §4.1 protocol on the session: Random, then the

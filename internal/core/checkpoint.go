@@ -44,6 +44,13 @@ type Checkpoint struct {
 	TopX    int    `json:"topx"`
 	Modules int    `json:"modules"`
 
+	// Technique tags the search strategy whose progress CFRDone/CFRTimes
+	// record ("" = CFR, the default — kept empty so pre-technique
+	// checkpoints stay byte-identical). Resuming under a different
+	// technique is rejected: the same sample indices would map to
+	// different assemblies.
+	Technique string `json:"technique,omitempty"`
+
 	// CollectDone lists the completed collection sample indices. Times
 	// is [modules][samples] and Totals [samples]; entries for samples
 	// not in CollectDone are empty strings.
@@ -208,16 +215,17 @@ func (s *Session) AttachCheckpointer(c *Checkpointer) error {
 	defer c.mu.Unlock()
 	if c.ck == nil {
 		c.ck = &Checkpoint{
-			Version:  CheckpointVersion,
-			Program:  s.Prog.Name,
-			Machine:  s.Machine.Name,
-			Flavor:   s.Toolchain.Space.Flavor.String(),
-			Seed:     s.Config.Seed,
-			Samples:  s.Config.Samples,
-			TopX:     s.Config.TopX,
-			Modules:  len(s.Part.Modules),
-			Totals:   make([]string, s.Config.Samples),
-			CFRTimes: make([]string, s.Config.Samples),
+			Version:   CheckpointVersion,
+			Program:   s.Prog.Name,
+			Machine:   s.Machine.Name,
+			Flavor:    s.Toolchain.Space.Flavor.String(),
+			Seed:      s.Config.Seed,
+			Samples:   s.Config.Samples,
+			TopX:      s.Config.TopX,
+			Modules:   len(s.Part.Modules),
+			Technique: TechniqueTag(s.Config.Technique),
+			Totals:    make([]string, s.Config.Samples),
+			CFRTimes:  make([]string, s.Config.Samples),
 		}
 		c.ck.Times = make([][]string, len(s.Part.Modules))
 		for mi := range c.ck.Times {
@@ -239,6 +247,9 @@ func (s *Session) AttachCheckpointer(c *Checkpointer) error {
 		}
 		if ck.Seed != s.Config.Seed {
 			return mismatch("seed", ck.Seed, s.Config.Seed)
+		}
+		if tag := TechniqueTag(s.Config.Technique); ck.Technique != tag {
+			return mismatch("technique", ck.Technique, tag)
 		}
 		if ck.Samples != s.Config.Samples || ck.TopX != s.Config.TopX {
 			return fmt.Errorf("core: checkpoint budget (samples=%d, topx=%d) does not match session (samples=%d, topx=%d)",

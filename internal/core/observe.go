@@ -58,6 +58,15 @@ const (
 	MetricCacheLinkCoalesced   = "cache_link_coalesced"
 	MetricCacheLinkSpillHits   = "cache_link_spill_hits"
 
+	// Search-technique counters (see search.go). Suggested/observed
+	// counts and batch (generation) counts are deterministic per run;
+	// warm-seed counts mirror the technique's injected warm-start
+	// assemblies. Like every metric they are observability only.
+	MetricSearchSuggested = "search_suggested"
+	MetricSearchObserved  = "search_observed"
+	MetricSearchBatches   = "search_batches"
+	MetricSearchWarmSeeds = "search_warm_seeds"
+
 	// Gauges.
 	MetricWorkers     = "workers"
 	MetricSamples     = "samples"
@@ -90,6 +99,10 @@ type sessionMetrics struct {
 	compileFails, runCrashes  *metrics.Counter
 	wastedCompiles            *metrics.Counter
 	cacheObj, cacheLink       [4]*metrics.Counter // indexed by objcache.Outcome
+	searchSuggested           *metrics.Counter
+	searchObserved            *metrics.Counter
+	searchBatches             *metrics.Counter
+	searchWarmSeeds           *metrics.Counter
 	quarantined               *metrics.Gauge
 	evalSim, evalRetries      *metrics.Histogram
 }
@@ -120,10 +133,26 @@ func newSessionMetrics(reg *metrics.Registry) sessionMetrics {
 			objcache.OutcomeCoalesced: reg.Counter(MetricCacheLinkCoalesced),
 			objcache.OutcomeSpillHit:  reg.Counter(MetricCacheLinkSpillHits),
 		},
-		quarantined: reg.Gauge(MetricQuarantined),
-		evalSim:     reg.Histogram(MetricEvalSimSeconds, evalSimBuckets),
-		evalRetries: reg.Histogram(MetricEvalRetries, evalRetryBuckets),
+		searchSuggested: reg.Counter(MetricSearchSuggested),
+		searchObserved:  reg.Counter(MetricSearchObserved),
+		searchBatches:   reg.Counter(MetricSearchBatches),
+		searchWarmSeeds: reg.Counter(MetricSearchWarmSeeds),
+		quarantined:     reg.Gauge(MetricQuarantined),
+		evalSim:         reg.Histogram(MetricEvalSimSeconds, evalSimBuckets),
+		evalRetries:     reg.Histogram(MetricEvalRetries, evalRetryBuckets),
 	}
+}
+
+// searchBatch records one completed suggest/observe round of n
+// assemblies (the driver observes every suggested assembly, so the two
+// totals track together).
+func (m *sessionMetrics) searchBatch(n int) {
+	if !m.enabled {
+		return
+	}
+	m.searchBatches.Inc()
+	m.searchSuggested.Add(int64(n))
+	m.searchObserved.Add(int64(n))
 }
 
 // finishEval feeds the aggregate counters and per-evaluation histograms

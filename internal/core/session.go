@@ -87,6 +87,20 @@ type Config struct {
 	// tests may disable it for exactness).
 	Noisy bool
 
+	// Technique selects the search strategy Session.Search runs on the
+	// pruned per-module pools: "" or "cfr" (Algorithm 1, the default),
+	// "bo" (analytical-surrogate Bayesian optimization) or "ga"
+	// (FOGA-style genetic algorithm). Each technique draws from its own
+	// domain-separated RNG stream, so the selection cannot perturb
+	// sampling, noise or fault streams.
+	Technique string
+	// WarmSeeds are warm-start assemblies for the bo/ga techniques
+	// (typically the winning per-module CVs of nearby results-repository
+	// entries). They are adapted to the session partition — truncated or
+	// baseline-padded to the module count — and seed the technique's
+	// initial design/population. Ignored by CFR.
+	WarmSeeds [][]flagspec.CV
+
 	// Faults configures deterministic fault injection on the evaluation
 	// path. The zero value disables injection entirely: the clean path
 	// is bit-identical to a session without the resilience machinery.
@@ -203,6 +217,19 @@ func (c Config) validate() error {
 	}
 	if c.KillAfterEvals < 0 {
 		return fmt.Errorf("core: KillAfterEvals must be >= 0, got %d", c.KillAfterEvals)
+	}
+	if !ValidTechnique(c.Technique) {
+		return fmt.Errorf("core: unknown technique %q (want one of cfr, bo, ga)", c.Technique)
+	}
+	for si, seed := range c.WarmSeeds {
+		if len(seed) == 0 {
+			return fmt.Errorf("core: warm seed %d is empty", si)
+		}
+		for mi, cv := range seed {
+			if cv.IsZero() {
+				return fmt.Errorf("core: warm seed %d module %d is a zero CV", si, mi)
+			}
+		}
 	}
 	return c.Faults.Validate()
 }

@@ -57,6 +57,12 @@ type Spec struct {
 	Seed string `json:"seed"`
 	// FaultRate scales the default injected evaluation-fault mix.
 	FaultRate float64 `json:"fault_rate,omitempty"`
+	// Technique is the coordinator's search technique ("" = cfr). Claim
+	// execution is technique-agnostic — workers replay whatever CVs a
+	// claim carries — but recovery needs it: a journal-recovered job
+	// must re-run under the technique that issued the journaled claims,
+	// or none of them would be served.
+	Technique string `json:"technique,omitempty"`
 }
 
 // validate rejects specs a worker could not faithfully execute.

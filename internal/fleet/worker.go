@@ -37,6 +37,19 @@ type WorkerConfig struct {
 	// worker rides out a coordinator restart instead of erroring, yet a
 	// permanently-gone coordinator does not pin the process forever.
 	ReconnectAttempts int
+	// CacheSize bounds the worker's process-wide compile/link cache, in
+	// entries (0 selects the facade default size). The cache is shared
+	// by every job service the worker builds; keys carry full
+	// program/machine/flavor identity, so sharing is behaviour-
+	// invisible.
+	CacheSize int
+	// CacheSpill, when non-empty, attaches an on-disk spill tier rooted
+	// at this directory to the worker's compile cache: evicted entries
+	// are written behind, misses read through, and the still-resident
+	// entries are flushed there when Run returns — a restarted worker
+	// starts warm instead of recompiling. Results are bit-identical
+	// spill-on vs spill-off.
+	CacheSpill string
 	// Faults injects worker-level chaos (die-mid-eval, stall,
 	// report-then-die, stale re-report). Zero value = a healthy worker.
 	Faults faults.WorkerRates
@@ -64,6 +77,9 @@ func (c WorkerConfig) validate() error {
 	}
 	if c.ReconnectAttempts < 0 {
 		return fmt.Errorf("fleet: reconnect attempts must be >= 0, got %d", c.ReconnectAttempts)
+	}
+	if c.CacheSize < 0 {
+		return fmt.Errorf("fleet: cache size must be >= 0, got %d", c.CacheSize)
 	}
 	return c.Faults.Validate()
 }
@@ -156,10 +172,16 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	cache := funcytuner.NewCompileCache(cfg.CacheSize)
+	if cfg.CacheSpill != "" {
+		if err := cache.AttachSpill(cfg.CacheSpill); err != nil {
+			return nil, err
+		}
+	}
 	return &Worker{
 		cfg:      cfg,
 		cl:       newClient(cfg.Coordinator, cfg.HTTPClient),
-		cache:    funcytuner.NewCompileCache(0),
+		cache:    cache,
 		services: make(map[string]*jobService),
 		models:   make(map[string]*faults.WorkerModel),
 	}, nil
@@ -187,6 +209,11 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 	wg.Wait()
 	close(errs)
+	if w.cfg.CacheSpill != "" {
+		// Flush the still-resident cache entries to the spill directory so
+		// a restarted worker starts warm instead of recompiling.
+		w.cache.SpillAll()
+	}
 	for err := range errs {
 		if err != nil {
 			return err

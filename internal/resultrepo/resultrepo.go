@@ -26,6 +26,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"sync"
 
@@ -88,6 +89,16 @@ type KeySpec struct {
 	StopMinEvaluations int
 	StopPatience       int
 	StopMaxEvaluations int
+
+	// Search technique ("bo", "ga"; empty for the default CFR — the
+	// empty default keeps every pre-technique key unchanged).
+	Technique string
+
+	// WarmDigest fingerprints the warm-start seed set fed to the
+	// technique (0 when warm-starting is off). Warm seeds change the
+	// search trajectory, so runs with different seed sets must not share
+	// an entry.
+	WarmDigest uint64
 }
 
 // Key folds the spec into the repository's 64-bit content address. The
@@ -124,6 +135,14 @@ func (ks KeySpec) Key() uint64 {
 	add(uint64(ks.MaxRetries))
 	addF(ks.BackoffSeconds, ks.BackoffCapSeconds, ks.TimeoutBudget)
 	add(uint64(ks.StopMinEvaluations), uint64(ks.StopPatience), uint64(ks.StopMaxEvaluations))
+	// Appended fields contribute only when non-default, so every key
+	// minted before they existed is still reachable.
+	if ks.Technique != "" {
+		add(xrand.HashString("technique"), xrand.HashString(ks.Technique))
+	}
+	if ks.WarmDigest != 0 {
+		add(xrand.HashString("warm-start"), ks.WarmDigest)
+	}
 	return h.Sum()
 }
 
@@ -324,6 +343,21 @@ func (r *Repo) Put(key uint64, body []byte) error {
 	r.index[key] = struct{}{}
 	r.puts++
 	return nil
+}
+
+// Keys returns every indexed key in ascending order. It snapshots the
+// index under the lock; entries may still prove corrupt at Get. Used by
+// warm-start scans, which read the whole repository looking for related
+// prior runs.
+func (r *Repo) Keys() []uint64 {
+	r.mu.Lock()
+	keys := make([]uint64, 0, len(r.index))
+	for k := range r.index {
+		keys = append(keys, k)
+	}
+	r.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
 }
 
 // Len returns the current index size.

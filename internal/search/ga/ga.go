@@ -1,0 +1,220 @@
+// Package ga is a FOGA-style generational genetic algorithm over
+// per-module compilation-vector assemblies (after the function-level
+// optimization GA of the FOGA line of work). An individual is one
+// assembly — one CV per partition module — so the genome is the
+// module axis: crossover swaps whole per-module CVs between parents,
+// and mutation either redraws a module's CV from its pruned pool or
+// flips a single flag inside it.
+//
+// Generations. Suggest emits one generation per call. The first
+// generation is the warm-start seeds followed by random pool
+// assemblies; later generations are bred from the recorded
+// observations, read in evaluation-index order: the population is the
+// trailing window of one generation's worth of observations, ranked by
+// measured time. The best elites are re-proposed unchanged (each
+// re-evaluation draws a fresh noise sample, so elites chase the noisy
+// minimum), and the rest are offspring of tournament-selected parents
+// via uniform module crossover plus mutation.
+//
+// Observe only records. All randomness is consumed inside Suggest from
+// the technique's own split stream, in a fixed order — the technique is
+// deterministic per seed and insensitive to the order results are
+// reported in.
+package ga
+
+import (
+	"sort"
+
+	"funcytuner/internal/flagspec"
+	"funcytuner/internal/search"
+)
+
+// Tunables. Fixed rather than configurable: they are part of the
+// technique's deterministic identity.
+const (
+	// popSize is the generation size (and the ranking window).
+	popSize = 24
+	// elites are the top individuals cloned unchanged each generation.
+	elites = 2
+	// tournament is the selection tournament size.
+	tournament = 3
+)
+
+// Mutation probabilities, in thousandths (compared against Intn(1000)
+// so the draw count per offspring is fixed and integer-exact).
+const (
+	pModuleRedraw = 300 // redraw one module's CV from its pool
+	pKnobFlip     = 100 // flip one flag inside one module's CV
+)
+
+type observation struct {
+	assembly []flagspec.CV
+	t        float64
+}
+
+// Search is the GA technique. See the package comment.
+type Search struct {
+	cfg    search.Config
+	issued int
+	obs    []observation // indexed by global evaluation index
+}
+
+// New builds the GA.
+func New(cfg search.Config) (search.Technique, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Search{cfg: cfg, obs: make([]observation, 0, cfg.Budget)}, nil
+}
+
+// Name implements search.Technique.
+func (g *Search) Name() string { return "GA" }
+
+// Phase implements search.Technique.
+func (g *Search) Phase() string { return "ga" }
+
+// Observe implements search.Technique: record only.
+func (g *Search) Observe(k int, assembly []flagspec.CV, t float64) {
+	for len(g.obs) <= k {
+		g.obs = append(g.obs, observation{})
+	}
+	g.obs[k] = observation{assembly: assembly, t: t}
+}
+
+// Suggest implements search.Technique: one generation per call.
+func (g *Search) Suggest(n int) [][]flagspec.CV {
+	if rem := g.cfg.Budget - g.issued; n > rem {
+		n = rem
+	}
+	if n <= 0 {
+		return nil
+	}
+	if n > popSize {
+		n = popSize
+	}
+	var batch [][]flagspec.CV
+	if g.issued == 0 {
+		batch = g.initial(n)
+	} else {
+		batch = g.breed(n)
+	}
+	g.issued += len(batch)
+	return batch
+}
+
+// initial emits the founding generation: warm seeds, then random pool
+// assemblies.
+func (g *Search) initial(n int) [][]flagspec.CV {
+	out := make([][]flagspec.CV, 0, n)
+	for i := 0; i < n; i++ {
+		if i < len(g.cfg.Seeds) {
+			out = append(out, cloneAssembly(g.cfg.Seeds[i]))
+		} else {
+			out = append(out, g.randomAssembly())
+		}
+	}
+	return out
+}
+
+// population ranks the trailing window of observations (one
+// generation's worth) by measured time, ties broken by evaluation
+// index. Unreported slots are skipped; if everything in the window is
+// missing the whole history is used.
+func (g *Search) population() []observation {
+	start := len(g.obs) - popSize
+	if start < 0 {
+		start = 0
+	}
+	var pop []observation
+	for _, window := range [][]observation{g.obs[start:], g.obs} {
+		pop = pop[:0]
+		for _, ob := range window {
+			if ob.assembly != nil {
+				pop = append(pop, ob)
+			}
+		}
+		if len(pop) > 0 {
+			break
+		}
+	}
+	sort.SliceStable(pop, func(i, j int) bool { return pop[i].t < pop[j].t })
+	return pop
+}
+
+// breed produces the next generation from the ranked population.
+func (g *Search) breed(n int) [][]flagspec.CV {
+	pop := g.population()
+	if len(pop) == 0 {
+		// No results recorded at all (pathological): keep sampling.
+		out := make([][]flagspec.CV, n)
+		for i := range out {
+			out[i] = g.randomAssembly()
+		}
+		return out
+	}
+	out := make([][]flagspec.CV, 0, n)
+	for i := 0; i < n && i < elites && i < len(pop); i++ {
+		out = append(out, cloneAssembly(pop[i].assembly))
+	}
+	for len(out) < n {
+		a := g.tournamentPick(pop)
+		b := g.tournamentPick(pop)
+		out = append(out, g.mutate(g.crossover(a, b)))
+	}
+	return out
+}
+
+// tournamentPick draws tournament contestants by rank index and keeps
+// the best-ranked (smallest index) one.
+func (g *Search) tournamentPick(pop []observation) []flagspec.CV {
+	best := len(pop)
+	for i := 0; i < tournament; i++ {
+		if c := g.cfg.Rng.Intn(len(pop)); c < best {
+			best = c
+		}
+	}
+	return pop[best].assembly
+}
+
+// crossover is uniform at the module level: each module's CV comes from
+// parent a or parent b with equal probability.
+func (g *Search) crossover(a, b []flagspec.CV) []flagspec.CV {
+	child := make([]flagspec.CV, len(a))
+	for mi := range child {
+		if g.cfg.Rng.Intn(2) == 0 {
+			child[mi] = a[mi]
+		} else {
+			child[mi] = b[mi]
+		}
+	}
+	return child
+}
+
+// mutate applies, with fixed probabilities, a module-pool redraw and a
+// single-flag flip. Both draws always happen so the RNG consumption per
+// offspring is constant.
+func (g *Search) mutate(a []flagspec.CV) []flagspec.CV {
+	if g.cfg.Rng.Intn(1000) < pModuleRedraw {
+		mi := g.cfg.Rng.Intn(len(a))
+		pool := g.cfg.Pools[mi]
+		a[mi] = pool[g.cfg.Rng.Intn(len(pool))]
+	}
+	if g.cfg.Rng.Intn(1000) < pKnobFlip {
+		mi := g.cfg.Rng.Intn(len(a))
+		a[mi] = a[mi].Mutate(g.cfg.Rng, 1)
+	}
+	return a
+}
+
+func (g *Search) randomAssembly() []flagspec.CV {
+	a := make([]flagspec.CV, len(g.cfg.Pools))
+	for mi := range a {
+		pool := g.cfg.Pools[mi]
+		a[mi] = pool[g.cfg.Rng.Intn(len(pool))]
+	}
+	return a
+}
+
+func cloneAssembly(a []flagspec.CV) []flagspec.CV {
+	return append([]flagspec.CV(nil), a...)
+}

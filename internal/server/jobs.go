@@ -73,6 +73,12 @@ type JobSpec struct {
 	// Adaptive selects early-stopped CFR; Compare the full §4.1 protocol.
 	Adaptive bool `json:"adaptive,omitempty"`
 	Compare  bool `json:"compare,omitempty"`
+	// Technique selects the search algorithm ("cfr" default, "bo",
+	// "ga"); non-CFR techniques are incompatible with Adaptive/Compare.
+	Technique string `json:"technique,omitempty"`
+	// WarmStart seeds the technique from the manager's results
+	// repository. Requires a repository and Technique "bo" or "ga".
+	WarmStart bool `json:"warm_start,omitempty"`
 	// CheckpointEvery is the flush cadence in completed evaluations.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 	// Resume names a previous job whose checkpoint this job continues
@@ -113,6 +119,16 @@ func (sp *JobSpec) validate() error {
 	}
 	if sp.Adaptive && sp.Compare {
 		return fmt.Errorf("server: adaptive and compare are mutually exclusive")
+	}
+	if !funcytuner.ValidTechnique(sp.Technique) {
+		return fmt.Errorf("server: unknown technique %q (want cfr, bo, or ga)", sp.Technique)
+	}
+	nonCFR := sp.Technique != "" && sp.Technique != "cfr"
+	if nonCFR && (sp.Adaptive || sp.Compare) {
+		return fmt.Errorf("server: technique %q is incompatible with adaptive/compare (they are defined in terms of CFR)", sp.Technique)
+	}
+	if sp.WarmStart && !nonCFR {
+		return fmt.Errorf("server: warm_start requires technique \"bo\" or \"ga\"")
 	}
 	return nil
 }
@@ -207,6 +223,13 @@ type Config struct {
 	// so sharing is safe and bit-identical). Nil gives each job a private
 	// cache.
 	Cache *funcytuner.CompileCache
+	// DefaultTechnique is applied to submitted specs that leave
+	// Technique empty ("cfr", "bo", "ga"; "" keeps the facade default).
+	DefaultTechnique string
+	// DefaultWarmStart warm-starts every job whose effective technique
+	// supports it ("bo"/"ga") and that does not set WarmStart itself.
+	// Requires Repo.
+	DefaultWarmStart bool
 }
 
 // Manager owns the job table and the shared worker gate.
@@ -252,9 +275,11 @@ func (m *Manager) Metrics() *metrics.Registry { return m.reg }
 // checkpoint cadence, distribution) are deliberately absent — two specs
 // differing only there produce bit-identical Reports. A spec with no
 // explicit seed is not dedupable (its seed defaults to the job ID, so
-// every submission is a distinct run), and neither is a resume.
+// every submission is a distinct run), and neither is a resume nor a
+// warm start (a warm run's outcome depends on the repository's contents
+// at scan time, not on the spec alone).
 func dedupKey(spec JobSpec) (string, bool) {
-	if spec.Seed == "" || spec.Resume != "" {
+	if spec.Seed == "" || spec.Resume != "" || spec.WarmStart {
 		return "", false
 	}
 	mode := "tune"
@@ -264,8 +289,12 @@ func dedupKey(spec JobSpec) (string, bool) {
 	case spec.Compare:
 		mode = "compare"
 	}
-	return fmt.Sprintf("%s|%s|%s|%d|%d|%s|%g",
-		mode, spec.Benchmark, spec.Machine, spec.Samples, spec.TopX, spec.Seed, spec.FaultRate), true
+	tech := spec.Technique
+	if tech == "cfr" { // explicit default, same outcome as ""
+		tech = ""
+	}
+	return fmt.Sprintf("%s|%s|%s|%d|%d|%s|%g|%s",
+		mode, spec.Benchmark, spec.Machine, spec.Samples, spec.TopX, spec.Seed, spec.FaultRate, tech), true
 }
 
 // Submit validates spec, registers a job and starts it immediately; the
@@ -274,11 +303,23 @@ func dedupKey(spec JobSpec) (string, bool) {
 // runs, later ones attach to it in one map lookup and mirror its
 // outcome (Status.Deduped set).
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	// Defaults apply only to plain tune jobs: adaptive/compare are
+	// defined in terms of CFR and must not inherit a bo/ga default.
+	if spec.Technique == "" && !spec.Adaptive && !spec.Compare {
+		spec.Technique = m.cfg.DefaultTechnique
+	}
+	if m.cfg.DefaultWarmStart && !spec.WarmStart &&
+		(spec.Technique == "bo" || spec.Technique == "ga") {
+		spec.WarmStart = true
+	}
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
 	if spec.Distributed && m.cfg.Fleet == nil {
 		return nil, fmt.Errorf("server: distributed job needs a fleet coordinator (run with -mode=coordinator)")
+	}
+	if spec.WarmStart && m.cfg.Repo == nil {
+		return nil, fmt.Errorf("server: warm_start needs a results repository (run with -repo)")
 	}
 	m.mu.Lock()
 	if m.draining {
@@ -364,6 +405,7 @@ func (m *Manager) ReattachFleetJobs() ([]*Job, error) {
 			TopX:        rj.Spec.TopX,
 			Seed:        rj.Spec.Seed,
 			FaultRate:   rj.Spec.FaultRate,
+			Technique:   rj.Spec.Technique,
 			Distributed: true,
 		}
 		j, err := m.Submit(spec)
@@ -436,6 +478,7 @@ func (m *Manager) run(ctx context.Context, j *Job, resumeFrom string) {
 			TopX:      j.Spec.TopX,
 			Seed:      seed,
 			FaultRate: j.Spec.FaultRate,
+			Technique: j.Spec.Technique,
 		})
 		if err != nil {
 			m.finish(j, nil, err)
@@ -449,6 +492,8 @@ func (m *Manager) run(ctx context.Context, j *Job, resumeFrom string) {
 		Machine:         machine,
 		Samples:         j.Spec.Samples,
 		TopX:            j.Spec.TopX,
+		Technique:       j.Spec.Technique,
+		WarmStart:       j.Spec.WarmStart,
 		Seed:            seed,
 		Workers:         j.Spec.Workers,
 		Faults:          funcytuner.DefaultFaultRates().Scale(j.Spec.FaultRate),

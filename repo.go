@@ -24,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 
+	"funcytuner/internal/core"
 	"funcytuner/internal/resultrepo"
 	"funcytuner/internal/trace"
 )
@@ -54,7 +55,7 @@ const (
 // (mode, prog, in). Scheduling-only options (Workers, CacheSize, Gate,
 // Trace, Progress, Checkpoint/Resume, Evaluator, Unpooled) are absent
 // by design — the determinism suite proves they cannot change a Report.
-func (t *Tuner) keySpec(mode string, prog *Program, in Input, rule StopRule) resultrepo.KeySpec {
+func (t *Tuner) keySpec(mode string, prog *Program, in Input, rule StopRule, warmDigest uint64) resultrepo.KeySpec {
 	ks := resultrepo.KeySpec{
 		Mode:              mode,
 		Program:           prog.Name,
@@ -83,6 +84,10 @@ func (t *Tuner) keySpec(mode string, prog *Program, in Input, rule StopRule) res
 		ks.StopMinEvaluations = rule.MinEvaluations
 		ks.StopPatience = rule.Patience
 		ks.StopMaxEvaluations = rule.MaxEvaluations
+	}
+	if mode == modeTune {
+		ks.Technique = core.TechniqueTag(t.opts.Technique)
+		ks.WarmDigest = warmDigest
 	}
 	return ks
 }
@@ -122,6 +127,8 @@ type repoFaults struct {
 type repoBody struct {
 	Fingerprint     string                 `json:"fingerprint"`
 	Flavor          string                 `json:"flavor"`
+	Program         string                 `json:"program,omitempty"`
+	Machine         string                 `json:"machine,omitempty"`
 	Results         map[string]*repoResult `json:"results"`
 	ProfileTotal    string                 `json:"profile_total"`
 	ProfileTotalStd string                 `json:"profile_total_std"`
@@ -171,6 +178,8 @@ func encodeRepoBody(rep *Report, tr *TuningTrace) ([]byte, error) {
 	b := repoBody{
 		Fingerprint:     fmt.Sprintf("%016x", rep.Fingerprint()),
 		Flavor:          rep.sess.Toolchain.Space.Flavor.String(),
+		Program:         rep.sess.Prog.Name,
+		Machine:         rep.sess.Machine.Name,
 		Results:         make(map[string]*repoResult, len(rep.All)),
 		ProfileTotal:    hexFloat(rep.Profile.Total),
 		ProfileTotalStd: hexFloat(rep.Profile.TotalStd),
@@ -235,8 +244,8 @@ func (t *Tuner) decodeRepoBody(body []byte, prog *Program, in Input) (*Report, *
 	if b.Flavor != t.opts.Space.Flavor.String() {
 		return nil, nil, "", fmt.Errorf("funcytuner: stored flavor %q does not match %q", b.Flavor, t.opts.Space.Flavor)
 	}
-	if len(b.Results) == 0 || b.Results["CFR"] == nil {
-		return nil, nil, "", fmt.Errorf("funcytuner: stored entry has no CFR result")
+	if len(b.Results) == 0 {
+		return nil, nil, "", fmt.Errorf("funcytuner: stored entry has no results")
 	}
 	all := make(map[string]*Result, len(b.Results))
 	for name, rr := range b.Results {
@@ -270,8 +279,12 @@ func (t *Tuner) decodeRepoBody(body []byte, prog *Program, in Input) (*Report, *
 		}
 		all[name] = res
 	}
+	best := bestResult(all)
+	if best == nil {
+		return nil, nil, "", fmt.Errorf("funcytuner: stored entry has no search result")
+	}
 	rep := &Report{
-		Best:     all["CFR"],
+		Best:     best,
 		All:      all,
 		HotLoops: b.HotLoops,
 		Modules:  len(b.ModuleNames),
@@ -337,12 +350,12 @@ func (t *Tuner) decodeRepoBody(body []byte, prog *Program, in Input) (*Report, *
 // entry and falls through to a real run. When the caller wants a trace,
 // an entry stored without one is also a miss (the recompute will store
 // it with the trace attached).
-func (t *Tuner) serveFromRepo(mode string, prog *Program, in Input, rule StopRule) (*Report, bool) {
+func (t *Tuner) serveFromRepo(mode string, prog *Program, in Input, rule StopRule, warmDigest uint64) (*Report, bool) {
 	if t.repo == nil || !t.opts.SkipExist || t.err != nil ||
 		t.opts.KillAfterEvals > 0 || prog == nil {
 		return nil, false
 	}
-	key := t.keySpec(mode, prog, in, rule).Key()
+	key := t.keySpec(mode, prog, in, rule, warmDigest).Key()
 	body, ok := t.repo.Get(key)
 	if !ok {
 		return nil, false
@@ -369,7 +382,7 @@ func (t *Tuner) serveFromRepo(mode string, prog *Program, in Input, rule StopRul
 // storage failure never fails the tuning run that produced the result.
 // Crash-simulation runs (KillAfterEvals) are never stored — they are
 // the checkpoint machinery's test hook, not results.
-func (t *Tuner) storeInRepo(mode string, prog *Program, in Input, rule StopRule, rep *Report) {
+func (t *Tuner) storeInRepo(mode string, prog *Program, in Input, rule StopRule, rep *Report, warmDigest uint64) {
 	if t.repo == nil || t.opts.KillAfterEvals > 0 || rep == nil || rep.sess == nil {
 		return
 	}
@@ -381,7 +394,7 @@ func (t *Tuner) storeInRepo(mode string, prog *Program, in Input, rule StopRule,
 	if err != nil {
 		return
 	}
-	_ = t.repo.Put(t.keySpec(mode, prog, in, rule).Key(), body)
+	_ = t.repo.Put(t.keySpec(mode, prog, in, rule, warmDigest).Key(), body)
 }
 
 // RepoStats snapshots the attached results repository's activity (zero
